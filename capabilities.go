@@ -1,0 +1,181 @@
+package peering
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Capability is one of the six testbed goals of §2.
+type Capability int
+
+// The §2 goals, in Table 1 row order.
+const (
+	// CapInterdomain: control of interdomain topology and routing
+	// (exchange routes with the real Internet).
+	CapInterdomain Capability = iota
+	// CapRichConn: realistic, rich connectivity (many peers, IXPs).
+	CapRichConn
+	// CapTraffic: control of traffic (send/receive on the data plane).
+	CapTraffic
+	// CapRealServices: ability to deploy real, traffic-attracting
+	// services.
+	CapRealServices
+	// CapIntradomain: control of intradomain topology and routing.
+	CapIntradomain
+	// CapOpenSimult: openness and simultaneous experiments.
+	CapOpenSimult
+	numCapabilities
+)
+
+func (c Capability) String() string {
+	switch c {
+	case CapInterdomain:
+		return "Interdomain"
+	case CapRichConn:
+		return "Rich conn."
+	case CapTraffic:
+		return "Traffic"
+	case CapRealServices:
+		return "Real services"
+	case CapIntradomain:
+		return "Intradomain"
+	case CapOpenSimult:
+		return "Open/Simult. experiments"
+	default:
+		return fmt.Sprintf("cap(%d)", int(c))
+	}
+}
+
+// Support grades a capability (Table 1 uses ✓, ≈, ✗).
+type Support int
+
+// Support levels.
+const (
+	No Support = iota
+	Limited
+	Yes
+)
+
+func (s Support) String() string {
+	switch s {
+	case Yes:
+		return "Y"
+	case Limited:
+		return "~"
+	default:
+		return "X"
+	}
+}
+
+// System is one Table 1 column: a research platform and what it
+// supports.
+type System struct {
+	Name   string
+	Abbrev string
+	Caps   [numCapabilities]Support
+	// Module notes which part of this repository implements or models
+	// the system (PEERING's row is backed by the packages listed).
+	Module string
+}
+
+// Covers reports whether the system fully supports c.
+func (s System) Covers(c Capability) bool { return s.Caps[c] == Yes }
+
+// KnownSystems returns the Table 1 matrix. The PEERING row is the
+// contract this repository implements; each other system is modeled by
+// the module named (route collectors and beacons run in
+// internal/collector; Transit Portal is the Quagga-mode subset of
+// internal/server; MinineXt generalizes Mininet in internal/mininext).
+func KnownSystems() []System {
+	return []System{
+		{
+			Name: "PlanetLab", Abbrev: "PL", Module: "end-host overlay (modeled)",
+			Caps: [numCapabilities]Support{No, Yes, Yes, Yes, No, Yes},
+		},
+		{
+			Name: "VINI", Abbrev: "VN", Module: "emulation platform (modeled)",
+			Caps: [numCapabilities]Support{No, No, Yes, Yes, Yes, Yes},
+		},
+		{
+			Name: "Emulab", Abbrev: "EM", Module: "emulation platform (modeled)",
+			Caps: [numCapabilities]Support{No, No, Yes, No, Yes, Yes},
+		},
+		{
+			Name: "Mininet", Abbrev: "MN", Module: "internal/mininext (base layer)",
+			Caps: [numCapabilities]Support{No, No, Yes, No, Yes, Yes},
+		},
+		{
+			Name: "Route Collectors", Abbrev: "RC", Module: "internal/collector",
+			Caps: [numCapabilities]Support{No, Yes, No, No, No, Yes},
+		},
+		{
+			Name: "Beacons", Abbrev: "BC", Module: "internal/collector (Beacon)",
+			Caps: [numCapabilities]Support{Limited, No, No, No, No, No},
+		},
+		{
+			Name: "Transit Portal", Abbrev: "TP", Module: "internal/server (Quagga mode, few upstreams)",
+			Caps: [numCapabilities]Support{Yes, No, Limited, Yes, No, No},
+		},
+		{
+			Name: "PEERING", Abbrev: "PR", Module: "this repository",
+			Caps: [numCapabilities]Support{Yes, Yes, Yes, Yes, Yes, Yes},
+		},
+	}
+}
+
+// AllCapabilities lists the six goals.
+func AllCapabilities() []Capability {
+	out := make([]Capability, numCapabilities)
+	for i := range out {
+		out[i] = Capability(i)
+	}
+	return out
+}
+
+// NoTwoSystemsCombine verifies Table 1's closing claim: "No two other
+// systems can be combined to provide the set of goals PEERING
+// achieves." It returns true when every pair of non-PEERING systems
+// leaves at least one capability uncovered.
+func NoTwoSystemsCombine() bool {
+	systems := KnownSystems()
+	var others []System
+	for _, s := range systems {
+		if s.Abbrev != "PR" {
+			others = append(others, s)
+		}
+	}
+	for i := 0; i < len(others); i++ {
+		for j := i + 1; j < len(others); j++ {
+			covered := true
+			for _, c := range AllCapabilities() {
+				if !others[i].Covers(c) && !others[j].Covers(c) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Table1 renders the capability matrix in the paper's layout.
+func Table1() string {
+	systems := KnownSystems()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-26s", "")
+	for _, s := range systems {
+		fmt.Fprintf(&sb, " %-3s", s.Abbrev)
+	}
+	sb.WriteByte('\n')
+	for _, c := range AllCapabilities() {
+		fmt.Fprintf(&sb, "%-26s", c.String())
+		for _, s := range systems {
+			fmt.Fprintf(&sb, " %-3s", s.Caps[c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,44 @@
+// amsix-report regenerates the §4.1 evaluation: the AMS-IX deployment
+// numbers (membership, policies, peers, countries, top-cone coverage,
+// prefix reachability, route-count distribution) and the popular-
+// destination coverage study, printed side by side with the paper's
+// figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"peering"
+	"peering/internal/internet"
+	"peering/internal/ixp"
+)
+
+func main() {
+	scale := flag.String("scale", "full", "experiment scale: full (paper-size, ~1 min) or small")
+	flag.Parse()
+
+	spec := peering.FullScaleSpec()
+	if *scale == "small" {
+		spec = internet.Spec{Seed: 42, ASes: 2000, Tier1s: 12, Transits: 250, CDNs: 16, Contents: 40, Prefixes: 30000}
+	}
+
+	fmt.Printf("generating synthetic Internet (%d ASes, %d prefixes)…\n", spec.ASes, spec.Prefixes)
+	start := time.Now()
+	rep := peering.RunAMSIXExperiment(spec)
+	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(rep)
+
+	fmt.Println("running destination-coverage study (Alexa-analog)…")
+	g := internet.Generate(spec)
+	x := ixp.BuildAMSIX(g, ixp.DefaultAMSIXSpec())
+	pr := x.Join(7, true)
+	cov := peering.RunDestinationCoverage(g, pr, internet.DefaultContentSpec())
+	fmt.Println(cov)
+
+	fmt.Println("route-server ablation (what multilateral peering buys):")
+	ab := peering.RunRouteServerAblation(spec)
+	fmt.Printf("  with route server:  %4d peers, %7d reachable prefixes\n", ab.WithRS.Peers, ab.WithRS.ReachablePrefix)
+	fmt.Printf("  bilateral only:     %4d peers, %7d reachable prefixes\n", ab.Bilateral.Peers, ab.Bilateral.ReachablePrefix)
+}

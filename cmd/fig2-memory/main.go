@@ -1,0 +1,47 @@
+// fig2-memory regenerates Figure 2: BGP table memory usage of a single
+// router as the number of peers and the routes per peer grow, printed
+// as the series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"peering"
+)
+
+func main() {
+	peersList := flag.String("peers", "1,5,10,20", "comma-separated peer counts")
+	routesList := flag.String("routes", "1000,10000,100000", "comma-separated routes-per-peer")
+	headline := flag.Bool("headline", false, "also measure the 1-peer × 500K Internet-scale point")
+	flag.Parse()
+
+	peersN := parseInts(*peersList)
+	routesN := parseInts(*routesList)
+
+	fmt.Printf("%-8s %-12s %-10s %s\n", "peers", "routes/peer", "total", "memory")
+	for _, routes := range routesN {
+		for _, peers := range peersN {
+			pt := peering.MeasureTableMemory(peers, routes)
+			fmt.Printf("%-8d %-12d %-10d %.1f MB\n", pt.Peers, pt.RoutesPerPeer, pt.Routes, float64(pt.Bytes)/(1<<20))
+		}
+	}
+	if *headline {
+		pt := peering.MeasureTableMemory(1, 500000)
+		fmt.Printf("%-8d %-12d %-10d %.1f MB   (Internet-scale table, §4.2)\n",
+			pt.Peers, pt.RoutesPerPeer, pt.Routes, float64(pt.Bytes)/(1<<20))
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+// peering-server runs a complete PEERING deployment — live synthetic
+// Internet, emulated AMS-IX, one server, collector — and serves the
+// management portal's HTTP API, so experiments can be provisioned and
+// announcements scheduled with curl (see cmd/peeringctl).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"peering"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8480", "portal listen address")
+	mode := flag.String("mode", "quagga", "multiplexing mode: quagga or bird")
+	bilateral := flag.Bool("bilateral", false, "add bilateral sessions to every open IXP member")
+	flag.Parse()
+
+	var m peering.Mode
+	switch *mode {
+	case "quagga":
+		m = peering.ModeQuagga
+	case "bird":
+		m = peering.ModeBIRD
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	tb, err := peering.NewTestbed(peering.Config{Mode: m, BilateralPeers: *bilateral})
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+	if err := tb.WaitReady(60 * time.Second); err != nil {
+		log.Fatalf("testbed not ready: %v", err)
+	}
+
+	log.Printf("PEERING testbed up: AS%d (%s mode)", tb.ASN, m)
+	log.Printf("  live Internet: %d ASes, %d prefixes", tb.Internet.Len(), tb.Internet.TotalPrefixes())
+	log.Printf("  IXP members:   %d (route server AS%d)", len(tb.Fabric.Members()), tb.Fabric.RS.AS())
+	log.Printf("  upstreams:     %d sessions", len(tb.Server.Upstreams()))
+	log.Printf("  collector:     AS%d vantage, %d prefixes", tb.CollectorVantage, tb.Collector.Prefixes())
+	log.Printf("portal API on http://%s (POST /accounts, /experiments, /announcements …)", *addr)
+
+	srv := &http.Server{Addr: *addr, Handler: tb.Portal.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

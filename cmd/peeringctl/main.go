@@ -1,0 +1,146 @@
+// peeringctl is the researcher-side CLI for the portal HTTP API:
+// account creation, experiment proposals, (advisory-board) approval,
+// announcement scheduling, and measurement retrieval.
+//
+// Usage:
+//
+//	peeringctl [-portal URL] account  <user> <email>
+//	peeringctl [-portal URL] propose  <user> <id> <title...>
+//	peeringctl [-portal URL] approve  <id> [-spoof]
+//	peeringctl [-portal URL] reject   <id>
+//	peeringctl [-portal URL] retire   <id>
+//	peeringctl [-portal URL] show     <id>
+//	peeringctl [-portal URL] announce <experiment> <prefix> [-withdraw] [-in duration]
+//	peeringctl [-portal URL] list     <experiment>
+//	peeringctl [-portal URL] pool
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	portalURL := flag.String("portal", "http://127.0.0.1:8480", "portal base URL")
+	spoof := flag.Bool("spoof", false, "grant controlled spoofing (approve)")
+	withdraw := flag.Bool("withdraw", false, "withdraw instead of announce")
+	in := flag.Duration("in", 0, "schedule delay (announce)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c := &ctl{base: *portalURL}
+	var err error
+	switch args[0] {
+	case "account":
+		need(args, 3)
+		err = c.post("/accounts", map[string]string{"user": args[1], "email": args[2]})
+	case "propose":
+		need(args, 4)
+		err = c.post("/experiments", map[string]string{
+			"user": args[1], "id": args[2], "title": strings.Join(args[3:], " "),
+		})
+	case "approve":
+		need(args, 2)
+		err = c.post("/experiments/approve", map[string]any{"id": args[1], "spoof_grant": *spoof})
+	case "reject":
+		need(args, 2)
+		err = c.post("/experiments/reject", map[string]string{"id": args[1]})
+	case "retire":
+		need(args, 2)
+		err = c.post("/experiments/retire", map[string]string{"id": args[1]})
+	case "show":
+		need(args, 2)
+		err = c.get("/experiments?id=" + args[1])
+	case "announce":
+		need(args, 3)
+		err = c.post("/announcements", map[string]any{
+			"experiment": args[1],
+			"prefix":     args[2],
+			"withdraw":   *withdraw,
+			"at":         time.Now().Add(*in),
+		})
+	case "list":
+		need(args, 2)
+		err = c.get("/announcements?experiment=" + args[1])
+	case "pool":
+		err = c.get("/pool")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+type ctl struct{ base string }
+
+func (c *ctl) post(path string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return render(resp)
+}
+
+func (c *ctl) get(path string) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return render(resp)
+}
+
+// render pretty-prints the portal's JSON reply.
+func render(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var buf bytes.Buffer
+	if json.Indent(&buf, body, "", "  ") == nil {
+		fmt.Println(buf.String())
+	} else {
+		fmt.Println(strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: peeringctl [-portal URL] <command> [args]
+commands:
+  account  <user> <email>
+  propose  <user> <id> <title...>
+  approve  <id> [-spoof]
+  reject   <id>
+  retire   <id>
+  show     <id>
+  announce <experiment> <prefix> [-withdraw] [-in 30s]
+  list     <experiment>
+  pool`)
+	os.Exit(2)
+}

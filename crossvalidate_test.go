@@ -1,0 +1,190 @@
+package peering
+
+// Cross-validation tests: the repository contains two independent
+// models of interdomain routing — the analytic Gao–Rexford propagation
+// (internal/internet.Propagate, used for the §4.1 statistics) and the
+// live BGP mini-Internet (BuildLive: real sessions, real decision
+// process, real export policies). If they disagree, one of them is
+// wrong. These tests pit them against each other.
+
+import (
+	"testing"
+	"time"
+
+	"peering/internal/internet"
+)
+
+// TestLiveMatchesAnalyticPropagation announces from several origins in
+// the live Internet and checks that exactly the ASes the analytic
+// model predicts (and no others) learn the route.
+func TestLiveMatchesAnalyticPropagation(t *testing.T) {
+	spec := internet.Spec{Seed: 99, ASes: 30, Tier1s: 3, Transits: 9, CDNs: 2, Contents: 3, Prefixes: 40}
+	g := internet.Generate(spec)
+	li, err := BuildLive(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !li.WaitConverged(5, 30*time.Second) {
+		t.Fatal("live internet did not converge")
+	}
+	// Give the long tail of propagation a moment.
+	time.Sleep(300 * time.Millisecond)
+
+	asns := g.ASNs()
+	origins := []uint32{asns[0], asns[len(asns)/2], asns[len(asns)-1]}
+	for _, origin := range origins {
+		if len(g.AS(origin).Prefixes) == 0 {
+			continue
+		}
+		p := g.AS(origin).Prefixes[0]
+		pred := g.Propagate(origin)
+		for _, asn := range asns {
+			rt := li.Container(asn).BGP.LocRIB().Best(p)
+			gotRoute := rt != nil
+			wantRoute := pred.Reached(asn)
+			if gotRoute != wantRoute {
+				t.Errorf("origin %d, AS %d: live=%v analytic=%v", origin, asn, gotRoute, wantRoute)
+				continue
+			}
+			if !gotRoute || asn == origin {
+				continue
+			}
+			// Path lengths should agree too: both models pick
+			// customer>peer>provider then shortest.
+			liveLen := rt.Attrs.PathLen()
+			wantLen := pred.Info[asn].Len
+			if liveLen != wantLen {
+				// Tie-breaks below (class, length) may differ; only
+				// flag length mismatches, which indicate a policy bug.
+				t.Errorf("origin %d, AS %d: live path len %d, analytic %d (path %s)",
+					origin, asn, liveLen, wantLen, rt.Attrs.PathString())
+			}
+		}
+	}
+}
+
+// TestPoiRootControlledPathChange reproduces the PoiRoot methodology
+// (§2): make a controlled routing change and use it as ground truth —
+// the collector must observe exactly the induced transition, giving a
+// root-cause dataset with a known answer.
+func TestPoiRootControlledPathChange(t *testing.T) {
+	tb := newReadyTestbed(t, Config{})
+	e, err := tb.NewExperiment("poiroot", "poiroot", "controlled path changes", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Allocation[0]
+	cl, err := tb.ConnectClient("poiroot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth event 1: announce via ALL upstreams.
+	if err := cl.Announce(p, AnnounceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "baseline", func() bool { _, ok := tb.RouteAtCollector(p); return ok })
+	basePath, _ := tb.RouteAtCollector(p)
+	baseTime := time.Now()
+
+	// Ground truth event 2 (the controlled change): withdraw from the
+	// upstream currently carrying the collector's path, forcing a
+	// visible transition whose cause WE know. The entry upstream is the
+	// AS adjacent to ours on the observed path.
+	baseRoute := tb.Collector.Route(p)
+	basePathASNs := baseRoute.Attrs.ASList()
+	var entryASN uint32
+	for i, hop := range basePathASNs {
+		if hop == tb.ASN && i > 0 {
+			entryASN = basePathASNs[i-1]
+			break
+		}
+	}
+	var withdrawID uint32
+	for _, u := range cl.Upstreams() {
+		if u.ASN == entryASN {
+			withdrawID = u.ID
+			break
+		}
+	}
+	if withdrawID == 0 {
+		t.Skipf("collector path %v enters via an un-steerable peer", basePathASNs)
+	}
+	if err := cl.Withdraw(p, []uint32{withdrawID}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "path change", func() bool {
+		path, ok := tb.RouteAtCollector(p)
+		return ok && path != basePath
+	})
+	newPath, _ := tb.RouteAtCollector(p)
+
+	// The root-cause analysis: the collector's update archive must
+	// contain the transition after our event, and the new path must
+	// avoid the withdrawn upstream's ASN as the entry point.
+	stats := tb.Collector.Convergence(p, baseTime)
+	if stats.Updates == 0 {
+		t.Fatal("collector archived no updates for the controlled change")
+	}
+	if newPath == basePath {
+		t.Fatalf("path did not change: %q", newPath)
+	}
+	// Restore: announcing again everywhere re-offers the withdrawn
+	// path (the experiment is repeatable — PoiRoot ran rounds of
+	// these). The vantage may legitimately settle on either
+	// equal-preference entry, so assert reachability, not path
+	// equality.
+	if err := cl.Announce(p, AnnounceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restore", func() bool {
+		_, ok := tb.RouteAtCollector(p)
+		return ok
+	})
+}
+
+// TestPortalRetireFreesPrefixForNextExperiment exercises the full
+// resource life cycle across two experiments — §3's point that testbed
+// scalability is bounded by prefixes, so they must be reclaimed.
+func TestPortalRetireFreesPrefixForNextExperiment(t *testing.T) {
+	tb := newReadyTestbed(t, Config{})
+	before := tb.Portal.PoolSize()
+	e1, err := tb.NewExperiment("u", "first", "t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc1 := e1.Allocation[0] // Retire clears the stored record's allocation
+	if tb.Portal.PoolSize() != before-1 {
+		t.Fatalf("pool = %d", tb.Portal.PoolSize())
+	}
+	if err := tb.Portal.Retire("first"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Portal.PoolSize() != before {
+		t.Fatalf("pool after retire = %d", tb.Portal.PoolSize())
+	}
+	// The reclaimed prefix can be handed to a new experiment. (The
+	// server-side account for "first" persists harmlessly; a new
+	// registration with the same prefix must be refused while it does.)
+	_, err = tb.NewExperiment("u", "second", "t", false)
+	if err == nil {
+		// Depending on pool order the new experiment may get a fresh
+		// /24, which must not collide with e1's.
+		e2, _ := tb.Portal.Experiment("second")
+		if e2.Allocation[0] == alloc1 {
+			t.Fatal("reissued prefix while server account still holds it")
+		}
+	}
+}
+
+func TestCapabilityPEERINGBackedByModules(t *testing.T) {
+	// Every PEERING capability in Table 1 names the module demonstrating
+	// it; the weakest possible regression test is that the named modules
+	// exist in this build — which the compiler already proves — so here
+	// we check the narrative mapping stays complete.
+	for _, s := range KnownSystems() {
+		if s.Module == "" {
+			t.Errorf("system %s lacks a module mapping", s.Name)
+		}
+	}
+}

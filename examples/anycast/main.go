@@ -1,0 +1,157 @@
+// Anycast: announce one prefix through multiple providers and measure
+// the catchment — which ASes enter through which provider — then shift
+// it with selective prepending.
+//
+// §3 "Deploying real services": "researchers can advertise services on
+// real IP addresses and potentially attract traffic to them, e.g., by
+// anycasting a prefix from all PEERING providers and peers."
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"sort"
+	"time"
+
+	"peering"
+)
+
+func main() {
+	fmt.Println("== Anycast catchment measurement ==")
+
+	tb, err := peering.NewTestbed(peering.Config{})
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+	if err := tb.WaitReady(30 * time.Second); err != nil {
+		log.Fatalf("not ready: %v", err)
+	}
+
+	exp, err := tb.NewExperiment("anycast", "anycast", "catchment study", false)
+	if err != nil {
+		log.Fatalf("experiment: %v", err)
+	}
+	prefix := exp.Allocation[0]
+	cl, err := tb.ConnectClient("anycast")
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+
+	// The anycast "sites": the transit providers behind upstreams 2
+	// and 3 (plus the IXP route server as a third entry).
+	entries := map[uint32]string{} // entry ASN → upstream name
+	for _, u := range cl.Upstreams() {
+		entries[u.ASN] = u.Name
+	}
+
+	// Act 1: announce everywhere.
+	if err := cl.Announce(prefix, peering.AnnounceOptions{}); err != nil {
+		log.Fatalf("announce: %v", err)
+	}
+	waitSettled(tb, prefix)
+	base := catchment(tb, prefix)
+	fmt.Println("catchment with equal announcements:")
+	printCatchment(base, entries)
+
+	// Act 2: shift traffic away from one provider by prepending
+	// through it (announce unchanged elsewhere).
+	var shiftASN uint32
+	var shiftID uint32
+	for _, u := range cl.Upstreams() {
+		if u.Transit {
+			shiftASN, shiftID = u.ASN, u.ID
+			break
+		}
+	}
+	fmt.Printf("\nprepending x4 toward AS%d to shift its catchment…\n", shiftASN)
+	// Re-announce: heavy prepend via the shifted provider, clean
+	// announcement via the others.
+	var otherIDs []uint32
+	for _, u := range cl.Upstreams() {
+		if u.ID != shiftID {
+			otherIDs = append(otherIDs, u.ID)
+		}
+	}
+	if err := cl.Announce(prefix, peering.AnnounceOptions{Upstreams: []uint32{shiftID}, Prepend: 4}); err != nil {
+		log.Fatalf("prepend announce: %v", err)
+	}
+	if err := cl.Announce(prefix, peering.AnnounceOptions{Upstreams: otherIDs}); err != nil {
+		log.Fatalf("clean announce: %v", err)
+	}
+	waitSettled(tb, prefix)
+	time.Sleep(200 * time.Millisecond) // let churn settle
+	shifted := catchment(tb, prefix)
+	fmt.Println("catchment after prepending:")
+	printCatchment(shifted, entries)
+
+	if shifted[shiftASN] >= base[shiftASN] {
+		log.Fatalf("prepending did not shrink AS%d's catchment (%d → %d)",
+			shiftASN, base[shiftASN], shifted[shiftASN])
+	}
+	fmt.Printf("\nAS%d's catchment shrank from %d to %d ASes — traffic engineering works\n",
+		shiftASN, base[shiftASN], shifted[shiftASN])
+	fmt.Println("anycast complete")
+}
+
+// catchment maps entry ASN → number of live ASes whose best path to
+// the prefix enters the testbed through it (the AS adjacent to our
+// ASN on their chosen path).
+func catchment(tb *peering.Testbed, p netip.Prefix) map[uint32]int {
+	out := map[uint32]int{}
+	for _, asn := range tb.Internet.ASNs() {
+		rt := tb.Live.Container(asn).BGP.LocRIB().Best(p)
+		if rt == nil {
+			continue
+		}
+		path := rt.Attrs.ASList()
+		entry := uint32(0)
+		for i, hop := range path {
+			if hop == tb.ASN && i > 0 {
+				entry = path[i-1]
+				break
+			}
+			if hop == tb.ASN && i == 0 {
+				entry = asn // directly adjacent
+			}
+		}
+		if entry != 0 {
+			out[entry]++
+		}
+	}
+	return out
+}
+
+func printCatchment(c map[uint32]int, entries map[uint32]string) {
+	asns := make([]uint32, 0, len(c))
+	for asn := range c {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return c[asns[i]] > c[asns[j]] })
+	for _, asn := range asns {
+		label := entries[asn]
+		if label == "" {
+			label = "(via IXP peer)"
+		}
+		fmt.Printf("  entry AS%-5d %-22s %3d ASes\n", asn, label, c[asn])
+	}
+}
+
+// waitSettled waits until most of the live Internet has a route.
+func waitSettled(tb *peering.Testbed, p netip.Prefix) {
+	want := tb.Internet.Len() * 8 / 10
+	for i := 0; i < 3000; i++ {
+		n := 0
+		for _, asn := range tb.Internet.ASNs() {
+			if tb.Live.Container(asn).BGP.LocRIB().Best(p) != nil {
+				n++
+			}
+		}
+		if n >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatal("announcement never settled across the live Internet")
+}

@@ -1,0 +1,168 @@
+// Hurricane Electric backbone emulation — the §4.2 experiment: "We
+// emulated the PoP-level global backbone of Hurricane Electric (HE),
+// using data from Topology Zoo. We set up a Quagga routing engine for
+// each of the 24 PoPs, configured each PoP to originate a prefix, and
+// configured sessions between adjacent PoPs. We then connected the
+// emulated Amsterdam PoP to peer at AMS-IX via PEERING."
+//
+// This example builds the backbone in MinineXt, converges it, connects
+// its Amsterdam PoP to the testbed through a PEERING client, announces
+// every PoP prefix (private PoP ASNs stripped at the border), and
+// routes traffic from the live Internet through the emulated backbone
+// to the Tokyo PoP.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"peering"
+	"peering/internal/mininext"
+	"peering/internal/router"
+	"peering/internal/topozoo"
+)
+
+func main() {
+	fmt.Println("== Hurricane Electric backbone emulation (§4.2) ==")
+
+	// 1. The backbone: 24 PoPs from Topology Zoo, eBGP between
+	// adjacent PoPs under private ASNs 65100+.
+	he := topozoo.HurricaneElectric()
+	fmt.Printf("topology: %s — %d PoPs, %d links\n", he.Name, len(he.Nodes), len(he.Edges))
+
+	tb, err := peering.NewTestbed(peering.Config{})
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+	if err := tb.WaitReady(30 * time.Second); err != nil {
+		log.Fatalf("not ready: %v", err)
+	}
+	exp, err := tb.NewExperiment("he", "hebackbone", "HE backbone behind PEERING", false)
+	if err != nil {
+		log.Fatalf("experiment: %v", err)
+	}
+	alloc := exp.Allocation[0] // one /24 — sliced into /29s per PoP
+
+	// Build with per-PoP /29s carved from the experiment allocation, so
+	// every PoP address is globally announced testbed space.
+	res, err := buildHE(he, alloc)
+	if err != nil {
+		log.Fatalf("emulation: %v", err)
+	}
+	start := time.Now()
+	for !res.Converged() {
+		if time.Since(start) > 30*time.Second {
+			log.Fatal("backbone never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("backbone converged in %v; every PoP holds %d PoP prefixes\n",
+		time.Since(start).Round(time.Millisecond), len(he.Nodes))
+
+	ams := res.ByLabel["Amsterdam"]
+	tokyo := res.ByLabel["Tokyo"]
+
+	// 2. Intradomain check: ping Tokyo from Amsterdam across the
+	// emulated backbone.
+	tokyoHost := res.PrefixOf["Tokyo"].Addr().Next()
+	pkt := &peering.Packet{Src: res.PrefixOf["Amsterdam"].Addr().Next(), Dst: tokyoHost, TTL: 64, Proto: 1, ICMP: 8}
+	before := tokyo.DP.Stats().DeliveredLocal
+	ams.DP.Originate(pkt)
+	if tokyo.DP.Stats().DeliveredLocal == before {
+		log.Fatal("Amsterdam→Tokyo ping failed inside the backbone")
+	}
+	rt := ams.BGP.LocRIB().Best(res.PrefixOf["Tokyo"])
+	fmt.Printf("Amsterdam→Tokyo inside the backbone: AS path [%s], ping OK\n", rt.Attrs.PathString())
+
+	// 3. Interdomain: the Amsterdam PoP connects to PEERING; announce
+	// the whole allocation with the Amsterdam PoP's private ASN as the
+	// emulated origin.
+	cl, err := tb.ConnectClient("hebackbone")
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	amsASN := ams.ASN
+	if err := cl.Announce(alloc, peering.AnnounceOptions{OriginASNs: []uint32{amsASN}}); err != nil {
+		log.Fatalf("announce: %v", err)
+	}
+	var path string
+	for i := 0; i < 3000; i++ {
+		var ok bool
+		if path, ok = tb.RouteAtCollector(alloc); ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if path == "" {
+		log.Fatal("backbone prefix never reached the collector")
+	}
+	fmt.Printf("collector sees %v via [%s] — PoP ASN %d stripped at the border (§3)\n", alloc, path, amsASN)
+
+	// 4. Traffic from the live Internet into the emulated backbone:
+	// tunnel → Amsterdam PoP → across PoPs → Tokyo.
+	cl.OnPacket(func(p *peering.Packet) { ams.DP.Receive(p, nil) })
+	var srcASN uint32
+	for _, asn := range tb.Internet.ASNs() {
+		if tb.InternetHost(asn).IsValid() {
+			srcASN = asn
+			break
+		}
+	}
+	src := tb.Live.Container(srcASN)
+	for i := 0; i < 2000 && src.DP.LookupRoute(tokyoHost) == nil; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	before = tokyo.DP.Stats().DeliveredLocal
+	inet := &peering.Packet{Src: tb.InternetHost(srcASN), Dst: tokyoHost, TTL: 64, Proto: 6, Payload: []byte("hello tokyo")}
+	src.DP.Originate(inet)
+	deadline := time.Now().Add(10 * time.Second)
+	for tokyo.DP.Stats().DeliveredLocal == before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if tokyo.DP.Stats().DeliveredLocal == before {
+		log.Fatal("Internet traffic never crossed the emulated backbone to Tokyo")
+	}
+	fmt.Printf("traffic from AS%d crossed the real Internet, entered at Amsterdam, and reached Tokyo\n", srcASN)
+	fmt.Println("hebackbone complete")
+}
+
+// buildHE is BuildFromTopology with /29-per-PoP carving (24 PoPs fit
+// in one /24 with room to spare: 32 × /29).
+func buildHE(topo *topozoo.Topology, alloc netip.Prefix) (*mininext.BuildResult, error) {
+	n := mininext.NewNetwork(topo.Name)
+	res := &mininext.BuildResult{
+		Network:  n,
+		ByLabel:  map[string]*mininext.Container{},
+		PrefixOf: map[string]netip.Prefix{},
+	}
+	base := alloc.Masked().Addr().As4()
+	byID := map[string]*mininext.Container{}
+	for i, node := range topo.Nodes {
+		lo := netip.AddrFrom4([4]byte{10, 10, byte(i), 1})
+		c, err := n.AddContainer(node.Label, 65100+uint32(i), lo)
+		if err != nil {
+			return nil, err
+		}
+		byID[node.ID] = c
+		res.ByLabel[node.Label] = c
+		v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+		v += uint32(i) << 3
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}), 29)
+		res.PrefixOf[node.Label] = p
+	}
+	for _, e := range topo.Edges {
+		if _, err := n.Link(byID[e.Source], byID[e.Target]); err != nil {
+			return nil, err
+		}
+	}
+	for _, node := range topo.Nodes {
+		c := byID[node.ID]
+		p := res.PrefixOf[node.Label]
+		c.DP.AddLocal(p.Addr().Next())
+		c.BGP.Announce(p, router.AnnounceSpec{})
+	}
+	return res, nil
+}

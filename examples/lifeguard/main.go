@@ -1,0 +1,98 @@
+// LIFEGUARD: route around a failing AS with BGP poisoning.
+//
+// The §2 example research: "LIFEGUARD used route injection to route
+// around failures" [29]. An experiment announces its prefix, observes
+// the AS path the Internet chose toward it, declares one transit AS on
+// that path faulty, and re-announces with that AS "poisoned" —
+// inserted into the path so its loop detection rejects the route —
+// forcing the Internet onto an alternate path that avoids it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"slices"
+	"time"
+
+	"peering"
+)
+
+func main() {
+	fmt.Println("== LIFEGUARD: practical repair of persistent route failures ==")
+
+	tb, err := peering.NewTestbed(peering.Config{})
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+	if err := tb.WaitReady(30 * time.Second); err != nil {
+		log.Fatalf("not ready: %v", err)
+	}
+
+	exp, err := tb.NewExperiment("lifeguard", "lifeguard", "route around failure", false)
+	if err != nil {
+		log.Fatalf("experiment: %v", err)
+	}
+	prefix := exp.Allocation[0]
+	cl, err := tb.ConnectClient("lifeguard")
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+
+	// Baseline announcement.
+	if err := cl.Announce(prefix, peering.AnnounceOptions{}); err != nil {
+		log.Fatalf("announce: %v", err)
+	}
+	before := awaitPath(tb, prefix, nil)
+	fmt.Printf("baseline: vantage AS%d reaches %v via %v\n", tb.CollectorVantage, prefix, before)
+
+	// "Failure": declare the first intermediate AS on the path faulty
+	// (in LIFEGUARD this is the AS the outage-localization step
+	// blamed). The path reads [vantage-side ... our ASN]; pick the hop
+	// adjacent to the vantage.
+	if len(before) < 3 {
+		log.Fatalf("path %v too short to poison anything", before)
+	}
+	faulty := before[1]
+	fmt.Printf("declaring AS%d faulty; re-announcing with it poisoned\n", faulty)
+
+	// Poisoned re-announcement: path becomes [us, faulty, us]; AS
+	// `faulty` sees itself in the path and drops the route, so routes
+	// through it vanish while everyone else reroutes.
+	if err := cl.Announce(prefix, peering.AnnounceOptions{Poison: []uint32{faulty}}); err != nil {
+		log.Fatalf("poisoned announce: %v", err)
+	}
+	after := awaitPath(tb, prefix, func(path []uint32) bool {
+		return !slices.Contains(path[:len(path)-2], faulty) && !slices.Equal(path, before)
+	})
+	fmt.Printf("repaired: vantage now reaches %v via %v (avoids AS%d)\n", prefix, after, faulty)
+
+	// The poisoned AS itself must have dropped the route entirely.
+	faultyRIB := tb.Live.Container(faulty).BGP.LocRIB()
+	deadline := time.Now().Add(5 * time.Second)
+	for faultyRIB.Best(prefix) != nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if faultyRIB.Best(prefix) != nil {
+		log.Fatalf("poisoned AS%d still holds a route", faulty)
+	}
+	fmt.Printf("AS%d 's loop detection rejected the poisoned route — traffic no longer crosses it\n", faulty)
+	fmt.Println("lifeguard complete")
+}
+
+// awaitPath polls the collector for a path to p satisfying ok (nil =
+// any path).
+func awaitPath(tb *peering.Testbed, p netip.Prefix, ok func([]uint32) bool) []uint32 {
+	for i := 0; i < 3000; i++ {
+		if rt := tb.Collector.Route(p); rt != nil {
+			path := rt.Attrs.ASList()
+			if ok == nil || ok(path) {
+				return path
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatalf("no acceptable path for %v at the collector", p)
+	return nil
+}

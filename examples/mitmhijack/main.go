@@ -1,0 +1,176 @@
+// MITM hijack study: emulate a man-in-the-middle attacker that uses
+// BGP to intercept traffic, inspect it, and forward it on to the real
+// destination — the §2 example that needs BOTH rich interdomain
+// connectivity (to divert traffic with a more-specific announcement)
+// AND intradomain control (to return it to the destination), after
+// Pilosov & Kapela's "Stealing The Internet" (DEFCON 16).
+//
+// The experiment runs two emulated domains behind one PEERING client:
+// a victim service and an attacker. The attacker announces a
+// more-specific of the victim's prefix, attracts the victim's inbound
+// traffic, inspects it, and tunnels it onward — the victim keeps
+// receiving every byte, unaware.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"peering"
+	"peering/internal/dataplane"
+	"peering/internal/internet"
+	"peering/internal/mininext"
+)
+
+func main() {
+	fmt.Println("== MITM interception study ==")
+
+	tb, err := peering.NewTestbed(peering.Config{})
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+	if err := tb.WaitReady(30 * time.Second); err != nil {
+		log.Fatalf("not ready: %v", err)
+	}
+	exp, err := tb.NewExperiment("mitm", "mitm", "interception study", false)
+	if err != nil {
+		log.Fatalf("experiment: %v", err)
+	}
+	alloc := exp.Allocation[0] // a /24
+	cl, err := tb.ConnectClient("mitm")
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+
+	// Intradomain (MinineXt): border ─ victim, border ─ attacker.
+	const victimASN, attackerASN = 65010, 65066
+	emu := mininext.NewNetwork("mitm-domains")
+	border, _ := emu.AddContainer("border", victimASN, netip.MustParseAddr("10.10.0.1"))
+	victim, _ := emu.AddContainer("victim", victimASN, netip.MustParseAddr("10.10.1.1"))
+	attacker, _ := emu.AddContainer("attacker", attackerASN, netip.MustParseAddr("10.10.2.1"))
+	emu.Link(border, victim)
+	emu.Link(border, attacker)
+
+	victimAddr := alloc.Addr().Next().Next() // x.x.x.2 — the service
+	victim.DP.AddLocal(victimAddr)
+	var victimIface, attackerIface *dataplane.Iface
+	for _, i := range border.DP.Ifaces() {
+		switch i.Label {
+		case "to-victim":
+			victimIface = i
+		case "to-attacker":
+			attackerIface = i
+		}
+	}
+	// Normal operation: the whole /24 lives at the victim.
+	border.DP.SetRoute(alloc, netip.Addr{}, victimIface)
+
+	// Tunnel bridging: packets from the Internet enter the border.
+	cl.OnPacket(func(p *peering.Packet) { border.DP.Receive(p, nil) })
+
+	// The attacker's inspection point: count and measure, then tunnel
+	// onward to the victim (out of band, as the DEFCON attack did with
+	// a pre-arranged path).
+	intercepted := 0
+	attacker.DP.AddProcessor(func(pkt *dataplane.Packet, _ *dataplane.Iface) dataplane.Verdict {
+		if pkt.Dst == victimAddr {
+			intercepted++
+			fmt.Printf("  [attacker] inspected packet %d: %s→%s %q\n",
+				intercepted, pkt.Src, pkt.Dst, pkt.Payload)
+			victim.DP.Receive(pkt, nil) // the onward tunnel
+			return dataplane.VerdictHandled
+		}
+		return dataplane.VerdictContinue
+	})
+
+	// Phase 1 — legitimate service: announce the /24 (victim origin).
+	if err := cl.Announce(alloc, peering.AnnounceOptions{OriginASNs: []uint32{victimASN}}); err != nil {
+		log.Fatalf("announce: %v", err)
+	}
+	waitRoute(tb, alloc)
+	src := pickSource(tb)
+	send(tb, src, victimAddr, "GET /account")
+	waitDelivered(victim, 1, "baseline traffic never reached the victim")
+	fmt.Printf("baseline: traffic from AS%d reaches the victim directly (attacker saw %d packets)\n", src, intercepted)
+	if intercepted != 0 {
+		log.Fatal("attacker saw baseline traffic")
+	}
+
+	// Phase 2 — the attack: announce a more-specific /25 covering the
+	// victim, originated by the attacker's domain, and divert the
+	// border's intradomain route to the attacker.
+	half := netip.PrefixFrom(alloc.Addr(), 25)
+	if err := cl.Announce(half, peering.AnnounceOptions{OriginASNs: []uint32{attackerASN}}); err != nil {
+		log.Fatalf("hijack announce: %v", err)
+	}
+	waitRoute(tb, half)
+	border.DP.SetRoute(half, netip.Addr{}, attackerIface)
+	fmt.Printf("attack: announced more-specific %v; longest-prefix match now diverts to the attacker\n", half)
+
+	before := intercepted
+	send(tb, src, victimAddr, "GET /account?token=secret")
+	waitDelivered(victim, 2, "intercepted traffic never reached the victim — attack was visible!")
+	if intercepted != before+1 {
+		log.Fatalf("attacker intercepted %d packets, want %d", intercepted, before+1)
+	}
+	fmt.Println("the victim received every byte — interception is invisible end to end")
+
+	// Interdomain hygiene check: the hijacking announcement leaves the
+	// testbed with private ASNs stripped — the Internet sees only the
+	// testbed ASN, exactly like the real attack.
+	if path, ok := tb.RouteAtCollector(half); ok {
+		fmt.Printf("collector sees the more-specific via [%s] — emulated domains invisible\n", path)
+	}
+	fmt.Println("mitm study complete")
+}
+
+// pickSource returns a stub AS with a routable host to send from.
+func pickSource(tb *peering.Testbed) uint32 {
+	for _, asn := range tb.Internet.ASNs() {
+		if tb.InternetHost(asn).IsValid() && tb.Internet.AS(asn).Kind == internet.KindStub {
+			return asn
+		}
+	}
+	log.Fatal("no source AS")
+	return 0
+}
+
+// send originates one packet from src's network toward dst (delivery
+// through the live Internet and the tunnel is synchronous).
+func send(tb *peering.Testbed, src uint32, dst netip.Addr, payload string) {
+	c := tb.Live.Container(src)
+	// Wait for the source to have a forwarding entry.
+	for i := 0; i < 2000 && c.DP.LookupRoute(dst) == nil; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	pkt := &peering.Packet{
+		Src: tb.InternetHost(src), Dst: dst, TTL: 64, Proto: 6, /* TCP */
+		Payload: []byte(payload),
+	}
+	c.DP.Originate(pkt)
+}
+
+// waitDelivered polls the victim's delivery counter (tunnel delivery
+// is asynchronous).
+func waitDelivered(victim *mininext.Container, want uint64, msg string) {
+	for i := 0; i < 2000; i++ {
+		if victim.DP.Stats().DeliveredLocal >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatal(msg)
+}
+
+func waitRoute(tb *peering.Testbed, p netip.Prefix) {
+	for i := 0; i < 3000; i++ {
+		if _, ok := tb.RouteAtCollector(p); ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatalf("route %v never propagated", p)
+}

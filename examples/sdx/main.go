@@ -1,0 +1,155 @@
+// SDX-style server-side packet processing — §3 "Deploying real
+// services": "we plan to expose a lightweight packet processing API
+// (e.g., running an OpenFlow software switch or extending Linux's
+// iptables) to provide common packet processing capabilities to
+// clients at lower overhead." SDX [19] itself prototyped a
+// software-defined IXP on early PEERING.
+//
+// This example installs match-action rules on the PEERING server's
+// data plane for one experiment's prefix:
+//
+//   - application-specific steering: web traffic (dst port 80) to the
+//     experiment is redirected to a scrubbing/cache address;
+//   - a drop rule for a blocked port (the DDoS-defense primitive ARROW
+//     [42] built on);
+//   - everything else flows untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"peering"
+	"peering/internal/dataplane"
+	"peering/internal/internet"
+)
+
+func main() {
+	fmt.Println("== SDX: match-action processing at the PEERING server ==")
+
+	tb, err := peering.NewTestbed(peering.Config{})
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+	if err := tb.WaitReady(30 * time.Second); err != nil {
+		log.Fatalf("not ready: %v", err)
+	}
+	exp, err := tb.NewExperiment("sdx", "sdx", "software-defined exchange rules", false)
+	if err != nil {
+		log.Fatalf("experiment: %v", err)
+	}
+	alloc := exp.Allocation[0]
+	cl, err := tb.ConnectClient("sdx")
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	cl.Announce(alloc, peering.AnnounceOptions{})
+
+	webServer := alloc.Addr().Next()            // .1 — the "origin"
+	cache := netip.AddrFrom4(addr4(alloc, 200)) // .200 — the cache VM
+
+	// The experiment's match-action table, installed on the server —
+	// code runs at the exchange, not at the client (§3: "researchers
+	// can also run lightweight code in VMs on PEERING servers").
+	var redirected, dropped, passed atomic.Int64
+	tb.Server.DP().AddProcessor(func(pkt *dataplane.Packet, in *dataplane.Iface) dataplane.Verdict {
+		if !alloc.Contains(pkt.Dst) {
+			return dataplane.VerdictContinue // not our experiment's traffic
+		}
+		switch {
+		case pkt.Proto == dataplane.ProtoTCP && pkt.DstPort == 80 && pkt.Dst == webServer:
+			// Application-specific steering: serve web from the cache.
+			pkt.Dst = cache
+			redirected.Add(1)
+			return dataplane.VerdictContinue
+		case pkt.DstPort == 1900:
+			// Blocked amplification port.
+			dropped.Add(1)
+			return dataplane.VerdictDrop
+		default:
+			passed.Add(1)
+			return dataplane.VerdictContinue
+		}
+	})
+
+	// Traffic sink at the client: count what arrives where.
+	byDst := map[netip.Addr]*atomic.Int64{webServer: {}, cache: {}}
+	other := &atomic.Int64{}
+	cl.OnPacket(func(p *peering.Packet) {
+		if c, ok := byDst[p.Dst]; ok {
+			c.Add(1)
+		} else {
+			other.Add(1)
+		}
+	})
+
+	// A traffic source on the live Internet.
+	var srcASN uint32
+	for _, asn := range tb.Internet.ASNs() {
+		if tb.Internet.AS(asn).Kind == internet.KindEyeball && tb.InternetHost(asn).IsValid() {
+			srcASN = asn
+			break
+		}
+	}
+	if srcASN == 0 {
+		for _, asn := range tb.Internet.ASNs() {
+			if tb.InternetHost(asn).IsValid() {
+				srcASN = asn
+				break
+			}
+		}
+	}
+	src := tb.Live.Container(srcASN)
+	for i := 0; i < 2000 && src.DP.LookupRoute(webServer) == nil; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	sendFrom := func(port uint16, proto dataplane.Proto) {
+		pkt := &peering.Packet{
+			Src: tb.InternetHost(srcASN), Dst: webServer, TTL: 64,
+			Proto: proto, DstPort: port,
+		}
+		src.DP.Originate(pkt)
+	}
+
+	fmt.Printf("sending from AS%d: 3× web (tcp/80), 2× SSDP (udp/1900), 1× ssh (tcp/22)\n", srcASN)
+	for i := 0; i < 3; i++ {
+		sendFrom(80, dataplane.ProtoTCP)
+	}
+	for i := 0; i < 2; i++ {
+		sendFrom(1900, dataplane.ProtoUDP)
+	}
+	sendFrom(22, dataplane.ProtoTCP)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for byDst[cache].Load() < 3 || byDst[webServer].Load() < 1 {
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fmt.Printf("server rules:   redirected=%d dropped=%d passed=%d\n",
+		redirected.Load(), dropped.Load(), passed.Load())
+	fmt.Printf("client arrival: cache=%d origin=%d other=%d\n",
+		byDst[cache].Load(), byDst[webServer].Load(), other.Load())
+
+	if redirected.Load() != 3 || dropped.Load() != 2 || passed.Load() != 1 {
+		log.Fatalf("rule counters wrong")
+	}
+	if byDst[cache].Load() != 3 || byDst[webServer].Load() != 1 || other.Load() != 0 {
+		log.Fatalf("arrival counters wrong")
+	}
+	fmt.Println("web traffic served from the cache, amplification port dropped at the exchange, ssh untouched")
+	fmt.Println("sdx complete")
+}
+
+// addr4 computes alloc.base + host.
+func addr4(p netip.Prefix, host byte) [4]byte {
+	b := p.Masked().Addr().As4()
+	b[3] += host
+	return b
+}

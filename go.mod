@@ -1,0 +1,3 @@
+module peering
+
+go 1.24

@@ -1,0 +1,481 @@
+// Package bgp implements the BGP-4 session layer: the RFC 4271 §8
+// finite state machine, OPEN negotiation (hold time, 4-octet AS,
+// ADD-PATH), keepalive/hold timers, and message exchange over any
+// net.Conn.
+//
+// Sessions are transport-agnostic: PEERING servers run them over real
+// TCP to upstream peers, over tunnel streams to clients, and over
+// in-memory pipes inside emulations — identical code on every path,
+// which is exactly the property the testbed relies on ("from each
+// client's perspective, it essentially has direct connections to the
+// upstream and peer ASes").
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"peering/internal/clock"
+	"peering/internal/wire"
+)
+
+// State is an FSM state (RFC 4271 §8.2.2). Connect/Active live in the
+// dialer; a Session starts at OpenSent once a transport exists.
+type State int32
+
+// FSM states.
+const (
+	StateIdle State = iota
+	StateConnect
+	StateActive
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateActive:
+		return "Active"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	case StateClosed:
+		return "Closed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// DefaultHoldTime is used when the config leaves HoldTime zero.
+const DefaultHoldTime = 90 * time.Second
+
+// Config parameterizes one session endpoint.
+type Config struct {
+	// LocalAS is our autonomous system number.
+	LocalAS uint32
+	// LocalID is our BGP identifier (an IPv4 address).
+	LocalID netip.Addr
+	// PeerAS, when nonzero, is enforced against the neighbor's OPEN.
+	PeerAS uint32
+	// HoldTime is our proposed hold time; the session uses
+	// min(ours, theirs). Zero means DefaultHoldTime.
+	HoldTime time.Duration
+	// AddPath offers the ADD-PATH capability (both directions) for
+	// IPv4 unicast. It takes effect only if the peer offers it too.
+	AddPath bool
+	// Clock drives keepalive and hold timers; nil means the system
+	// clock.
+	Clock clock.Clock
+	// Describe labels the session in errors and logs.
+	Describe string
+}
+
+// Handler receives session events. Calls are serialized per session.
+type Handler interface {
+	// Established fires when the session reaches Established.
+	Established(*Session)
+	// UpdateReceived fires for each inbound UPDATE.
+	UpdateReceived(*Session, *wire.Update)
+	// Closed fires exactly once when the session ends; err is nil on
+	// clean shutdown.
+	Closed(*Session, error)
+}
+
+// HandlerFuncs adapts plain functions to Handler; nil fields are no-ops.
+type HandlerFuncs struct {
+	OnEstablished func(*Session)
+	OnUpdate      func(*Session, *wire.Update)
+	OnClosed      func(*Session, error)
+}
+
+// Established implements Handler.
+func (h HandlerFuncs) Established(s *Session) {
+	if h.OnEstablished != nil {
+		h.OnEstablished(s)
+	}
+}
+
+// UpdateReceived implements Handler.
+func (h HandlerFuncs) UpdateReceived(s *Session, u *wire.Update) {
+	if h.OnUpdate != nil {
+		h.OnUpdate(s, u)
+	}
+}
+
+// Closed implements Handler.
+func (h HandlerFuncs) Closed(s *Session, err error) {
+	if h.OnClosed != nil {
+		h.OnClosed(s, err)
+	}
+}
+
+// Session is one BGP session over an established transport.
+type Session struct {
+	cfg     Config
+	conn    net.Conn
+	handler Handler
+	clk     clock.Clock
+
+	mu        sync.Mutex
+	state     State
+	peerAS    uint32
+	peerID    netip.Addr
+	holdTime  time.Duration
+	opts      wire.Options
+	closeErr  error
+	closed    bool
+	sendQ     chan wire.Message
+	done      chan struct{}
+	holdTimer clock.Timer
+	kaTimer   clock.Timer
+}
+
+// New wraps conn in a session. Call Run (usually in a goroutine) to
+// drive the handshake and message loop.
+func New(conn net.Conn, cfg Config, h Handler) *Session {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = DefaultHoldTime
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	if h == nil {
+		h = HandlerFuncs{}
+	}
+	return &Session{
+		cfg:     cfg,
+		conn:    conn,
+		handler: h,
+		clk:     clk,
+		state:   StateOpenSent,
+		sendQ:   make(chan wire.Message, 256),
+		done:    make(chan struct{}),
+	}
+}
+
+// State returns the current FSM state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// PeerAS returns the neighbor's (4-octet) ASN once OPEN has been
+// received, else 0.
+func (s *Session) PeerAS() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerAS
+}
+
+// PeerID returns the neighbor's BGP identifier.
+func (s *Session) PeerID() netip.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerID
+}
+
+// Options returns the negotiated codec options (valid once Established).
+func (s *Session) Options() wire.Options {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts
+}
+
+// LocalAS returns our configured ASN.
+func (s *Session) LocalAS() uint32 { return s.cfg.LocalAS }
+
+// Describe returns the configured session label.
+func (s *Session) Describe() string { return s.cfg.Describe }
+
+// Done is closed when the session has fully terminated.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Err returns the terminal error (nil before close or on clean close).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeErr
+}
+
+// Run drives the session to completion: handshake, then the message
+// loop until error or Close. It returns the terminal error.
+func (s *Session) Run() error {
+	err := s.handshake()
+	if err != nil {
+		s.shutdown(err)
+		return err
+	}
+	go s.writer()
+	s.handler.Established(s)
+	err = s.reader()
+	s.shutdown(err)
+	return s.Err()
+}
+
+// open builds our OPEN message.
+func (s *Session) open() *wire.Open {
+	as2 := uint16(s.cfg.LocalAS)
+	if s.cfg.LocalAS > 0xffff {
+		as2 = wire.ASTrans
+	}
+	return &wire.Open{
+		AS:       as2,
+		HoldTime: uint16(s.cfg.HoldTime / time.Second),
+		BGPID:    s.cfg.LocalID,
+		Caps:     wire.StandardCaps(s.cfg.LocalAS, s.cfg.AddPath),
+	}
+}
+
+func (s *Session) handshake() error {
+	// OpenSent: send our OPEN, await theirs.
+	if err := s.writeMsg(s.open(), wire.DefaultOptions); err != nil {
+		return fmt.Errorf("bgp: send OPEN: %w", err)
+	}
+	msg, err := wire.ReadMessage(s.conn, wire.DefaultOptions)
+	if err != nil {
+		s.sendNotifForErr(err)
+		return fmt.Errorf("bgp: await OPEN: %w", err)
+	}
+	po, ok := msg.(*wire.Open)
+	if !ok {
+		notif := wire.NotifError(wire.CodeFSMError, 0, nil)
+		s.writeMsg(notif.Notification(), wire.DefaultOptions)
+		return fmt.Errorf("bgp: expected OPEN, got %v", msg.Type())
+	}
+	peerAS := po.FourOctetAS()
+	if s.cfg.PeerAS != 0 && peerAS != s.cfg.PeerAS {
+		notif := wire.NotifError(wire.CodeOpenMessageError, wire.SubBadPeerAS, nil)
+		s.writeMsg(notif.Notification(), wire.DefaultOptions)
+		return fmt.Errorf("bgp: peer AS %d, want %d", peerAS, s.cfg.PeerAS)
+	}
+	hold := s.cfg.HoldTime
+	if ph := time.Duration(po.HoldTime) * time.Second; ph < hold {
+		hold = ph
+	}
+	addPath := s.cfg.AddPath && po.HasAddPath()
+
+	s.mu.Lock()
+	s.state = StateOpenConfirm
+	s.peerAS = peerAS
+	s.peerID = po.BGPID
+	s.holdTime = hold
+	s.opts = wire.Options{AddPath: addPath, AS4: true}
+	s.mu.Unlock()
+
+	// OpenConfirm: send KEEPALIVE, await theirs.
+	if err := s.writeMsg(&wire.Keepalive{}, wire.DefaultOptions); err != nil {
+		return fmt.Errorf("bgp: send KEEPALIVE: %w", err)
+	}
+	msg, err = wire.ReadMessage(s.conn, wire.DefaultOptions)
+	if err != nil {
+		return fmt.Errorf("bgp: await KEEPALIVE: %w", err)
+	}
+	switch m := msg.(type) {
+	case *wire.Keepalive:
+	case *wire.Notification:
+		return fmt.Errorf("bgp: peer refused: %v", m)
+	default:
+		return fmt.Errorf("bgp: expected KEEPALIVE, got %v", msg.Type())
+	}
+
+	s.mu.Lock()
+	s.state = StateEstablished
+	s.mu.Unlock()
+	s.startTimers()
+	return nil
+}
+
+// startTimers arms the hold timer and keepalive generator.
+func (s *Session) startTimers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.holdTime <= 0 {
+		return // hold time 0: no keepalives (RFC 4271 §4.2)
+	}
+	s.holdTimer = s.clk.AfterFunc(s.holdTime, func() {
+		ne := wire.NotifError(wire.CodeHoldTimerExpired, 0, nil)
+		s.enqueue(ne.Notification())
+		s.abort(errors.New("bgp: hold timer expired"))
+	})
+	ka := s.holdTime / 3
+	var tick func()
+	tick = func() {
+		s.enqueue(&wire.Keepalive{})
+		s.mu.Lock()
+		if !s.closed {
+			s.kaTimer = s.clk.AfterFunc(ka, tick)
+		}
+		s.mu.Unlock()
+	}
+	s.kaTimer = s.clk.AfterFunc(ka, tick)
+}
+
+// resetHold re-arms the hold timer after any inbound message.
+func (s *Session) resetHold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.holdTimer != nil && !s.closed {
+		s.holdTimer.Reset(s.holdTime)
+	}
+}
+
+// Send queues an UPDATE for transmission. It returns an error if the
+// session is not Established.
+func (s *Session) Send(u *wire.Update) error {
+	s.mu.Lock()
+	if s.state != StateEstablished || s.closed {
+		st := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("bgp: session %s not established (state %v)", s.cfg.Describe, st)
+	}
+	s.mu.Unlock()
+	s.enqueue(u)
+	return nil
+}
+
+// enqueue places a message on the send queue, dropping it if the session
+// is closing (the writer drains until close).
+func (s *Session) enqueue(m wire.Message) {
+	select {
+	case s.sendQ <- m:
+	case <-s.done:
+	}
+}
+
+func (s *Session) writer() {
+	for {
+		select {
+		case m := <-s.sendQ:
+			s.mu.Lock()
+			opts := s.opts
+			s.mu.Unlock()
+			if err := s.writeMsg(m, opts); err != nil {
+				s.abort(fmt.Errorf("bgp: write: %w", err))
+				return
+			}
+			if n, ok := m.(*wire.Notification); ok {
+				s.abort(fmt.Errorf("bgp: sent %v", n))
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Session) writeMsg(m wire.Message, opts wire.Options) error {
+	b, err := wire.Marshal(m, opts)
+	if err != nil {
+		return err
+	}
+	_, err = s.conn.Write(b)
+	return err
+}
+
+func (s *Session) reader() error {
+	for {
+		s.mu.Lock()
+		opts := s.opts
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil
+		}
+		msg, err := wire.ReadMessage(s.conn, opts)
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			s.sendNotifForErr(err)
+			return fmt.Errorf("bgp: read: %w", err)
+		}
+		s.resetHold()
+		switch m := msg.(type) {
+		case *wire.Update:
+			s.handler.UpdateReceived(s, m)
+		case *wire.Keepalive:
+			// hold timer already reset
+		case *wire.Notification:
+			return fmt.Errorf("bgp: peer sent %v", m)
+		case *wire.RouteRefresh:
+			// Surfaced as a zero-route update so owners can re-export;
+			// routers treat Reach==Withdrawn==nil, Attrs==nil as refresh.
+			s.handler.UpdateReceived(s, &wire.Update{})
+		case *wire.Open:
+			ne := wire.NotifError(wire.CodeFSMError, 0, nil)
+			s.writeMsg(ne.Notification(), opts)
+			return errors.New("bgp: OPEN received in Established")
+		}
+	}
+}
+
+// sendNotifForErr transmits the NOTIFICATION matching a codec error.
+func (s *Session) sendNotifForErr(err error) {
+	var ne *wire.Error
+	if errors.As(err, &ne) {
+		s.writeMsg(ne.Notification(), wire.DefaultOptions)
+	}
+}
+
+// Close performs an administrative shutdown (Cease) and tears down.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	est := s.state == StateEstablished
+	s.mu.Unlock()
+	if est {
+		ne := wire.NotifError(wire.CodeCease, wire.SubAdminShutdown, nil)
+		s.writeMsg(ne.Notification(), wire.DefaultOptions)
+	}
+	s.shutdown(nil)
+	return nil
+}
+
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// abort terminates with err from a helper goroutine.
+func (s *Session) abort(err error) { s.shutdown(err) }
+
+// shutdown closes the session exactly once.
+func (s *Session) shutdown(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.state = StateClosed
+	s.closeErr = err
+	if s.holdTimer != nil {
+		s.holdTimer.Stop()
+	}
+	if s.kaTimer != nil {
+		s.kaTimer.Stop()
+	}
+	close(s.done)
+	s.mu.Unlock()
+	s.conn.Close()
+	s.handler.Closed(s, err)
+}

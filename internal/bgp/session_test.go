@@ -1,0 +1,330 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"peering/internal/bufconn"
+	"peering/internal/wire"
+)
+
+func addr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// collector accumulates handler events for assertions.
+type collector struct {
+	mu      sync.Mutex
+	est     bool
+	updates []*wire.Update
+	closed  bool
+	err     error
+	estCh   chan struct{}
+	updCh   chan *wire.Update
+	closeCh chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{
+		estCh:   make(chan struct{}, 1),
+		updCh:   make(chan *wire.Update, 64),
+		closeCh: make(chan struct{}),
+	}
+}
+
+func (c *collector) Established(*Session) {
+	c.mu.Lock()
+	c.est = true
+	c.mu.Unlock()
+	select {
+	case c.estCh <- struct{}{}:
+	default:
+	}
+}
+
+func (c *collector) UpdateReceived(_ *Session, u *wire.Update) {
+	c.mu.Lock()
+	c.updates = append(c.updates, u)
+	c.mu.Unlock()
+	c.updCh <- u
+}
+
+func (c *collector) Closed(_ *Session, err error) {
+	c.mu.Lock()
+	c.closed, c.err = true, err
+	c.mu.Unlock()
+	close(c.closeCh)
+}
+
+// pair creates two connected sessions and runs them.
+func pair(t *testing.T, ca, cb Config) (*Session, *Session, *collector, *collector) {
+	t.Helper()
+	connA, connB := bufconn.Pipe()
+	ha, hb := newCollector(), newCollector()
+	sa, sb := New(connA, ca, ha), New(connB, cb, hb)
+	go sa.Run()
+	go sb.Run()
+	t.Cleanup(func() { sa.Close(); sb.Close() })
+	return sa, sb, ha, hb
+}
+
+func waitEstablished(t *testing.T, cs ...*collector) {
+	t.Helper()
+	for _, c := range cs {
+		select {
+		case <-c.estCh:
+		case <-time.After(5 * time.Second):
+			t.Fatal("session did not establish")
+		}
+	}
+}
+
+func baseConfigs() (Config, Config) {
+	return Config{LocalAS: 47065, LocalID: addr("1.1.1.1"), Describe: "A"},
+		Config{LocalAS: 65001, LocalID: addr("2.2.2.2"), Describe: "B"}
+}
+
+func TestEstablish(t *testing.T) {
+	ca, cb := baseConfigs()
+	sa, sb, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	if sa.State() != StateEstablished || sb.State() != StateEstablished {
+		t.Fatalf("states = %v / %v", sa.State(), sb.State())
+	}
+	if sa.PeerAS() != 65001 || sb.PeerAS() != 47065 {
+		t.Fatalf("peer AS = %d / %d", sa.PeerAS(), sb.PeerAS())
+	}
+	if sa.PeerID() != addr("2.2.2.2") || sb.PeerID() != addr("1.1.1.1") {
+		t.Fatalf("peer IDs = %v / %v", sa.PeerID(), sb.PeerID())
+	}
+}
+
+func TestEstablishWith4ByteASN(t *testing.T) {
+	ca, cb := baseConfigs()
+	ca.LocalAS = 4200000123
+	_, sb, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	if got := sb.PeerAS(); got != 4200000123 {
+		t.Fatalf("peer AS seen = %d, want 4200000123", got)
+	}
+}
+
+func TestPeerASMismatchRejected(t *testing.T) {
+	ca, cb := baseConfigs()
+	ca.PeerAS = 99999 // B is 65001
+	_, _, ha, hb := pair(t, ca, cb)
+	select {
+	case <-ha.closeCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("mismatched session did not close")
+	}
+	<-hb.closeCh
+	ha.mu.Lock()
+	defer ha.mu.Unlock()
+	if ha.err == nil {
+		t.Fatal("no error on AS mismatch")
+	}
+	if ha.est {
+		t.Fatal("session established despite AS mismatch")
+	}
+}
+
+func TestAddPathNegotiation(t *testing.T) {
+	ca, cb := baseConfigs()
+	ca.AddPath, cb.AddPath = true, true
+	sa, sb, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	if !sa.Options().AddPath || !sb.Options().AddPath {
+		t.Fatal("ADD-PATH not negotiated when both offered")
+	}
+
+	// Only one side offers: not negotiated.
+	ca2, cb2 := baseConfigs()
+	ca2.AddPath = true
+	sa2, sb2, ha2, hb2 := pair(t, ca2, cb2)
+	waitEstablished(t, ha2, hb2)
+	if sa2.Options().AddPath || sb2.Options().AddPath {
+		t.Fatal("ADD-PATH negotiated unilaterally")
+	}
+}
+
+func sampleUpdate() *wire.Update {
+	return &wire.Update{
+		Attrs: &wire.Attrs{
+			Origin:  wire.OriginIGP,
+			ASPath:  []wire.Segment{{Type: wire.SegSequence, ASNs: []uint32{47065}}},
+			NextHop: addr("192.0.2.1"),
+		},
+		Reach: []wire.NLRI{{Prefix: prefix("100.64.0.0/24")}},
+	}
+}
+
+func TestUpdateExchange(t *testing.T) {
+	ca, cb := baseConfigs()
+	sa, _, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	if err := sa.Send(sampleUpdate()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-hb.updCh:
+		if len(u.Reach) != 1 || u.Reach[0].Prefix != prefix("100.64.0.0/24") {
+			t.Fatalf("update = %+v", u)
+		}
+		if u.Attrs.FirstAS() != 47065 {
+			t.Fatalf("path = %s", u.Attrs.PathString())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("update not delivered")
+	}
+}
+
+func TestUpdateWithAddPathIDs(t *testing.T) {
+	ca, cb := baseConfigs()
+	ca.AddPath, cb.AddPath = true, true
+	sa, _, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	u := sampleUpdate()
+	u.Reach = []wire.NLRI{
+		{Prefix: prefix("100.64.0.0/24"), ID: 11},
+		{Prefix: prefix("100.64.0.0/24"), ID: 22},
+	}
+	if err := sa.Send(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-hb.updCh:
+		if len(got.Reach) != 2 || got.Reach[0].ID != 11 || got.Reach[1].ID != 22 {
+			t.Fatalf("reach = %+v", got.Reach)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("add-path update not delivered")
+	}
+}
+
+func TestSendBeforeEstablishedFails(t *testing.T) {
+	connA, _ := bufconn.Pipe()
+	s := New(connA, Config{LocalAS: 1, LocalID: addr("1.1.1.1")}, nil)
+	if err := s.Send(sampleUpdate()); err == nil {
+		t.Fatal("Send on un-established session succeeded")
+	}
+}
+
+func TestCleanClose(t *testing.T) {
+	ca, cb := baseConfigs()
+	sa, _, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	sa.Close()
+	select {
+	case <-hb.closeCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not observe close")
+	}
+	<-ha.closeCh
+	if sa.State() != StateClosed {
+		t.Fatalf("state = %v", sa.State())
+	}
+	// Idempotent.
+	if err := sa.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	// A proposes 3s hold; B proposes 3s. Stop B's keepalives by closing
+	// abruptly under A... Instead: use a one-sided silent peer — a raw
+	// conn that completes the handshake then goes quiet.
+	connA, connB := bufconn.Pipe()
+	ha := newCollector()
+	sa := New(connA, Config{LocalAS: 1, LocalID: addr("1.1.1.1"), HoldTime: 3 * time.Second, Describe: "A"}, ha)
+	go sa.Run()
+	defer sa.Close()
+
+	// Silent peer: handshake manually, then never send again.
+	if _, err := wire.ReadMessage(connB, wire.DefaultOptions); err != nil { // A's OPEN
+		t.Fatal(err)
+	}
+	open := &wire.Open{AS: 65001, HoldTime: 60, BGPID: addr("2.2.2.2"), Caps: wire.StandardCaps(65001, false)}
+	b, _ := wire.Marshal(open, wire.DefaultOptions)
+	connB.Write(b)
+	kb, _ := wire.Marshal(&wire.Keepalive{}, wire.DefaultOptions)
+	connB.Write(kb)
+	if _, err := wire.ReadMessage(connB, wire.DefaultOptions); err != nil { // A's KEEPALIVE
+		t.Fatal(err)
+	}
+
+	select {
+	case <-ha.estCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("not established")
+	}
+	select {
+	case <-ha.closeCh:
+		ha.mu.Lock()
+		defer ha.mu.Unlock()
+		if ha.err == nil {
+			t.Fatal("hold expiry produced no error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hold timer never expired")
+	}
+}
+
+func TestKeepalivesSustainSession(t *testing.T) {
+	ca, cb := baseConfigs()
+	ca.HoldTime, cb.HoldTime = 3*time.Second, 3*time.Second
+	sa, sb, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	// Far longer than the hold time; keepalives must keep it alive.
+	time.Sleep(4 * time.Second)
+	if sa.State() != StateEstablished || sb.State() != StateEstablished {
+		t.Fatalf("session died despite keepalives: %v / %v", sa.State(), sb.State())
+	}
+}
+
+func TestNegotiatedHoldIsMin(t *testing.T) {
+	ca, cb := baseConfigs()
+	ca.HoldTime, cb.HoldTime = 30*time.Second, 90*time.Second
+	sa, sb, ha, hb := pair(t, ca, cb)
+	waitEstablished(t, ha, hb)
+	sa.mu.Lock()
+	haHold := sa.holdTime
+	sa.mu.Unlock()
+	sb.mu.Lock()
+	hbHold := sb.holdTime
+	sb.mu.Unlock()
+	if haHold != 30*time.Second || hbHold != 30*time.Second {
+		t.Fatalf("negotiated hold = %v / %v, want 30s", haHold, hbHold)
+	}
+}
+
+func TestManyConcurrentSessions(t *testing.T) {
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			connA, connB := bufconn.Pipe()
+			ha, hb := newCollector(), newCollector()
+			sa := New(connA, Config{LocalAS: uint32(1000 + i), LocalID: addr("1.1.1.1")}, ha)
+			sb := New(connB, Config{LocalAS: uint32(2000 + i), LocalID: addr("2.2.2.2")}, hb)
+			go sa.Run()
+			go sb.Run()
+			<-ha.estCh
+			<-hb.estCh
+			sa.Send(sampleUpdate())
+			<-hb.updCh
+			sa.Close()
+			sb.Close()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent sessions deadlocked")
+	}
+}

@@ -1,0 +1,482 @@
+// Package client implements the PEERING client — the researcher-side
+// controller (§3). A client connects to a server over a single tunnel
+// transport, learns its provisioning (upstream peers, allocated
+// prefixes, multiplexing mode), and then:
+//
+//   - receives every upstream peer's routes into per-peer views (not
+//     just a best path), enabling route-selection experiments;
+//   - makes announcements steered per upstream peer, with prepending,
+//     poisoning, communities, and emulated-domain origins;
+//   - exchanges data-plane traffic with the real Internet through the
+//     tunnel, optionally bridging it into a MinineXt emulation.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"peering/internal/bgp"
+	"peering/internal/clock"
+	"peering/internal/dataplane"
+	"peering/internal/muxproto"
+	"peering/internal/rib"
+	"peering/internal/tunnel"
+	"peering/internal/wire"
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// Name identifies the experiment (must match the server-side
+	// account ID used at AcceptClient).
+	Name string
+	// RouterID is the client's BGP identifier.
+	RouterID netip.Addr
+	// Clock drives session timers (nil = system).
+	Clock clock.Clock
+}
+
+// AnnounceOptions steers one announcement — the §2 control surface.
+type AnnounceOptions struct {
+	// Upstreams restricts the announcement to these upstream IDs
+	// (nil = all).
+	Upstreams []uint32
+	// Prepend adds the testbed ASN this many extra times.
+	Prepend int
+	// Poison inserts these ASNs into the path so the named ASes drop
+	// the route (LIFEGUARD-style route steering).
+	Poison []uint32
+	// Communities to attach.
+	Communities []wire.Community
+	// OriginASNs emulates domains behind the client: the path ends
+	// with these (private) ASNs, which the server strips before the
+	// route reaches the real Internet.
+	OriginASNs []uint32
+}
+
+// Client is a connected PEERING client.
+type Client struct {
+	cfg Config
+	clk clock.Clock
+
+	mux  *tunnel.Mux
+	pkt  *tunnel.PacketTunnel
+	prov *muxproto.Provisioning
+
+	mu        sync.Mutex
+	sessions  map[uint32]*bgp.Session // upstream ID → session (BIRD: key 0)
+	views     map[uint32]*rib.AdjRIB  // upstream ID → received routes
+	announced map[netip.Prefix]AnnounceOptions
+	onRoute   func(upstreamID uint32, upd *wire.Update)
+	onPacket  func(*dataplane.Packet)
+	estCh     chan struct{}
+	estOnce   sync.Once
+}
+
+// Connect dials the testbed over conn and completes provisioning. It
+// returns once the control handshake is done; BGP sessions establish
+// asynchronously (use WaitEstablished).
+func Connect(cfg Config, conn net.Conn) (*Client, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	c := &Client{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		sessions:  make(map[uint32]*bgp.Session),
+		views:     make(map[uint32]*rib.AdjRIB),
+		announced: make(map[netip.Prefix]AnnounceOptions),
+		estCh:     make(chan struct{}),
+	}
+	provCh := make(chan *muxproto.Provisioning, 1)
+	errCh := make(chan error, 1)
+	c.mux = tunnel.NewMux(conn, func(st *tunnel.Stream) {
+		c.acceptStream(st, provCh, errCh)
+	})
+	c.pkt = tunnel.NewPacketTunnel(c.mux, func(pkt *dataplane.Packet) {
+		c.mu.Lock()
+		h := c.onPacket
+		c.mu.Unlock()
+		if h != nil {
+			h(pkt)
+		}
+	})
+	select {
+	case p := <-provCh:
+		_ = p // already published under c.mu by the control goroutine
+	case err := <-errCh:
+		c.mux.Close()
+		return nil, err
+	case <-time.After(10 * time.Second):
+		c.mux.Close()
+		return nil, errors.New("client: provisioning timeout")
+	}
+	return c, nil
+}
+
+// acceptStream handles server-opened streams.
+func (c *Client) acceptStream(st *tunnel.Stream, provCh chan *muxproto.Provisioning, errCh chan error) {
+	switch {
+	case st.ID() == muxproto.StreamControl:
+		go func() {
+			p, err := muxproto.ReadProvisioning(st)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			// Publish provisioning BEFORE acking: the server starts
+			// BGP sessions the moment it sees the ack, and session
+			// setup depends on the negotiated mode.
+			c.mu.Lock()
+			c.prov = p
+			c.mu.Unlock()
+			st.Write([]byte("ok\n"))
+			provCh <- p
+		}()
+	case st.ID() >= muxproto.StreamBGPBase:
+		upstreamID := st.ID() - muxproto.StreamBGPBase
+		go c.runSession(st, upstreamID)
+	}
+}
+
+// runSession attaches a BGP session on stream st. In BIRD mode the
+// single session has upstreamID 0 and ADD-PATH enabled.
+func (c *Client) runSession(st *tunnel.Stream, upstreamID uint32) {
+	// Provisioning always precedes BGP streams (server awaits the ack),
+	// so the provisioning is set by now.
+	prov := c.provisioning()
+	bird := prov != nil && prov.Mode == muxproto.ModeBIRD
+	sess := bgp.New(st, bgp.Config{
+		LocalAS:  c.asn(),
+		LocalID:  c.cfg.RouterID,
+		AddPath:  bird,
+		Clock:    c.clk,
+		Describe: fmt.Sprintf("client-%s-up%d", c.cfg.Name, upstreamID),
+	}, &sessHandler{c: c, upstreamID: upstreamID, bird: bird})
+	c.mu.Lock()
+	c.sessions[upstreamID] = sess
+	c.mu.Unlock()
+	sess.Run()
+}
+
+func (c *Client) asn() uint32 {
+	if p := c.provisioning(); p != nil {
+		return p.ASN
+	}
+	return 0
+}
+
+// provisioning returns the handshake result under lock.
+func (c *Client) provisioning() *muxproto.Provisioning {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prov
+}
+
+// Provisioning returns the server-assigned provisioning.
+func (c *Client) Provisioning() *muxproto.Provisioning { return c.provisioning() }
+
+// Allocation returns the client's allocated prefixes.
+func (c *Client) Allocation() []netip.Prefix { return c.provisioning().Allocation }
+
+// Upstreams returns the available upstream peers.
+func (c *Client) Upstreams() []muxproto.UpstreamInfo { return c.provisioning().Upstreams }
+
+// OnRoute registers a callback for every route update received
+// (per-upstream). Used by experiments that react to routing changes.
+func (c *Client) OnRoute(fn func(upstreamID uint32, upd *wire.Update)) {
+	c.mu.Lock()
+	c.onRoute = fn
+	c.mu.Unlock()
+}
+
+// OnPacket registers the data-plane receive handler.
+func (c *Client) OnPacket(fn func(*dataplane.Packet)) {
+	c.mu.Lock()
+	c.onPacket = fn
+	c.mu.Unlock()
+}
+
+// sessHandler wires session events into the client.
+type sessHandler struct {
+	c          *Client
+	upstreamID uint32
+	bird       bool
+}
+
+func (h *sessHandler) Established(*bgp.Session) {
+	h.c.estOnce.Do(func() { close(h.c.estCh) })
+}
+
+func (h *sessHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
+	h.c.handleUpdate(h.upstreamID, h.bird, sess, upd)
+}
+
+func (h *sessHandler) Closed(*bgp.Session, error) {}
+
+// handleUpdate stores received routes in the per-upstream view.
+func (c *Client) handleUpdate(upstreamID uint32, bird bool, sess *bgp.Session, upd *wire.Update) {
+	viewFor := func(n wire.NLRI) (uint32, wire.PathID) {
+		if bird {
+			return uint32(n.ID), 0 // path ID addresses the upstream
+		}
+		return upstreamID, n.ID
+	}
+	c.mu.Lock()
+	for _, n := range upd.Withdrawn {
+		vid, pid := viewFor(n)
+		if v := c.views[vid]; v != nil {
+			v.Remove(n.Prefix, pid)
+		}
+	}
+	if upd.Attrs != nil {
+		for _, n := range upd.Reach {
+			vid, pid := viewFor(n)
+			v := c.views[vid]
+			if v == nil {
+				v = rib.NewAdjRIB()
+				c.views[vid] = v
+			}
+			v.Set(&rib.Route{
+				Prefix:  n.Prefix,
+				Attrs:   upd.Attrs.Clone(),
+				Src:     rib.PeerKey{Addr: c.upstreamAddr(vid), PathID: pid},
+				PeerAS:  upd.Attrs.FirstAS(),
+				EBGP:    true,
+				Learned: c.clk.Now(),
+			})
+		}
+	}
+	onRoute := c.onRoute
+	c.mu.Unlock()
+	if onRoute != nil {
+		// In BIRD mode attribute the update to the path-ID upstream
+		// when unambiguous.
+		id := upstreamID
+		if bird && len(upd.Reach) > 0 {
+			id = uint32(upd.Reach[0].ID)
+		}
+		onRoute(id, upd)
+	}
+}
+
+// upstreamAddr returns the synthetic peer address for upstream id.
+// Caller holds c.mu (c.prov is write-once before sessions start).
+func (c *Client) upstreamAddr(id uint32) netip.Addr {
+	for _, u := range c.prov.Upstreams {
+		if u.ID == id {
+			return u.PeerAddr
+		}
+	}
+	return netip.Addr{}
+}
+
+// WaitEstablished blocks until every expected BGP session is up: one
+// per upstream in Quagga mode, one total in BIRD mode.
+func (c *Client) WaitEstablished(timeout time.Duration) error {
+	prov := c.provisioning()
+	want := len(prov.Upstreams)
+	if prov.Mode == muxproto.ModeBIRD {
+		want = 1
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.SessionCount() >= want {
+			return nil
+		}
+		select {
+		case <-c.mux.Done():
+			return fmt.Errorf("client: transport closed: %v", c.mux.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+		if !time.Now().Before(deadline) {
+			return errors.New("client: sessions not established in time")
+		}
+	}
+}
+
+// Routes returns the routes received from upstream id (the per-peer
+// view §3 promises: "clients receive routes exported by each peer").
+func (c *Client) Routes(id uint32) []*rib.Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.views[id]
+	if v == nil {
+		return nil
+	}
+	var out []*rib.Route
+	v.Walk(func(r *rib.Route) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// RouteCount returns how many routes upstream id has sent.
+func (c *Client) RouteCount(id uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.views[id]
+	if v == nil {
+		return 0
+	}
+	return v.Len()
+}
+
+// RoutesFor returns every upstream's route for prefix p — the
+// cross-peer comparison PoiRoot-style experiments need.
+func (c *Client) RoutesFor(p netip.Prefix) map[uint32]*rib.Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[uint32]*rib.Route{}
+	for id, v := range c.views {
+		if r := v.Get(p, 0); r != nil {
+			out[id] = r
+		}
+	}
+	return out
+}
+
+// BestRoute runs the standard decision process across the per-peer
+// views for p. PEERING servers never select routes; clients may.
+func (c *Client) BestRoute(p netip.Prefix) *rib.Route {
+	var best *rib.Route
+	for _, r := range c.RoutesFor(p) {
+		if best == nil || rib.Better(r, best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// buildAttrs constructs announcement attributes from opts.
+func (c *Client) buildAttrs(opts AnnounceOptions) *wire.Attrs {
+	a := &wire.Attrs{Origin: wire.OriginIGP, NextHop: c.cfg.RouterID}
+	// Path tail (origin side). Poisoned paths keep our ASN as the
+	// origin — LIFEGUARD's "AS-path sandwiching" [us, poisoned, us] —
+	// so the server's forged-origin filter stays satisfied.
+	tail := opts.OriginASNs
+	if len(tail) == 0 && len(opts.Poison) > 0 {
+		tail = []uint32{c.asn()}
+	}
+	for i := len(tail) - 1; i >= 0; i-- {
+		a.PrependAS(tail[i], 1)
+	}
+	for i := len(opts.Poison) - 1; i >= 0; i-- {
+		a.PrependAS(opts.Poison[i], 1)
+	}
+	a.PrependAS(c.asn(), 1+opts.Prepend)
+	for _, cm := range opts.Communities {
+		a.AddCommunity(cm)
+	}
+	return a
+}
+
+// selectedUpstreams resolves opts.Upstreams (nil = all).
+func (c *Client) selectedUpstreams(opts AnnounceOptions) []uint32 {
+	if opts.Upstreams != nil {
+		return opts.Upstreams
+	}
+	var ids []uint32
+	for _, u := range c.provisioning().Upstreams {
+		ids = append(ids, u.ID)
+	}
+	return ids
+}
+
+// Announce advertises prefix p with opts. The server enforces that p
+// is within the client's allocation.
+func (c *Client) Announce(p netip.Prefix, opts AnnounceOptions) error {
+	attrs := c.buildAttrs(opts)
+	ids := c.selectedUpstreams(opts)
+	c.mu.Lock()
+	c.announced[p] = opts
+	bird := c.prov.Mode == muxproto.ModeBIRD
+	var firstErr error
+	if bird {
+		sess := c.sessions[0]
+		if sess == nil {
+			c.mu.Unlock()
+			return errors.New("client: BIRD session not up")
+		}
+		u := &wire.Update{Attrs: attrs}
+		for _, id := range ids {
+			u.Reach = append(u.Reach, wire.NLRI{Prefix: p, ID: wire.PathID(id)})
+		}
+		c.mu.Unlock()
+		return sess.Send(u)
+	}
+	sessions := make(map[uint32]*bgp.Session, len(ids))
+	for _, id := range ids {
+		sessions[id] = c.sessions[id]
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		sess := sessions[id]
+		if sess == nil {
+			continue
+		}
+		if err := sess.Send(&wire.Update{Attrs: attrs, Reach: []wire.NLRI{{Prefix: p}}}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Withdraw retracts p from the given upstreams (nil = all).
+func (c *Client) Withdraw(p netip.Prefix, upstreams []uint32) error {
+	ids := c.selectedUpstreams(AnnounceOptions{Upstreams: upstreams})
+	c.mu.Lock()
+	delete(c.announced, p)
+	bird := c.prov.Mode == muxproto.ModeBIRD
+	if bird {
+		sess := c.sessions[0]
+		c.mu.Unlock()
+		if sess == nil {
+			return errors.New("client: BIRD session not up")
+		}
+		u := &wire.Update{}
+		for _, id := range ids {
+			u.Withdrawn = append(u.Withdrawn, wire.NLRI{Prefix: p, ID: wire.PathID(id)})
+		}
+		return sess.Send(u)
+	}
+	sessions := make(map[uint32]*bgp.Session, len(ids))
+	for _, id := range ids {
+		sessions[id] = c.sessions[id]
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		if sess := sessions[id]; sess != nil {
+			sess.Send(&wire.Update{Withdrawn: []wire.NLRI{{Prefix: p}}})
+		}
+	}
+	return nil
+}
+
+// SendPacket transmits a data-plane packet to the Internet through the
+// server (subject to the server's spoof filter).
+func (c *Client) SendPacket(pkt *dataplane.Packet) error {
+	return c.pkt.Send(pkt)
+}
+
+// SessionCount reports how many BGP sessions are established.
+func (c *Client) SessionCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.sessions {
+		if s.State() == bgp.StateEstablished {
+			n++
+		}
+	}
+	return n
+}
+
+// Close tears down the transport (the server withdraws our routes).
+func (c *Client) Close() error {
+	return c.mux.Close()
+}

@@ -1,0 +1,299 @@
+package client
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"peering/internal/bgp"
+	"peering/internal/bufconn"
+	"peering/internal/muxproto"
+	"peering/internal/tunnel"
+	"peering/internal/wire"
+)
+
+func addr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// fakeServer speaks just enough of the server side of the protocol to
+// exercise the client in isolation: provisioning handshake plus one
+// passive BGP session per upstream.
+type fakeServer struct {
+	mux      *tunnel.Mux
+	prov     *muxproto.Provisioning
+	sessions chan *bgp.Session
+	updates  chan *wire.Update
+}
+
+func newFakeServer(t *testing.T, conn *bufconn.Conn, prov *muxproto.Provisioning) *fakeServer {
+	t.Helper()
+	fs := &fakeServer{
+		prov:     prov,
+		sessions: make(chan *bgp.Session, 8),
+		updates:  make(chan *wire.Update, 64),
+	}
+	fs.mux = tunnel.NewMux(conn, nil)
+	go func() {
+		ctrl := fs.mux.Open(muxproto.StreamControl)
+		if err := muxproto.WriteProvisioning(ctrl, prov); err != nil {
+			return
+		}
+		ack := make([]byte, 3)
+		if _, err := ctrl.Read(ack); err != nil {
+			return
+		}
+		bird := prov.Mode == muxproto.ModeBIRD
+		handler := bgp.HandlerFuncs{
+			OnUpdate: func(_ *bgp.Session, u *wire.Update) { fs.updates <- u },
+		}
+		if bird {
+			st := fs.mux.Open(muxproto.StreamBGPBase)
+			sess := bgp.New(st, bgp.Config{LocalAS: prov.ASN, LocalID: addr("1.1.1.1"), AddPath: true}, handler)
+			fs.sessions <- sess
+			go sess.Run()
+			return
+		}
+		for _, u := range prov.Upstreams {
+			st := fs.mux.Open(muxproto.StreamBGPBase + u.ID)
+			sess := bgp.New(st, bgp.Config{LocalAS: prov.ASN, LocalID: addr("1.1.1.1")}, handler)
+			fs.sessions <- sess
+			go sess.Run()
+		}
+	}()
+	return fs
+}
+
+func testProv(mode muxproto.Mode) *muxproto.Provisioning {
+	return &muxproto.Provisioning{
+		Site: "test01", ASN: 47065, Mode: mode,
+		Upstreams: []muxproto.UpstreamInfo{
+			{ID: 1, ASN: 3356, Name: "up1", PeerAddr: addr("10.254.0.1")},
+			{ID: 2, ASN: 2914, Name: "up2", PeerAddr: addr("10.254.0.2"), Transit: true},
+		},
+		Allocation: []netip.Prefix{prefix("184.164.224.0/24")},
+	}
+}
+
+func dialFake(t *testing.T, mode muxproto.Mode) (*Client, *fakeServer) {
+	t.Helper()
+	ca, cb := bufconn.Pipe()
+	fs := newFakeServer(t, ca, testProv(mode))
+	cl, err := Connect(Config{Name: "t", RouterID: addr("184.164.224.1")}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.WaitEstablished(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return cl, fs
+}
+
+func TestConnectHandshake(t *testing.T) {
+	cl, _ := dialFake(t, muxproto.ModeQuagga)
+	prov := cl.Provisioning()
+	if prov.ASN != 47065 || prov.Site != "test01" {
+		t.Fatalf("prov = %+v", prov)
+	}
+	if len(cl.Upstreams()) != 2 || len(cl.Allocation()) != 1 {
+		t.Fatalf("upstreams/alloc = %v/%v", cl.Upstreams(), cl.Allocation())
+	}
+	if cl.SessionCount() != 2 {
+		t.Fatalf("sessions = %d", cl.SessionCount())
+	}
+}
+
+func TestAnnounceWireFormatQuagga(t *testing.T) {
+	cl, fs := dialFake(t, muxproto.ModeQuagga)
+	if err := cl.Announce(prefix("184.164.224.0/24"), AnnounceOptions{Prepend: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Both upstream sessions receive the UPDATE.
+	for i := 0; i < 2; i++ {
+		select {
+		case u := <-fs.updates:
+			if got := u.Attrs.PathString(); got != "47065 47065 47065" {
+				t.Fatalf("path = %q", got)
+			}
+			if len(u.Reach) != 1 || u.Reach[0].ID != 0 {
+				t.Fatalf("reach = %+v", u.Reach)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("update %d never arrived", i)
+		}
+	}
+}
+
+func TestAnnouncePoisonSandwich(t *testing.T) {
+	cl, fs := dialFake(t, muxproto.ModeQuagga)
+	if err := cl.Announce(prefix("184.164.224.0/24"), AnnounceOptions{Poison: []uint32{3356}, Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-fs.updates:
+		// LIFEGUARD sandwich: us, poisoned, us — origin stays ours.
+		if got := u.Attrs.PathString(); got != "47065 3356 47065" {
+			t.Fatalf("path = %q", got)
+		}
+		if u.Attrs.OriginAS() != 47065 {
+			t.Fatalf("origin = %d", u.Attrs.OriginAS())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update")
+	}
+}
+
+func TestAnnounceEmulatedOrigins(t *testing.T) {
+	cl, fs := dialFake(t, muxproto.ModeQuagga)
+	comm := wire.MakeCommunity(47065, 11)
+	if err := cl.Announce(prefix("184.164.224.0/24"), AnnounceOptions{
+		OriginASNs:  []uint32{65001, 65002},
+		Communities: []wire.Community{comm},
+		Upstreams:   []uint32{2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-fs.updates:
+		if got := u.Attrs.PathString(); got != "47065 65001 65002" {
+			t.Fatalf("path = %q", got)
+		}
+		if !u.Attrs.HasCommunity(comm) {
+			t.Fatal("community missing")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update")
+	}
+}
+
+func TestWithdrawWireFormat(t *testing.T) {
+	cl, fs := dialFake(t, muxproto.ModeQuagga)
+	cl.Announce(prefix("184.164.224.0/24"), AnnounceOptions{})
+	<-fs.updates
+	<-fs.updates
+	if err := cl.Withdraw(prefix("184.164.224.0/24"), []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-fs.updates:
+		if len(u.Withdrawn) != 1 || u.Withdrawn[0].Prefix != prefix("184.164.224.0/24") {
+			t.Fatalf("withdraw = %+v", u)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no withdraw")
+	}
+}
+
+func TestBIRDModePathIDs(t *testing.T) {
+	cl, fs := dialFake(t, muxproto.ModeBIRD)
+	if cl.SessionCount() != 1 {
+		t.Fatalf("sessions = %d", cl.SessionCount())
+	}
+	if err := cl.Announce(prefix("184.164.224.0/24"), AnnounceOptions{Upstreams: []uint32{2}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-fs.updates:
+		if len(u.Reach) != 1 || u.Reach[0].ID != 2 {
+			t.Fatalf("reach = %+v", u.Reach)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update")
+	}
+}
+
+func TestRouteViewsPerUpstream(t *testing.T) {
+	cl, fs := dialFake(t, muxproto.ModeQuagga)
+	var sessions []*bgp.Session
+	for i := 0; i < 2; i++ {
+		sessions = append(sessions, <-fs.sessions)
+	}
+	// Identify which session is which by trial: send distinct prefixes
+	// down each and check the views.
+	attrs := func(asn uint32) *wire.Attrs {
+		return &wire.Attrs{
+			Origin:  wire.OriginIGP,
+			ASPath:  []wire.Segment{{Type: wire.SegSequence, ASNs: []uint32{asn}}},
+			NextHop: addr("10.254.0.9"),
+		}
+	}
+	waitEst(t, sessions...)
+	sessions[0].Send(&wire.Update{Attrs: attrs(100), Reach: []wire.NLRI{{Prefix: prefix("11.0.0.0/16")}}})
+	sessions[1].Send(&wire.Update{Attrs: attrs(200), Reach: []wire.NLRI{{Prefix: prefix("12.0.0.0/16")}}})
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.RouteCount(1)+cl.RouteCount(2) < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	total := cl.RouteCount(1) + cl.RouteCount(2)
+	if total != 2 {
+		t.Fatalf("views hold %d routes", total)
+	}
+	// One view has exactly one route each — no cross-contamination.
+	if cl.RouteCount(1) != 1 || cl.RouteCount(2) != 1 {
+		t.Fatalf("views = %d/%d", cl.RouteCount(1), cl.RouteCount(2))
+	}
+	// BestRoute selects across views.
+	sessions[0].Send(&wire.Update{Attrs: attrs(100), Reach: []wire.NLRI{{Prefix: prefix("13.0.0.0/16")}}})
+	longer := attrs(200)
+	longer.PrependAS(200, 2)
+	sessions[1].Send(&wire.Update{Attrs: longer, Reach: []wire.NLRI{{Prefix: prefix("13.0.0.0/16")}}})
+	deadline = time.Now().Add(10 * time.Second)
+	for len(cl.RoutesFor(prefix("13.0.0.0/16"))) < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	best := cl.BestRoute(prefix("13.0.0.0/16"))
+	if best == nil || best.Attrs.PathLen() != 1 {
+		t.Fatalf("best = %v", best)
+	}
+}
+
+func waitEst(t *testing.T, sessions ...*bgp.Session) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, s := range sessions {
+		for s.State() != bgp.StateEstablished {
+			if !time.Now().Before(deadline) {
+				t.Fatal("session never established")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestOnRouteCallback(t *testing.T) {
+	cl, fs := dialFake(t, muxproto.ModeQuagga)
+	got := make(chan uint32, 8)
+	cl.OnRoute(func(id uint32, _ *wire.Update) { got <- id })
+	sess := <-fs.sessions
+	waitEst(t, sess)
+	sess.Send(&wire.Update{
+		Attrs: &wire.Attrs{Origin: wire.OriginIGP, ASPath: []wire.Segment{{Type: wire.SegSequence, ASNs: []uint32{9}}}, NextHop: addr("10.0.0.1")},
+		Reach: []wire.NLRI{{Prefix: prefix("11.0.0.0/16")}},
+	})
+	select {
+	case id := <-got:
+		if id != 1 && id != 2 {
+			t.Fatalf("upstream id = %d", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnRoute never fired")
+	}
+}
+
+func TestConnectTimeoutOnSilentServer(t *testing.T) {
+	// A transport that never provisions: Connect must not hang forever.
+	_, cb := bufconn.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Connect(Config{Name: "t", RouterID: addr("1.1.1.1")}, cb)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Connect succeeded without provisioning")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Connect hung on silent server")
+	}
+}

@@ -1,0 +1,216 @@
+// Package clock abstracts time so that protocol machinery (hold timers,
+// route-flap dampening decay, announcement schedules) can run against
+// real wall-clock time in deployments and against a deterministic
+// virtual clock in tests and benchmarks.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock provides current time and timer creation. Implementations must
+// be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules fn to run after d. The returned Timer can stop
+	// the callback before it fires.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Timer is a stoppable pending callback.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+	// Reset re-arms the timer to fire after d, reporting whether it was
+	// still pending.
+	Reset(d time.Duration) bool
+}
+
+// ---------------------------------------------------------------------
+// Real clock
+
+// Real is the wall-clock implementation backed by the time package.
+type Real struct{}
+
+// System is the shared real clock.
+var System Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool                 { return r.t.Stop() }
+func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
+
+// ---------------------------------------------------------------------
+// Virtual clock
+
+// Virtual is a deterministic clock that only moves when Advance is
+// called. Timers scheduled on it fire synchronously, in timestamp order,
+// during Advance.
+type Virtual struct {
+	mu   sync.Mutex
+	now  time.Time
+	heap entryHeap
+	seq  int64
+}
+
+// NewVirtual returns a virtual clock positioned at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.AfterFunc(d, func() {
+		// Buffered: never blocks Advance.
+		ch <- v.Now()
+	})
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &virtualTimer{clock: v, fn: fn}
+	v.mu.Lock()
+	v.arm(t, d)
+	v.mu.Unlock()
+	return t
+}
+
+// arm schedules timer t to fire after d. Caller holds v.mu.
+func (v *Virtual) arm(t *virtualTimer, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.gen++
+	t.pending = true
+	v.seq++
+	heap.Push(&v.heap, &entry{when: v.now.Add(d), seq: v.seq, timer: t, gen: t.gen})
+}
+
+// Sleep implements Clock. On a virtual clock Sleep blocks until another
+// goroutine advances past the deadline.
+func (v *Virtual) Sleep(d time.Duration) { <-v.After(d) }
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline falls in the window, in order. Callbacks run on the calling
+// goroutine with the clock set to their deadline, so cascaded timers
+// (a callback arming another timer inside the window) also fire.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	for {
+		if len(v.heap) == 0 || v.heap[0].when.After(target) {
+			break
+		}
+		e := heap.Pop(&v.heap).(*entry)
+		if e.gen != e.timer.gen || !e.timer.pending {
+			continue // stopped or superseded by Reset
+		}
+		e.timer.pending = false
+		v.now = e.when
+		fn := e.timer.fn
+		v.mu.Unlock()
+		fn()
+		v.mu.Lock()
+	}
+	v.now = target
+	v.mu.Unlock()
+}
+
+// PendingTimers reports how many timers are armed (for tests).
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, e := range v.heap {
+		if e.gen == e.timer.gen && e.timer.pending {
+			n++
+		}
+	}
+	return n
+}
+
+// virtualTimer is the handle returned by AfterFunc. Its gen counter
+// invalidates stale heap entries after Stop/Reset.
+type virtualTimer struct {
+	clock   *Virtual
+	fn      func()
+	gen     int64
+	pending bool
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.pending
+	t.pending = false
+	t.gen++ // invalidate any heap entry
+	return was
+}
+
+func (t *virtualTimer) Reset(d time.Duration) bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.pending
+	t.clock.arm(t, d)
+	return was
+}
+
+// entry is a scheduled firing in the virtual clock's heap.
+type entry struct {
+	when  time.Time
+	seq   int64
+	timer *virtualTimer
+	gen   int64
+}
+
+// entryHeap orders entries by deadline, then arm order.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(*entry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,150 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2014, 10, 27, 0, 0, 0, 0, time.UTC) // HotNets-XIII day one
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(90 * time.Second)
+	if got := v.Now(); !got.Equal(epoch.Add(90 * time.Second)) {
+		t.Fatalf("Now after advance = %v", got)
+	}
+}
+
+func TestVirtualAfterFuncOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	v.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	v.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	v.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	v.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("firing order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestVirtualTimerSeesDeadlineTime(t *testing.T) {
+	v := NewVirtual(epoch)
+	var seen time.Time
+	v.AfterFunc(10*time.Second, func() { seen = v.Now() })
+	v.Advance(time.Hour)
+	if !seen.Equal(epoch.Add(10 * time.Second)) {
+		t.Fatalf("callback saw %v, want deadline %v", seen, epoch.Add(10*time.Second))
+	}
+}
+
+func TestVirtualStop(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	tm := v.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop of pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	v.Advance(time.Minute)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestVirtualReset(t *testing.T) {
+	v := NewVirtual(epoch)
+	var count atomic.Int32
+	tm := v.AfterFunc(time.Second, func() { count.Add(1) })
+	// Push the deadline out; the original deadline must not fire.
+	tm.Reset(10 * time.Second)
+	v.Advance(5 * time.Second)
+	if count.Load() != 0 {
+		t.Fatal("timer fired at superseded deadline")
+	}
+	v.Advance(6 * time.Second)
+	if count.Load() != 1 {
+		t.Fatalf("count = %d, want 1", count.Load())
+	}
+	// Reset after firing re-arms.
+	tm.Reset(time.Second)
+	v.Advance(2 * time.Second)
+	if count.Load() != 2 {
+		t.Fatalf("count = %d, want 2 after re-arm", count.Load())
+	}
+}
+
+func TestVirtualCascade(t *testing.T) {
+	v := NewVirtual(epoch)
+	var times []time.Duration
+	v.AfterFunc(time.Second, func() {
+		times = append(times, v.Now().Sub(epoch))
+		v.AfterFunc(time.Second, func() {
+			times = append(times, v.Now().Sub(epoch))
+		})
+	})
+	v.Advance(10 * time.Second)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("cascade times = %v", times)
+	}
+}
+
+func TestVirtualAfterChannel(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After channel fired before advance")
+	default:
+	}
+	v.Advance(2 * time.Minute)
+	select {
+	case ts := <-ch:
+		if !ts.Equal(epoch.Add(2*time.Minute)) && !ts.Equal(epoch.Add(time.Minute)) {
+			t.Fatalf("After delivered %v", ts)
+		}
+	default:
+		t.Fatal("After channel did not fire")
+	}
+}
+
+func TestVirtualPendingTimers(t *testing.T) {
+	v := NewVirtual(epoch)
+	a := v.AfterFunc(time.Second, func() {})
+	v.AfterFunc(2*time.Second, func() {})
+	if n := v.PendingTimers(); n != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", n)
+	}
+	a.Stop()
+	if n := v.PendingTimers(); n != 1 {
+		t.Fatalf("PendingTimers after stop = %d, want 1", n)
+	}
+	v.Advance(time.Hour)
+	if n := v.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers after advance = %d, want 0", n)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := System
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(t0) {
+		t.Fatal("real clock did not advance")
+	}
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	defer tm.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !fired.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !fired.Load() {
+		t.Fatal("real AfterFunc never fired")
+	}
+}

@@ -1,0 +1,350 @@
+// Package collector implements passive control-plane observation: a
+// route collector in the style of RouteViews/RIPE RIS (the paper's
+// Table 1 "RC" column) that archives every BGP update its peers send,
+// and BGP beacons (Table 1 "BC") — prefixes announced and withdrawn on
+// a fixed schedule to provide ground truth for convergence studies.
+//
+// The testbed uses collectors both as experiment instrumentation (did
+// my announcement propagate? how long did convergence take?) and to
+// reproduce the §2 example research that needs them (route-injection
+// convergence measurements à la Labovitz).
+package collector
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"peering/internal/bgp"
+	"peering/internal/clock"
+	"peering/internal/rib"
+	"peering/internal/wire"
+)
+
+// UpdateRecord is one archived BGP message.
+type UpdateRecord struct {
+	Time   time.Time
+	PeerAS uint32
+	// Withdrawn and Reach list the affected prefixes.
+	Withdrawn []netip.Prefix
+	Reach     []netip.Prefix
+	// Path is the AS path of the announcement (nil for withdrawals).
+	Path []uint32
+}
+
+// Collector is a passive BGP archive.
+type Collector struct {
+	name string
+	asn  uint32
+	id   netip.Addr
+	clk  clock.Clock
+
+	mu      sync.Mutex
+	log     []UpdateRecord
+	rib     *rib.LocRIB
+	peers   int
+	watches []*watch
+}
+
+// watch is a pending WaitForPrefix.
+type watch struct {
+	prefix   netip.Prefix
+	withdraw bool
+	ch       chan UpdateRecord
+}
+
+// New creates a collector with its own (unannounced) ASN.
+func New(name string, asn uint32, id netip.Addr, clk clock.Clock) *Collector {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Collector{name: name, asn: asn, id: id, clk: clk, rib: rib.NewLocRIB()}
+}
+
+// ASN returns the collector's AS number.
+func (c *Collector) ASN() uint32 { return c.asn }
+
+// RouterID returns the collector's BGP identifier.
+func (c *Collector) RouterID() netip.Addr { return c.id }
+
+// AddPeer runs a collecting session over conn; the remote side is a
+// full BGP speaker that exports its table to us.
+func (c *Collector) AddPeer(conn net.Conn, peerASN uint32) *bgp.Session {
+	c.mu.Lock()
+	c.peers++
+	c.mu.Unlock()
+	sess := bgp.New(conn, bgp.Config{
+		LocalAS:  c.asn,
+		LocalID:  c.id,
+		PeerAS:   peerASN,
+		Clock:    c.clk,
+		Describe: fmt.Sprintf("%s-peer-as%d", c.name, peerASN),
+	}, &peerHandler{c: c})
+	go sess.Run()
+	return sess
+}
+
+type peerHandler struct{ c *Collector }
+
+func (h *peerHandler) Established(*bgp.Session) {}
+
+func (h *peerHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
+	h.c.archive(sess, upd)
+}
+
+func (h *peerHandler) Closed(*bgp.Session, error) {
+	h.c.mu.Lock()
+	h.c.peers--
+	h.c.mu.Unlock()
+}
+
+// archive records an update and fires watches.
+func (c *Collector) archive(sess *bgp.Session, upd *wire.Update) {
+	rec := UpdateRecord{Time: c.clk.Now(), PeerAS: sess.PeerAS()}
+	for _, n := range upd.Withdrawn {
+		rec.Withdrawn = append(rec.Withdrawn, n.Prefix)
+	}
+	if upd.Attrs != nil {
+		rec.Path = upd.Attrs.ASList()
+		for _, n := range upd.Reach {
+			rec.Reach = append(rec.Reach, n.Prefix)
+		}
+	}
+	if len(rec.Withdrawn) == 0 && len(rec.Reach) == 0 {
+		return
+	}
+
+	c.mu.Lock()
+	c.log = append(c.log, rec)
+	// Maintain the collector's merged RIB view.
+	src := rib.PeerKey{Addr: c.peerKeyAddr(sess)}
+	for _, p := range rec.Withdrawn {
+		c.rib.Withdraw(p, src)
+	}
+	if upd.Attrs != nil {
+		for _, p := range rec.Reach {
+			c.rib.Update(&rib.Route{
+				Prefix: p, Attrs: upd.Attrs.Clone(), Src: src,
+				PeerAS: sess.PeerAS(), PeerID: sess.PeerID(), EBGP: true,
+				Learned: rec.Time,
+			})
+		}
+	}
+	fired := c.watches[:0]
+	var toFire []*watch
+	for _, w := range c.watches {
+		hit := false
+		list := rec.Reach
+		if w.withdraw {
+			list = rec.Withdrawn
+		}
+		for _, p := range list {
+			if p == w.prefix {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			toFire = append(toFire, w)
+		} else {
+			fired = append(fired, w)
+		}
+	}
+	c.watches = fired
+	c.mu.Unlock()
+	for _, w := range toFire {
+		w.ch <- rec
+	}
+}
+
+// peerKeyAddr derives a stable RIB key for a session.
+func (c *Collector) peerKeyAddr(sess *bgp.Session) netip.Addr {
+	if id := sess.PeerID(); id.IsValid() {
+		return id
+	}
+	return netip.AddrFrom4([4]byte{0, 0, 0, 1})
+}
+
+// Log returns a copy of the archived updates.
+func (c *Collector) Log() []UpdateRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]UpdateRecord, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// UpdatesFor returns archived updates mentioning prefix p.
+func (c *Collector) UpdatesFor(p netip.Prefix) []UpdateRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []UpdateRecord
+	for _, r := range c.log {
+		for _, x := range r.Reach {
+			if x == p {
+				out = append(out, r)
+				break
+			}
+		}
+		for _, x := range r.Withdrawn {
+			if x == p {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HasRoute reports whether the collector currently holds a route for p.
+func (c *Collector) HasRoute(p netip.Prefix) bool {
+	return c.rib.Best(p) != nil
+}
+
+// Route returns the collector's current best route for p.
+func (c *Collector) Route(p netip.Prefix) *rib.Route {
+	return c.rib.Best(p)
+}
+
+// Prefixes reports how many prefixes the collector sees.
+func (c *Collector) Prefixes() int { return c.rib.Prefixes() }
+
+// WaitForPrefix blocks until an update for p arrives (announcement, or
+// withdrawal if withdraw is set), returning the record. Use for
+// convergence measurements.
+func (c *Collector) WaitForPrefix(p netip.Prefix, withdraw bool, timeout time.Duration) (UpdateRecord, error) {
+	w := &watch{prefix: p, withdraw: withdraw, ch: make(chan UpdateRecord, 1)}
+	c.mu.Lock()
+	c.watches = append(c.watches, w)
+	c.mu.Unlock()
+	select {
+	case rec := <-w.ch:
+		return rec, nil
+	case <-time.After(timeout):
+		return UpdateRecord{}, fmt.Errorf("collector: no update for %v within %v", p, timeout)
+	}
+}
+
+// ConvergenceStats summarizes update churn for one prefix — the
+// Labovitz-style metric (§2: "route injection was the basis for
+// influential work on BGP convergence").
+type ConvergenceStats struct {
+	Prefix      netip.Prefix
+	Updates     int
+	Withdrawals int
+	First, Last time.Time
+	// Duration is Last − First: how long the event's churn lasted.
+	Duration time.Duration
+	// DistinctPaths counts distinct AS paths observed.
+	DistinctPaths int
+}
+
+// Convergence computes churn statistics for p over the archive since t.
+func (c *Collector) Convergence(p netip.Prefix, since time.Time) ConvergenceStats {
+	st := ConvergenceStats{Prefix: p}
+	paths := map[string]bool{}
+	for _, r := range c.UpdatesFor(p) {
+		if r.Time.Before(since) {
+			continue
+		}
+		if st.Updates == 0 {
+			st.First = r.Time
+		}
+		st.Last = r.Time
+		st.Updates++
+		for _, x := range r.Withdrawn {
+			if x == p {
+				st.Withdrawals++
+			}
+		}
+		if r.Path != nil {
+			paths[fmt.Sprint(r.Path)] = true
+		}
+	}
+	st.DistinctPaths = len(paths)
+	if st.Updates > 0 {
+		st.Duration = st.Last.Sub(st.First)
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Beacons
+
+// Announcer is anything that can announce and withdraw a prefix — a
+// router.Router, a client.Client, or a test double.
+type Announcer interface {
+	BeaconAnnounce(p netip.Prefix) error
+	BeaconWithdraw(p netip.Prefix) error
+}
+
+// Beacon announces a prefix for half its period and withdraws it for
+// the other half, forever — the Mao et al. BGP beacon schedule.
+type Beacon struct {
+	Prefix netip.Prefix
+	Period time.Duration
+
+	ann   Announcer
+	clk   clock.Clock
+	mu    sync.Mutex
+	up    bool
+	fires int
+	timer clock.Timer
+	stop  bool
+}
+
+// NewBeacon starts a beacon on ann with the given period (the classic
+// schedule uses 4h: 2h up, 2h down). The first announcement fires
+// after period/2.
+func NewBeacon(prefix netip.Prefix, period time.Duration, ann Announcer, clk clock.Clock) *Beacon {
+	if clk == nil {
+		clk = clock.System
+	}
+	b := &Beacon{Prefix: prefix, Period: period, ann: ann, clk: clk}
+	b.timer = clk.AfterFunc(period/2, b.tick)
+	return b
+}
+
+func (b *Beacon) tick() {
+	b.mu.Lock()
+	if b.stop {
+		b.mu.Unlock()
+		return
+	}
+	b.up = !b.up
+	up := b.up
+	b.fires++
+	b.timer = b.clk.AfterFunc(b.Period/2, b.tick)
+	b.mu.Unlock()
+	if up {
+		b.ann.BeaconAnnounce(b.Prefix)
+	} else {
+		b.ann.BeaconWithdraw(b.Prefix)
+	}
+}
+
+// Up reports whether the beacon is currently announced.
+func (b *Beacon) Up() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.up
+}
+
+// Fires reports how many transitions have occurred.
+func (b *Beacon) Fires() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fires
+}
+
+// Stop halts the beacon (leaving its last state in place).
+func (b *Beacon) Stop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stop = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+}

@@ -1,0 +1,200 @@
+package collector
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"peering/internal/bufconn"
+	"peering/internal/clock"
+	"peering/internal/router"
+)
+
+var epoch = time.Date(2014, 10, 27, 0, 0, 0, 0, time.UTC)
+
+func addr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// peerUp connects a router to the collector.
+func peerUp(t *testing.T, c *Collector, r *router.Router, peerAddr string) {
+	t.Helper()
+	p := r.AddPeer(router.PeerConfig{
+		Addr: c.RouterID(), LocalAddr: addr(peerAddr), AS: c.ASN(), Describe: "collector",
+	})
+	ca, cb := bufconn.Pipe()
+	c.AddPeer(ca, r.AS())
+	r.Attach(p, cb)
+	waitFor(t, "collector session", func() bool { return p.Established() })
+}
+
+func TestCollectorArchivesUpdates(t *testing.T) {
+	c := New("rv1", 6447, addr("128.223.51.102"), nil) // RouteViews ASN
+	r := router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
+	peerUp(t, c, r, "4.69.0.1")
+
+	p := prefix("100.64.0.0/24")
+	r.Announce(p, router.AnnounceSpec{})
+	waitFor(t, "route archived", func() bool { return c.HasRoute(p) })
+	recs := c.UpdatesFor(p)
+	if len(recs) == 0 || recs[0].PeerAS != 3356 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if len(recs[0].Path) != 1 || recs[0].Path[0] != 3356 {
+		t.Fatalf("path = %v", recs[0].Path)
+	}
+	// Withdrawal archived too.
+	r.Withdraw(p)
+	waitFor(t, "withdraw archived", func() bool { return !c.HasRoute(p) })
+	recs = c.UpdatesFor(p)
+	last := recs[len(recs)-1]
+	if len(last.Withdrawn) != 1 {
+		t.Fatalf("last record = %+v", last)
+	}
+}
+
+func TestWaitForPrefix(t *testing.T) {
+	c := New("rv1", 6447, addr("128.223.51.102"), nil)
+	r := router.New(router.Config{AS: 2914, RouterID: addr("129.250.0.1")})
+	peerUp(t, c, r, "129.250.0.1")
+
+	done := make(chan UpdateRecord, 1)
+	go func() {
+		rec, err := c.WaitForPrefix(prefix("100.64.9.0/24"), false, 10*time.Second)
+		if err == nil {
+			done <- rec
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Announce(prefix("100.64.9.0/24"), router.AnnounceSpec{})
+	select {
+	case rec := <-done:
+		if rec.PeerAS != 2914 {
+			t.Fatalf("rec = %+v", rec)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitForPrefix never fired")
+	}
+	// Timeout path.
+	if _, err := c.WaitForPrefix(prefix("1.2.3.0/24"), false, 50*time.Millisecond); err == nil {
+		t.Fatal("timeout did not error")
+	}
+}
+
+func TestConvergenceStats(t *testing.T) {
+	c := New("rv1", 6447, addr("128.223.51.102"), nil)
+	r := router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
+	peerUp(t, c, r, "4.69.0.1")
+	p := prefix("100.64.0.0/24")
+	r.Announce(p, router.AnnounceSpec{})
+	waitFor(t, "first", func() bool { return len(c.UpdatesFor(p)) >= 1 })
+	r.Announce(p, router.AnnounceSpec{Prepend: 2}) // path change
+	waitFor(t, "second", func() bool { return len(c.UpdatesFor(p)) >= 2 })
+	r.Withdraw(p)
+	waitFor(t, "third", func() bool { return len(c.UpdatesFor(p)) >= 3 })
+
+	st := c.Convergence(p, time.Time{})
+	if st.Updates != 3 || st.Withdrawals != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DistinctPaths != 2 {
+		t.Fatalf("distinct paths = %d, want 2", st.DistinctPaths)
+	}
+}
+
+func TestMultiPeerView(t *testing.T) {
+	c := New("rv1", 6447, addr("128.223.51.102"), nil)
+	r1 := router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
+	r2 := router.New(router.Config{AS: 2914, RouterID: addr("129.250.0.1")})
+	peerUp(t, c, r1, "4.69.0.1")
+	peerUp(t, c, r2, "129.250.0.1")
+	p := prefix("100.64.0.0/24")
+	r1.Announce(p, router.AnnounceSpec{})
+	r2.Announce(p, router.AnnounceSpec{})
+	waitFor(t, "both views", func() bool {
+		n := 0
+		for _, rec := range c.UpdatesFor(p) {
+			if len(rec.Reach) > 0 {
+				n++
+			}
+		}
+		return n >= 2
+	})
+	if c.Prefixes() != 1 {
+		t.Fatalf("prefixes = %d", c.Prefixes())
+	}
+}
+
+// beaconTarget counts beacon actions.
+type beaconTarget struct {
+	mu        sync.Mutex
+	announces int
+	withdraws int
+}
+
+func (b *beaconTarget) BeaconAnnounce(netip.Prefix) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.announces++
+	return nil
+}
+
+func (b *beaconTarget) BeaconWithdraw(netip.Prefix) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.withdraws++
+	return nil
+}
+
+func (b *beaconTarget) counts() (int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.announces, b.withdraws
+}
+
+func TestBeaconSchedule(t *testing.T) {
+	v := clock.NewVirtual(epoch)
+	tgt := &beaconTarget{}
+	b := NewBeacon(prefix("100.64.1.0/24"), 4*time.Hour, tgt, v)
+	if b.Up() {
+		t.Fatal("beacon started up")
+	}
+	v.Advance(2 * time.Hour) // first announce
+	if a, w := tgt.counts(); a != 1 || w != 0 {
+		t.Fatalf("after 2h: a=%d w=%d", a, w)
+	}
+	if !b.Up() {
+		t.Fatal("not up after first fire")
+	}
+	v.Advance(2 * time.Hour) // withdraw
+	if a, w := tgt.counts(); a != 1 || w != 1 {
+		t.Fatalf("after 4h: a=%d w=%d", a, w)
+	}
+	v.Advance(24 * time.Hour)
+	a, w := tgt.counts()
+	if a+w != b.Fires() || a < 6 {
+		t.Fatalf("after a day: a=%d w=%d fires=%d", a, w, b.Fires())
+	}
+	// Alternation: announces and withdraws differ by at most one.
+	if d := a - w; d < -1 || d > 1 {
+		t.Fatalf("lost alternation: a=%d w=%d", a, w)
+	}
+	b.Stop()
+	before := b.Fires()
+	v.Advance(24 * time.Hour)
+	if b.Fires() != before {
+		t.Fatal("beacon fired after Stop")
+	}
+}

@@ -1,0 +1,207 @@
+// Package dampen implements RFC 2439 route-flap dampening. PEERING
+// servers apply it to client announcements so that a misbehaving
+// experiment cannot destabilize routing for the rest of the Internet
+// (§3 "Enforcing safety").
+//
+// Each (prefix, source) pair accumulates a penalty on every flap
+// (withdrawal or attribute change). The penalty decays exponentially
+// with a configurable half-life. When it crosses the suppress threshold
+// the route is suppressed — not propagated — until decay brings it back
+// under the reuse threshold.
+package dampen
+
+import (
+	"math"
+	"net/netip"
+	"sync"
+	"time"
+
+	"peering/internal/clock"
+)
+
+// Config holds the dampening parameters. The defaults mirror the
+// classic Cisco/RFC 2439 values.
+type Config struct {
+	// Penalty added per flap.
+	FlapPenalty float64
+	// WithdrawPenalty added on explicit withdrawals (usually equal to
+	// FlapPenalty).
+	WithdrawPenalty float64
+	// HalfLife of the exponential decay.
+	HalfLife time.Duration
+	// SuppressThreshold above which the route is suppressed.
+	SuppressThreshold float64
+	// ReuseThreshold below which a suppressed route is reusable.
+	ReuseThreshold float64
+	// MaxSuppress bounds how long a route can stay suppressed; the
+	// penalty is capped so that it decays below ReuseThreshold within
+	// this interval.
+	MaxSuppress time.Duration
+}
+
+// DefaultConfig is the conventional parameter set: penalty 1000/flap,
+// 15-minute half-life, suppress at 2000, reuse at 750, one hour max.
+func DefaultConfig() Config {
+	return Config{
+		FlapPenalty:       1000,
+		WithdrawPenalty:   1000,
+		HalfLife:          15 * time.Minute,
+		SuppressThreshold: 2000,
+		ReuseThreshold:    750,
+		MaxSuppress:       time.Hour,
+	}
+}
+
+// maxPenalty returns the ceiling implied by MaxSuppress: the penalty
+// value that decays to exactly ReuseThreshold after MaxSuppress.
+func (c Config) maxPenalty() float64 {
+	return c.ReuseThreshold * math.Exp2(float64(c.MaxSuppress)/float64(c.HalfLife))
+}
+
+// Key identifies a dampened route: prefix + the announcing source.
+type Key struct {
+	Prefix netip.Prefix
+	Source netip.Addr
+}
+
+// state is the per-key dampening record.
+type state struct {
+	penalty    float64
+	lastUpdate time.Time
+	suppressed bool
+}
+
+// Damper tracks flap penalties. It is safe for concurrent use.
+type Damper struct {
+	cfg   Config
+	clock clock.Clock
+
+	mu     sync.Mutex
+	states map[Key]*state
+}
+
+// New returns a Damper with cfg, using clk for decay timing.
+func New(cfg Config, clk clock.Clock) *Damper {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Damper{cfg: cfg, clock: clk, states: make(map[Key]*state)}
+}
+
+// decayTo brings s's penalty forward to time now.
+func (d *Damper) decayTo(s *state, now time.Time) {
+	dt := now.Sub(s.lastUpdate)
+	if dt <= 0 {
+		return
+	}
+	s.penalty *= math.Exp2(-float64(dt) / float64(d.cfg.HalfLife))
+	s.lastUpdate = now
+	if s.suppressed && s.penalty < d.cfg.ReuseThreshold {
+		s.suppressed = false
+	}
+	// Drop negligible state.
+	if s.penalty < 1 {
+		s.penalty = 0
+	}
+}
+
+// recordPenalty applies a flap of weight w to key k and returns whether
+// the route is now suppressed.
+func (d *Damper) recordPenalty(k Key, w float64) bool {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.states[k]
+	if s == nil {
+		s = &state{lastUpdate: now}
+		d.states[k] = s
+	}
+	d.decayTo(s, now)
+	s.penalty += w
+	if maxP := d.cfg.maxPenalty(); s.penalty > maxP {
+		s.penalty = maxP
+	}
+	if s.penalty >= d.cfg.SuppressThreshold {
+		s.suppressed = true
+	}
+	return s.suppressed
+}
+
+// RecordFlap registers a re-announcement (attribute change) of k,
+// returning true if the route is suppressed.
+func (d *Damper) RecordFlap(k Key) bool {
+	return d.recordPenalty(k, d.cfg.FlapPenalty)
+}
+
+// RecordWithdraw registers a withdrawal of k, returning true if the
+// route is suppressed.
+func (d *Damper) RecordWithdraw(k Key) bool {
+	return d.recordPenalty(k, d.cfg.WithdrawPenalty)
+}
+
+// Suppressed reports whether k is currently suppressed, applying decay
+// first.
+func (d *Damper) Suppressed(k Key) bool {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.states[k]
+	if s == nil {
+		return false
+	}
+	d.decayTo(s, now)
+	return s.suppressed
+}
+
+// Penalty returns the current decayed penalty for k (0 if untracked).
+func (d *Damper) Penalty(k Key) float64 {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.states[k]
+	if s == nil {
+		return 0
+	}
+	d.decayTo(s, now)
+	return s.penalty
+}
+
+// ReuseIn estimates how long until k's penalty decays below the reuse
+// threshold (zero if not suppressed).
+func (d *Damper) ReuseIn(k Key) time.Duration {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.states[k]
+	if s == nil {
+		return 0
+	}
+	d.decayTo(s, now)
+	if !s.suppressed || s.penalty <= d.cfg.ReuseThreshold {
+		return 0
+	}
+	halfLives := math.Log2(s.penalty / d.cfg.ReuseThreshold)
+	return time.Duration(halfLives * float64(d.cfg.HalfLife))
+}
+
+// Sweep removes fully decayed records, returning how many remain.
+// Long-running servers call this periodically to bound memory.
+func (d *Damper) Sweep() int {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k, s := range d.states {
+		d.decayTo(s, now)
+		if s.penalty == 0 && !s.suppressed {
+			delete(d.states, k)
+		}
+	}
+	return len(d.states)
+}
+
+// Tracked reports how many (prefix, source) records exist.
+func (d *Damper) Tracked() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.states)
+}

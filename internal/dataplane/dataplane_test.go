@@ -1,0 +1,301 @@
+package dataplane
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func addr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// lineTopo builds hostA — r1 — r2 — hostB with full routing.
+//
+//	A(10.0.1.10) — (10.0.1.1)r1(10.0.12.1) — (10.0.12.2)r2(10.0.2.1) — B(10.0.2.10)
+func lineTopo() (*Host, *Router, *Router, *Host, *Link) {
+	hA := NewHost("A", addr("10.0.1.10"))
+	hB := NewHost("B", addr("10.0.2.10"))
+	r1 := NewRouter("r1")
+	r2 := NewRouter("r2")
+
+	_, iA, iR1a := Connect(hA, addr("10.0.1.10"), "eth0", r1, addr("10.0.1.1"), "lan")
+	hA.SetIface(iA)
+	r1.AddIface(iR1a)
+
+	mid, iR1b, iR2a := Connect(r1, addr("10.0.12.1"), "wan", r2, addr("10.0.12.2"), "wan")
+	r1.AddIface(iR1b)
+	r2.AddIface(iR2a)
+
+	_, iR2b, iB := Connect(r2, addr("10.0.2.1"), "lan", hB, addr("10.0.2.10"), "eth0")
+	r2.AddIface(iR2b)
+	hB.SetIface(iB)
+
+	// r1 routes.
+	r1.SetRoute(prefix("10.0.1.0/24"), netip.Addr{}, iR1a)
+	r1.SetRoute(prefix("10.0.2.0/24"), addr("10.0.12.2"), iR1b)
+	r1.SetRoute(prefix("10.0.12.0/24"), netip.Addr{}, iR1b)
+	// r2 routes.
+	r2.SetRoute(prefix("10.0.2.0/24"), netip.Addr{}, iR2b)
+	r2.SetRoute(prefix("10.0.1.0/24"), addr("10.0.12.1"), iR2a)
+	r2.SetRoute(prefix("10.0.12.0/24"), netip.Addr{}, iR2a)
+
+	return hA, r1, r2, hB, mid
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	hA, r1, r2, hB, _ := lineTopo()
+	pkt := hA.SendTo(hB.Addr(), ProtoUDP, []byte("payload"))
+	got := hB.Inbox()
+	if len(got) != 1 {
+		t.Fatalf("inbox = %d packets, want 1", len(got))
+	}
+	if string(got[0].Payload) != "payload" || got[0].ID != pkt.ID {
+		t.Fatalf("got %+v", got[0])
+	}
+	if got[0].TTL != DefaultTTL-2 {
+		t.Fatalf("TTL = %d, want %d (two router hops)", got[0].TTL, DefaultTTL-2)
+	}
+	if r1.Stats().Forwarded != 1 || r2.Stats().Forwarded != 1 {
+		t.Fatalf("router fwd counts = %d/%d", r1.Stats().Forwarded, r2.Stats().Forwarded)
+	}
+}
+
+func TestPing(t *testing.T) {
+	hA, _, _, hB, _ := lineTopo()
+	ok, reply := hA.Ping(hB.Addr())
+	if !ok {
+		t.Fatal("ping failed on connected topology")
+	}
+	if reply.Src != hB.Addr() {
+		t.Fatalf("reply from %v", reply.Src)
+	}
+	// Ping an address with no route: unreachable, not a reply.
+	ok, reply = hA.Ping(addr("192.168.99.99"))
+	if ok {
+		t.Fatal("ping to unrouted address succeeded")
+	}
+	if reply == nil || reply.ICMP != ICMPUnreachable {
+		t.Fatalf("want unreachable, got %+v", reply)
+	}
+}
+
+func TestTraceroute(t *testing.T) {
+	hA, _, _, hB, _ := lineTopo()
+	hops := hA.Traceroute(hB.Addr(), 10)
+	if len(hops) != 3 {
+		t.Fatalf("hops = %v, want 3", hops)
+	}
+	// Hop 1: r1's ingress (10.0.1.1); hop 2: r2's ingress (10.0.12.2);
+	// hop 3: destination echo reply.
+	if hops[0].Addr != addr("10.0.1.1") || hops[0].Type != ICMPTimeExceeded {
+		t.Fatalf("hop1 = %+v", hops[0])
+	}
+	if hops[1].Addr != addr("10.0.12.2") || hops[1].Type != ICMPTimeExceeded {
+		t.Fatalf("hop2 = %+v", hops[1])
+	}
+	if hops[2].Addr != hB.Addr() || hops[2].Type != ICMPEchoReply {
+		t.Fatalf("hop3 = %+v", hops[2])
+	}
+}
+
+func TestLinkDownDropsAndTracerouteShowsStar(t *testing.T) {
+	hA, _, _, hB, mid := lineTopo()
+	mid.SetDown(true)
+	if ok, _ := hA.Ping(hB.Addr()); ok {
+		t.Fatal("ping succeeded over downed link")
+	}
+	hops := hA.Traceroute(hB.Addr(), 3)
+	if len(hops) != 3 {
+		t.Fatalf("hops = %v", hops)
+	}
+	if hops[1].Addr.IsValid() || hops[2].Addr.IsValid() {
+		t.Fatalf("hops past failure should be stars: %v", hops)
+	}
+	if mid.Stats().Dropped == 0 {
+		t.Fatal("link did not count drops")
+	}
+	mid.SetDown(false)
+	if ok, _ := hA.Ping(hB.Addr()); !ok {
+		t.Fatal("ping failed after link restore")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	hA, r1, _, hB, _ := lineTopo()
+	pkt := NewPacket(hA.Addr(), hB.Addr(), ProtoUDP)
+	pkt.TTL = 1
+	pkt.Seq = 999
+	hA.Send(pkt)
+	if len(hB.Inbox()) != 0 {
+		t.Fatal("expired packet delivered")
+	}
+	if r1.Stats().TTLExpired != 1 {
+		t.Fatalf("TTLExpired = %d", r1.Stats().TTLExpired)
+	}
+}
+
+func TestNoRouteICMPUnreachable(t *testing.T) {
+	hA, r1, _, _, _ := lineTopo()
+	hA.SendTo(addr("203.0.113.5"), ProtoUDP, nil)
+	if r1.Stats().NoRoute != 1 {
+		t.Fatalf("NoRoute = %d", r1.Stats().NoRoute)
+	}
+}
+
+func TestURPFBlocksSpoofing(t *testing.T) {
+	hA, r1, _, hB, _ := lineTopo()
+	// Enable strict uRPF on r1's LAN interface.
+	var lan *Iface
+	for _, i := range r1.Ifaces() {
+		if i.Label == "lan" {
+			lan = i
+		}
+	}
+	r1.SetURPF(lan, true)
+
+	// Legitimate traffic passes.
+	hA.SendTo(hB.Addr(), ProtoUDP, []byte("legit"))
+	if len(hB.Inbox()) != 1 {
+		t.Fatal("legitimate packet dropped by uRPF")
+	}
+
+	// Spoofed source (not in 10.0.1.0/24) is dropped.
+	spoof := NewPacket(addr("8.8.8.8"), hB.Addr(), ProtoUDP)
+	hA.Send(spoof)
+	if len(hB.Inbox()) != 0 {
+		t.Fatal("spoofed packet delivered despite uRPF")
+	}
+	if r1.Stats().URPFDropped != 1 {
+		t.Fatalf("URPFDropped = %d", r1.Stats().URPFDropped)
+	}
+}
+
+func TestProcessorPipeline(t *testing.T) {
+	hA, r1, _, hB, _ := lineTopo()
+	var seen int
+	r1.AddProcessor(func(pkt *Packet, _ *Iface) Verdict {
+		seen++
+		if pkt.DstPort == 9999 {
+			return VerdictDrop
+		}
+		return VerdictContinue
+	})
+	pkt := NewPacket(hA.Addr(), hB.Addr(), ProtoUDP)
+	pkt.DstPort = 9999
+	hA.Send(pkt)
+	if len(hB.Inbox()) != 0 {
+		t.Fatal("processor drop ignored")
+	}
+	pkt2 := NewPacket(hA.Addr(), hB.Addr(), ProtoUDP)
+	pkt2.DstPort = 80
+	hA.Send(pkt2)
+	if len(hB.Inbox()) != 1 {
+		t.Fatal("allowed packet dropped")
+	}
+	if seen != 2 || r1.Stats().ProcDropped != 1 {
+		t.Fatalf("seen=%d procDropped=%d", seen, r1.Stats().ProcDropped)
+	}
+}
+
+func TestProcessorRewrite(t *testing.T) {
+	// A decoy-routing-style processor: rewrite destination and let the
+	// router forward to the new target.
+	hA, r1, _, hB, _ := lineTopo()
+	decoy := addr("198.51.100.1")
+	r1.AddProcessor(func(pkt *Packet, _ *Iface) Verdict {
+		if pkt.Dst == decoy {
+			pkt.Dst = hB.Addr()
+		}
+		return VerdictContinue
+	})
+	hA.SendTo(decoy, ProtoTCP, []byte("covert"))
+	got := hB.Inbox()
+	if len(got) != 1 || string(got[0].Payload) != "covert" {
+		t.Fatalf("rewritten packet not delivered: %v", got)
+	}
+}
+
+func TestLinkMTU(t *testing.T) {
+	hA, _, _, hB, mid := lineTopo()
+	mid.MTU = 100
+	hA.SendTo(hB.Addr(), ProtoUDP, make([]byte, 200))
+	if len(hB.Inbox()) != 0 {
+		t.Fatal("oversized packet crossed MTU-limited link")
+	}
+	hA.SendTo(hB.Addr(), ProtoUDP, make([]byte, 50))
+	if len(hB.Inbox()) != 1 {
+		t.Fatal("small packet dropped")
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	hA, _, _, hB, mid := lineTopo()
+	mid.LossProb = 1.0
+	hA.SendTo(hB.Addr(), ProtoUDP, nil)
+	if len(hB.Inbox()) != 0 {
+		t.Fatal("packet survived 100% loss")
+	}
+	mid.LossProb = 0
+	hA.SendTo(hB.Addr(), ProtoUDP, nil)
+	if len(hB.Inbox()) != 1 {
+		t.Fatal("packet lost at 0% loss")
+	}
+}
+
+func TestRouterEchoResponds(t *testing.T) {
+	hA, _, _, _, _ := lineTopo()
+	ok, reply := hA.Ping(addr("10.0.12.2")) // r2's wan iface
+	if !ok || reply.Src != addr("10.0.12.2") {
+		t.Fatalf("router ping: ok=%v reply=%+v", ok, reply)
+	}
+}
+
+func TestHostIgnoresForeignPackets(t *testing.T) {
+	hB := NewHost("B", addr("10.0.2.10"))
+	pkt := NewPacket(addr("1.1.1.1"), addr("9.9.9.9"), ProtoUDP)
+	hB.Receive(pkt, nil)
+	if len(hB.Inbox()) != 0 {
+		t.Fatal("host accepted packet not addressed to it")
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := NewPacket(addr("1.1.1.1"), addr("2.2.2.2"), ProtoUDP)
+	p.Payload = []byte{1, 2}
+	p.Trace = []netip.Addr{addr("3.3.3.3")}
+	c := p.Clone()
+	c.Payload[0] = 9
+	c.Trace[0] = addr("4.4.4.4")
+	if p.Payload[0] != 1 || p.Trace[0] != addr("3.3.3.3") {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestTraceRecordsPath(t *testing.T) {
+	hA, _, _, hB, _ := lineTopo()
+	hA.SendTo(hB.Addr(), ProtoUDP, nil)
+	got := hB.Inbox()
+	if len(got) != 1 {
+		t.Fatal("no delivery")
+	}
+	// Trace records receiving ifaces: r1 lan, r2 wan, B eth0.
+	want := []netip.Addr{addr("10.0.1.1"), addr("10.0.12.2"), addr("10.0.2.10")}
+	if len(got[0].Trace) != len(want) {
+		t.Fatalf("trace = %v", got[0].Trace)
+	}
+	for i, a := range want {
+		if got[0].Trace[i] != a {
+			t.Fatalf("trace[%d] = %v, want %v", i, got[0].Trace[i], a)
+		}
+	}
+}
+
+func BenchmarkForwarding(b *testing.B) {
+	hA, _, _, hB, _ := lineTopo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hA.SendTo(hB.Addr(), ProtoUDP, nil)
+	}
+	b.StopTimer()
+	hB.Inbox()
+}

@@ -1,0 +1,166 @@
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Host is an end system: one address, a default gateway, an inbox, and
+// the ping/traceroute measurement primitives. Because link delivery is
+// synchronous, a Ping's reply (when the network can route it) has
+// already been processed by the time Send returns — measurements are
+// deterministic with no sleeps.
+type Host struct {
+	name string
+	addr netip.Addr
+
+	mu      sync.Mutex
+	iface   *Iface
+	inbox   []*Packet
+	replies map[int]*Packet // Seq → ICMP echo reply / error
+	seq     int
+}
+
+// NewHost returns a host with address addr.
+func NewHost(name string, addr netip.Addr) *Host {
+	return &Host{name: name, addr: addr, replies: make(map[int]*Packet)}
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's address.
+func (h *Host) Addr() netip.Addr { return h.addr }
+
+// SetIface attaches the host's single interface (from Connect).
+func (h *Host) SetIface(i *Iface) {
+	h.mu.Lock()
+	h.iface = i
+	h.mu.Unlock()
+}
+
+// Receive implements Node.
+func (h *Host) Receive(pkt *Packet, _ *Iface) {
+	if pkt.Dst != h.addr {
+		return // not ours; hosts don't forward
+	}
+	if pkt.Proto == ProtoICMP && pkt.ICMP == ICMPEchoRequest {
+		reply := &Packet{
+			ID:    packetSeq.Add(1),
+			Src:   h.addr,
+			Dst:   pkt.Src,
+			TTL:   DefaultTTL,
+			Proto: ProtoICMP,
+			ICMP:  ICMPEchoReply,
+			Seq:   pkt.Seq,
+			Orig:  pkt.ID,
+		}
+		h.send(reply)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pkt.Proto == ProtoICMP && pkt.ICMP != ICMPNone {
+		h.replies[pkt.Seq] = pkt.Clone()
+		return
+	}
+	h.inbox = append(h.inbox, pkt.Clone())
+}
+
+// send transmits via the attached interface.
+func (h *Host) send(pkt *Packet) {
+	h.mu.Lock()
+	i := h.iface
+	h.mu.Unlock()
+	if i != nil {
+		i.Send(pkt)
+	}
+}
+
+// Send transmits an application packet from this host.
+func (h *Host) Send(pkt *Packet) { h.send(pkt) }
+
+// SendTo builds and sends a payload to dst.
+func (h *Host) SendTo(dst netip.Addr, proto Proto, payload []byte) *Packet {
+	pkt := NewPacket(h.addr, dst, proto)
+	pkt.Payload = payload
+	h.send(pkt)
+	return pkt
+}
+
+// Inbox returns (and clears) received application packets.
+func (h *Host) Inbox() []*Packet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := h.inbox
+	h.inbox = nil
+	return out
+}
+
+// nextSeq allocates a measurement sequence number.
+func (h *Host) nextSeq() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	return h.seq
+}
+
+// takeReply removes and returns the reply for seq, if any.
+func (h *Host) takeReply(seq int) *Packet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.replies[seq]
+	delete(h.replies, seq)
+	return p
+}
+
+// Ping sends one echo request to dst and reports whether a reply
+// arrived (synchronously) and the hop count the request traversed.
+func (h *Host) Ping(dst netip.Addr) (ok bool, reply *Packet) {
+	seq := h.nextSeq()
+	pkt := NewPacket(h.addr, dst, ProtoICMP)
+	pkt.ICMP = ICMPEchoRequest
+	pkt.Seq = seq
+	h.send(pkt)
+	r := h.takeReply(seq)
+	return r != nil && r.ICMP == ICMPEchoReply, r
+}
+
+// Hop is one traceroute result row.
+type Hop struct {
+	TTL  int
+	Addr netip.Addr // invalid when no response
+	Type ICMPType
+}
+
+func (hp Hop) String() string {
+	if !hp.Addr.IsValid() {
+		return fmt.Sprintf("%2d  *", hp.TTL)
+	}
+	return fmt.Sprintf("%2d  %s", hp.TTL, hp.Addr)
+}
+
+// Traceroute probes dst with increasing TTLs (up to maxTTL), returning
+// one hop per TTL until the destination answers.
+func (h *Host) Traceroute(dst netip.Addr, maxTTL int) []Hop {
+	var hops []Hop
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		seq := h.nextSeq()
+		pkt := NewPacket(h.addr, dst, ProtoICMP)
+		pkt.ICMP = ICMPEchoRequest
+		pkt.Seq = seq
+		pkt.TTL = uint8(ttl)
+		h.send(pkt)
+		r := h.takeReply(seq)
+		if r == nil {
+			hops = append(hops, Hop{TTL: ttl})
+			continue
+		}
+		hops = append(hops, Hop{TTL: ttl, Addr: r.Src, Type: r.ICMP})
+		if r.ICMP == ICMPEchoReply || r.ICMP == ICMPUnreachable {
+			break
+		}
+	}
+	return hops
+}

@@ -1,0 +1,302 @@
+package dataplane
+
+import (
+	"net/netip"
+	"sync"
+
+	"peering/internal/trie"
+)
+
+// FIBEntry is one forwarding-table row.
+type FIBEntry struct {
+	Prefix netip.Prefix
+	// NextHop is the gateway address (invalid for directly connected
+	// prefixes; informational — forwarding uses Out).
+	NextHop netip.Addr
+	// Out is the egress interface.
+	Out *Iface
+}
+
+// Verdict is a packet processor's decision.
+type Verdict int
+
+// Verdicts for packet processors.
+const (
+	// VerdictContinue lets the packet proceed through the pipeline.
+	VerdictContinue Verdict = iota
+	// VerdictDrop discards the packet.
+	VerdictDrop
+	// VerdictHandled means the processor consumed (e.g. rewrote and
+	// re-sent) the packet; forwarding stops without counting a drop.
+	VerdictHandled
+)
+
+// Processor is a match-action hook invoked on every packet entering a
+// router, before forwarding — the "lightweight packet processing API"
+// of §3 (Deploying real services). Processors may mutate the packet.
+type Processor func(pkt *Packet, ingress *Iface) Verdict
+
+// RouterStats counts router activity.
+type RouterStats struct {
+	Forwarded      uint64
+	DeliveredLocal uint64
+	TTLExpired     uint64
+	NoRoute        uint64
+	URPFDropped    uint64
+	ProcDropped    uint64
+}
+
+// Router is an IP forwarding node: FIB longest-prefix matching, TTL and
+// ICMP handling, optional strict uRPF per interface, and a processor
+// pipeline.
+type Router struct {
+	name string
+
+	mu         sync.RWMutex
+	fib        *trie.Trie[*FIBEntry]
+	ifaces     []*Iface
+	local      map[netip.Addr]bool
+	urpf       map[*Iface]bool
+	processors []Processor
+	localSink  func(*Packet, *Iface)
+	stats      RouterStats
+}
+
+// NewRouter returns an empty router named name.
+func NewRouter(name string) *Router {
+	return &Router{
+		name:  name,
+		fib:   trie.New[*FIBEntry](),
+		local: make(map[netip.Addr]bool),
+		urpf:  make(map[*Iface]bool),
+	}
+}
+
+// Name implements Node.
+func (r *Router) Name() string { return r.name }
+
+// AddIface registers an interface created by Connect as belonging to
+// this router, making its address local.
+func (r *Router) AddIface(i *Iface) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ifaces = append(r.ifaces, i)
+	if i.Addr.IsValid() {
+		r.local[i.Addr] = true
+	}
+}
+
+// Ifaces returns the registered interfaces.
+func (r *Router) Ifaces() []*Iface {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Iface, len(r.ifaces))
+	copy(out, r.ifaces)
+	return out
+}
+
+// AddLocal marks addr as locally delivered (loopbacks, service VIPs).
+func (r *Router) AddLocal(addr netip.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.local[addr] = true
+}
+
+// SetURPF enables strict unicast reverse-path filtering on iface:
+// packets whose source would not be routed back out the same interface
+// are dropped. This is how PEERING servers stop clients from spoofing.
+func (r *Router) SetURPF(iface *Iface, on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.urpf[iface] = on
+}
+
+// AddProcessor appends p to the packet pipeline.
+func (r *Router) AddProcessor(p Processor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.processors = append(r.processors, p)
+}
+
+// SetLocalSink registers the handler for packets addressed to this
+// router (beyond the automatic ICMP echo handling).
+func (r *Router) SetLocalSink(fn func(*Packet, *Iface)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.localSink = fn
+}
+
+// SetRoute installs (or replaces) a FIB entry.
+func (r *Router) SetRoute(p netip.Prefix, nh netip.Addr, out *Iface) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fib.Insert(p, &FIBEntry{Prefix: p, NextHop: nh, Out: out})
+}
+
+// DelRoute removes the FIB entry for p.
+func (r *Router) DelRoute(p netip.Prefix) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fib.Delete(p)
+}
+
+// LookupRoute returns the FIB entry that would forward traffic to addr.
+func (r *Router) LookupRoute(addr netip.Addr) *FIBEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, e, ok := r.fib.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	return e
+}
+
+// FIBLen reports the number of FIB entries.
+func (r *Router) FIBLen() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fib.Len()
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stats
+}
+
+// Receive implements Node.
+func (r *Router) Receive(pkt *Packet, ingress *Iface) {
+	r.mu.RLock()
+	procs := r.processors
+	urpf := ingress != nil && r.urpf[ingress]
+	r.mu.RUnlock()
+
+	for _, p := range procs {
+		switch p(pkt, ingress) {
+		case VerdictDrop:
+			r.bump(func(s *RouterStats) { s.ProcDropped++ })
+			return
+		case VerdictHandled:
+			return
+		}
+	}
+
+	if urpf && !r.urpfPass(pkt.Src, ingress) {
+		r.bump(func(s *RouterStats) { s.URPFDropped++ })
+		return
+	}
+
+	r.mu.RLock()
+	isLocal := r.local[pkt.Dst]
+	r.mu.RUnlock()
+	if isLocal {
+		r.deliverLocal(pkt, ingress)
+		return
+	}
+
+	r.Forward(pkt, ingress)
+}
+
+// urpfPass applies strict uRPF: the route back to src must leave via
+// ingress.
+func (r *Router) urpfPass(src netip.Addr, ingress *Iface) bool {
+	e := r.LookupRoute(src)
+	return e != nil && e.Out == ingress
+}
+
+// Forward routes pkt out of the router, handling TTL and ICMP errors.
+// ingress may be nil for locally originated packets.
+func (r *Router) Forward(pkt *Packet, ingress *Iface) {
+	if pkt.TTL <= 1 {
+		r.bump(func(s *RouterStats) { s.TTLExpired++ })
+		r.sendICMP(pkt, ingress, ICMPTimeExceeded)
+		return
+	}
+	pkt.TTL--
+	e := r.LookupRoute(pkt.Dst)
+	if e == nil {
+		r.bump(func(s *RouterStats) { s.NoRoute++ })
+		r.sendICMP(pkt, ingress, ICMPUnreachable)
+		return
+	}
+	r.bump(func(s *RouterStats) { s.Forwarded++ })
+	e.Out.Send(pkt)
+}
+
+// Originate sends a locally generated packet through the FIB.
+func (r *Router) Originate(pkt *Packet) {
+	e := r.LookupRoute(pkt.Dst)
+	if e == nil {
+		r.bump(func(s *RouterStats) { s.NoRoute++ })
+		return
+	}
+	r.bump(func(s *RouterStats) { s.Forwarded++ })
+	e.Out.Send(pkt)
+}
+
+// deliverLocal handles packets addressed to the router itself.
+func (r *Router) deliverLocal(pkt *Packet, ingress *Iface) {
+	r.bump(func(s *RouterStats) { s.DeliveredLocal++ })
+	if pkt.Proto == ProtoICMP && pkt.ICMP == ICMPEchoRequest {
+		reply := &Packet{
+			ID:    packetSeq.Add(1),
+			Src:   pkt.Dst,
+			Dst:   pkt.Src,
+			TTL:   DefaultTTL,
+			Proto: ProtoICMP,
+			ICMP:  ICMPEchoReply,
+			Seq:   pkt.Seq,
+			Orig:  pkt.ID,
+		}
+		r.Originate(reply)
+		return
+	}
+	r.mu.RLock()
+	sink := r.localSink
+	r.mu.RUnlock()
+	if sink != nil {
+		sink(pkt, ingress)
+	}
+}
+
+// sendICMP emits an ICMP error back toward pkt.Src, sourced from the
+// ingress interface address (traceroute reads this as the hop address).
+func (r *Router) sendICMP(pkt *Packet, ingress *Iface, typ ICMPType) {
+	if pkt.Proto == ProtoICMP && pkt.ICMP != ICMPEchoRequest && pkt.ICMP != ICMPNone {
+		return // never ICMP about ICMP errors
+	}
+	src := netip.Addr{}
+	if ingress != nil && ingress.Addr.IsValid() {
+		src = ingress.Addr
+	} else {
+		r.mu.RLock()
+		for _, i := range r.ifaces {
+			if i.Addr.IsValid() {
+				src = i.Addr
+				break
+			}
+		}
+		r.mu.RUnlock()
+	}
+	if !src.IsValid() {
+		return
+	}
+	icmp := &Packet{
+		ID:    packetSeq.Add(1),
+		Src:   src,
+		Dst:   pkt.Src,
+		TTL:   DefaultTTL,
+		Proto: ProtoICMP,
+		ICMP:  typ,
+		Seq:   pkt.Seq,
+		Orig:  pkt.ID,
+	}
+	r.Originate(icmp)
+}
+
+func (r *Router) bump(f func(*RouterStats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}

@@ -1,0 +1,261 @@
+package internet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// ContentSpec parameterizes the popular-content model (the Alexa
+// Top-500 analog of §4.1). Default counts are the paper's exact
+// workload: 500 sites whose pages referenced 49,776 resources from
+// 4,182 distinct FQDNs resolving to 2,757 distinct IP addresses.
+type ContentSpec struct {
+	Seed      int64
+	Sites     int
+	Resources int
+	FQDNs     int
+	IPs       int
+}
+
+// DefaultContentSpec mirrors the paper's measured workload.
+func DefaultContentSpec() ContentSpec {
+	return ContentSpec{Seed: 500, Sites: 500, Resources: 49776, FQDNs: 4182, IPs: 2757}
+}
+
+// Site is one popular website.
+type Site struct {
+	Rank   int
+	Domain string
+	// Resources are the FQDNs referenced by the site's page.
+	Resources []string
+}
+
+// Content is the generated web: sites, the FQDN→IP resolution map, and
+// the IP→origin-AS assignment.
+type Content struct {
+	Sites []Site
+	// DNS maps every FQDN to its resolved addresses.
+	DNS map[string][]netip.Addr
+	// OriginAS maps every content IP to the ASN originating its
+	// covering prefix.
+	OriginAS map[netip.Addr]uint32
+}
+
+// AllFQDNs returns the distinct FQDNs across all sites and resources.
+func (c *Content) AllFQDNs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(f string) {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, s := range c.Sites {
+		add(s.Domain)
+		for _, r := range s.Resources {
+			add(r)
+		}
+	}
+	return out
+}
+
+// AllIPs returns the distinct resolved addresses.
+func (c *Content) AllIPs() []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	var out []netip.Addr
+	for _, addrs := range c.DNS {
+		for _, a := range addrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// TotalResourceRefs counts resource references across all sites
+// (with multiplicity) — the paper's 49,776.
+func (c *Content) TotalResourceRefs() int {
+	n := 0
+	for _, s := range c.Sites {
+		n += len(s.Resources)
+	}
+	return n
+}
+
+// GenerateContent builds the content model over graph g. Hosting skews
+// heavily toward CDN and content ASes — the flattening trend the paper
+// leans on ("YouTube and Netflix alone account for 47% of North
+// American traffic").
+func GenerateContent(g *Graph, spec ContentSpec) *Content {
+	if spec.Sites == 0 {
+		spec = DefaultContentSpec()
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Two hosting pools: page *resources* (trackers, CDN assets) skew
+	// heavily toward CDNs; the sites' own apex domains are hosted all
+	// over the world (a popular site in a non-peered region resolves
+	// to its home AS) — which is why the paper finds peer routes to
+	// only 157/500 sites but 38% of resource IPs.
+	type hostAS struct {
+		as *AS
+		w  int
+	}
+	buildPool := func(weight func(Kind) int) (pool []hostAS, total int) {
+		for _, asn := range g.ASNs() {
+			a := g.AS(asn)
+			if len(a.Prefixes) == 0 {
+				continue
+			}
+			w := weight(a.Kind)
+			pool = append(pool, hostAS{a, w})
+			total += w
+		}
+		return pool, total
+	}
+	resourcePool, resourceW := buildPool(func(k Kind) int {
+		switch k {
+		case KindCDN:
+			return 150
+		case KindContent:
+			return 40
+		case KindTransit:
+			return 4
+		case KindEyeball:
+			return 2
+		default:
+			return 3
+		}
+	})
+	apexPool, apexW := buildPool(func(k Kind) int {
+		switch k {
+		case KindCDN:
+			return 15
+		case KindContent:
+			return 25
+		case KindTransit:
+			return 4
+		case KindEyeball:
+			return 6
+		default:
+			return 8
+		}
+	})
+	pick := func(pool []hostAS, total int) *AS {
+		r := rng.Intn(total)
+		for _, h := range pool {
+			if r < h.w {
+				return h.as
+			}
+			r -= h.w
+		}
+		return pool[len(pool)-1].as
+	}
+
+	// IP pools: ~one quarter for site apexes, the rest for resources.
+	origin := make(map[netip.Addr]uint32, spec.IPs)
+	draw := func(pool []hostAS, total, n int) []netip.Addr {
+		out := make([]netip.Addr, 0, n)
+		for len(out) < n {
+			h := pick(pool, total)
+			p := h.Prefixes[rng.Intn(len(h.Prefixes))]
+			addr := randomAddrIn(p, rng)
+			if _, dup := origin[addr]; dup {
+				continue
+			}
+			origin[addr] = h.ASN
+			out = append(out, addr)
+		}
+		return out
+	}
+	nApex := spec.IPs / 4
+	apexIPs := draw(apexPool, apexW, nApex)
+	resourceIPs := draw(resourcePool, resourceW, spec.IPs-nApex)
+	ips := append(append([]netip.Addr{}, apexIPs...), resourceIPs...)
+
+	// FQDN pool: spec.FQDNs names, each resolving to 1–3 pooled IPs
+	// (shared IPs model CDN front ends serving many names). Site apex
+	// domains resolve within the apex pool; resource FQDNs within the
+	// resource pool.
+	fqdns := make([]string, spec.FQDNs)
+	dns := make(map[string][]netip.Addr, spec.FQDNs)
+	for i := range fqdns {
+		if i < spec.Sites {
+			// A site's apex resolves to addresses of ONE origin AS
+			// (its home network): start from a random apex IP and add
+			// same-origin neighbors.
+			name := fmt.Sprintf("www.site-%03d.com", i)
+			fqdns[i] = name
+			first := apexIPs[rng.Intn(len(apexIPs))]
+			addrs := []netip.Addr{first}
+			for j := 0; j < rng.Intn(2); j++ {
+				cand := apexIPs[rng.Intn(len(apexIPs))]
+				if origin[cand] == origin[first] {
+					addrs = append(addrs, cand)
+				}
+			}
+			dns[name] = addrs
+			continue
+		}
+		name := fmt.Sprintf("cdn%d.example-%d.net", i%97, i)
+		fqdns[i] = name
+		n := 1 + rng.Intn(3)
+		addrs := make([]netip.Addr, 0, n)
+		for j := 0; j < n; j++ {
+			addrs = append(addrs, resourceIPs[rng.Intn(len(resourceIPs))])
+		}
+		dns[name] = addrs
+	}
+	// Guarantee every pooled IP is referenced by some FQDN so the
+	// distinct-IP count matches spec exactly (the paper reports 2,757
+	// resolved addresses).
+	used := make(map[netip.Addr]bool, len(ips))
+	for _, addrs := range dns {
+		for _, a := range addrs {
+			used[a] = true
+		}
+	}
+	for _, ip := range ips {
+		if !used[ip] {
+			name := fqdns[rng.Intn(len(fqdns))]
+			dns[name] = append(dns[name], ip)
+		}
+	}
+
+	// Sites: site i's domain is fqdns[i]; its page references
+	// ~Resources/Sites resource FQDNs drawn Zipf-ishly from the pool
+	// (popular resources recur across sites, like real trackers/CDNs).
+	perSite := spec.Resources / spec.Sites
+	sites := make([]Site, spec.Sites)
+	for i := range sites {
+		nRes := perSite + rng.Intn(perSite/2+1) - perSite/4
+		res := make([]string, 0, nRes)
+		for j := 0; j < nRes; j++ {
+			// Zipf-like: favor low indexes.
+			idx := int(float64(spec.FQDNs) * rng.Float64() * rng.Float64())
+			if idx >= spec.FQDNs {
+				idx = spec.FQDNs - 1
+			}
+			res = append(res, fqdns[idx])
+		}
+		sites[i] = Site{Rank: i + 1, Domain: fqdns[i], Resources: res}
+	}
+
+	return &Content{Sites: sites, DNS: dns, OriginAS: origin}
+}
+
+// randomAddrIn returns a uniformly random address inside p.
+func randomAddrIn(p netip.Prefix, rng *rand.Rand) netip.Addr {
+	base := p.Masked().Addr().As4()
+	host := uint32(0)
+	if bits := 32 - p.Bits(); bits > 0 {
+		host = uint32(rng.Int63()) & ((1 << uint(bits)) - 1)
+	}
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	v |= host
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

@@ -1,0 +1,286 @@
+package internet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"peering/internal/policy"
+)
+
+// Spec parameterizes the synthetic Internet generator. The zero value
+// is upgraded to DefaultSpec.
+type Spec struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// ASes is the total number of autonomous systems.
+	ASes int
+	// Tier1s is the number of transit-free backbone networks (full
+	// mesh peering among themselves).
+	Tier1s int
+	// Transits is the number of mid-tier transit providers.
+	Transits int
+	// CDNs and Contents are large content-serving networks with open
+	// peering (the ASes the paper highlights: Akamai, Google, Netflix,
+	// Microsoft, …).
+	CDNs     int
+	Contents int
+	// Prefixes is the total number of originated prefixes across the
+	// Internet (the paper's full table is ~525K; scale down for fast
+	// tests).
+	Prefixes int
+}
+
+// DefaultSpec mirrors a small-but-structured Internet: enough ASes for
+// the AMS-IX membership experiment at full scale.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:     2014,
+		ASes:     3000,
+		Tier1s:   12,
+		Transits: 220,
+		CDNs:     16,
+		Contents: 40,
+		Prefixes: 525000,
+	}
+}
+
+// Countries is the country pool: the Netherlands and its neighbors
+// first (AMS-IX members cluster there, §4.1), then the rest of a
+// 70-country list so that the peer set spans ≥59 countries.
+var Countries = []string{
+	"NL", "DE", "BE", "GB", "FR", "LU", "DK", "SE", "NO", "FI",
+	"PL", "CZ", "AT", "CH", "IT", "ES", "PT", "IE", "IS", "EE",
+	"LV", "LT", "UA", "RO", "BG", "GR", "HU", "SK", "SI", "HR",
+	"RS", "TR", "RU", "US", "CA", "MX", "BR", "AR", "CL", "CO",
+	"ZA", "EG", "NG", "KE", "MA", "IL", "SA", "AE", "IN", "PK",
+	"BD", "LK", "SG", "MY", "TH", "VN", "ID", "PH", "HK", "TW",
+	"JP", "KR", "CN", "AU", "NZ", "FJ", "QA", "KW", "JO", "GE",
+}
+
+// cdnNames are the content networks the paper names as PEERING peers.
+var cdnNames = []string{
+	"Akamai", "Google", "Netflix", "Microsoft", "Hurricane Electric",
+	"GoDaddy", "Airtel", "Pacnet", "RETN", "Terremark", "TransTeleCom",
+	"CloudCo", "StreamCo", "EdgeCo", "CacheCo", "VideoCo",
+}
+
+// prefixAllocator hands out non-overlapping IPv4 blocks.
+type prefixAllocator struct{ next uint32 }
+
+// alloc returns the next /bits block.
+func (p *prefixAllocator) alloc(bits int) netip.Prefix {
+	base := p.next
+	size := uint32(1) << (32 - bits)
+	p.next += size
+	b := [4]byte{byte(base >> 24), byte(base >> 16), byte(base >> 8), byte(base)}
+	return netip.PrefixFrom(netip.AddrFrom4(b), bits)
+}
+
+// Generate builds a synthetic Internet from spec.
+func Generate(spec Spec) *Graph {
+	if spec.ASes == 0 {
+		spec = DefaultSpec()
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := NewGraph()
+	alloc := &prefixAllocator{next: 0x0B000000} // start at 11.0.0.0
+
+	nextASN := uint32(1)
+	newAS := func(kind Kind, name string) *AS {
+		a := &AS{
+			ASN:     nextASN,
+			Name:    name,
+			Kind:    kind,
+			Country: Countries[rng.Intn(len(Countries))],
+		}
+		nextASN++
+		g.AddAS(a)
+		return a
+	}
+
+	// Tier-1 backbone: full mesh peering, US/EU heavy.
+	tier1s := make([]*AS, spec.Tier1s)
+	for i := range tier1s {
+		tier1s[i] = newAS(KindTier1, fmt.Sprintf("Tier1-%d", i+1))
+		tier1s[i].PeeringPolicy = policy.PeeringSelective
+	}
+	for i := range tier1s {
+		for j := i + 1; j < len(tier1s); j++ {
+			g.AddPeering(tier1s[i].ASN, tier1s[j].ASN)
+		}
+	}
+
+	// Transit providers: customers of 1–3 tier-1s (or of earlier,
+	// larger transits), peering with a few same-tier transits.
+	transits := make([]*AS, spec.Transits)
+	for i := range transits {
+		t := newAS(KindTransit, fmt.Sprintf("Transit-%d", i+1))
+		// Open policies dominate among mid-size networks at IXPs.
+		t.PeeringPolicy = pickPolicy(rng)
+		transits[i] = t
+		nProv := 1 + rng.Intn(3)
+		for k := 0; k < nProv; k++ {
+			var prov *AS
+			if i > 10 && rng.Intn(3) == 0 {
+				prov = transits[rng.Intn(i)]
+			} else {
+				prov = tier1s[rng.Intn(len(tier1s))]
+			}
+			if prov.ASN != t.ASN && g.RelationshipBetween(t.ASN, prov.ASN) == policy.RelNone {
+				g.AddProviderCustomer(prov.ASN, t.ASN)
+			}
+		}
+		for k := 0; k < rng.Intn(4) && i > 0; k++ {
+			other := transits[rng.Intn(i)]
+			if g.RelationshipBetween(t.ASN, other.ASN) == policy.RelNone {
+				g.AddPeering(t.ASN, other.ASN)
+			}
+		}
+	}
+
+	// CDNs: multihomed to several transits/tier-1s, open peering, and
+	// peer directly with many transits (flattened Internet).
+	cdns := make([]*AS, spec.CDNs)
+	for i := range cdns {
+		name := fmt.Sprintf("CDN-%d", i+1)
+		if i < len(cdnNames) {
+			name = cdnNames[i]
+		}
+		c := newAS(KindCDN, name)
+		c.PeeringPolicy = policy.PeeringOpen
+		cdns[i] = c
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			prov := tier1s[rng.Intn(len(tier1s))]
+			if g.RelationshipBetween(c.ASN, prov.ASN) == policy.RelNone {
+				g.AddProviderCustomer(prov.ASN, c.ASN)
+			}
+		}
+		for k := 0; k < 8+rng.Intn(12); k++ {
+			other := transits[rng.Intn(len(transits))]
+			if g.RelationshipBetween(c.ASN, other.ASN) == policy.RelNone {
+				g.AddPeering(c.ASN, other.ASN)
+			}
+		}
+	}
+
+	// Content providers: like CDNs but smaller.
+	contents := make([]*AS, spec.Contents)
+	for i := range contents {
+		c := newAS(KindContent, fmt.Sprintf("Content-%d", i+1))
+		c.PeeringPolicy = policy.PeeringOpen
+		contents[i] = c
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			prov := transits[rng.Intn(len(transits))]
+			if g.RelationshipBetween(c.ASN, prov.ASN) == policy.RelNone {
+				g.AddProviderCustomer(prov.ASN, c.ASN)
+			}
+		}
+	}
+
+	// Stubs and eyeballs fill out the population: customers of 1–3
+	// transit providers, preferring providers in their own country —
+	// the geographic locality that keeps most of the world's edge
+	// networks out of any single IXP's reach.
+	byCountry := map[string][]*AS{}
+	for _, t := range transits {
+		byCountry[t.Country] = append(byCountry[t.Country], t)
+	}
+	nStubs := spec.ASes - spec.Tier1s - spec.Transits - spec.CDNs - spec.Contents
+	for i := 0; i < nStubs; i++ {
+		kind := KindStub
+		if rng.Intn(4) == 0 {
+			kind = KindEyeball
+		}
+		s := newAS(kind, fmt.Sprintf("Stub-%d", i+1))
+		// Edge-network population skews away from Europe (most of the
+		// world's ASes are in the Americas and Asia), matching why a
+		// single European IXP reaches only a quarter of the Internet.
+		if rng.Intn(2) == 0 {
+			s.Country = Countries[30+rng.Intn(len(Countries)-30)]
+		}
+		s.PeeringPolicy = pickPolicy(rng)
+		local := byCountry[s.Country]
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			var prov *AS
+			if len(local) > 0 && rng.Intn(5) != 0 {
+				prov = local[rng.Intn(len(local))]
+			} else {
+				prov = transits[rng.Intn(len(transits))]
+			}
+			if prov.ASN != s.ASN && g.RelationshipBetween(s.ASN, prov.ASN) == policy.RelNone {
+				g.AddProviderCustomer(prov.ASN, s.ASN)
+			}
+		}
+	}
+
+	distributePrefixes(g, spec, rng, alloc)
+	return g
+}
+
+// pickPolicy draws a bilateral peering policy with the §4.1 AMS-IX
+// shares: of the 115 non-route-server members, 48 open / 12 closed /
+// 40 case-by-case / 15 unlisted.
+func pickPolicy(rng *rand.Rand) policy.PeeringKind {
+	r := rng.Intn(115)
+	switch {
+	case r < 48:
+		return policy.PeeringOpen
+	case r < 60:
+		return policy.PeeringClosed
+	case r < 100:
+		return policy.PeeringCaseByCase
+	default:
+		return policy.PeeringUnlisted
+	}
+}
+
+// distributePrefixes assigns originated prefixes so that the table
+// shape matches the Internet's: a heavy tail of small originators and a
+// few very large ones.
+func distributePrefixes(g *Graph, spec Spec, rng *rand.Rand, alloc *prefixAllocator) {
+	weights := make([]int, 0, g.Len())
+	asns := g.ASNs()
+	total := 0
+	for _, asn := range asns {
+		a := g.AS(asn)
+		// Origination mass sits at the edge: most prefixes are
+		// originated by stub/eyeball/content networks, not by the
+		// transit core (which mostly carries other ASes' prefixes).
+		var w int
+		switch a.Kind {
+		case KindTier1:
+			w = 30 + rng.Intn(40)
+		case KindTransit:
+			w = 10 + rng.Intn(30)
+		case KindCDN:
+			w = 60 + rng.Intn(120)
+		case KindContent:
+			w = 20 + rng.Intn(40)
+		case KindEyeball:
+			w = 10 + rng.Intn(50)
+		default:
+			w = 2 + rng.Intn(10)
+		}
+		weights = append(weights, w)
+		total += w
+	}
+	if spec.Prefixes == 0 || total == 0 {
+		return
+	}
+	for i, asn := range asns {
+		a := g.AS(asn)
+		n := spec.Prefixes * weights[i] / total
+		if n == 0 {
+			n = 1
+		}
+		a.Prefixes = make([]netip.Prefix, 0, n)
+		for j := 0; j < n; j++ {
+			bits := 24
+			if rng.Intn(8) == 0 {
+				bits = 20 + rng.Intn(4)
+			}
+			a.Prefixes = append(a.Prefixes, alloc.alloc(bits))
+		}
+	}
+}

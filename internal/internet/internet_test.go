@@ -1,0 +1,401 @@
+package internet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"peering/internal/policy"
+)
+
+// smallSpec keeps unit tests fast.
+func smallSpec() Spec {
+	return Spec{Seed: 7, ASes: 400, Tier1s: 8, Transits: 60, CDNs: 6, Contents: 10, Prefixes: 5000}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	g := Generate(smallSpec())
+	if g.Len() != 400 {
+		t.Fatalf("ASes = %d", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+	kinds := map[Kind]int{}
+	for _, asn := range g.ASNs() {
+		kinds[g.AS(asn).Kind]++
+	}
+	if kinds[KindTier1] != 8 || kinds[KindTransit] != 60 || kinds[KindCDN] != 6 || kinds[KindContent] != 10 {
+		t.Fatalf("kind distribution = %v", kinds)
+	}
+	// Tier-1s are transit-free (no providers) and fully meshed.
+	for _, asn := range g.ASNs() {
+		a := g.AS(asn)
+		if a.Kind == KindTier1 {
+			if len(a.Providers) != 0 {
+				t.Fatalf("tier1 AS%d has providers", asn)
+			}
+			if len(a.Peers) < 7 {
+				t.Fatalf("tier1 AS%d peers = %d, want full mesh", asn, len(a.Peers))
+			}
+		} else if len(a.Providers) == 0 {
+			t.Fatalf("non-tier1 AS%d (%v) has no providers — disconnected", asn, a.Kind)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, g2 := Generate(smallSpec()), Generate(smallSpec())
+	if g1.Len() != g2.Len() || g1.TotalPrefixes() != g2.TotalPrefixes() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for _, asn := range g1.ASNs() {
+		a, b := g1.AS(asn), g2.AS(asn)
+		if a.Name != b.Name || a.Country != b.Country || len(a.Peers) != len(b.Peers) {
+			t.Fatalf("AS%d differs between runs", asn)
+		}
+	}
+}
+
+func TestPrefixTotalsAndDisjoint(t *testing.T) {
+	g := Generate(smallSpec())
+	total := g.TotalPrefixes()
+	if total < 4500 || total > 6000 {
+		t.Fatalf("total prefixes = %d, want ≈5000", total)
+	}
+	seen := map[string]bool{}
+	for _, asn := range g.ASNs() {
+		for _, p := range g.AS(asn).Prefixes {
+			if seen[p.String()] {
+				t.Fatalf("prefix %s originated twice", p)
+			}
+			seen[p.String()] = true
+		}
+	}
+}
+
+func TestCustomerCone(t *testing.T) {
+	g := NewGraph()
+	for asn := uint32(1); asn <= 5; asn++ {
+		g.AddAS(&AS{ASN: asn})
+	}
+	// 1 ← 2 ← 3 (provider chain), 2 ← 4, 5 isolated-ish.
+	g.AddProviderCustomer(1, 2)
+	g.AddProviderCustomer(2, 3)
+	g.AddProviderCustomer(2, 4)
+	cone := g.CustomerCone(1)
+	if len(cone) != 4 || !cone[1] || !cone[2] || !cone[3] || !cone[4] {
+		t.Fatalf("cone(1) = %v", cone)
+	}
+	if g.ConeSize(5) != 1 {
+		t.Fatalf("cone(5) = %d", g.ConeSize(5))
+	}
+	if g.ConeSize(3) != 1 {
+		t.Fatalf("cone(3) = %d, leaf must be self-only", g.ConeSize(3))
+	}
+}
+
+func TestRankByConeOrdersTier1sFirst(t *testing.T) {
+	g := Generate(smallSpec())
+	ranked := g.RankByCone()
+	// Every tier-1 should rank above every stub.
+	lastTier1, firstStub := -1, -1
+	for i, a := range ranked {
+		if a.Kind == KindTier1 && i > lastTier1 {
+			lastTier1 = i
+		}
+		if a.Kind == KindStub && firstStub == -1 {
+			firstStub = i
+		}
+	}
+	if firstStub != -1 && lastTier1 > 0 && firstStub < 8-1 {
+		t.Fatalf("a stub ranked %d, above some tier1 (last at %d)", firstStub, lastTier1)
+	}
+	// Rank order is by non-increasing cone size.
+	for i := 1; i < len(ranked); i++ {
+		if g.ConeSize(ranked[i].ASN) > g.ConeSize(ranked[i-1].ASN) {
+			t.Fatal("rank not sorted by cone size")
+		}
+	}
+}
+
+func TestPropagateReachesEveryoneFromStub(t *testing.T) {
+	g := Generate(smallSpec())
+	// Pick a stub.
+	var stub uint32
+	for _, asn := range g.ASNs() {
+		if g.AS(asn).Kind == KindStub {
+			stub = asn
+			break
+		}
+	}
+	prop := g.Propagate(stub)
+	// Everyone should learn the route (providers give transit).
+	if len(prop.Info) != g.Len() {
+		t.Fatalf("route reached %d of %d ASes", len(prop.Info), g.Len())
+	}
+	if prop.Info[stub].Class != ClassOwn || prop.Info[stub].Len != 0 {
+		t.Fatalf("origin info = %+v", prop.Info[stub])
+	}
+}
+
+func TestPropagatePathsAreValleyFree(t *testing.T) {
+	g := Generate(smallSpec())
+	origin := g.ASNs()[g.Len()-1] // a stub
+	prop := g.Propagate(origin)
+	for _, asn := range g.ASNs() {
+		path := prop.Path(asn)
+		if path == nil {
+			continue
+		}
+		if path[len(path)-1] != origin {
+			t.Fatalf("path for %d does not end at origin: %v", asn, path)
+		}
+		// Classify each hop walking from origin outward: once the route
+		// crosses a peer or provider→customer edge, it may only
+		// continue toward customers (downhill).
+		descending := false
+		for i := len(path) - 1; i > 0; i-- {
+			from, to := path[i], path[i-1]         // route flows from→to
+			rel := g.RelationshipBetween(to, from) // how receiver sees sender
+			switch rel {
+			case policy.RelCustomer:
+				// receiver is provider of sender: uphill
+				if descending {
+					t.Fatalf("valley in path %v at %d→%d", path, from, to)
+				}
+			case policy.RelPeer, policy.RelProvider:
+				descending = true
+			default:
+				t.Fatalf("path %v uses nonexistent edge %d→%d", path, from, to)
+			}
+		}
+	}
+}
+
+func TestPropagateClassPreference(t *testing.T) {
+	// Diamond: 1 is customer of both 2 and 3; 4 is provider of 3 and
+	// peer of 2. AS4 hears 1's route via 2 (peer route, len 2) and via
+	// 3 (customer route, len 2). The customer route must win even at
+	// equal length.
+	g := NewGraph()
+	for asn := uint32(1); asn <= 4; asn++ {
+		g.AddAS(&AS{ASN: asn})
+	}
+	g.AddProviderCustomer(2, 1)
+	g.AddProviderCustomer(3, 1)
+	g.AddProviderCustomer(4, 3)
+	g.AddPeering(2, 4)
+	prop := g.Propagate(1)
+	info, ok := prop.Info[4]
+	if !ok {
+		t.Fatal("AS4 did not learn the route")
+	}
+	if info.Class != ClassCustomer || info.Via != 3 {
+		t.Fatalf("AS4 info = %+v, want customer route via 3", info)
+	}
+}
+
+func TestPropagatePeerRouteNotExportedToProvider(t *testing.T) {
+	// 1 peers 3; 3 is customer of 4. 3's peer route must not reach its
+	// provider 4 (that would be free transit).
+	g := NewGraph()
+	for asn := uint32(1); asn <= 4; asn++ {
+		g.AddAS(&AS{ASN: asn})
+	}
+	g.AddPeering(1, 3)
+	g.AddProviderCustomer(4, 3)
+	prop := g.Propagate(1)
+	if prop.Reached(4) {
+		t.Fatal("peer route exported to provider")
+	}
+}
+
+func TestPropagatePeerRouteStopsAtPeer(t *testing.T) {
+	// 1 peers 2; 2 peers 3. Peer routes do not transit: 3 must NOT
+	// learn 1's route.
+	g := NewGraph()
+	for asn := uint32(1); asn <= 3; asn++ {
+		g.AddAS(&AS{ASN: asn})
+	}
+	g.AddPeering(1, 2)
+	g.AddPeering(2, 3)
+	prop := g.Propagate(1)
+	if prop.Reached(3) {
+		t.Fatal("peer route leaked across second peering — not valley-free")
+	}
+	if !prop.Reached(2) || prop.Info[2].Class != ClassPeer {
+		t.Fatalf("AS2 info = %+v", prop.Info[2])
+	}
+}
+
+func TestPropagatePeerRouteExportsToCustomers(t *testing.T) {
+	// 1 peers 2; 3 is customer of 2. 3 must learn the route (provider
+	// route via 2).
+	g := NewGraph()
+	for asn := uint32(1); asn <= 3; asn++ {
+		g.AddAS(&AS{ASN: asn})
+	}
+	g.AddPeering(1, 2)
+	g.AddProviderCustomer(2, 3)
+	prop := g.Propagate(1)
+	if !prop.Reached(3) || prop.Info[3].Class != ClassProvider {
+		t.Fatalf("AS3 info = %+v", prop.Info[3])
+	}
+	if got := prop.Path(3); len(got) != 3 || got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("path = %v", got)
+	}
+}
+
+// Property: propagation never produces a path longer than the AS count,
+// always reaches the origin's providers, and path reconstruction is
+// consistent with Info.Len.
+func TestQuickPropagationConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Generate(Spec{Seed: seed, ASes: 120, Tier1s: 4, Transits: 20, CDNs: 2, Contents: 4, Prefixes: 200})
+		origin := g.ASNs()[100]
+		prop := g.Propagate(origin)
+		for asn, info := range prop.Info {
+			path := prop.Path(asn)
+			if path == nil || len(path)-1 != info.Len {
+				return false
+			}
+			if len(path) > g.Len() {
+				return false
+			}
+		}
+		for _, prov := range g.AS(origin).Providers {
+			if !prop.Reached(prov) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConePrefixesMatchConeMembership(t *testing.T) {
+	g := Generate(smallSpec())
+	var tr uint32
+	for _, asn := range g.ASNs() {
+		if g.AS(asn).Kind == KindTransit {
+			tr = asn
+			break
+		}
+	}
+	cone := g.CustomerCone(tr)
+	want := 0
+	for m := range cone {
+		want += len(g.AS(m).Prefixes)
+	}
+	if got := len(g.ConePrefixes(tr)); got != want {
+		t.Fatalf("ConePrefixes = %d, want %d", got, want)
+	}
+}
+
+func TestGenerateContentCounts(t *testing.T) {
+	g := Generate(smallSpec())
+	spec := ContentSpec{Seed: 1, Sites: 100, Resources: 5000, FQDNs: 800, IPs: 500}
+	c := GenerateContent(g, spec)
+	if len(c.Sites) != 100 {
+		t.Fatalf("sites = %d", len(c.Sites))
+	}
+	if got := len(c.AllIPs()); got != 500 {
+		t.Fatalf("distinct IPs = %d, want 500", got)
+	}
+	refs := c.TotalResourceRefs()
+	if refs < 4000 || refs > 6500 {
+		t.Fatalf("resource refs = %d, want ≈5000", refs)
+	}
+	fq := len(c.AllFQDNs())
+	if fq > 800 || fq < 400 {
+		t.Fatalf("distinct FQDNs = %d, want ≤800 and substantial", fq)
+	}
+	// Every IP's origin AS exists and originates a covering prefix.
+	for ip, asn := range c.OriginAS {
+		a := g.AS(asn)
+		if a == nil {
+			t.Fatalf("IP %v mapped to unknown AS %d", ip, asn)
+		}
+		covered := false
+		for _, p := range a.Prefixes {
+			if p.Contains(ip) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("IP %v not covered by AS%d's prefixes", ip, asn)
+		}
+	}
+}
+
+func TestContentHostingSkewsToCDNs(t *testing.T) {
+	g := Generate(smallSpec())
+	c := GenerateContent(g, ContentSpec{Seed: 2, Sites: 100, Resources: 5000, FQDNs: 800, IPs: 600})
+	byKind := map[Kind]int{}
+	asesOfKind := map[Kind]int{}
+	for _, asn := range g.ASNs() {
+		asesOfKind[g.AS(asn).Kind]++
+	}
+	for _, asn := range c.OriginAS {
+		byKind[g.AS(asn).Kind]++
+	}
+	// Per-AS hosting density: each CDN hosts far more content than
+	// each stub (the flattened-Internet skew).
+	cdnPer := float64(byKind[KindCDN]) / float64(asesOfKind[KindCDN])
+	stubPer := float64(byKind[KindStub]) / float64(asesOfKind[KindStub])
+	if cdnPer < 10*stubPer {
+		t.Fatalf("hosting not CDN-skewed per AS: cdn=%.1f stub=%.2f (%v)", cdnPer, stubPer, byKind)
+	}
+}
+
+func TestRelationshipBetween(t *testing.T) {
+	g := NewGraph()
+	g.AddAS(&AS{ASN: 1})
+	g.AddAS(&AS{ASN: 2})
+	g.AddAS(&AS{ASN: 3})
+	g.AddProviderCustomer(1, 2)
+	g.AddPeering(1, 3)
+	if g.RelationshipBetween(1, 2) != policy.RelCustomer {
+		t.Fatal("1 should see 2 as customer")
+	}
+	if g.RelationshipBetween(2, 1) != policy.RelProvider {
+		t.Fatal("2 should see 1 as provider")
+	}
+	if g.RelationshipBetween(1, 3) != policy.RelPeer || g.RelationshipBetween(3, 1) != policy.RelPeer {
+		t.Fatal("peering not symmetric")
+	}
+	if g.RelationshipBetween(2, 3) != policy.RelNone {
+		t.Fatal("unrelated ASes should be RelNone")
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := NewGraph()
+	a := g.AddAS(&AS{ASN: 1})
+	g.AddAS(&AS{ASN: 2})
+	a.Peers = append(a.Peers, 2) // one-sided edge
+	if g.Validate() == nil {
+		t.Fatal("Validate missed asymmetric peering")
+	}
+}
+
+func BenchmarkPropagate(b *testing.B) {
+	g := Generate(Spec{Seed: 1, ASes: 3000, Tier1s: 12, Transits: 220, CDNs: 16, Contents: 40, Prefixes: 3000})
+	asns := g.ASNs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Propagate(asns[i%len(asns)])
+	}
+}
+
+func BenchmarkCustomerCone(b *testing.B) {
+	g := Generate(Spec{Seed: 1, ASes: 3000, Tier1s: 12, Transits: 220, CDNs: 16, Contents: 40, Prefixes: 3000})
+	tier1 := g.ASNs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CustomerCone(tier1)
+	}
+}

@@ -1,0 +1,187 @@
+package internet
+
+import (
+	"container/heap"
+
+	"peering/internal/policy"
+)
+
+// RouteClass orders routes by the economics of how they were learned:
+// own < customer < peer < provider (an AS always prefers routes it is
+// paid to carry).
+type RouteClass uint8
+
+// Route classes in preference order.
+const (
+	ClassOwn RouteClass = iota
+	ClassCustomer
+	ClassPeer
+	ClassProvider
+	ClassNone RouteClass = 255
+)
+
+func (c RouteClass) String() string {
+	switch c {
+	case ClassOwn:
+		return "own"
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// PathInfo describes the best route an AS holds toward the origin of a
+// propagation.
+type PathInfo struct {
+	Class RouteClass
+	// Len is the AS-path length (origin = 0).
+	Len int
+	// Via is the neighbor the route was learned from (0 at the origin).
+	Via uint32
+}
+
+// Propagation is the result of one Gao–Rexford computation: for every
+// AS that learned the route, its best path info.
+type Propagation struct {
+	Origin uint32
+	Info   map[uint32]PathInfo
+}
+
+// Reached reports whether asn learned the route.
+func (p *Propagation) Reached(asn uint32) bool {
+	_, ok := p.Info[asn]
+	return ok
+}
+
+// Path reconstructs the AS path from asn back to the origin
+// (inclusive), or nil if unreachable.
+func (p *Propagation) Path(asn uint32) []uint32 {
+	if !p.Reached(asn) {
+		return nil
+	}
+	var path []uint32
+	cur := asn
+	for {
+		path = append(path, cur)
+		if cur == p.Origin {
+			return path
+		}
+		info := p.Info[cur]
+		cur = info.Via
+		if len(path) > len(p.Info)+1 {
+			return nil // cycle guard; must not happen
+		}
+	}
+}
+
+// better reports whether (ca,la,va) beats (cb,lb,vb) under Gao–Rexford
+// preference: class, then length, then lowest via-ASN for determinism.
+func better(ca RouteClass, la int, va uint32, cb RouteClass, lb int, vb uint32) bool {
+	if ca != cb {
+		return ca < cb
+	}
+	if la != lb {
+		return la < lb
+	}
+	return va < vb
+}
+
+// pqItem is a priority-queue entry for the propagation.
+type pqItem struct {
+	asn   uint32
+	class RouteClass
+	len   int
+	via   uint32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	return better(q[i].class, q[i].len, q[i].via, q[j].class, q[j].len, q[j].via)
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Propagate computes how a route originated by origin spreads through
+// the Internet under Gao–Rexford export rules and
+// customer>peer>provider selection. It is a Dijkstra-like relaxation
+// over (class, length): an AS's best route determines what it exports —
+// customer routes go to everyone; peer/provider routes go only to
+// customers.
+func (g *Graph) Propagate(origin uint32) *Propagation {
+	res := &Propagation{Origin: origin, Info: make(map[uint32]PathInfo, len(g.byASN))}
+	if g.byASN[origin] == nil {
+		return res
+	}
+	q := &pq{{asn: origin, class: ClassOwn, len: 0, via: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if cur, ok := res.Info[it.asn]; ok {
+			// Already settled with a route at least as good.
+			_ = cur
+			continue
+		}
+		res.Info[it.asn] = PathInfo{Class: it.class, Len: it.len, Via: it.via}
+		a := g.byASN[it.asn]
+		// Export rules (receiver-side classes):
+		//  - to providers: only own/customer routes; provider sees a
+		//    customer route.
+		//  - to peers: only own/customer routes; peer sees a peer route.
+		//  - to customers: any route; customer sees a provider route.
+		if it.class <= ClassCustomer {
+			for _, prov := range a.Providers {
+				if _, ok := res.Info[prov]; !ok {
+					heap.Push(q, pqItem{asn: prov, class: ClassCustomer, len: it.len + 1, via: it.asn})
+				}
+			}
+			for _, peer := range a.Peers {
+				if _, ok := res.Info[peer]; !ok {
+					heap.Push(q, pqItem{asn: peer, class: ClassPeer, len: it.len + 1, via: it.asn})
+				}
+			}
+		}
+		for _, cust := range a.Customers {
+			if _, ok := res.Info[cust]; !ok {
+				heap.Push(q, pqItem{asn: cust, class: ClassProvider, len: it.len + 1, via: it.asn})
+			}
+		}
+	}
+	return res
+}
+
+// RelationshipBetween returns how a sees b.
+func (g *Graph) RelationshipBetween(a, b uint32) policy.Relationship {
+	as := g.byASN[a]
+	if as == nil {
+		return policy.RelNone
+	}
+	for _, x := range as.Customers {
+		if x == b {
+			return policy.RelCustomer
+		}
+	}
+	for _, x := range as.Peers {
+		if x == b {
+			return policy.RelPeer
+		}
+	}
+	for _, x := range as.Providers {
+		if x == b {
+			return policy.RelProvider
+		}
+	}
+	return policy.RelNone
+}

@@ -1,0 +1,270 @@
+package ixp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"peering/internal/dataplane"
+	"peering/internal/internet"
+	"peering/internal/policy"
+	"peering/internal/router"
+)
+
+func testGraph() *internet.Graph {
+	return internet.Generate(internet.Spec{
+		Seed: 42, ASes: 8000, Tier1s: 12, Transits: 700, CDNs: 16, Contents: 40, Prefixes: 60000,
+	})
+}
+
+func TestBuildAMSIXComposition(t *testing.T) {
+	g := testGraph()
+	x := BuildAMSIX(g, DefaultAMSIXSpec())
+	if got := len(x.MemberASNs()); got != 669 {
+		t.Fatalf("members = %d, want 669", got)
+	}
+	if got := len(x.RouteServerMembers()); got != 554 {
+		t.Fatalf("route-server members = %d, want 554", got)
+	}
+	if got := len(x.NonRouteServerMembers()); got != 115 {
+		t.Fatalf("non-RS members = %d, want 115", got)
+	}
+	pc := x.PolicyCounts()
+	if pc[policy.PeeringOpen] != 48 || pc[policy.PeeringClosed] != 12 ||
+		pc[policy.PeeringCaseByCase] != 40 || pc[policy.PeeringUnlisted] != 15 {
+		t.Fatalf("policy split = %v, want 48/12/40/15", pc)
+	}
+}
+
+func TestBuildAMSIXDeterministic(t *testing.T) {
+	g := testGraph()
+	x1 := BuildAMSIX(g, DefaultAMSIXSpec())
+	x2 := BuildAMSIX(g, DefaultAMSIXSpec())
+	m1, m2 := x1.MemberASNs(), x2.MemberASNs()
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("same seed gave different membership")
+		}
+	}
+}
+
+func TestJoinRouteServerInstantPeers(t *testing.T) {
+	g := testGraph()
+	x := BuildAMSIX(g, DefaultAMSIXSpec())
+	pr := x.Join(1, false)
+	if len(pr.RSPeers) != 554 {
+		t.Fatalf("RS peers = %d", len(pr.RSPeers))
+	}
+	if len(pr.BilateralPeers) != 0 {
+		t.Fatal("bilateral peers without requests")
+	}
+}
+
+func TestBilateralCampaignOutcomes(t *testing.T) {
+	g := testGraph()
+	x := BuildAMSIX(g, DefaultAMSIXSpec())
+	pr := x.Join(7, true)
+	if len(pr.Outcomes) != 115 {
+		t.Fatalf("outcomes = %d, want 115 requests", len(pr.Outcomes))
+	}
+	// All 12 closed members decline; most of the 48 open accept.
+	declined, acceptedOpen := 0, 0
+	for asn, o := range pr.Outcomes {
+		m := x.Members[asn]
+		if m.Policy == policy.PeeringClosed && o != OutcomeDeclined {
+			t.Fatalf("closed member %d returned %v", asn, o)
+		}
+		if o == OutcomeDeclined {
+			declined++
+		}
+		if m.Policy == policy.PeeringOpen && o.Accepted() {
+			acceptedOpen++
+		}
+	}
+	if acceptedOpen < 40 { // "vast majority" of 48
+		t.Fatalf("open accepts = %d of 48, want vast majority", acceptedOpen)
+	}
+	if len(pr.BilateralPeers) == 0 {
+		t.Fatal("no bilateral peers at all")
+	}
+}
+
+func TestPresenceStatistics(t *testing.T) {
+	g := testGraph()
+	x := BuildAMSIX(g, DefaultAMSIXSpec())
+	pr := x.Join(7, true)
+
+	countries := pr.Countries()
+	if len(countries) < 40 {
+		t.Fatalf("peer countries = %d, want broad coverage", len(countries))
+	}
+	ranked := g.RankByCone()
+	top50 := pr.TopRankedPeerCount(ranked, 50)
+	top100 := pr.TopRankedPeerCount(ranked, 100)
+	if top50 < 5 {
+		t.Fatalf("top-50 peers = %d, want several", top50)
+	}
+	if top100 < top50 {
+		t.Fatal("top-100 count below top-50 count")
+	}
+	reach := pr.ReachablePrefixCount()
+	total := g.TotalPrefixes()
+	frac := float64(reach) / float64(total)
+	if frac < 0.10 || frac > 0.60 {
+		t.Fatalf("peer-reachable fraction = %.2f (reach %d of %d), want ≈¼", frac, reach, total)
+	}
+}
+
+func TestPeerRouteCountsHeavyTail(t *testing.T) {
+	g := testGraph()
+	x := BuildAMSIX(g, DefaultAMSIXSpec())
+	pr := x.Join(7, true)
+	counts := pr.PeerRouteCounts()
+	big, small := 0, 0
+	for _, n := range counts {
+		if n > 1000 {
+			big++
+		}
+		if n < 100 {
+			small++
+		}
+	}
+	// Heavy tail: few big exporters, many small ones (paper: 5 peers
+	// >10K routes, 307 peers <100, at full scale).
+	if big == 0 || small == 0 || small < big {
+		t.Fatalf("route count distribution not heavy-tailed: %d big, %d small of %d", big, small, len(counts))
+	}
+}
+
+func TestRequestPeeringDistribution(t *testing.T) {
+	g := testGraph()
+	x := BuildAMSIX(g, DefaultAMSIXSpec())
+	rng := rand.New(rand.NewSource(9))
+	// Find an open member and hammer it: accepts should dominate.
+	var open uint32
+	for _, asn := range x.NonRouteServerMembers() {
+		if x.Members[asn].Policy == policy.PeeringOpen {
+			open = asn
+			break
+		}
+	}
+	acc := 0
+	for i := 0; i < 200; i++ {
+		if x.RequestPeering(open, rng).Accepted() {
+			acc++
+		}
+	}
+	if acc < 160 {
+		t.Fatalf("open member accepted only %d/200", acc)
+	}
+	if x.RequestPeering(99999999, rng) != OutcomeNoResponse {
+		t.Fatal("unknown member should not respond")
+	}
+}
+
+// --------------------------------------------------------------------
+// Protocol-level fabric
+
+func lanPrefix() netip.Prefix { return netip.MustParsePrefix("80.249.208.0/21") }
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestFabricRouteServerMultilateral(t *testing.T) {
+	f := NewFabric("ams-ix", lanPrefix(), 6777) // AMS-IX RS ASN
+	a := router.New(router.Config{AS: 100, RouterID: netip.MustParseAddr("10.0.0.1")})
+	b := router.New(router.Config{AS: 200, RouterID: netip.MustParseAddr("10.0.0.2")})
+	c := router.New(router.Config{AS: 300, RouterID: netip.MustParseAddr("10.0.0.3")})
+	ma := f.Join(a, nil)
+	f.Join(b, nil)
+	f.Join(c, nil)
+
+	a.Announce(netip.MustParsePrefix("100.64.0.0/24"), router.AnnounceSpec{})
+	waitFor(t, func() bool {
+		return b.LocRIB().Best(netip.MustParsePrefix("100.64.0.0/24")) != nil &&
+			c.LocRIB().Best(netip.MustParsePrefix("100.64.0.0/24")) != nil
+	})
+	rt := b.LocRIB().Best(netip.MustParsePrefix("100.64.0.0/24"))
+	// Transparent RS: path contains only the member AS, not the RS ASN.
+	if got := rt.Attrs.PathString(); got != "100" {
+		t.Fatalf("path through route server = %q, want \"100\"", got)
+	}
+	// Next hop is the announcing member's LAN address, untouched.
+	if rt.Attrs.NextHop != ma.LANAddr {
+		t.Fatalf("next hop = %v, want member LAN %v", rt.Attrs.NextHop, ma.LANAddr)
+	}
+}
+
+func TestFabricBilateral(t *testing.T) {
+	f := NewFabric("phoenix-ix", lanPrefix(), 0) // no route server
+	a := router.New(router.Config{AS: 100, RouterID: netip.MustParseAddr("10.0.0.1")})
+	b := router.New(router.Config{AS: 200, RouterID: netip.MustParseAddr("10.0.0.2")})
+	ma := f.Join(a, nil)
+	mb := f.Join(b, nil)
+	f.ConnectBilateral(ma, mb)
+	a.Announce(netip.MustParsePrefix("100.64.0.0/24"), router.AnnounceSpec{})
+	waitFor(t, func() bool { return b.LocRIB().Best(netip.MustParsePrefix("100.64.0.0/24")) != nil })
+	rt := b.LocRIB().Best(netip.MustParsePrefix("100.64.0.0/24"))
+	if rt.Attrs.PathString() != "100" {
+		t.Fatalf("bilateral path = %q", rt.Attrs.PathString())
+	}
+}
+
+func TestFabricDataplaneFollowsRouteServer(t *testing.T) {
+	f := NewFabric("ams-ix", lanPrefix(), 6777)
+	// Two members with dataplane routers.
+	import1 := netip.MustParsePrefix("100.64.0.0/24")
+
+	a := router.New(router.Config{AS: 100, RouterID: netip.MustParseAddr("10.0.0.1")})
+	dpA := dataplane.NewRouter("as100")
+	b := router.New(router.Config{AS: 200, RouterID: netip.MustParseAddr("10.0.0.2")})
+	dpB := dataplane.NewRouter("as200")
+	ma := f.Join(a, dpA)
+	mb := f.Join(b, dpB)
+
+	// A originates the prefix; its dataplane claims an address in it.
+	dpA.AddLocal(netip.MustParseAddr("100.64.0.7"))
+	a.Announce(import1, router.AnnounceSpec{})
+	waitFor(t, func() bool { return b.LocRIB().Best(import1) != nil })
+	// The switch learned the route from the RS (async via OnBestChange).
+	waitFor(t, func() bool { return f.Switch.LookupRoute(netip.MustParseAddr("100.64.0.7")) != nil })
+
+	// B's dataplane routes via the switch; switch follows the RS view.
+	dpB.SetRoute(import1, ma.LANAddr, mb.MemberIface)
+	pkt := dataplane.NewPacket(mb.LANAddr, netip.MustParseAddr("100.64.0.7"), dataplane.ProtoICMP)
+	pkt.ICMP = dataplane.ICMPEchoRequest
+	dpB.Originate(pkt)
+	// Delivery is synchronous once routes exist: A's dataplane has
+	// processed the echo request by now.
+	if dpA.Stats().DeliveredLocal != 1 {
+		t.Fatalf("A delivered = %d, want 1", dpA.Stats().DeliveredLocal)
+	}
+}
+
+func TestFabricMemberLookup(t *testing.T) {
+	f := NewFabric("ix", lanPrefix(), 0)
+	a := router.New(router.Config{AS: 100, RouterID: netip.MustParseAddr("10.0.0.1")})
+	m := f.Join(a, nil)
+	if f.Member(100) != m {
+		t.Fatal("Member lookup failed")
+	}
+	if f.Member(999) != nil {
+		t.Fatal("unknown member should be nil")
+	}
+	if len(f.Members()) != 1 {
+		t.Fatal("Members() wrong")
+	}
+	if !lanPrefix().Contains(m.LANAddr) {
+		t.Fatalf("LAN addr %v outside LAN prefix", m.LANAddr)
+	}
+}

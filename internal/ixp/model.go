@@ -1,0 +1,422 @@
+// Package ixp models Internet exchange points at two levels:
+//
+//   - a statistical membership model (BuildAMSIX) calibrated to §4.1 of
+//     the paper — 669 member ASes, 554 on the route servers, and the
+//     48/12/40/15 open/closed/case-by-case/unlisted policy split among
+//     the rest — used for the connectivity evaluation; and
+//   - a protocol-level Fabric with a live, transparent route server and
+//     an emulated switching fabric, used when experiments need real BGP
+//     sessions and real traffic across the IXP.
+package ixp
+
+import (
+	"math/rand"
+	"sort"
+
+	"peering/internal/internet"
+	"peering/internal/policy"
+)
+
+// MemberInfo is one IXP member in the statistical model.
+type MemberInfo struct {
+	ASN uint32
+	// OnRouteServer marks multilateral peers.
+	OnRouteServer bool
+	// Policy is the member's bilateral peering policy (only meaningful
+	// for members not on the route server, matching how §4.1 reports
+	// it).
+	Policy policy.PeeringKind
+}
+
+// IXP is the statistical model of one exchange.
+type IXP struct {
+	Name    string
+	Graph   *internet.Graph
+	Members map[uint32]*MemberInfo
+	order   []uint32
+}
+
+// MemberASNs returns member ASNs in deterministic order.
+func (x *IXP) MemberASNs() []uint32 {
+	out := make([]uint32, len(x.order))
+	copy(out, x.order)
+	return out
+}
+
+// RouteServerMembers returns the ASNs peering via the route server.
+func (x *IXP) RouteServerMembers() []uint32 {
+	var out []uint32
+	for _, asn := range x.order {
+		if x.Members[asn].OnRouteServer {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+// NonRouteServerMembers returns members reachable only bilaterally.
+func (x *IXP) NonRouteServerMembers() []uint32 {
+	var out []uint32
+	for _, asn := range x.order {
+		if !x.Members[asn].OnRouteServer {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+// PolicyCounts tallies bilateral policies among non-route-server
+// members — the 48/12/40/15 table of §4.1.
+func (x *IXP) PolicyCounts() map[policy.PeeringKind]int {
+	out := map[policy.PeeringKind]int{}
+	for _, asn := range x.NonRouteServerMembers() {
+		out[x.Members[asn].Policy]++
+	}
+	return out
+}
+
+// AMSIXSpec parameterizes BuildAMSIX; zero fields take §4.1 values.
+type AMSIXSpec struct {
+	Seed          int64
+	Members       int // 669
+	OnRouteServer int // 554
+	Open          int // 48
+	Closed        int // 12
+	CaseByCase    int // 40
+	Unlisted      int // 15
+}
+
+// DefaultAMSIXSpec returns the §4.1 membership numbers.
+func DefaultAMSIXSpec() AMSIXSpec {
+	return AMSIXSpec{Seed: 2014, Members: 669, OnRouteServer: 554, Open: 48, Closed: 12, CaseByCase: 40, Unlisted: 15}
+}
+
+// europeanWeight biases member selection toward the Netherlands and
+// nearby countries, as §4.1 observes of AMS-IX's membership.
+func europeanWeight(country string) int {
+	switch country {
+	case "NL":
+		return 12
+	case "DE", "BE", "GB", "FR", "LU":
+		return 6
+	case "DK", "SE", "NO", "FI", "PL", "CZ", "AT", "CH", "IT", "ES", "PT", "IE":
+		return 3
+	default:
+		return 1
+	}
+}
+
+// BuildAMSIX selects spec.Members ASes from g as the exchange's
+// membership: every CDN and content network (open peering at IXPs is
+// their business), then transit and eyeball networks weighted toward
+// Europe. Policy assignments for the non-route-server members follow
+// the spec counts exactly.
+func BuildAMSIX(g *internet.Graph, spec AMSIXSpec) *IXP {
+	return BuildIXP(g, "AMS-IX", spec)
+}
+
+// BuildIXP is BuildAMSIX for an arbitrarily named exchange — used to
+// model the other European IXPs with route servers and the smaller
+// exchanges PEERING reaches via remote peering (§3).
+func BuildIXP(g *internet.Graph, name string, spec AMSIXSpec) *IXP {
+	if spec.Members == 0 {
+		spec = DefaultAMSIXSpec()
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	x := &IXP{Name: name, Graph: g, Members: make(map[uint32]*MemberInfo)}
+
+	// The large carriers (by customer count) that do show up at big
+	// European IXPs: the paper's peer list names HE, RETN,
+	// TransTeleCom and other majors. We boost the top ~60 transits and
+	// damp the long tail of regional providers.
+	var transitCones []int
+	coneOf := map[uint32]int{}
+	for _, asn := range g.ASNs() {
+		if a := g.AS(asn); a.Kind == internet.KindTransit {
+			c := g.ConeSize(asn)
+			coneOf[asn] = c
+			transitCones = append(transitCones, c)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(transitCones)))
+	cutAt := func(idx int) int {
+		if len(transitCones) == 0 {
+			return 1 << 30
+		}
+		if idx >= len(transitCones) {
+			idx = len(transitCones) - 1
+		}
+		return transitCones[idx]
+	}
+	bigTransitCut, midTransitCut := cutAt(45), cutAt(110)
+
+	// Candidate pool with weights.
+	type cand struct {
+		asn uint32
+		w   int
+	}
+	var pool []cand
+	for _, asn := range g.ASNs() {
+		a := g.AS(asn)
+		w := europeanWeight(a.Country)
+		switch a.Kind {
+		case internet.KindCDN:
+			w *= 200 // content networks flock to IXPs (§3)
+		case internet.KindContent:
+			w *= 50
+		case internet.KindTransit:
+			switch {
+			case coneOf[a.ASN] >= bigTransitCut && w >= 3:
+				// Major European carriers near-certainly join.
+				w *= 150
+			case coneOf[a.ASN] >= bigTransitCut:
+				// Major carriers elsewhere only occasionally show up
+				// in Amsterdam (they are at their home IXPs).
+				w *= 4
+			case coneOf[a.ASN] >= midTransitCut && w >= 3:
+				// Mid-size European carriers often join too.
+				w *= 18
+			default:
+				w /= 6 // small regional transits rarely bother
+			}
+		case internet.KindEyeball:
+			w *= 1
+		case internet.KindTier1:
+			w = 0 // tier-1s sell transit; they avoid open IXP peering
+		}
+		if w > 0 {
+			pool = append(pool, cand{asn, w})
+		}
+	}
+	// Weighted sample without replacement.
+	selected := make([]uint32, 0, spec.Members)
+	for len(selected) < spec.Members && len(pool) > 0 {
+		total := 0
+		for _, c := range pool {
+			total += c.w
+		}
+		r := rng.Intn(total)
+		for i, c := range pool {
+			if r < c.w {
+				selected = append(selected, c.asn)
+				pool = append(pool[:i], pool[i+1:]...)
+				break
+			}
+			r -= c.w
+		}
+	}
+	sort.Slice(selected, func(i, j int) bool { return selected[i] < selected[j] })
+
+	// Assign route-server membership and bilateral policies.
+	perm := rng.Perm(len(selected))
+	for i, pi := range perm {
+		asn := selected[pi]
+		m := &MemberInfo{ASN: asn, OnRouteServer: i < spec.OnRouteServer}
+		x.Members[asn] = m
+	}
+	// The non-RS members get policies with exact spec counts.
+	var nonRS []uint32
+	for _, asn := range selected {
+		if !x.Members[asn].OnRouteServer {
+			nonRS = append(nonRS, asn)
+		}
+	}
+	rng.Shuffle(len(nonRS), func(i, j int) { nonRS[i], nonRS[j] = nonRS[j], nonRS[i] })
+	idx := 0
+	assign := func(kind policy.PeeringKind, n int) {
+		for i := 0; i < n && idx < len(nonRS); i++ {
+			x.Members[nonRS[idx]].Policy = kind
+			idx++
+		}
+	}
+	assign(policy.PeeringOpen, spec.Open)
+	assign(policy.PeeringClosed, spec.Closed)
+	assign(policy.PeeringCaseByCase, spec.CaseByCase)
+	assign(policy.PeeringUnlisted, len(nonRS)-idx)
+
+	x.order = selected
+	return x
+}
+
+// RequestOutcome is the result of a bilateral peering request.
+type RequestOutcome int
+
+// Peering request outcomes observed in §4.1.
+const (
+	// OutcomeAccepted: the member configured a session.
+	OutcomeAccepted RequestOutcome = iota
+	// OutcomeAcceptedAfterQuestions: accepted after asking why a
+	// no-traffic research AS wants to peer (one AS in the paper).
+	OutcomeAcceptedAfterQuestions
+	// OutcomeNoResponse: the request went unanswered ("a handful").
+	OutcomeNoResponse
+	// OutcomeDeclined: refused.
+	OutcomeDeclined
+)
+
+func (o RequestOutcome) String() string {
+	switch o {
+	case OutcomeAccepted:
+		return "accepted"
+	case OutcomeAcceptedAfterQuestions:
+		return "accepted-after-questions"
+	case OutcomeNoResponse:
+		return "no-response"
+	default:
+		return "declined"
+	}
+}
+
+// Accepted reports whether the outcome yields a session.
+func (o RequestOutcome) Accepted() bool {
+	return o == OutcomeAccepted || o == OutcomeAcceptedAfterQuestions
+}
+
+// RequestPeering simulates sending a bilateral peering request to
+// member asn. Outcome probabilities reflect §4.1: open-policy members
+// accept nearly always (even with no traffic and no web presence),
+// case-by-case members usually accept, closed decline, unlisted mostly
+// ignore.
+func (x *IXP) RequestPeering(asn uint32, rng *rand.Rand) RequestOutcome {
+	m := x.Members[asn]
+	if m == nil {
+		return OutcomeNoResponse
+	}
+	switch m.Policy {
+	case policy.PeeringOpen:
+		r := rng.Intn(100)
+		switch {
+		case r < 88:
+			return OutcomeAccepted
+		case r < 92:
+			return OutcomeAcceptedAfterQuestions
+		default:
+			return OutcomeNoResponse
+		}
+	case policy.PeeringCaseByCase:
+		r := rng.Intn(100)
+		switch {
+		case r < 55:
+			return OutcomeAccepted
+		case r < 85:
+			return OutcomeNoResponse
+		default:
+			return OutcomeDeclined
+		}
+	case policy.PeeringClosed:
+		return OutcomeDeclined
+	default: // unlisted
+		if rng.Intn(100) < 75 {
+			return OutcomeNoResponse
+		}
+		return OutcomeDeclined
+	}
+}
+
+// Presence is PEERING's peering footprint at one IXP after joining the
+// route server and (optionally) running the bilateral request campaign.
+type Presence struct {
+	IXP *IXP
+	// RSPeers are the multilateral peers obtained instantly via the
+	// route server.
+	RSPeers []uint32
+	// BilateralPeers accepted our request.
+	BilateralPeers []uint32
+	// Outcomes records every bilateral request result.
+	Outcomes map[uint32]RequestOutcome
+}
+
+// Join connects PEERING to the exchange: one BGP session to the route
+// server yields peering with every RS member; if requestBilateral, a
+// request is sent to every non-RS member.
+func (x *IXP) Join(seed int64, requestBilateral bool) *Presence {
+	rng := rand.New(rand.NewSource(seed))
+	pr := &Presence{IXP: x, RSPeers: x.RouteServerMembers(), Outcomes: map[uint32]RequestOutcome{}}
+	if !requestBilateral {
+		return pr
+	}
+	for _, asn := range x.NonRouteServerMembers() {
+		o := x.RequestPeering(asn, rng)
+		pr.Outcomes[asn] = o
+		if o.Accepted() {
+			pr.BilateralPeers = append(pr.BilateralPeers, asn)
+		}
+	}
+	return pr
+}
+
+// AllPeers returns every AS PEERING peers with at this IXP.
+func (pr *Presence) AllPeers() []uint32 {
+	out := make([]uint32, 0, len(pr.RSPeers)+len(pr.BilateralPeers))
+	out = append(out, pr.RSPeers...)
+	out = append(out, pr.BilateralPeers...)
+	return out
+}
+
+// Countries returns the distinct countries of all peers.
+func (pr *Presence) Countries() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, asn := range pr.AllPeers() {
+		c := pr.IXP.Graph.AS(asn).Country
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopRankedPeerCount reports how many of the top-n ASes (by customer
+// cone) are among our peers — the "13 of the top 50, 27 of the top
+// 100" metric.
+func (pr *Presence) TopRankedPeerCount(ranked []*internet.AS, n int) int {
+	peers := map[uint32]bool{}
+	for _, asn := range pr.AllPeers() {
+		peers[asn] = true
+	}
+	count := 0
+	for i := 0; i < n && i < len(ranked); i++ {
+		if peers[ranked[i].ASN] {
+			count++
+		}
+	}
+	return count
+}
+
+// ReachableASNs returns the union of all peers' customer cones — the
+// ASes whose prefixes we reach without transit.
+func (pr *Presence) ReachableASNs() map[uint32]bool {
+	union := map[uint32]bool{}
+	for _, peer := range pr.AllPeers() {
+		for asn := range pr.IXP.Graph.CustomerCone(peer) {
+			union[asn] = true
+		}
+	}
+	return union
+}
+
+// ReachablePrefixCount counts prefixes reachable via peer routes.
+func (pr *Presence) ReachablePrefixCount() int {
+	n := 0
+	for asn := range pr.ReachableASNs() {
+		n += len(pr.IXP.Graph.AS(asn).Prefixes)
+	}
+	return n
+}
+
+// PeerRouteCounts returns, per peer, how many routes that peer exports
+// to us (its customer cone's prefixes) — the §4.2 observation that only
+// the 5 largest peers send >10K routes while 307 send <100.
+func (pr *Presence) PeerRouteCounts() map[uint32]int {
+	out := make(map[uint32]int, len(pr.RSPeers)+len(pr.BilateralPeers))
+	for _, peer := range pr.AllPeers() {
+		n := 0
+		for asn := range pr.IXP.Graph.CustomerCone(peer) {
+			n += len(pr.IXP.Graph.AS(asn).Prefixes)
+		}
+		out[peer] = n
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package ixp
+
+import (
+	"sort"
+
+	"peering/internal/internet"
+)
+
+// This file models PEERING's expansion strategy (§3, "Achieving rich
+// connectivity"): servers at major IXPs, remote peering at smaller
+// ones ("Hibernia Networks offered us virtualized layer 2 connectivity
+// from our AMS-IX server to tens of IXPs around the world"), and
+// indirect transit through universities — aggregated into one
+// deployment footprint ("nine servers on three continents …").
+
+// SiteKind classifies how PEERING is present at a location.
+type SiteKind int
+
+// Site kinds.
+const (
+	// SitePhysical is a server colocated at the exchange (AMS-IX,
+	// Phoenix-IX).
+	SitePhysical SiteKind = iota
+	// SiteRemote reaches the exchange over a remote-peering provider's
+	// virtual layer 2 — no hardware deployed.
+	SiteRemote
+	// SiteTransit is a university host with upstream transit only (the
+	// original Transit Portal-style sites).
+	SiteTransit
+)
+
+func (k SiteKind) String() string {
+	switch k {
+	case SitePhysical:
+		return "physical"
+	case SiteRemote:
+		return "remote"
+	default:
+		return "transit"
+	}
+}
+
+// Site is one location in the deployment.
+type Site struct {
+	Name string
+	Kind SiteKind
+	// Presence is the peering footprint at this site (nil for
+	// transit-only sites).
+	Presence *Presence
+	// Provider names the remote-peering provider for SiteRemote.
+	Provider string
+}
+
+// Deployment is PEERING's aggregate footprint across sites.
+type Deployment struct {
+	Sites []Site
+}
+
+// AddPhysical registers a colocated server's presence.
+func (d *Deployment) AddPhysical(name string, pr *Presence) {
+	d.Sites = append(d.Sites, Site{Name: name, Kind: SitePhysical, Presence: pr})
+}
+
+// AddRemote registers presence at an exchange reached through a
+// remote-peering provider.
+func (d *Deployment) AddRemote(name, provider string, pr *Presence) {
+	d.Sites = append(d.Sites, Site{Name: name, Kind: SiteRemote, Presence: pr, Provider: provider})
+}
+
+// AddTransit registers a transit-only university site.
+func (d *Deployment) AddTransit(name string) {
+	d.Sites = append(d.Sites, Site{Name: name, Kind: SiteTransit})
+}
+
+// PeerASNs returns the union of peers across all sites.
+func (d *Deployment) PeerASNs() map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, s := range d.Sites {
+		if s.Presence == nil {
+			continue
+		}
+		for _, asn := range s.Presence.AllPeers() {
+			out[asn] = true
+		}
+	}
+	return out
+}
+
+// Countries returns the distinct countries across all sites' peers.
+func (d *Deployment) Countries() []string {
+	seen := map[string]bool{}
+	for _, s := range d.Sites {
+		if s.Presence == nil {
+			continue
+		}
+		for _, c := range s.Presence.Countries() {
+			seen[c] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReachablePrefixCount counts prefixes reachable via any site's peer
+// routes (union of customer cones across every peer everywhere). All
+// sites must model IXPs over the same underlying Internet graph.
+func (d *Deployment) ReachablePrefixCount() int {
+	union := map[uint32]bool{}
+	var g *internet.Graph
+	for _, s := range d.Sites {
+		if s.Presence == nil {
+			continue
+		}
+		g = s.Presence.IXP.Graph
+		for _, peer := range s.Presence.AllPeers() {
+			for asn := range g.CustomerCone(peer) {
+				union[asn] = true
+			}
+		}
+	}
+	if g == nil {
+		return 0
+	}
+	n := 0
+	for asn := range union {
+		n += len(g.AS(asn).Prefixes)
+	}
+	return n
+}
+
+// SiteCount tallies sites by kind.
+func (d *Deployment) SiteCount() map[SiteKind]int {
+	out := map[SiteKind]int{}
+	for _, s := range d.Sites {
+		out[s.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package ixp
+
+import (
+	"testing"
+)
+
+// buildDeployment models the paper's footprint: a physical AMS-IX
+// server, a physical Phoenix-IX server (added September 2014), transit
+// sites at universities, and remote peering to smaller IXPs via a
+// Hibernia-style provider.
+func buildDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	g := testGraph()
+	d := &Deployment{}
+
+	ams := BuildAMSIX(g, DefaultAMSIXSpec())
+	d.AddPhysical("amsterdam01", ams.Join(7, true))
+
+	phx := BuildIXP(g, "Phoenix-IX", AMSIXSpec{
+		Seed: 77, Members: 120, OnRouteServer: 90, Open: 15, Closed: 3, CaseByCase: 8, Unlisted: 4,
+	})
+	d.AddPhysical("phoenix01", phx.Join(8, true))
+
+	for i, name := range []string{"LINX", "DE-CIX", "France-IX"} {
+		x := BuildIXP(g, name, AMSIXSpec{
+			Seed: int64(100 + i), Members: 200, OnRouteServer: 150, Open: 20, Closed: 5, CaseByCase: 15, Unlisted: 10,
+		})
+		// Remote peering: route-server only (no bilateral campaign —
+		// there is no one on site to chase sessions).
+		d.AddRemote(name, "hibernia", x.Join(int64(200+i), false))
+	}
+
+	for _, u := range []string{"gatech01", "usc01", "ufmg01", "wisc01"} {
+		d.AddTransit(u)
+	}
+	return d
+}
+
+func TestDeploymentComposition(t *testing.T) {
+	d := buildDeployment(t)
+	counts := d.SiteCount()
+	if counts[SitePhysical] != 2 || counts[SiteRemote] != 3 || counts[SiteTransit] != 4 {
+		t.Fatalf("site counts = %v", counts)
+	}
+	if got := len(d.Sites); got != 9 {
+		t.Fatalf("sites = %d, want 9 (the paper's server count)", got)
+	}
+}
+
+func TestDeploymentExpandsFootprint(t *testing.T) {
+	g := testGraph()
+	amsOnly := &Deployment{}
+	amsOnly.AddPhysical("amsterdam01", BuildAMSIX(g, DefaultAMSIXSpec()).Join(7, true))
+
+	full := buildDeployment(t)
+
+	if len(full.PeerASNs()) <= len(amsOnly.PeerASNs()) {
+		t.Fatalf("expansion did not add peers: %d vs %d", len(full.PeerASNs()), len(amsOnly.PeerASNs()))
+	}
+	if full.ReachablePrefixCount() < amsOnly.ReachablePrefixCount() {
+		t.Fatalf("expansion shrank reach: %d vs %d",
+			full.ReachablePrefixCount(), amsOnly.ReachablePrefixCount())
+	}
+	if len(full.Countries()) < len(amsOnly.Countries()) {
+		t.Fatal("expansion shrank country coverage")
+	}
+}
+
+func TestDeploymentPeersAreUnion(t *testing.T) {
+	d := buildDeployment(t)
+	union := d.PeerASNs()
+	// Every site's peers are contained in the union.
+	for _, s := range d.Sites {
+		if s.Presence == nil {
+			continue
+		}
+		for _, asn := range s.Presence.AllPeers() {
+			if !union[asn] {
+				t.Fatalf("site %s peer %d missing from union", s.Name, asn)
+			}
+		}
+	}
+}
+
+func TestEmptyDeployment(t *testing.T) {
+	d := &Deployment{}
+	d.AddTransit("lonely-university")
+	if d.ReachablePrefixCount() != 0 || len(d.PeerASNs()) != 0 || len(d.Countries()) != 0 {
+		t.Fatal("transit-only deployment should have no peer footprint")
+	}
+}
+
+func TestBuildIXPNamed(t *testing.T) {
+	g := testGraph()
+	x := BuildIXP(g, "Phoenix-IX", AMSIXSpec{
+		Seed: 1, Members: 50, OnRouteServer: 40, Open: 5, Closed: 1, CaseByCase: 2, Unlisted: 2,
+	})
+	if x.Name != "Phoenix-IX" {
+		t.Fatalf("name = %q", x.Name)
+	}
+	if len(x.MemberASNs()) != 50 || len(x.RouteServerMembers()) != 40 {
+		t.Fatalf("membership = %d/%d", len(x.MemberASNs()), len(x.RouteServerMembers()))
+	}
+}

@@ -1,0 +1,298 @@
+// Package mininext is the testbed's intradomain emulation layer — the
+// role MinineXt (the paper's Mininet extension, §3/§4.2) plays: light
+// weight "containers" that each run a routing engine and a data plane,
+// links between them, topology bring-up from Topology Zoo graphs, and
+// the plumbing that connects an emulated network's border router to
+// PEERING's interdomain servers.
+//
+// Each emulated PoP runs our router (the Quagga analog) under its own
+// private ASN with eBGP sessions along topology edges, so routes
+// propagate hop by hop exactly as the paper's HE emulation did; the
+// private ASNs are stripped at the PEERING border (§3, "Each emulated
+// domain uses a private ASN 'behind' PEERING").
+package mininext
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"peering/internal/bufconn"
+	"peering/internal/dataplane"
+	"peering/internal/policy"
+	"peering/internal/rib"
+	"peering/internal/router"
+	"peering/internal/topozoo"
+)
+
+// Container is one emulated node: a BGP speaker plus a dataplane
+// router, like a Mininet host running Quagga.
+type Container struct {
+	Name string
+	// ASN is the container's (usually private) AS number.
+	ASN uint32
+	// BGP is the routing engine.
+	BGP *router.Router
+	// DP is the forwarding plane.
+	DP *dataplane.Router
+	// Loopback is the router ID / loopback address.
+	Loopback netip.Addr
+
+	mu       sync.Mutex
+	nhIfaces map[netip.Addr]*dataplane.Iface
+	subnets  []subnetIface
+}
+
+// subnetIface resolves any next hop inside a prefix (an IXP LAN) to an
+// interface.
+type subnetIface struct {
+	prefix netip.Prefix
+	iface  *dataplane.Iface
+}
+
+// registerNextHop records that next-hop addr is reached via iface.
+func (c *Container) registerNextHop(addr netip.Addr, iface *dataplane.Iface) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nhIfaces[addr] = iface
+}
+
+// RegisterSubnet records that any next hop inside prefix is reached via
+// iface — how a container attached to a shared LAN (an IXP fabric)
+// resolves the next hops of routes learned across it.
+func (c *Container) RegisterSubnet(prefix netip.Prefix, iface *dataplane.Iface) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subnets = append(c.subnets, subnetIface{prefix, iface})
+}
+
+// ifaceForNextHop resolves a BGP next hop to an egress interface.
+func (c *Container) ifaceForNextHop(addr netip.Addr) *dataplane.Iface {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i := c.nhIfaces[addr]; i != nil {
+		return i
+	}
+	for _, s := range c.subnets {
+		if s.prefix.Contains(addr) {
+			return s.iface
+		}
+	}
+	return nil
+}
+
+// syncFIB downloads a best-route change into the data plane.
+func (c *Container) syncFIB(ch rib.Change) {
+	if ch.New == nil {
+		c.DP.DelRoute(ch.Prefix)
+		return
+	}
+	iface := c.ifaceForNextHop(ch.New.Attrs.NextHop)
+	if iface == nil {
+		// Next hop not directly connected (e.g. a locally originated
+		// route): nothing to install.
+		return
+	}
+	c.DP.SetRoute(ch.Prefix, ch.New.Attrs.NextHop, iface)
+}
+
+// Network is an emulated topology.
+type Network struct {
+	Name string
+
+	mu         sync.Mutex
+	containers map[string]*Container
+	linkCount  int
+	links      []*dataplane.Link
+}
+
+// NewNetwork creates an empty emulation.
+func NewNetwork(name string) *Network {
+	return &Network{Name: name, containers: make(map[string]*Container)}
+}
+
+// AddContainer creates a container with the given name, ASN, and
+// loopback address.
+func (n *Network) AddContainer(name string, asn uint32, loopback netip.Addr) (*Container, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.containers[name]; dup {
+		return nil, fmt.Errorf("mininext: container %q exists", name)
+	}
+	c := &Container{
+		Name:     name,
+		ASN:      asn,
+		Loopback: loopback,
+		BGP:      router.New(router.Config{AS: asn, RouterID: loopback}),
+		DP:       dataplane.NewRouter(name),
+		nhIfaces: make(map[netip.Addr]*dataplane.Iface),
+	}
+	c.DP.AddLocal(loopback)
+	c.BGP.OnBestChange(c.syncFIB)
+	n.containers[name] = c
+	return c, nil
+}
+
+// Container returns the named container (nil if absent).
+func (n *Network) Container(name string) *Container {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.containers[name]
+}
+
+// Containers returns all containers.
+func (n *Network) Containers() []*Container {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Container, 0, len(n.containers))
+	for _, c := range n.containers {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Links returns all created links.
+func (n *Network) Links() []*dataplane.Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*dataplane.Link, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
+// Link connects containers a and b: a dataplane link with a fresh /30
+// style address pair plus an eBGP (or iBGP if same ASN) session across
+// it. Returns the link for failure injection.
+func (n *Network) Link(a, b *Container) (*dataplane.Link, error) {
+	return n.LinkRel(a, b, policy.RelNone, policy.RelNone)
+}
+
+// LinkRel is Link with explicit business relationships: relAB is how a
+// sees b (e.g. RelProvider if b provides transit to a), relBA the
+// reverse. Gao–Rexford export filtering then applies on both routers —
+// how the live mini-Internet enforces valley-free routing.
+func (n *Network) LinkRel(a, b *Container, relAB, relBA policy.Relationship) (*dataplane.Link, error) {
+	n.mu.Lock()
+	idx := n.linkCount
+	n.linkCount++
+	n.mu.Unlock()
+	if idx >= 65536 {
+		return nil, fmt.Errorf("mininext: link budget exhausted")
+	}
+	// Link subnet 10.200.x.y/31-style pair.
+	aAddr := netip.AddrFrom4([4]byte{10, 200, byte(idx >> 8), byte(idx%128) * 2})
+	bAddr := netip.AddrFrom4([4]byte{10, 200, byte(idx >> 8), byte(idx%128)*2 + 1})
+	link, ia, ib := dataplane.Connect(a.DP, aAddr, "to-"+b.Name, b.DP, bAddr, "to-"+a.Name)
+	a.DP.AddIface(ia)
+	b.DP.AddIface(ib)
+	a.registerNextHop(bAddr, ia)
+	b.registerNextHop(aAddr, ib)
+
+	internal := a.ASN == b.ASN
+	pa := a.BGP.AddPeer(router.PeerConfig{
+		Addr: bAddr, LocalAddr: aAddr, AS: b.ASN, Internal: internal,
+		Relationship: relAB, Describe: b.Name,
+	})
+	pb := b.BGP.AddPeer(router.PeerConfig{
+		Addr: aAddr, LocalAddr: bAddr, AS: a.ASN, Internal: internal,
+		Relationship: relBA, Describe: a.Name,
+	})
+	ca, cb := bufconn.Pipe()
+	a.BGP.Attach(pa, ca)
+	b.BGP.Attach(pb, cb)
+
+	n.mu.Lock()
+	n.links = append(n.links, link)
+	n.mu.Unlock()
+	return link, nil
+}
+
+// Stats summarizes the emulation.
+type Stats struct {
+	Containers int
+	Links      int
+	// Routes is the total Loc-RIB candidate count across containers.
+	Routes int
+	// Prefixes is the total distinct-prefix count across containers.
+	Prefixes int
+}
+
+// Stats returns current emulation counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := Stats{Containers: len(n.containers), Links: len(n.links)}
+	for _, c := range n.containers {
+		s.Routes += c.BGP.LocRIB().Routes()
+		s.Prefixes += c.BGP.LocRIB().Prefixes()
+	}
+	return s
+}
+
+// BuildResult is the outcome of a topology bring-up.
+type BuildResult struct {
+	Network *Network
+	// ByLabel maps PoP label (e.g. "Amsterdam") to its container.
+	ByLabel map[string]*Container
+	// PrefixOf maps PoP label to the prefix it originates.
+	PrefixOf map[string]netip.Prefix
+}
+
+// BuildFromTopology instantiates topo as an emulated AS: one container
+// per PoP with private ASN baseASN+i, eBGP sessions along every edge,
+// and one originated /24 per PoP carved from prefixBase — exactly the
+// §4.2 Hurricane Electric setup.
+func BuildFromTopology(topo *topozoo.Topology, baseASN uint32, prefixBase netip.Prefix) (*BuildResult, error) {
+	if prefixBase.Bits() > 16 {
+		return nil, fmt.Errorf("mininext: prefix base %v too small to carve per-PoP /24s", prefixBase)
+	}
+	n := NewNetwork(topo.Name)
+	res := &BuildResult{
+		Network:  n,
+		ByLabel:  make(map[string]*Container),
+		PrefixOf: make(map[string]netip.Prefix),
+	}
+	base := prefixBase.Masked().Addr().As4()
+	byID := map[string]*Container{}
+	for i, node := range topo.Nodes {
+		lo := netip.AddrFrom4([4]byte{10, 10, byte(i), 1})
+		c, err := n.AddContainer(node.Label, baseASN+uint32(i), lo)
+		if err != nil {
+			return nil, err
+		}
+		byID[node.ID] = c
+		res.ByLabel[node.Label] = c
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{base[0], base[1], byte(i), 0}), 24)
+		res.PrefixOf[node.Label] = p
+	}
+	for _, e := range topo.Edges {
+		if _, err := n.Link(byID[e.Source], byID[e.Target]); err != nil {
+			return nil, err
+		}
+	}
+	// Originate after links exist so first announcements propagate to
+	// established sessions (the router also full-table-syncs on
+	// session-up, so order is not critical — but this matches how the
+	// paper configured Quagga: interfaces first, then network
+	// statements).
+	for i, node := range topo.Nodes {
+		c := byID[node.ID]
+		p := res.PrefixOf[topo.Nodes[i].Label]
+		c.DP.AddLocal(p.Addr().Next()) // a host address inside the PoP prefix
+		c.BGP.Announce(p, router.AnnounceSpec{})
+	}
+	return res, nil
+}
+
+// Converged reports whether every container knows a route to every
+// PoP prefix (used by tests to await propagation).
+func (r *BuildResult) Converged() bool {
+	for _, c := range r.ByLabel {
+		for _, p := range r.PrefixOf {
+			if c.BGP.LocRIB().Best(p) == nil {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package mininext
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"peering/internal/dataplane"
+	"peering/internal/router"
+	"peering/internal/topozoo"
+)
+
+func addr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestAddContainerAndDuplicate(t *testing.T) {
+	n := NewNetwork("test")
+	c, err := n.AddContainer("r1", 65001, addr("10.10.0.1"))
+	if err != nil || c == nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddContainer("r1", 65002, addr("10.10.1.1")); err == nil {
+		t.Fatal("duplicate container allowed")
+	}
+	if n.Container("r1") != c || n.Container("nope") != nil {
+		t.Fatal("Container lookup wrong")
+	}
+}
+
+func TestLinkPropagatesRoutesAndFIB(t *testing.T) {
+	n := NewNetwork("pair")
+	a, _ := n.AddContainer("a", 65001, addr("10.10.0.1"))
+	b, _ := n.AddContainer("b", 65002, addr("10.10.1.1"))
+	if _, err := n.Link(a, b); err != nil {
+		t.Fatal(err)
+	}
+	p := prefix("100.65.0.0/24")
+	a.DP.AddLocal(addr("100.65.0.1"))
+	a.BGP.Announce(p, router.AnnounceSpec{})
+	waitFor(t, func() bool { return b.BGP.LocRIB().Best(p) != nil })
+	// FIB download: b's dataplane can now route toward the prefix.
+	waitFor(t, func() bool { return b.DP.LookupRoute(addr("100.65.0.1")) != nil })
+	fe := b.DP.LookupRoute(addr("100.65.0.1"))
+	if fe.Prefix != p {
+		t.Fatalf("FIB entry = %+v", fe)
+	}
+}
+
+func TestEndToEndPingAcrossThreePoPs(t *testing.T) {
+	// a — b — c chain with distinct private ASNs: a's prefix reachable
+	// from c through b, and ICMP echo flows end to end.
+	n := NewNetwork("chain")
+	a, _ := n.AddContainer("a", 65001, addr("10.10.0.1"))
+	b, _ := n.AddContainer("b", 65002, addr("10.10.1.1"))
+	c, _ := n.AddContainer("c", 65003, addr("10.10.2.1"))
+	n.Link(a, b)
+	n.Link(b, c)
+	pa := prefix("100.65.0.0/24")
+	pc := prefix("100.65.2.0/24")
+	a.DP.AddLocal(addr("100.65.0.1"))
+	c.DP.AddLocal(addr("100.65.2.1"))
+	a.BGP.Announce(pa, router.AnnounceSpec{})
+	c.BGP.Announce(pc, router.AnnounceSpec{})
+	waitFor(t, func() bool {
+		return c.BGP.LocRIB().Best(pa) != nil && a.BGP.LocRIB().Best(pc) != nil &&
+			c.DP.LookupRoute(addr("100.65.0.1")) != nil && a.DP.LookupRoute(addr("100.65.2.1")) != nil &&
+			b.DP.LookupRoute(addr("100.65.0.1")) != nil && b.DP.LookupRoute(addr("100.65.2.1")) != nil
+	})
+	// Path length through b: the AS path at c is "65002 65001".
+	rt := c.BGP.LocRIB().Best(pa)
+	if got := rt.Attrs.PathString(); got != "65002 65001" {
+		t.Fatalf("path = %q", got)
+	}
+	// Ping from c's dataplane to a's host address.
+	pkt := dataplane.NewPacket(addr("100.65.2.1"), addr("100.65.0.1"), dataplane.ProtoICMP)
+	pkt.ICMP = dataplane.ICMPEchoRequest
+	c.DP.Originate(pkt)
+	if a.DP.Stats().DeliveredLocal == 0 {
+		t.Fatal("echo request never arrived at a")
+	}
+}
+
+func TestWithdrawRemovesFIBEntries(t *testing.T) {
+	n := NewNetwork("wd")
+	a, _ := n.AddContainer("a", 65001, addr("10.10.0.1"))
+	b, _ := n.AddContainer("b", 65002, addr("10.10.1.1"))
+	n.Link(a, b)
+	p := prefix("100.65.0.0/24")
+	a.BGP.Announce(p, router.AnnounceSpec{})
+	waitFor(t, func() bool { return b.DP.LookupRoute(addr("100.65.0.1")) != nil })
+	a.BGP.Withdraw(p)
+	waitFor(t, func() bool { return b.DP.LookupRoute(addr("100.65.0.1")) == nil })
+}
+
+func TestBuildHurricaneElectric(t *testing.T) {
+	he := topozoo.HurricaneElectric()
+	res, err := BuildFromTopology(he, 65000, prefix("100.65.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Network.Stats()
+	if st.Containers != 24 {
+		t.Fatalf("containers = %d", st.Containers)
+	}
+	if st.Links != len(he.Edges) {
+		t.Fatalf("links = %d, want %d", st.Links, len(he.Edges))
+	}
+	waitFor(t, func() bool { return res.Converged() })
+
+	// Every PoP holds all 24 PoP prefixes.
+	ams := res.ByLabel["Amsterdam"]
+	if ams == nil {
+		t.Fatal("no Amsterdam container")
+	}
+	if got := ams.BGP.LocRIB().Prefixes(); got != 24 {
+		t.Fatalf("Amsterdam prefixes = %d, want 24", got)
+	}
+	// Route from Amsterdam to Tokyo's prefix traverses multiple PoPs
+	// (path length > 1).
+	tokyoPfx := res.PrefixOf["Tokyo"]
+	rt := ams.BGP.LocRIB().Best(tokyoPfx)
+	if rt == nil || rt.Attrs.PathLen() < 2 {
+		t.Fatalf("Amsterdam→Tokyo route = %v", rt)
+	}
+}
+
+func TestHEFailoverReroutes(t *testing.T) {
+	he := topozoo.HurricaneElectric()
+	res, err := BuildFromTopology(he, 65000, prefix("100.65.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return res.Converged() })
+	ams := res.ByLabel["Amsterdam"]
+	lonPfx := res.PrefixOf["London"]
+	rt := ams.BGP.LocRIB().Best(lonPfx)
+	if rt == nil {
+		t.Fatal("no initial route")
+	}
+	// Kill the direct London session from Amsterdam (the BGP peer whose
+	// describe is London).
+	var killed bool
+	for _, p := range ams.BGP.Peers() {
+		if p.Config().Describe == "London" && p.Established() {
+			p.Session().Close()
+			killed = true
+		}
+	}
+	if !killed {
+		t.Skip("Amsterdam—London not directly linked in this topology")
+	}
+	// Amsterdam must re-learn London's prefix via another PoP.
+	waitFor(t, func() bool {
+		rt := ams.BGP.LocRIB().Best(lonPfx)
+		return rt != nil && rt.Attrs.PathLen() >= 2
+	})
+}
+
+func TestStatsCounts(t *testing.T) {
+	n := NewNetwork("s")
+	a, _ := n.AddContainer("a", 65001, addr("10.10.0.1"))
+	b, _ := n.AddContainer("b", 65002, addr("10.10.1.1"))
+	n.Link(a, b)
+	a.BGP.Announce(prefix("100.65.0.0/24"), router.AnnounceSpec{})
+	waitFor(t, func() bool { return n.Stats().Routes >= 2 })
+	st := n.Stats()
+	if st.Containers != 2 || st.Links != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,98 @@
+// Package muxproto defines the control protocol between PEERING servers
+// and clients: stream-ID conventions on the shared tunnel transport and
+// the JSON provisioning handshake that tells a client which upstream
+// peers the server offers and which prefixes the experiment may use.
+package muxproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// Stream IDs on the client↔server tunnel mux.
+const (
+	// StreamPackets carries data-plane packets.
+	StreamPackets uint32 = 0
+	// StreamControl carries the provisioning handshake.
+	StreamControl uint32 = 1
+	// StreamBGPBase is the first BGP stream: in Quagga mode, stream
+	// StreamBGPBase+i carries the session for upstream ID i; in BIRD
+	// mode only StreamBGPBase is used.
+	StreamBGPBase uint32 = 2
+)
+
+// Mode selects how the server multiplexes upstream sessions to clients.
+type Mode string
+
+// Multiplexing modes (§3: Quagga today, BIRD/ADD-PATH planned).
+const (
+	// ModeQuagga runs one BGP session per (client × upstream peer) —
+	// the deployed Transit Portal/Quagga design.
+	ModeQuagga Mode = "quagga"
+	// ModeBIRD runs a single ADD-PATH session per client, with path
+	// IDs identifying upstream peers — the paper's planned lightweight
+	// multiplexing.
+	ModeBIRD Mode = "bird"
+)
+
+// UpstreamInfo describes one upstream peer the server offers.
+type UpstreamInfo struct {
+	// ID is the stable upstream identifier (stream offset in Quagga
+	// mode; ADD-PATH path ID in BIRD mode).
+	ID uint32 `json:"id"`
+	// ASN is the upstream's autonomous system number.
+	ASN uint32 `json:"asn"`
+	// Name labels the peer ("ams-ix-rs", "ge-blacksburg").
+	Name string `json:"name"`
+	// PeerAddr is the synthetic address identifying this peer in the
+	// client's RIBs.
+	PeerAddr netip.Addr `json:"peer_addr"`
+	// Transit marks upstream providers (vs. settlement-free peers).
+	Transit bool `json:"transit"`
+}
+
+// Provisioning is the server→client handshake message.
+type Provisioning struct {
+	// Site names the server ("amsterdam01").
+	Site string `json:"site"`
+	// ASN is the testbed's public AS number the client will operate.
+	ASN uint32 `json:"asn"`
+	// Mode selects the multiplexing scheme.
+	Mode Mode `json:"mode"`
+	// Upstreams lists the peers available through this server.
+	Upstreams []UpstreamInfo `json:"upstreams"`
+	// Allocation is the prefix set this client may announce and source
+	// traffic from.
+	Allocation []netip.Prefix `json:"allocation"`
+	// SpoofAllowed reports whether the experiment has a controlled
+	// spoofing grant (§2: "only carefully controlled source address
+	// spoofing").
+	SpoofAllowed bool `json:"spoof_allowed"`
+}
+
+// WriteProvisioning sends p as one JSON line.
+func WriteProvisioning(w io.Writer, p *Provisioning) error {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("muxproto: marshal provisioning: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadProvisioning reads one JSON-line provisioning message.
+func ReadProvisioning(r io.Reader) (*Provisioning, error) {
+	line, err := bufio.NewReader(r).ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("muxproto: read provisioning: %w", err)
+	}
+	var p Provisioning
+	if err := json.Unmarshal(line, &p); err != nil {
+		return nil, fmt.Errorf("muxproto: decode provisioning: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,68 @@
+package muxproto
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func sampleProvisioning() *Provisioning {
+	return &Provisioning{
+		Site: "amsterdam01",
+		ASN:  47065,
+		Mode: ModeQuagga,
+		Upstreams: []UpstreamInfo{
+			{ID: 1, ASN: 6777, Name: "ams-ix-rs", PeerAddr: netip.MustParseAddr("80.249.208.1")},
+			{ID: 2, ASN: 3356, Name: "transit", PeerAddr: netip.MustParseAddr("4.69.0.1"), Transit: true},
+		},
+		Allocation:   []netip.Prefix{netip.MustParsePrefix("184.164.224.0/24")},
+		SpoofAllowed: true,
+	}
+}
+
+func TestProvisioningRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleProvisioning()
+	if err := WriteProvisioning(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// One line of JSON.
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("lines = %d", n)
+	}
+	out, err := ReadProvisioning(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Site != in.Site || out.ASN != in.ASN || out.Mode != in.Mode || !out.SpoofAllowed {
+		t.Fatalf("out = %+v", out)
+	}
+	if len(out.Upstreams) != 2 || out.Upstreams[1].PeerAddr != netip.MustParseAddr("4.69.0.1") || !out.Upstreams[1].Transit {
+		t.Fatalf("upstreams = %+v", out.Upstreams)
+	}
+	if len(out.Allocation) != 1 || out.Allocation[0] != netip.MustParsePrefix("184.164.224.0/24") {
+		t.Fatalf("allocation = %v", out.Allocation)
+	}
+}
+
+func TestReadProvisioningErrors(t *testing.T) {
+	if _, err := ReadProvisioning(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadProvisioning(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadProvisioning(strings.NewReader(`{"asn": 1}`)); err == nil {
+		t.Fatal("missing newline accepted")
+	}
+}
+
+func TestStreamIDConventions(t *testing.T) {
+	// The packet channel, control channel, and BGP base must be
+	// distinct and ordered — AcceptClient and the client's stream
+	// acceptor both depend on this.
+	if StreamPackets == StreamControl || StreamControl >= StreamBGPBase || StreamPackets >= StreamBGPBase {
+		t.Fatalf("stream IDs overlap: packets=%d control=%d bgp=%d", StreamPackets, StreamControl, StreamBGPBase)
+	}
+}

@@ -1,0 +1,334 @@
+// Package policy implements BGP routing policy: prefix lists, AS-path
+// and community matching, import/export statement chains with attribute
+// actions, and the Gao–Rexford export rules that govern the economics of
+// interdomain route propagation.
+//
+// Policies are what a PEERING server interposes between clients and the
+// real Internet (safety filters) and what the synthetic Internet's ASes
+// apply at every edge (business relationships).
+package policy
+
+import (
+	"fmt"
+	"net/netip"
+
+	"peering/internal/rib"
+	"peering/internal/trie"
+	"peering/internal/wire"
+)
+
+// Relationship classifies the business relationship to a neighbor, from
+// the local AS's point of view.
+type Relationship int
+
+// Relationship values.
+const (
+	RelNone     Relationship = iota
+	RelCustomer              // neighbor pays us
+	RelPeer                  // settlement-free
+	RelProvider              // we pay neighbor
+)
+
+func (r Relationship) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// ShouldExport implements the Gao–Rexford export rule: a route learned
+// from `from` may be exported to `to` only if it was learned from a
+// customer (or originated locally, from == RelNone) or is being exported
+// to a customer. Everything else would provide free transit.
+func ShouldExport(from, to Relationship) bool {
+	return from == RelCustomer || from == RelNone || to == RelCustomer
+}
+
+// LocalPrefFor returns the conventional LOCAL_PREF for a route by the
+// relationship it was learned over: customers are most preferred (they
+// pay), then peers (free), then providers (we pay).
+func LocalPrefFor(rel Relationship) uint32 {
+	switch rel {
+	case RelCustomer:
+		return 300
+	case RelPeer:
+		return 200
+	case RelProvider:
+		return 100
+	default:
+		return rib.DefaultLocalPref
+	}
+}
+
+// ---------------------------------------------------------------------
+// Prefix lists
+
+// PrefixRule is one prefix-list entry: match prefixes covered by Prefix
+// with mask length in [Ge, Le]. Zero Ge/Le default to the prefix's own
+// length (exact match).
+type PrefixRule struct {
+	Prefix netip.Prefix
+	Ge, Le int
+	Permit bool
+}
+
+// PrefixList is an ordered prefix filter with a default action for
+// non-matching prefixes.
+type PrefixList struct {
+	rules         []PrefixRule
+	PermitDefault bool
+}
+
+// NewPrefixList builds a list from rules; the default (no rule matches)
+// is deny.
+func NewPrefixList(rules ...PrefixRule) *PrefixList {
+	return &PrefixList{rules: rules}
+}
+
+// Add appends a rule.
+func (l *PrefixList) Add(r PrefixRule) { l.rules = append(l.rules, r) }
+
+// Match evaluates p against the list in order, first match wins.
+func (l *PrefixList) Match(p netip.Prefix) bool {
+	for _, r := range l.rules {
+		ge, le := r.Ge, r.Le
+		if ge == 0 {
+			ge = r.Prefix.Bits()
+		}
+		if le == 0 {
+			le = r.Prefix.Bits()
+		}
+		if p.Bits() < ge || p.Bits() > le {
+			continue
+		}
+		if !r.Prefix.Contains(p.Addr()) || r.Prefix.Bits() > p.Bits() {
+			continue
+		}
+		return r.Permit
+	}
+	return l.PermitDefault
+}
+
+// ---------------------------------------------------------------------
+// Origin validation (the testbed's anti-hijack filter)
+
+// OriginTable maps prefixes to their set of authorized origin ASNs —
+// the testbed's ROA-like database. A client announcement whose origin
+// is not authorized for the exact prefix or a covering prefix is
+// rejected.
+type OriginTable struct {
+	t *trie.Trie[map[uint32]bool]
+}
+
+// NewOriginTable returns an empty table.
+func NewOriginTable() *OriginTable {
+	return &OriginTable{t: trie.New[map[uint32]bool]()}
+}
+
+// Authorize records that asn may originate p and any more-specific of p.
+func (o *OriginTable) Authorize(p netip.Prefix, asn uint32) {
+	m, ok := o.t.Get(p)
+	if !ok {
+		m = map[uint32]bool{}
+		o.t.Insert(p, m)
+	}
+	m[asn] = true
+}
+
+// Revoke removes authorization.
+func (o *OriginTable) Revoke(p netip.Prefix, asn uint32) {
+	if m, ok := o.t.Get(p); ok {
+		delete(m, asn)
+		if len(m) == 0 {
+			o.t.Delete(p)
+		}
+	}
+}
+
+// Allowed reports whether asn may originate p: some covering (or exact)
+// authorization entry must list it.
+func (o *OriginTable) Allowed(p netip.Prefix, asn uint32) bool {
+	_, m, ok := o.t.LookupPrefix(p)
+	return ok && m[asn]
+}
+
+// ---------------------------------------------------------------------
+// Statement policies
+
+// Cond is a route predicate.
+type Cond func(*rib.Route) bool
+
+// MatchPrefixList matches routes whose prefix the list permits.
+func MatchPrefixList(l *PrefixList) Cond {
+	return func(r *rib.Route) bool { return l.Match(r.Prefix) }
+}
+
+// MatchCommunity matches routes carrying c.
+func MatchCommunity(c wire.Community) Cond {
+	return func(r *rib.Route) bool { return r.Attrs.HasCommunity(c) }
+}
+
+// MatchASInPath matches routes whose AS_PATH contains asn.
+func MatchASInPath(asn uint32) Cond {
+	return func(r *rib.Route) bool { return r.Attrs.ContainsAS(asn) }
+}
+
+// MatchOriginAS matches routes originated by asn.
+func MatchOriginAS(asn uint32) Cond {
+	return func(r *rib.Route) bool { return r.Attrs.OriginAS() == asn }
+}
+
+// MatchMaxPathLen matches routes whose AS_PATH is at most n hops.
+func MatchMaxPathLen(n int) Cond {
+	return func(r *rib.Route) bool { return r.Attrs.PathLen() <= n }
+}
+
+// MatchAny matches everything.
+func MatchAny() Cond { return func(*rib.Route) bool { return true } }
+
+// All combines conditions conjunctively.
+func All(conds ...Cond) Cond {
+	return func(r *rib.Route) bool {
+		for _, c := range conds {
+			if !c(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Action mutates a route's (already cloned) attributes.
+type Action func(*rib.Route)
+
+// SetLocalPref sets LOCAL_PREF.
+func SetLocalPref(v uint32) Action {
+	return func(r *rib.Route) { r.Attrs.LocalPref, r.Attrs.HasLocalPref = v, true }
+}
+
+// SetMED sets MULTI_EXIT_DISC.
+func SetMED(v uint32) Action {
+	return func(r *rib.Route) { r.Attrs.MED, r.Attrs.HasMED = v, true }
+}
+
+// Prepend prepends asn count times.
+func Prepend(asn uint32, count int) Action {
+	return func(r *rib.Route) { r.Attrs.PrependAS(asn, count) }
+}
+
+// AddCommunity attaches c.
+func AddCommunity(c wire.Community) Action {
+	return func(r *rib.Route) { r.Attrs.AddCommunity(c) }
+}
+
+// RemoveCommunity detaches c.
+func RemoveCommunity(c wire.Community) Action {
+	return func(r *rib.Route) { r.Attrs.RemoveCommunity(c) }
+}
+
+// SetNextHop rewrites NEXT_HOP.
+func SetNextHop(nh netip.Addr) Action {
+	return func(r *rib.Route) { r.Attrs.NextHop = nh }
+}
+
+// Statement is one policy clause: if Cond matches, run Actions and
+// accept or reject.
+type Statement struct {
+	Name    string
+	Cond    Cond
+	Actions []Action
+	Accept  bool
+}
+
+// Policy is an ordered chain of statements with a default disposition.
+type Policy struct {
+	Name          string
+	Statements    []Statement
+	AcceptDefault bool
+}
+
+// Accept is the identity policy.
+var Accept = &Policy{Name: "accept-all", AcceptDefault: true}
+
+// Reject drops everything.
+var Reject = &Policy{Name: "reject-all"}
+
+// Apply evaluates the policy on r. It returns a route with (possibly)
+// rewritten attributes and true, or nil and false when rejected. The
+// input route is never mutated: the first action clones.
+func (p *Policy) Apply(r *rib.Route) (*rib.Route, bool) {
+	if p == nil {
+		return r, true
+	}
+	for _, s := range p.Statements {
+		if s.Cond != nil && !s.Cond(r) {
+			continue
+		}
+		if !s.Accept {
+			return nil, false
+		}
+		if len(s.Actions) == 0 {
+			return r, true
+		}
+		out := *r
+		out.Attrs = r.Attrs.Clone()
+		for _, a := range s.Actions {
+			a(&out)
+		}
+		return &out, true
+	}
+	if p.AcceptDefault {
+		return r, true
+	}
+	return nil, false
+}
+
+// Then appends a statement, returning p for chaining.
+func (p *Policy) Then(s Statement) *Policy {
+	p.Statements = append(p.Statements, s)
+	return p
+}
+
+func (p *Policy) String() string {
+	if p == nil {
+		return "<nil policy>"
+	}
+	return fmt.Sprintf("policy %s (%d statements, default %v)", p.Name, len(p.Statements), p.AcceptDefault)
+}
+
+// ---------------------------------------------------------------------
+// Peering policies (how ASes respond to peering requests, §4.1)
+
+// PeeringKind is an AS's published willingness to peer.
+type PeeringKind int
+
+// Peering policy kinds observed at AMS-IX (§4.1): 48 open, 12 closed,
+// 40 case-by-case, 15 unlisted among non-route-server members.
+const (
+	PeeringOpen PeeringKind = iota
+	PeeringSelective
+	PeeringCaseByCase
+	PeeringClosed
+	PeeringUnlisted
+)
+
+func (k PeeringKind) String() string {
+	switch k {
+	case PeeringOpen:
+		return "open"
+	case PeeringSelective:
+		return "selective"
+	case PeeringCaseByCase:
+		return "case-by-case"
+	case PeeringClosed:
+		return "closed"
+	default:
+		return "unlisted"
+	}
+}

@@ -1,0 +1,454 @@
+// Package portal implements the testbed's management web service (§3,
+// "Easing management and experiment deployment"): researcher accounts,
+// experiment proposals vetted by an advisory board, automated prefix
+// provisioning (a /24 per client out of the testbed's /19), scheduled
+// announcements with researcher notification, and a record of
+// control-plane measurements.
+//
+// The portal is an ordinary net/http JSON API backed by an in-memory
+// store with optional JSON snapshot persistence — the "database
+// tracking all the relevant data" the paper describes.
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"peering/internal/clock"
+)
+
+// ExperimentStatus is the lifecycle of a proposal.
+type ExperimentStatus string
+
+// Experiment lifecycle states.
+const (
+	StatusPending  ExperimentStatus = "pending"  // awaiting advisory board
+	StatusApproved ExperimentStatus = "approved" // provisioned
+	StatusRejected ExperimentStatus = "rejected"
+	StatusRetired  ExperimentStatus = "retired"
+)
+
+// Account is a researcher account.
+type Account struct {
+	User    string    `json:"user"`
+	Email   string    `json:"email"`
+	Created time.Time `json:"created"`
+}
+
+// Experiment is a vetted (or pending) experiment with its resources.
+type Experiment struct {
+	ID     string           `json:"id"`
+	User   string           `json:"user"`
+	Title  string           `json:"title"`
+	Status ExperimentStatus `json:"status"`
+	// Allocation is the prefix set provisioned on approval.
+	Allocation []netip.Prefix `json:"allocation,omitempty"`
+	// SpoofGrant marks approval for controlled spoofing experiments.
+	SpoofGrant bool      `json:"spoof_grant,omitempty"`
+	Created    time.Time `json:"created"`
+}
+
+// Announcement is a scheduled routing action.
+type Announcement struct {
+	ID         int          `json:"id"`
+	Experiment string       `json:"experiment"`
+	Prefix     netip.Prefix `json:"prefix"`
+	// Withdraw retracts instead of announcing.
+	Withdraw bool `json:"withdraw,omitempty"`
+	// Upstreams restricts the action (empty = all).
+	Upstreams []uint32  `json:"upstreams,omitempty"`
+	At        time.Time `json:"at"`
+	Executed  bool      `json:"executed"`
+}
+
+// Measurement is one recorded control/data-plane observation.
+type Measurement struct {
+	Time       time.Time `json:"time"`
+	Experiment string    `json:"experiment"`
+	Kind       string    `json:"kind"` // "bgp-update", "ping", "traceroute"
+	Detail     string    `json:"detail"`
+}
+
+// Executor applies approved routing actions to the testbed. The portal
+// calls it when a scheduled announcement comes due.
+type Executor interface {
+	Execute(a Announcement) error
+}
+
+// ExecutorFunc adapts a function to Executor.
+type ExecutorFunc func(Announcement) error
+
+// Execute implements Executor.
+func (f ExecutorFunc) Execute(a Announcement) error { return f(a) }
+
+// Notifier tells a researcher their announcement has run so they can
+// start measurements (§3). Nil notifiers are skipped.
+type Notifier func(user string, a Announcement)
+
+// Portal is the management service.
+type Portal struct {
+	clk      clock.Clock
+	executor Executor
+	notify   Notifier
+
+	mu            sync.Mutex
+	onApprove     func(Experiment)
+	pool          []netip.Prefix // unallocated /24s
+	accounts      map[string]*Account
+	experiments   map[string]*Experiment
+	announcements []*Announcement
+	measurements  []Measurement
+	nextAnnID     int
+}
+
+// SetApproveHook registers a callback fired after each approval — the
+// automated provisioning step (§3: "at which point the provisioning
+// will be automated, configuring servers and giving researchers the
+// configuration they need").
+func (p *Portal) SetApproveHook(fn func(Experiment)) {
+	p.mu.Lock()
+	p.onApprove = fn
+	p.mu.Unlock()
+}
+
+// New creates a portal managing the given supernet (the testbed /19);
+// it is carved into /24 allocations, one per experiment (§3).
+func New(supernet netip.Prefix, clk clock.Clock, ex Executor, notify Notifier) (*Portal, error) {
+	if supernet.Bits() > 24 {
+		return nil, fmt.Errorf("portal: supernet %v smaller than one /24", supernet)
+	}
+	if clk == nil {
+		clk = clock.System
+	}
+	p := &Portal{
+		clk:         clk,
+		executor:    ex,
+		notify:      notify,
+		accounts:    make(map[string]*Account),
+		experiments: make(map[string]*Experiment),
+	}
+	// Carve the pool.
+	base := supernet.Masked().Addr().As4()
+	n := 1 << (24 - supernet.Bits())
+	for i := 0; i < n; i++ {
+		v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+		v += uint32(i) << 8
+		p.pool = append(p.pool, netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}), 24))
+	}
+	return p, nil
+}
+
+// DonatePrefix adds an external prefix to the allocation pool
+// ("Some researchers have offered to donate IPv4 prefixes", §3).
+func (p *Portal) DonatePrefix(pfx netip.Prefix) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pool = append(p.pool, pfx)
+}
+
+// PoolSize reports remaining unallocated /24s — the scalability limit
+// §3 names ("PEERING scalability depends on the number of available
+// prefixes").
+func (p *Portal) PoolSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pool)
+}
+
+// CreateAccount registers a researcher.
+func (p *Portal) CreateAccount(user, email string) (*Account, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.accounts[user]; dup {
+		return nil, fmt.Errorf("portal: account %q exists", user)
+	}
+	a := &Account{User: user, Email: email, Created: p.clk.Now()}
+	p.accounts[user] = a
+	return a, nil
+}
+
+// Propose submits an experiment for vetting.
+func (p *Portal) Propose(user, id, title string) (*Experiment, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.accounts[user]; !ok {
+		return nil, fmt.Errorf("portal: unknown account %q", user)
+	}
+	if _, dup := p.experiments[id]; dup {
+		return nil, fmt.Errorf("portal: experiment %q exists", id)
+	}
+	e := &Experiment{ID: id, User: user, Title: title, Status: StatusPending, Created: p.clk.Now()}
+	p.experiments[id] = e
+	cp := *e
+	return &cp, nil
+}
+
+// Approve vets an experiment (the advisory board action) and
+// provisions one /24 from the pool. spoofGrant approves controlled
+// spoofing.
+func (p *Portal) Approve(id string, spoofGrant bool) (*Experiment, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.experiments[id]
+	if e == nil {
+		return nil, fmt.Errorf("portal: unknown experiment %q", id)
+	}
+	if e.Status != StatusPending {
+		return nil, fmt.Errorf("portal: experiment %q is %s", id, e.Status)
+	}
+	if len(p.pool) == 0 {
+		return nil, errors.New("portal: prefix pool exhausted")
+	}
+	e.Allocation = []netip.Prefix{p.pool[0]}
+	p.pool = p.pool[1:]
+	e.SpoofGrant = spoofGrant
+	e.Status = StatusApproved
+	// Return a copy: later lifecycle transitions (Retire) mutate the
+	// stored record and must not reach into callers' hands.
+	cp := *e
+	if p.onApprove != nil {
+		// Runs while the portal lock is held (defers are LIFO, so this
+		// fires before the unlock): hooks provision server-side state
+		// and must not call back into the portal.
+		hook := p.onApprove
+		snapshot := cp
+		defer hook(snapshot)
+	}
+	return &cp, nil
+}
+
+// Reject declines a pending experiment.
+func (p *Portal) Reject(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.experiments[id]
+	if e == nil {
+		return fmt.Errorf("portal: unknown experiment %q", id)
+	}
+	if e.Status != StatusPending {
+		return fmt.Errorf("portal: experiment %q is %s", id, e.Status)
+	}
+	e.Status = StatusRejected
+	return nil
+}
+
+// Retire ends an experiment and returns its prefixes to the pool.
+func (p *Portal) Retire(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.experiments[id]
+	if e == nil {
+		return fmt.Errorf("portal: unknown experiment %q", id)
+	}
+	if e.Status != StatusApproved {
+		return fmt.Errorf("portal: experiment %q is %s", id, e.Status)
+	}
+	p.pool = append(p.pool, e.Allocation...)
+	e.Allocation = nil
+	e.Status = StatusRetired
+	return nil
+}
+
+// Experiment returns the experiment record.
+func (p *Portal) Experiment(id string) (*Experiment, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.experiments[id]
+	if !ok {
+		return nil, false
+	}
+	cp := *e
+	return &cp, true
+}
+
+// Schedule queues an announcement for execution at a.At; a timer fires
+// it through the Executor and then notifies the researcher.
+func (p *Portal) Schedule(a Announcement) (*Announcement, error) {
+	p.mu.Lock()
+	e := p.experiments[a.Experiment]
+	if e == nil || e.Status != StatusApproved {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("portal: experiment %q not approved", a.Experiment)
+	}
+	allocated := false
+	for _, alloc := range e.Allocation {
+		if alloc.Contains(a.Prefix.Addr()) && alloc.Bits() <= a.Prefix.Bits() {
+			allocated = true
+			break
+		}
+	}
+	if !allocated {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("portal: prefix %v outside experiment allocation", a.Prefix)
+	}
+	p.nextAnnID++
+	a.ID = p.nextAnnID
+	stored := a
+	p.announcements = append(p.announcements, &stored)
+	user := e.User
+	p.mu.Unlock()
+
+	delay := a.At.Sub(p.clk.Now())
+	p.clk.AfterFunc(delay, func() {
+		if p.executor != nil {
+			if err := p.executor.Execute(a); err != nil {
+				return
+			}
+		}
+		p.mu.Lock()
+		stored.Executed = true
+		p.mu.Unlock()
+		if p.notify != nil {
+			p.notify(user, a)
+		}
+	})
+	return &stored, nil
+}
+
+// Announcements lists scheduled actions for an experiment.
+func (p *Portal) Announcements(experiment string) []Announcement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Announcement
+	for _, a := range p.announcements {
+		if a.Experiment == experiment {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// Record stores a measurement ("we also automatically collect regular
+// control and data plane measurements", §3).
+func (p *Portal) Record(m Measurement) {
+	if m.Time.IsZero() {
+		m.Time = p.clk.Now()
+	}
+	p.mu.Lock()
+	p.measurements = append(p.measurements, m)
+	p.mu.Unlock()
+}
+
+// Measurements returns recorded measurements for an experiment, oldest
+// first.
+func (p *Portal) Measurements(experiment string) []Measurement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Measurement
+	for _, m := range p.measurements {
+		if m.Experiment == experiment {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// ---------------------------------------------------------------------
+// HTTP API
+
+// Handler returns the portal's JSON HTTP API:
+//
+//	POST /accounts              {user, email}
+//	POST /experiments           {user, id, title}
+//	POST /experiments/approve   {id, spoof_grant}
+//	POST /experiments/reject    {id}
+//	POST /experiments/retire    {id}
+//	GET  /experiments?id=X
+//	POST /announcements         {experiment, prefix, withdraw, upstreams, at}
+//	GET  /announcements?experiment=X
+//	GET  /measurements?experiment=X
+//	GET  /pool
+func (p *Portal) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /accounts", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ User, Email string }
+		if !decode(w, r, &req) {
+			return
+		}
+		a, err := p.CreateAccount(req.User, req.Email)
+		reply(w, a, err)
+	})
+	mux.HandleFunc("POST /experiments", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ User, ID, Title string }
+		if !decode(w, r, &req) {
+			return
+		}
+		e, err := p.Propose(req.User, req.ID, req.Title)
+		reply(w, e, err)
+	})
+	mux.HandleFunc("POST /experiments/approve", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ID         string `json:"id"`
+			SpoofGrant bool   `json:"spoof_grant"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		e, err := p.Approve(req.ID, req.SpoofGrant)
+		reply(w, e, err)
+	})
+	mux.HandleFunc("POST /experiments/reject", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ ID string }
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, map[string]string{"status": "rejected"}, p.Reject(req.ID))
+	})
+	mux.HandleFunc("POST /experiments/retire", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ ID string }
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, map[string]string{"status": "retired"}, p.Retire(req.ID))
+	})
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := p.Experiment(r.URL.Query().Get("id"))
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		reply(w, e, nil)
+	})
+	mux.HandleFunc("POST /announcements", func(w http.ResponseWriter, r *http.Request) {
+		var a Announcement
+		if !decode(w, r, &a) {
+			return
+		}
+		out, err := p.Schedule(a)
+		reply(w, out, err)
+	})
+	mux.HandleFunc("GET /announcements", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, p.Announcements(r.URL.Query().Get("experiment")), nil)
+	})
+	mux.HandleFunc("GET /measurements", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, p.Measurements(r.URL.Query().Get("experiment")), nil)
+	})
+	mux.HandleFunc("GET /pool", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, map[string]int{"available": p.PoolSize()}, nil)
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, v any, err error) {
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,299 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"peering/internal/clock"
+)
+
+var epoch = time.Date(2014, 10, 27, 0, 0, 0, 0, time.UTC)
+
+func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func newPortal(t *testing.T) (*Portal, *clock.Virtual, *execLog) {
+	t.Helper()
+	v := clock.NewVirtual(epoch)
+	ex := &execLog{}
+	var notes []string
+	p, err := New(prefix("184.164.224.0/19"), v, ex, func(user string, a Announcement) {
+		notes = append(notes, user)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, v, ex
+}
+
+type execLog struct {
+	mu   sync.Mutex
+	runs []Announcement
+}
+
+func (e *execLog) Execute(a Announcement) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runs = append(e.runs, a)
+	return nil
+}
+
+func (e *execLog) count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.runs)
+}
+
+func TestPoolCarving(t *testing.T) {
+	p, _, _ := newPortal(t)
+	// A /19 holds 32 /24s — the paper's client-per-/24 budget.
+	if got := p.PoolSize(); got != 32 {
+		t.Fatalf("pool = %d /24s, want 32", got)
+	}
+	if _, err := New(prefix("10.0.0.0/25"), nil, nil, nil); err == nil {
+		t.Fatal("sub-/24 supernet accepted")
+	}
+}
+
+func TestExperimentLifecycle(t *testing.T) {
+	p, _, _ := newPortal(t)
+	if _, err := p.CreateAccount("brandon", "b@usc.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateAccount("brandon", "dup@usc.edu"); err == nil {
+		t.Fatal("duplicate account accepted")
+	}
+	if _, err := p.Propose("ghost", "e1", "x"); err == nil {
+		t.Fatal("proposal from unknown account accepted")
+	}
+	e, err := p.Propose("brandon", "e1", "BGP convergence study")
+	if err != nil || e.Status != StatusPending {
+		t.Fatalf("propose: %v %+v", err, e)
+	}
+	ap, err := p.Approve("e1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.Allocation) != 1 || ap.Allocation[0].Bits() != 24 {
+		t.Fatalf("allocation = %v", ap.Allocation)
+	}
+	if p.PoolSize() != 31 {
+		t.Fatalf("pool = %d after approval", p.PoolSize())
+	}
+	if _, err := p.Approve("e1", false); err == nil {
+		t.Fatal("double approval accepted")
+	}
+	if err := p.Retire("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if p.PoolSize() != 32 {
+		t.Fatalf("pool = %d after retire, want 32 (prefix returned)", p.PoolSize())
+	}
+	got, _ := p.Experiment("e1")
+	if got.Status != StatusRetired || got.Allocation != nil {
+		t.Fatalf("retired experiment = %+v", got)
+	}
+}
+
+func TestRejectPath(t *testing.T) {
+	p, _, _ := newPortal(t)
+	p.CreateAccount("u", "u@x")
+	p.Propose("u", "bad", "prefix hijack for profit")
+	if err := p.Reject("bad"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Approve("bad", false); err == nil {
+		t.Fatal("rejected experiment approved")
+	}
+	if p.PoolSize() != 32 {
+		t.Fatal("rejection consumed a prefix")
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p, _, _ := newPortal(t)
+	p.CreateAccount("u", "u@x")
+	for i := 0; i < 32; i++ {
+		id := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		p.Propose("u", id, "exp")
+		if _, err := p.Approve(id, false); err != nil {
+			t.Fatalf("approval %d failed: %v", i, err)
+		}
+	}
+	p.Propose("u", "extra", "exp")
+	if _, err := p.Approve("extra", false); err == nil {
+		t.Fatal("approval beyond pool capacity succeeded")
+	}
+	// Donated prefixes extend capacity (§3).
+	p.DonatePrefix(prefix("192.0.2.0/24"))
+	if _, err := p.Approve("extra", false); err != nil {
+		t.Fatalf("approval after donation failed: %v", err)
+	}
+}
+
+func TestScheduleExecutesAndNotifies(t *testing.T) {
+	v := clock.NewVirtual(epoch)
+	ex := &execLog{}
+	var mu sync.Mutex
+	var notified []string
+	p, _ := New(prefix("184.164.224.0/19"), v, ex, func(user string, a Announcement) {
+		mu.Lock()
+		notified = append(notified, user)
+		mu.Unlock()
+	})
+	p.CreateAccount("u", "u@x")
+	p.Propose("u", "e1", "t")
+	e, _ := p.Approve("e1", false)
+
+	a, err := p.Schedule(Announcement{
+		Experiment: "e1",
+		Prefix:     e.Allocation[0],
+		At:         epoch.Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == 0 {
+		t.Fatal("no announcement ID assigned")
+	}
+	if ex.count() != 0 {
+		t.Fatal("executed before scheduled time")
+	}
+	v.Advance(2 * time.Hour)
+	if ex.count() != 1 {
+		t.Fatalf("executed %d times, want 1", ex.count())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(notified) != 1 || notified[0] != "u" {
+		t.Fatalf("notified = %v", notified)
+	}
+	anns := p.Announcements("e1")
+	if len(anns) != 1 || !anns[0].Executed {
+		t.Fatalf("announcements = %+v", anns)
+	}
+}
+
+func TestScheduleValidatesPrefixOwnership(t *testing.T) {
+	p, _, _ := newPortal(t)
+	p.CreateAccount("u", "u@x")
+	p.Propose("u", "e1", "t")
+	p.Approve("e1", false)
+	_, err := p.Schedule(Announcement{Experiment: "e1", Prefix: prefix("8.8.8.0/24"), At: epoch})
+	if err == nil {
+		t.Fatal("announcement outside allocation scheduled")
+	}
+	// Unapproved experiment cannot schedule.
+	p.Propose("u", "e2", "t")
+	_, err = p.Schedule(Announcement{Experiment: "e2", Prefix: prefix("184.164.225.0/24"), At: epoch})
+	if err == nil {
+		t.Fatal("unapproved experiment scheduled")
+	}
+}
+
+func TestMeasurements(t *testing.T) {
+	p, v, _ := newPortal(t)
+	p.Record(Measurement{Experiment: "e1", Kind: "ping", Detail: "rtt=12ms"})
+	v.Advance(time.Minute)
+	p.Record(Measurement{Experiment: "e1", Kind: "bgp-update", Detail: "announce seen at collector"})
+	p.Record(Measurement{Experiment: "other", Kind: "ping", Detail: "x"})
+	ms := p.Measurements("e1")
+	if len(ms) != 2 || ms[0].Kind != "ping" || ms[1].Kind != "bgp-update" {
+		t.Fatalf("measurements = %+v", ms)
+	}
+}
+
+// ---------------------------------------------------------------------
+// HTTP API
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	v := clock.NewVirtual(epoch)
+	ex := &execLog{}
+	p, _ := New(prefix("184.164.224.0/19"), v, ex, nil)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	if resp := post(t, srv, "/accounts", map[string]string{"user": "kyriakos", "email": "k@usc.edu"}); resp.StatusCode != 200 {
+		t.Fatalf("create account: %d", resp.StatusCode)
+	}
+	if resp := post(t, srv, "/experiments", map[string]string{"user": "kyriakos", "id": "poiroot", "title": "root cause analysis"}); resp.StatusCode != 200 {
+		t.Fatalf("propose: %d", resp.StatusCode)
+	}
+	resp := post(t, srv, "/experiments/approve", map[string]any{"id": "poiroot"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("approve: %d", resp.StatusCode)
+	}
+	var exp Experiment
+	json.NewDecoder(resp.Body).Decode(&exp)
+	if len(exp.Allocation) != 1 {
+		t.Fatalf("approved = %+v", exp)
+	}
+
+	// Schedule through the API.
+	resp = post(t, srv, "/announcements", map[string]any{
+		"experiment": "poiroot",
+		"prefix":     exp.Allocation[0].String(),
+		"at":         epoch.Add(time.Minute),
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("schedule: %d", resp.StatusCode)
+	}
+	v.Advance(2 * time.Minute)
+	if ex.count() != 1 {
+		t.Fatal("scheduled announcement not executed")
+	}
+
+	// Reads.
+	get, err := http.Get(srv.URL + "/experiments?id=poiroot")
+	if err != nil || get.StatusCode != 200 {
+		t.Fatalf("get experiment: %v %d", err, get.StatusCode)
+	}
+	get, _ = http.Get(srv.URL + "/announcements?experiment=poiroot")
+	var anns []Announcement
+	json.NewDecoder(get.Body).Decode(&anns)
+	if len(anns) != 1 {
+		t.Fatalf("announcements = %+v", anns)
+	}
+	get, _ = http.Get(srv.URL + "/pool")
+	var pool map[string]int
+	json.NewDecoder(get.Body).Decode(&pool)
+	if pool["available"] != 31 {
+		t.Fatalf("pool = %v", pool)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	p, _, _ := newPortal(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	// Malformed JSON.
+	resp, _ := http.Post(srv.URL+"/accounts", "application/json", bytes.NewReader([]byte("{")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed: %d", resp.StatusCode)
+	}
+	// Unknown experiment.
+	resp = post(t, srv, "/experiments/approve", map[string]string{"id": "nope"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unknown approve: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/experiments?id=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get unknown: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,408 @@
+// Package rib implements BGP routing tables: per-peer Adj-RIB-In and
+// Adj-RIB-Out views, the Loc-RIB with the RFC 4271 §9.1 decision
+// process, and change notifications that drive route export.
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"peering/internal/trie"
+	"peering/internal/wire"
+)
+
+// DefaultLocalPref is assumed when a route carries no LOCAL_PREF
+// attribute (RFC 4271 §9.1.1 leaves this to configuration; 100 is the
+// universal default).
+const DefaultLocalPref = 100
+
+// PeerKey identifies the source of a route inside a table: the peer's
+// address plus the ADD-PATH identifier (zero without ADD-PATH).
+type PeerKey struct {
+	Addr   netip.Addr
+	PathID wire.PathID
+}
+
+func (k PeerKey) String() string {
+	if k.PathID == 0 {
+		return k.Addr.String()
+	}
+	return fmt.Sprintf("%s#%d", k.Addr, k.PathID)
+}
+
+// Route is one path to one prefix, as stored in a RIB.
+type Route struct {
+	Prefix netip.Prefix
+	Attrs  *wire.Attrs
+	// Src identifies the peer (and ADD-PATH id) the route came from.
+	Src PeerKey
+	// PeerAS is the ASN of the advertising peer.
+	PeerAS uint32
+	// PeerID is the advertising peer's BGP identifier, used as a
+	// decision tie-breaker.
+	PeerID netip.Addr
+	// EBGP marks routes learned over an external session.
+	EBGP bool
+	// IGPCost is the interior cost to reach Attrs.NextHop.
+	IGPCost uint32
+	// Learned is when the route entered the table.
+	Learned time.Time
+}
+
+// LocalPref returns the route's LOCAL_PREF, applying the default.
+func (r *Route) LocalPref() uint32 {
+	if r.Attrs != nil && r.Attrs.HasLocalPref {
+		return r.Attrs.LocalPref
+	}
+	return DefaultLocalPref
+}
+
+// MED returns the route's MULTI_EXIT_DISC, with absence as zero
+// (deterministic-med, Cisco default behavior).
+func (r *Route) MED() uint32 {
+	if r.Attrs != nil && r.Attrs.HasMED {
+		return r.Attrs.MED
+	}
+	return 0
+}
+
+func (r *Route) String() string {
+	return fmt.Sprintf("%s via %s path [%s]", r.Prefix, r.Src, r.Attrs.PathString())
+}
+
+// Better reports whether a is preferred over b under the RFC 4271 §9.1.2
+// decision process (with the standard vendor extensions for the final
+// tie-breaks). Routes must be for the same prefix.
+func Better(a, b *Route) bool {
+	// 1. Highest LOCAL_PREF.
+	if la, lb := a.LocalPref(), b.LocalPref(); la != lb {
+		return la > lb
+	}
+	// 2. Shortest AS_PATH.
+	if pa, pb := a.Attrs.PathLen(), b.Attrs.PathLen(); pa != pb {
+		return pa < pb
+	}
+	// 3. Lowest ORIGIN (IGP < EGP < incomplete).
+	if a.Attrs.Origin != b.Attrs.Origin {
+		return a.Attrs.Origin < b.Attrs.Origin
+	}
+	// 4. Lowest MED among routes from the same neighbor AS.
+	if a.Attrs.FirstAS() == b.Attrs.FirstAS() {
+		if ma, mb := a.MED(), b.MED(); ma != mb {
+			return ma < mb
+		}
+	}
+	// 5. eBGP over iBGP.
+	if a.EBGP != b.EBGP {
+		return a.EBGP
+	}
+	// 6. Lowest IGP cost to next hop.
+	if a.IGPCost != b.IGPCost {
+		return a.IGPCost < b.IGPCost
+	}
+	// 7. Lowest peer BGP identifier.
+	if a.PeerID != b.PeerID {
+		return a.PeerID.Less(b.PeerID)
+	}
+	// 8. Lowest peer address (and path id) — total order for determinism.
+	if a.Src.Addr != b.Src.Addr {
+		return a.Src.Addr.Less(b.Src.Addr)
+	}
+	return a.Src.PathID < b.Src.PathID
+}
+
+// ---------------------------------------------------------------------
+// Adj-RIB (per-peer view)
+
+// AdjRIB is the set of routes received from (Adj-RIB-In) or sent to
+// (Adj-RIB-Out) a single peer. It is not safe for concurrent use.
+type AdjRIB struct {
+	t *trie.Trie[map[wire.PathID]*Route]
+	n int
+}
+
+// NewAdjRIB returns an empty per-peer table.
+func NewAdjRIB() *AdjRIB {
+	return &AdjRIB{t: trie.New[map[wire.PathID]*Route]()}
+}
+
+// Set stores r, replacing any previous route with the same prefix and
+// path ID. It returns the replaced route, if any.
+func (a *AdjRIB) Set(r *Route) *Route {
+	m, ok := a.t.Get(r.Prefix)
+	if !ok {
+		m = make(map[wire.PathID]*Route, 1)
+		a.t.Insert(r.Prefix, m)
+	}
+	old := m[r.Src.PathID]
+	m[r.Src.PathID] = r
+	if old == nil {
+		a.n++
+	}
+	return old
+}
+
+// Remove deletes the route for (prefix, id), returning it if present.
+func (a *AdjRIB) Remove(p netip.Prefix, id wire.PathID) *Route {
+	m, ok := a.t.Get(p)
+	if !ok {
+		return nil
+	}
+	r := m[id]
+	if r == nil {
+		return nil
+	}
+	delete(m, id)
+	a.n--
+	if len(m) == 0 {
+		a.t.Delete(p)
+	}
+	return r
+}
+
+// Get returns the route for (prefix, id).
+func (a *AdjRIB) Get(p netip.Prefix, id wire.PathID) *Route {
+	m, ok := a.t.Get(p)
+	if !ok {
+		return nil
+	}
+	return m[id]
+}
+
+// Len reports the number of stored routes (not prefixes).
+func (a *AdjRIB) Len() int { return a.n }
+
+// Walk visits every stored route.
+func (a *AdjRIB) Walk(fn func(*Route) bool) {
+	a.t.Walk(func(_ netip.Prefix, m map[wire.PathID]*Route) bool {
+		for _, r := range m {
+			if !fn(r) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Clear drops all routes, returning how many were removed.
+func (a *AdjRIB) Clear() int {
+	n := a.n
+	a.t = trie.New[map[wire.PathID]*Route]()
+	a.n = 0
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Loc-RIB
+
+// Change describes a best-route transition for one prefix, emitted by
+// LocRIB mutations so the owner can export.
+type Change struct {
+	Prefix netip.Prefix
+	Old    *Route // nil if the prefix was previously unreachable
+	New    *Route // nil if the prefix became unreachable
+}
+
+// LocRIB holds all candidate routes and the current best per prefix.
+// It is safe for concurrent use.
+type LocRIB struct {
+	mu     sync.RWMutex
+	t      *trie.Trie[*entry]
+	routes int
+}
+
+type entry struct {
+	// candidates, unordered; best is computed on change.
+	candidates []*Route
+	best       *Route
+}
+
+// NewLocRIB returns an empty Loc-RIB.
+func NewLocRIB() *LocRIB {
+	return &LocRIB{t: trie.New[*entry]()}
+}
+
+// Update inserts or replaces the candidate from r.Src for r.Prefix and
+// recomputes the best route. The returned Change has Old == New == best
+// when the best route did not move (callers test Changed).
+func (l *LocRIB) Update(r *Route) (Change, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.t.Get(r.Prefix)
+	if !ok {
+		e = &entry{}
+		l.t.Insert(r.Prefix, e)
+	}
+	replaced := false
+	for i, c := range e.candidates {
+		if c.Src == r.Src {
+			e.candidates[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		e.candidates = append(e.candidates, r)
+		l.routes++
+	}
+	return l.recompute(r.Prefix, e)
+}
+
+// Withdraw removes the candidate from src for p and recomputes.
+func (l *LocRIB) Withdraw(p netip.Prefix, src PeerKey) (Change, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.t.Get(p)
+	if !ok {
+		return Change{Prefix: p}, false
+	}
+	found := false
+	for i, c := range e.candidates {
+		if c.Src == src {
+			e.candidates = append(e.candidates[:i], e.candidates[i+1:]...)
+			l.routes--
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Change{Prefix: p}, false
+	}
+	ch, changed := l.recompute(p, e)
+	if len(e.candidates) == 0 {
+		l.t.Delete(p)
+	}
+	return ch, changed
+}
+
+// WithdrawPeer removes every candidate learned from peer address addr
+// (session teardown), returning the resulting best-route changes.
+func (l *LocRIB) WithdrawPeer(addr netip.Addr) []Change {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var prefixes []netip.Prefix
+	l.t.Walk(func(p netip.Prefix, e *entry) bool {
+		for _, c := range e.candidates {
+			if c.Src.Addr == addr {
+				prefixes = append(prefixes, p)
+				break
+			}
+		}
+		return true
+	})
+	var changes []Change
+	for _, p := range prefixes {
+		e, _ := l.t.Get(p)
+		kept := e.candidates[:0]
+		for _, c := range e.candidates {
+			if c.Src.Addr == addr {
+				l.routes--
+				continue
+			}
+			kept = append(kept, c)
+		}
+		e.candidates = kept
+		if ch, changed := l.recompute(p, e); changed {
+			changes = append(changes, ch)
+		}
+		if len(e.candidates) == 0 {
+			l.t.Delete(p)
+		}
+	}
+	return changes
+}
+
+// recompute re-runs the decision process for p. Caller holds l.mu.
+func (l *LocRIB) recompute(p netip.Prefix, e *entry) (Change, bool) {
+	old := e.best
+	var best *Route
+	for _, c := range e.candidates {
+		if best == nil || Better(c, best) {
+			best = c
+		}
+	}
+	e.best = best
+	if old == best {
+		return Change{Prefix: p, Old: old, New: best}, false
+	}
+	return Change{Prefix: p, Old: old, New: best}, true
+}
+
+// Best returns the selected route for exactly prefix p.
+func (l *LocRIB) Best(p netip.Prefix) *Route {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.t.Get(p)
+	if !ok {
+		return nil
+	}
+	return e.best
+}
+
+// Candidates returns all candidate routes for p (copy).
+func (l *LocRIB) Candidates(p netip.Prefix) []*Route {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.t.Get(p)
+	if !ok {
+		return nil
+	}
+	out := make([]*Route, len(e.candidates))
+	copy(out, e.candidates)
+	return out
+}
+
+// Lookup performs a longest-prefix match over best routes.
+func (l *LocRIB) Lookup(addr netip.Addr) *Route {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	// Empty entries are pruned on withdraw, so every stored entry has a
+	// best route and a plain LPM suffices.
+	_, e, ok := l.t.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	return e.best
+}
+
+// Prefixes reports the number of distinct prefixes present.
+func (l *LocRIB) Prefixes() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t.Len()
+}
+
+// Routes reports the total number of candidate routes.
+func (l *LocRIB) Routes() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.routes
+}
+
+// WalkBest visits the best route of every prefix.
+func (l *LocRIB) WalkBest(fn func(*Route) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.t.Walk(func(_ netip.Prefix, e *entry) bool {
+		if e.best == nil {
+			return true
+		}
+		return fn(e.best)
+	})
+}
+
+// WalkAll visits every candidate route of every prefix.
+func (l *LocRIB) WalkAll(fn func(*Route) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.t.Walk(func(_ netip.Prefix, e *entry) bool {
+		for _, r := range e.candidates {
+			if !fn(r) {
+				return false
+			}
+		}
+		return true
+	})
+}

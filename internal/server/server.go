@@ -1,0 +1,806 @@
+// Package server implements the PEERING server (mux) — the paper's
+// core contribution (§3). A server holds real BGP sessions with
+// upstream peers (IXP route servers, bilateral peers, transit
+// providers) and gives hosted experiments full interdomain control
+// without running the BGP decision process itself:
+//
+//   - every route from every upstream peer is relayed to every client
+//     (not just one best path), over one session per (client × peer) in
+//     Quagga mode or a single ADD-PATH session in BIRD mode;
+//   - client announcements are steered per upstream peer, so a client
+//     can pick and choose peers to emulate a topology;
+//   - safety is enforced by interposition: prefix-ownership and
+//     origin filters (no hijacks or leaks), route-flap dampening,
+//     private-ASN stripping, and source-address (spoof) filtering on
+//     the data plane;
+//   - upstream sessions stay established across client churn, so the
+//     rest of the Internet sees a stable AS.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+
+	"peering/internal/bgp"
+	"peering/internal/clock"
+	"peering/internal/dampen"
+	"peering/internal/dataplane"
+	"peering/internal/muxproto"
+	"peering/internal/rib"
+	"peering/internal/router"
+	"peering/internal/trie"
+	"peering/internal/tunnel"
+	"peering/internal/wire"
+)
+
+// Config parameterizes a PEERING server.
+type Config struct {
+	// Site names this server ("amsterdam01", "phoenix01").
+	Site string
+	// ASN is the testbed's public AS number (PEERING operates one ASN
+	// and presents it to all peers).
+	ASN uint32
+	// RouterID is the server's BGP identifier.
+	RouterID netip.Addr
+	// Mode selects Quagga (per-peer sessions) or BIRD (ADD-PATH)
+	// multiplexing toward clients.
+	Mode muxproto.Mode
+	// Dampening configures route-flap dampening of client
+	// announcements; zero value uses dampen.DefaultConfig.
+	Dampening dampen.Config
+	// Clock drives timers (nil = system).
+	Clock clock.Clock
+}
+
+// Stats counts server activity, including safety interventions.
+type Stats struct {
+	// RoutesFromUpstreams counts UPDATE NLRIs received from peers.
+	RoutesFromUpstreams uint64
+	// RoutesRelayedToClients counts NLRIs fanned out to clients.
+	RoutesRelayedToClients uint64
+	// AnnouncementsRelayed counts client NLRIs accepted and sent to
+	// upstream peers.
+	AnnouncementsRelayed uint64
+	// HijacksBlocked counts client announcements outside their
+	// allocation.
+	HijacksBlocked uint64
+	// OriginBlocked counts announcements with a disallowed origin.
+	OriginBlocked uint64
+	// FlapsSuppressed counts announcements dropped by dampening.
+	FlapsSuppressed uint64
+	// SpoofsBlocked counts client packets with forbidden sources.
+	SpoofsBlocked uint64
+	// PacketsToClients / PacketsFromClients count tunnel traffic.
+	PacketsToClients   uint64
+	PacketsFromClients uint64
+}
+
+// UpstreamConfig describes one upstream peer of the server.
+type UpstreamConfig struct {
+	// ID is the stable identifier (≥1) used in stream numbering and
+	// ADD-PATH path IDs.
+	ID uint32
+	// Name labels the peer.
+	Name string
+	// ASN is the peer's AS number (0 = learn from OPEN).
+	ASN uint32
+	// PeerAddr identifies the peer in client RIBs (its real address,
+	// e.g. an IXP LAN address).
+	PeerAddr netip.Addr
+	// LocalAddr is the server's address facing this peer (NEXT_HOP for
+	// announcements).
+	LocalAddr netip.Addr
+	// Transit marks paid upstream providers.
+	Transit bool
+}
+
+// Upstream is one live upstream peering.
+type Upstream struct {
+	cfg UpstreamConfig
+	srv *Server
+
+	mu    sync.Mutex
+	sess  *bgp.Session
+	adjIn *rib.AdjRIB
+	// advertised maps prefix → owning client ID for withdraw and
+	// disconnect bookkeeping.
+	advertised map[netip.Prefix]string
+}
+
+// Config returns the upstream's configuration.
+func (u *Upstream) Config() UpstreamConfig { return u.cfg }
+
+// Established reports whether the upstream session is up.
+func (u *Upstream) Established() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.sess != nil && u.sess.State() == bgp.StateEstablished
+}
+
+// RoutesIn reports how many routes this peer currently exports to us.
+func (u *Upstream) RoutesIn() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.adjIn.Len()
+}
+
+// ClientAccount is a vetted experiment's identity and authorization.
+type ClientAccount struct {
+	// ID is the experiment identifier.
+	ID string
+	// Allocation is the prefix set the client may announce and source
+	// traffic from (a /24 per client out of the testbed /19, §3).
+	Allocation []netip.Prefix
+	// SpoofAllowed grants controlled source-address spoofing.
+	SpoofAllowed bool
+	// TunnelAddr is the client's address on the server's tunnel LAN
+	// (used as the dampening source key).
+	TunnelAddr netip.Addr
+}
+
+// clientConn is one connected client.
+type clientConn struct {
+	account ClientAccount
+	mux     *tunnel.Mux
+	pkt     *tunnel.PacketTunnel
+
+	mu       sync.Mutex
+	sessions map[uint32]*bgp.Session // upstream ID → session (BIRD: key 0)
+	// tunIface is the server-side dataplane interface toward this
+	// client's tunnel.
+	tunIface *dataplane.Iface
+}
+
+// Server is a PEERING server instance.
+type Server struct {
+	cfg    Config
+	damper *dampen.Damper
+	clk    clock.Clock
+	dp     *dataplane.Router
+
+	mu        sync.Mutex
+	upstreams map[uint32]*Upstream
+	clients   map[string]*clientConn
+	accounts  map[string]ClientAccount
+	alloc     *trie.Trie[string] // prefix → client ID
+	stats     Stats
+}
+
+// New creates a server.
+func New(cfg Config) *Server {
+	if cfg.Mode == "" {
+		cfg.Mode = muxproto.ModeQuagga
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Dampening.HalfLife == 0 {
+		cfg.Dampening = dampen.DefaultConfig()
+	}
+	s := &Server{
+		cfg:       cfg,
+		damper:    dampen.New(cfg.Dampening, cfg.Clock),
+		clk:       cfg.Clock,
+		dp:        dataplane.NewRouter(cfg.Site),
+		upstreams: make(map[uint32]*Upstream),
+		clients:   make(map[string]*clientConn),
+		accounts:  make(map[string]ClientAccount),
+		alloc:     trie.New[string](),
+	}
+	return s
+}
+
+// ASN returns the testbed AS number.
+func (s *Server) ASN() uint32 { return s.cfg.ASN }
+
+// Site returns the server's site name.
+func (s *Server) Site() string { return s.cfg.Site }
+
+// DP returns the server's dataplane router (for wiring into fabrics).
+func (s *Server) DP() *dataplane.Router { return s.dp }
+
+// Stats returns a snapshot of counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) bump(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Upstream side
+
+// AddUpstream registers an upstream peer. Attach starts its session.
+func (s *Server) AddUpstream(cfg UpstreamConfig) (*Upstream, error) {
+	if cfg.ID == 0 {
+		return nil, errors.New("server: upstream ID must be ≥1 (0 is reserved)")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.upstreams[cfg.ID]; dup {
+		return nil, fmt.Errorf("server: upstream ID %d already registered", cfg.ID)
+	}
+	u := &Upstream{cfg: cfg, srv: s, adjIn: rib.NewAdjRIB(), advertised: make(map[netip.Prefix]string)}
+	s.upstreams[cfg.ID] = u
+	return u, nil
+}
+
+// Upstream returns the upstream with the given ID.
+func (s *Server) Upstream(id uint32) *Upstream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.upstreams[id]
+}
+
+// Upstreams lists all registered upstream peers.
+func (s *Server) Upstreams() []*Upstream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Upstream, 0, len(s.upstreams))
+	for _, u := range s.upstreams {
+		out = append(out, u)
+	}
+	return out
+}
+
+// AttachUpstream runs the BGP session with upstream u over conn.
+func (s *Server) AttachUpstream(u *Upstream, conn net.Conn) *bgp.Session {
+	sess := bgp.New(conn, bgp.Config{
+		LocalAS:  s.cfg.ASN,
+		LocalID:  s.cfg.RouterID,
+		PeerAS:   u.cfg.ASN,
+		Clock:    s.clk,
+		Describe: fmt.Sprintf("%s-up-%s", s.cfg.Site, u.cfg.Name),
+	}, &upstreamHandler{u: u})
+	u.mu.Lock()
+	u.sess = sess
+	u.mu.Unlock()
+	go sess.Run()
+	return sess
+}
+
+type upstreamHandler struct{ u *Upstream }
+
+func (h *upstreamHandler) Established(*bgp.Session) {}
+
+func (h *upstreamHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
+	h.u.srv.handleUpstreamUpdate(h.u, sess, upd)
+}
+
+func (h *upstreamHandler) Closed(*bgp.Session, error) {
+	h.u.srv.handleUpstreamDown(h.u)
+}
+
+// handleUpstreamUpdate relays a peer's routes to every client. The
+// server deliberately does NOT run best-path selection: each client
+// sees each peer's routes verbatim (§3).
+func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.Update) {
+	// Book-keep Adj-RIB-In so late-joining clients get a full replay.
+	u.mu.Lock()
+	for _, n := range upd.Withdrawn {
+		u.adjIn.Remove(n.Prefix, 0)
+	}
+	if upd.Attrs != nil {
+		for _, n := range upd.Reach {
+			u.adjIn.Set(&rib.Route{
+				Prefix:  n.Prefix,
+				Attrs:   upd.Attrs.Clone(),
+				Src:     rib.PeerKey{Addr: u.cfg.PeerAddr},
+				PeerAS:  sess.PeerAS(),
+				PeerID:  sess.PeerID(),
+				EBGP:    true,
+				Learned: s.clk.Now(),
+			})
+		}
+	}
+	u.mu.Unlock()
+	if len(upd.Reach) > 0 {
+		s.bump(func(st *Stats) { st.RoutesFromUpstreams += uint64(len(upd.Reach)) })
+	}
+
+	s.mu.Lock()
+	clients := make([]*clientConn, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, c := range clients {
+		s.relayToClient(c, u, upd)
+	}
+}
+
+// handleUpstreamDown clears upstream state; clients see withdraws.
+func (s *Server) handleUpstreamDown(u *Upstream) {
+	u.mu.Lock()
+	var prefixes []netip.Prefix
+	u.adjIn.Walk(func(r *rib.Route) bool {
+		prefixes = append(prefixes, r.Prefix)
+		return true
+	})
+	u.adjIn.Clear()
+	u.sess = nil
+	u.mu.Unlock()
+	if len(prefixes) == 0 {
+		return
+	}
+	wd := &wire.Update{}
+	for _, p := range prefixes {
+		wd.Withdrawn = append(wd.Withdrawn, wire.NLRI{Prefix: p})
+	}
+	s.mu.Lock()
+	clients := make([]*clientConn, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, c := range clients {
+		s.relayToClient(c, u, wd)
+	}
+}
+
+// relayToClient forwards an upstream's update to one client, respecting
+// the multiplexing mode.
+func (s *Server) relayToClient(c *clientConn, u *Upstream, upd *wire.Update) {
+	var sess *bgp.Session
+	c.mu.Lock()
+	if s.cfg.Mode == muxproto.ModeBIRD {
+		sess = c.sessions[0]
+	} else {
+		sess = c.sessions[u.cfg.ID]
+	}
+	c.mu.Unlock()
+	if sess == nil || sess.State() != bgp.StateEstablished {
+		return
+	}
+	out := &wire.Update{Attrs: upd.Attrs}
+	for _, n := range upd.Withdrawn {
+		id := wire.PathID(0)
+		if s.cfg.Mode == muxproto.ModeBIRD {
+			id = wire.PathID(u.cfg.ID)
+		}
+		out.Withdrawn = append(out.Withdrawn, wire.NLRI{Prefix: n.Prefix, ID: id})
+	}
+	for _, n := range upd.Reach {
+		id := wire.PathID(0)
+		if s.cfg.Mode == muxproto.ModeBIRD {
+			id = wire.PathID(u.cfg.ID)
+		}
+		out.Reach = append(out.Reach, wire.NLRI{Prefix: n.Prefix, ID: id})
+	}
+	if len(out.Withdrawn) == 0 && len(out.Reach) == 0 {
+		return
+	}
+	if err := sess.Send(out); err == nil && len(out.Reach) > 0 {
+		s.bump(func(st *Stats) { st.RoutesRelayedToClients += uint64(len(out.Reach)) })
+	}
+}
+
+// ---------------------------------------------------------------------
+// Client side
+
+// RegisterClient records a vetted experiment account. Must precede
+// AcceptClient for that ID.
+func (s *Server) RegisterClient(acct ClientAccount) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.accounts[acct.ID]; dup {
+		return fmt.Errorf("server: client %q already registered", acct.ID)
+	}
+	for _, p := range acct.Allocation {
+		if owner, ok := s.alloc.Get(p); ok {
+			return fmt.Errorf("server: prefix %v already allocated to %q", p, owner)
+		}
+	}
+	for _, p := range acct.Allocation {
+		s.alloc.Insert(p, acct.ID)
+	}
+	s.accounts[acct.ID] = acct
+	return nil
+}
+
+// allocatedTo reports whether prefix p falls inside client id's
+// allocation (p must be covered by an allocated block owned by id).
+func (s *Server) allocatedTo(id string, p netip.Prefix) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, owner, ok := s.alloc.LookupPrefix(p)
+	return ok && owner == id
+}
+
+// ownerOfAddr returns the client owning the allocation containing addr.
+func (s *Server) ownerOfAddr(addr netip.Addr) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, owner, ok := s.alloc.Lookup(addr)
+	return owner, ok
+}
+
+// AcceptClient binds transport conn to the registered account id: it
+// sends provisioning, starts per-upstream (or ADD-PATH) BGP sessions,
+// and wires the packet tunnel into the server's data plane.
+func (s *Server) AcceptClient(id string, conn net.Conn) error {
+	s.mu.Lock()
+	acct, ok := s.accounts[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("server: unknown client %q (experiments must be vetted first)", id)
+	}
+	if _, dup := s.clients[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("server: client %q already connected", id)
+	}
+	upstreams := make([]*Upstream, 0, len(s.upstreams))
+	for _, u := range s.upstreams {
+		upstreams = append(upstreams, u)
+	}
+	s.mu.Unlock()
+
+	c := &clientConn{account: acct, sessions: make(map[uint32]*bgp.Session)}
+	c.mux = tunnel.NewMux(conn, nil)
+
+	s.mu.Lock()
+	s.clients[id] = c
+	s.mu.Unlock()
+
+	// The handshake (provisioning, client ack, session bring-up) runs
+	// asynchronously: the client may not even be connected yet, and a
+	// server must never block its accept path on one client.
+	go s.clientHandshake(c, upstreams)
+
+	// Reap state when the transport dies.
+	go func() {
+		<-c.mux.Done()
+		s.dropClient(id)
+	}()
+	return nil
+}
+
+// clientHandshake provisions a newly accepted client and brings up its
+// data and control channels.
+func (s *Server) clientHandshake(c *clientConn, upstreams []*Upstream) {
+	id := c.account.ID
+	acct := c.account
+	ctrl := c.mux.Open(muxproto.StreamControl)
+	prov := &muxproto.Provisioning{
+		Site:         s.cfg.Site,
+		ASN:          s.cfg.ASN,
+		Mode:         s.cfg.Mode,
+		Allocation:   acct.Allocation,
+		SpoofAllowed: acct.SpoofAllowed,
+	}
+	for _, u := range upstreams {
+		prov.Upstreams = append(prov.Upstreams, muxproto.UpstreamInfo{
+			ID: u.cfg.ID, ASN: u.cfg.ASN, Name: u.cfg.Name,
+			PeerAddr: u.cfg.PeerAddr, Transit: u.cfg.Transit,
+		})
+	}
+	if err := muxproto.WriteProvisioning(ctrl, prov); err != nil {
+		c.mux.Close()
+		return
+	}
+	// Await the client's ack so its stream acceptor is ready before
+	// BGP OPENs start arriving.
+	ackBuf := make([]byte, 3)
+	if _, err := ctrl.Read(ackBuf); err != nil {
+		c.mux.Close()
+		return
+	}
+
+	// Data-plane wiring: a link between the server router and a node
+	// that forwards into the tunnel.
+	te := &tunnelEndpoint{srv: s, c: c}
+	_, svIface, tunIface := dataplane.Connect(s.dp, netip.Addr{}, "tun-"+id, te, acct.TunnelAddr, "srv")
+	s.dp.AddIface(svIface)
+	c.tunIface = tunIface
+	for _, p := range acct.Allocation {
+		s.dp.SetRoute(p, acct.TunnelAddr, svIface)
+	}
+	c.pkt = tunnel.NewPacketTunnel(c.mux, func(pkt *dataplane.Packet) {
+		s.handleClientPacket(c, pkt)
+	})
+
+	// BGP sessions.
+	if s.cfg.Mode == muxproto.ModeBIRD {
+		st := c.mux.Open(muxproto.StreamBGPBase)
+		sess := bgp.New(st, bgp.Config{
+			LocalAS: s.cfg.ASN, LocalID: s.cfg.RouterID, Clock: s.clk,
+			AddPath:  true,
+			Describe: fmt.Sprintf("%s-cl-%s", s.cfg.Site, id),
+		}, &clientSessHandler{srv: s, c: c, birdMode: true})
+		c.mu.Lock()
+		c.sessions[0] = sess
+		c.mu.Unlock()
+		go sess.Run()
+	} else {
+		for _, u := range upstreams {
+			st := c.mux.Open(muxproto.StreamBGPBase + u.cfg.ID)
+			sess := bgp.New(st, bgp.Config{
+				LocalAS: s.cfg.ASN, LocalID: s.cfg.RouterID, Clock: s.clk,
+				Describe: fmt.Sprintf("%s-cl-%s-up-%s", s.cfg.Site, id, u.cfg.Name),
+			}, &clientSessHandler{srv: s, c: c, upstream: u})
+			c.mu.Lock()
+			c.sessions[u.cfg.ID] = sess
+			c.mu.Unlock()
+			go sess.Run()
+		}
+	}
+}
+
+// ClientCount reports connected clients.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// dropClient withdraws a disconnected client's announcements from all
+// upstreams. Upstream sessions stay up (§3: stability across
+// experiment churn).
+func (s *Server) dropClient(id string) {
+	s.mu.Lock()
+	c := s.clients[id]
+	delete(s.clients, id)
+	upstreams := make([]*Upstream, 0, len(s.upstreams))
+	for _, u := range s.upstreams {
+		upstreams = append(upstreams, u)
+	}
+	s.mu.Unlock()
+	if c == nil {
+		return
+	}
+	for _, u := range upstreams {
+		var wd []wire.NLRI
+		u.mu.Lock()
+		for p, owner := range u.advertised {
+			if owner == id {
+				delete(u.advertised, p)
+				wd = append(wd, wire.NLRI{Prefix: p})
+			}
+		}
+		sess := u.sess
+		u.mu.Unlock()
+		if len(wd) > 0 && sess != nil {
+			sess.Send(&wire.Update{Withdrawn: wd})
+		}
+	}
+}
+
+// clientSessHandler handles BGP events on a client-facing session.
+type clientSessHandler struct {
+	srv      *Server
+	c        *clientConn
+	upstream *Upstream // Quagga mode
+	birdMode bool
+}
+
+func (h *clientSessHandler) Established(sess *bgp.Session) {
+	// Replay the upstream table(s) so the client has the full view.
+	if h.birdMode {
+		for _, u := range h.srv.Upstreams() {
+			h.srv.replayUpstream(sess, u, true)
+		}
+		return
+	}
+	h.srv.replayUpstream(sess, h.upstream, false)
+}
+
+func (h *clientSessHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
+	if h.birdMode {
+		h.srv.handleClientUpdateBIRD(h.c, upd)
+		return
+	}
+	h.srv.handleClientUpdate(h.c, h.upstream, upd)
+}
+
+func (h *clientSessHandler) Closed(*bgp.Session, error) {}
+
+// replayUpstream sends u's current Adj-RIB-In down a client session.
+func (s *Server) replayUpstream(sess *bgp.Session, u *Upstream, bird bool) {
+	var routes []*rib.Route
+	u.mu.Lock()
+	u.adjIn.Walk(func(r *rib.Route) bool {
+		routes = append(routes, r)
+		return true
+	})
+	u.mu.Unlock()
+	for _, r := range routes {
+		id := wire.PathID(0)
+		if bird {
+			id = wire.PathID(u.cfg.ID)
+		}
+		sess.Send(&wire.Update{
+			Attrs: r.Attrs,
+			Reach: []wire.NLRI{{Prefix: r.Prefix, ID: id}},
+		})
+	}
+}
+
+// handleClientUpdate runs the safety pipeline on a client's
+// announcement toward one upstream and relays what passes.
+func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update) {
+	u.mu.Lock()
+	sess := u.sess
+	u.mu.Unlock()
+
+	var outWd, outReach []wire.NLRI
+	for _, n := range upd.Withdrawn {
+		if !s.allocatedTo(c.account.ID, n.Prefix) {
+			s.bump(func(st *Stats) { st.HijacksBlocked++ })
+			continue
+		}
+		s.damper.RecordWithdraw(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr})
+		u.mu.Lock()
+		delete(u.advertised, n.Prefix)
+		u.mu.Unlock()
+		outWd = append(outWd, wire.NLRI{Prefix: n.Prefix})
+	}
+	var outAttrs *wire.Attrs
+	if upd.Attrs != nil {
+		for _, n := range upd.Reach {
+			ok, attrs := s.vetAnnouncement(c, u, n.Prefix, upd.Attrs)
+			if !ok {
+				continue
+			}
+			outAttrs = attrs
+			outReach = append(outReach, wire.NLRI{Prefix: n.Prefix})
+			u.mu.Lock()
+			u.advertised[n.Prefix] = c.account.ID
+			u.mu.Unlock()
+		}
+	}
+	if sess == nil || (len(outWd) == 0 && len(outReach) == 0) {
+		return
+	}
+	out := &wire.Update{Withdrawn: outWd, Attrs: outAttrs, Reach: outReach}
+	if err := sess.Send(out); err == nil && len(outReach) > 0 {
+		s.bump(func(st *Stats) { st.AnnouncementsRelayed += uint64(len(outReach)) })
+	}
+}
+
+// handleClientUpdateBIRD demultiplexes path IDs to upstreams.
+func (s *Server) handleClientUpdateBIRD(c *clientConn, upd *wire.Update) {
+	byUpstream := map[uint32]*wire.Update{}
+	get := func(id wire.PathID) *wire.Update {
+		o := byUpstream[uint32(id)]
+		if o == nil {
+			o = &wire.Update{Attrs: upd.Attrs}
+			byUpstream[uint32(id)] = o
+		}
+		return o
+	}
+	for _, n := range upd.Withdrawn {
+		o := get(n.ID)
+		o.Withdrawn = append(o.Withdrawn, wire.NLRI{Prefix: n.Prefix})
+	}
+	for _, n := range upd.Reach {
+		o := get(n.ID)
+		o.Reach = append(o.Reach, wire.NLRI{Prefix: n.Prefix})
+	}
+	for id, o := range byUpstream {
+		u := s.Upstream(id)
+		if u == nil {
+			continue
+		}
+		s.handleClientUpdate(c, u, o)
+	}
+}
+
+// vetAnnouncement applies the §3 safety filters to one client NLRI and
+// returns the transformed attributes to relay.
+func (s *Server) vetAnnouncement(c *clientConn, u *Upstream, p netip.Prefix, attrs *wire.Attrs) (bool, *wire.Attrs) {
+	// 1. Prefix ownership: no hijacks, no leaks of non-testbed space.
+	if !s.allocatedTo(c.account.ID, p) {
+		s.bump(func(st *Stats) { st.HijacksBlocked++ })
+		return false, nil
+	}
+	// 2. Origin check: the path must originate from the testbed ASN or
+	// a private ASN of an emulated domain (stripped below).
+	if origin := attrs.OriginAS(); origin != 0 && origin != s.cfg.ASN && !router.IsPrivateASN(origin) {
+		s.bump(func(st *Stats) { st.OriginBlocked++ })
+		return false, nil
+	}
+	// 3. Route-flap dampening.
+	if s.damper.RecordFlap(dampen.Key{Prefix: p, Source: c.account.TunnelAddr}) {
+		s.bump(func(st *Stats) { st.FlapsSuppressed++ })
+		return false, nil
+	}
+	// 4. Attribute hygiene: strip private ASNs (emulated domains stay
+	// invisible), force the testbed ASN at the path head, clear
+	// LOCAL_PREF, set NEXT_HOP to our address on the peering.
+	out := attrs.Clone()
+	stripPrivate(out, s.cfg.ASN)
+	if out.FirstAS() != s.cfg.ASN {
+		out.PrependAS(s.cfg.ASN, 1)
+	}
+	out.HasLocalPref = false
+	out.NextHop = u.cfg.LocalAddr
+	return true, out
+}
+
+// stripPrivate removes private ASNs from the path (keeps ownAS).
+func stripPrivate(a *wire.Attrs, ownAS uint32) {
+	var segs []wire.Segment
+	for _, seg := range a.ASPath {
+		kept := seg.ASNs[:0:0]
+		for _, asn := range seg.ASNs {
+			if asn != ownAS && router.IsPrivateASN(asn) {
+				continue
+			}
+			kept = append(kept, asn)
+		}
+		if len(kept) > 0 {
+			segs = append(segs, wire.Segment{Type: seg.Type, ASNs: kept})
+		}
+	}
+	a.ASPath = segs
+}
+
+// ---------------------------------------------------------------------
+// Data plane
+
+// tunnelEndpoint adapts a client's packet tunnel to a dataplane node:
+// packets routed at the server toward the client's allocation exit here
+// and enter the tunnel.
+type tunnelEndpoint struct {
+	srv *Server
+	c   *clientConn
+}
+
+// Name implements dataplane.Node.
+func (t *tunnelEndpoint) Name() string { return "tunnel-" + t.c.account.ID }
+
+// Receive implements dataplane.Node: server → client direction.
+func (t *tunnelEndpoint) Receive(pkt *dataplane.Packet, _ *dataplane.Iface) {
+	if t.c.pkt == nil {
+		return
+	}
+	if err := t.c.pkt.Send(pkt); err == nil {
+		t.srv.bump(func(st *Stats) { st.PacketsToClients++ })
+	}
+}
+
+// handleClientPacket is the client → Internet direction: spoof-filter,
+// then forward through the server's FIB.
+func (s *Server) handleClientPacket(c *clientConn, pkt *dataplane.Packet) {
+	if !c.account.SpoofAllowed {
+		if owner, ok := s.ownerOfAddr(pkt.Src); !ok || owner != c.account.ID {
+			s.bump(func(st *Stats) { st.SpoofsBlocked++ })
+			return
+		}
+	}
+	s.bump(func(st *Stats) { st.PacketsFromClients++ })
+	s.dp.Receive(pkt, c.tunIface.Link().Peer(c.tunIface))
+}
+
+// Close tears down all sessions and client transports.
+func (s *Server) Close() {
+	s.mu.Lock()
+	clients := make([]*clientConn, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	ups := make([]*Upstream, 0, len(s.upstreams))
+	for _, u := range s.upstreams {
+		ups = append(ups, u)
+	}
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.mux.Close()
+	}
+	for _, u := range ups {
+		u.mu.Lock()
+		sess := u.sess
+		u.mu.Unlock()
+		if sess != nil {
+			sess.Close()
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package topozoo parses Internet Topology Zoo GraphML files and embeds
+// the Hurricane Electric PoP-level backbone used by the paper's §4.2
+// intradomain emulation ("We emulated the PoP-level global backbone of
+// Hurricane Electric (HE), using data from Topology Zoo … a Quagga
+// routing engine for each of the 24 PoPs").
+//
+// The parser handles the GraphML subset Topology Zoo uses: node/edge
+// elements with data keys for labels. The embedded HE topology is a
+// 24-PoP map derived from the Topology Zoo HurricaneElectric dataset.
+package topozoo
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Node is one topology vertex (a PoP).
+type Node struct {
+	ID    string
+	Label string
+}
+
+// Edge is one undirected link between PoPs.
+type Edge struct {
+	Source, Target string
+}
+
+// Topology is a parsed Topology Zoo graph.
+type Topology struct {
+	Name  string
+	Nodes []Node
+	Edges []Edge
+}
+
+// NodeByID returns the node with the given ID.
+func (t *Topology) NodeByID(id string) *Node {
+	for i := range t.Nodes {
+		if t.Nodes[i].ID == id {
+			return &t.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// NodeByLabel returns the node labeled label.
+func (t *Topology) NodeByLabel(label string) *Node {
+	for i := range t.Nodes {
+		if t.Nodes[i].Label == label {
+			return &t.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Neighbors returns the IDs adjacent to node id.
+func (t *Topology) Neighbors(id string) []string {
+	var out []string
+	for _, e := range t.Edges {
+		if e.Source == id {
+			out = append(out, e.Target)
+		}
+		if e.Target == id {
+			out = append(out, e.Source)
+		}
+	}
+	return out
+}
+
+// Connected reports whether the topology is a single connected
+// component (required for an emulated backbone to converge).
+func (t *Topology) Connected() bool {
+	if len(t.Nodes) == 0 {
+		return true
+	}
+	visited := map[string]bool{}
+	stack := []string{t.Nodes[0].ID}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[id] {
+			continue
+		}
+		visited[id] = true
+		stack = append(stack, t.Neighbors(id)...)
+	}
+	return len(visited) == len(t.Nodes)
+}
+
+// ---------------------------------------------------------------------
+// GraphML parsing
+
+type xmlGraphML struct {
+	XMLName xml.Name `xml:"graphml"`
+	Keys    []xmlKey `xml:"key"`
+	Graph   xmlGraph `xml:"graph"`
+}
+
+type xmlKey struct {
+	ID   string `xml:"id,attr"`
+	For  string `xml:"for,attr"`
+	Name string `xml:"attr.name,attr"`
+}
+
+type xmlGraph struct {
+	Nodes []xmlNode `xml:"node"`
+	Edges []xmlEdge `xml:"edge"`
+	Datas []xmlData `xml:"data"`
+}
+
+type xmlNode struct {
+	ID    string    `xml:"id,attr"`
+	Datas []xmlData `xml:"data"`
+}
+
+type xmlEdge struct {
+	Source string `xml:"source,attr"`
+	Target string `xml:"target,attr"`
+}
+
+type xmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// ParseGraphML decodes a Topology Zoo GraphML document.
+func ParseGraphML(data []byte) (*Topology, error) {
+	var doc xmlGraphML
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("topozoo: parse: %w", err)
+	}
+	// Identify the label and network-name attribute keys.
+	labelKey, nameKey := "", ""
+	for _, k := range doc.Keys {
+		if k.Name == "label" && k.For == "node" {
+			labelKey = k.ID
+		}
+		if k.Name == "Network" && k.For == "graph" {
+			nameKey = k.ID
+		}
+	}
+	t := &Topology{}
+	for _, d := range doc.Graph.Datas {
+		if d.Key == nameKey {
+			t.Name = d.Value
+		}
+	}
+	seen := map[string]bool{}
+	for _, n := range doc.Graph.Nodes {
+		if seen[n.ID] {
+			return nil, fmt.Errorf("topozoo: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+		node := Node{ID: n.ID, Label: n.ID}
+		for _, d := range n.Datas {
+			if d.Key == labelKey {
+				node.Label = d.Value
+			}
+		}
+		t.Nodes = append(t.Nodes, node)
+	}
+	for _, e := range doc.Graph.Edges {
+		if !seen[e.Source] || !seen[e.Target] {
+			return nil, fmt.Errorf("topozoo: edge %s—%s references unknown node", e.Source, e.Target)
+		}
+		t.Edges = append(t.Edges, Edge{Source: e.Source, Target: e.Target})
+	}
+	return t, nil
+}
+
+// HurricaneElectric returns the embedded 24-PoP HE backbone.
+func HurricaneElectric() *Topology {
+	t, err := ParseGraphML([]byte(hurricaneElectricGraphML))
+	if err != nil {
+		panic("topozoo: embedded HE topology invalid: " + err.Error())
+	}
+	return t
+}
+
+// hurricaneElectricGraphML is the PoP-level Hurricane Electric backbone
+// (Topology Zoo-derived, 24 PoPs across North America, Europe, and
+// Asia, including the Amsterdam PoP that peers at AMS-IX).
+const hurricaneElectricGraphML = `<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="Network" attr.type="string" for="graph" id="d0" />
+  <key attr.name="label" attr.type="string" for="node" id="d1" />
+  <graph edgedefault="undirected">
+    <data key="d0">Hurricane Electric</data>
+    <node id="n0"><data key="d1">Seattle</data></node>
+    <node id="n1"><data key="d1">San Jose</data></node>
+    <node id="n2"><data key="d1">Fremont</data></node>
+    <node id="n3"><data key="d1">Los Angeles</data></node>
+    <node id="n4"><data key="d1">Las Vegas</data></node>
+    <node id="n5"><data key="d1">Phoenix</data></node>
+    <node id="n6"><data key="d1">Denver</data></node>
+    <node id="n7"><data key="d1">Dallas</data></node>
+    <node id="n8"><data key="d1">Kansas City</data></node>
+    <node id="n9"><data key="d1">Chicago</data></node>
+    <node id="n10"><data key="d1">Toronto</data></node>
+    <node id="n11"><data key="d1">New York</data></node>
+    <node id="n12"><data key="d1">Ashburn</data></node>
+    <node id="n13"><data key="d1">Atlanta</data></node>
+    <node id="n14"><data key="d1">Miami</data></node>
+    <node id="n15"><data key="d1">London</data></node>
+    <node id="n16"><data key="d1">Amsterdam</data></node>
+    <node id="n17"><data key="d1">Paris</data></node>
+    <node id="n18"><data key="d1">Frankfurt</data></node>
+    <node id="n19"><data key="d1">Zurich</data></node>
+    <node id="n20"><data key="d1">Stockholm</data></node>
+    <node id="n21"><data key="d1">Hong Kong</data></node>
+    <node id="n22"><data key="d1">Tokyo</data></node>
+    <node id="n23"><data key="d1">Singapore</data></node>
+    <edge source="n0" target="n1" />
+    <edge source="n0" target="n6" />
+    <edge source="n0" target="n9" />
+    <edge source="n1" target="n2" />
+    <edge source="n1" target="n3" />
+    <edge source="n1" target="n6" />
+    <edge source="n1" target="n22" />
+    <edge source="n2" target="n3" />
+    <edge source="n3" target="n4" />
+    <edge source="n3" target="n5" />
+    <edge source="n3" target="n21" />
+    <edge source="n4" target="n5" />
+    <edge source="n5" target="n7" />
+    <edge source="n6" target="n8" />
+    <edge source="n7" target="n8" />
+    <edge source="n7" target="n13" />
+    <edge source="n8" target="n9" />
+    <edge source="n9" target="n10" />
+    <edge source="n9" target="n11" />
+    <edge source="n10" target="n11" />
+    <edge source="n11" target="n12" />
+    <edge source="n11" target="n15" />
+    <edge source="n12" target="n13" />
+    <edge source="n12" target="n15" />
+    <edge source="n13" target="n14" />
+    <edge source="n15" target="n16" />
+    <edge source="n15" target="n17" />
+    <edge source="n16" target="n18" />
+    <edge source="n16" target="n20" />
+    <edge source="n17" target="n19" />
+    <edge source="n18" target="n19" />
+    <edge source="n18" target="n20" />
+    <edge source="n21" target="n22" />
+    <edge source="n21" target="n23" />
+    <edge source="n22" target="n23" />
+  </graph>
+</graphml>`

@@ -1,0 +1,149 @@
+package topozoo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHurricaneElectricShape(t *testing.T) {
+	he := HurricaneElectric()
+	if he.Name != "Hurricane Electric" {
+		t.Fatalf("name = %q", he.Name)
+	}
+	if len(he.Nodes) != 24 {
+		t.Fatalf("PoPs = %d, want 24 (§4.2)", len(he.Nodes))
+	}
+	if !he.Connected() {
+		t.Fatal("HE backbone not connected")
+	}
+	// The Amsterdam PoP (the one that peers at AMS-IX) exists.
+	ams := he.NodeByLabel("Amsterdam")
+	if ams == nil {
+		t.Fatal("no Amsterdam PoP")
+	}
+	if n := he.Neighbors(ams.ID); len(n) < 2 {
+		t.Fatalf("Amsterdam degree = %d, want redundant connectivity", len(n))
+	}
+}
+
+func TestNodeLookups(t *testing.T) {
+	he := HurricaneElectric()
+	n := he.NodeByID("n0")
+	if n == nil || n.Label != "Seattle" {
+		t.Fatalf("n0 = %+v", n)
+	}
+	if he.NodeByID("nope") != nil || he.NodeByLabel("Gotham") != nil {
+		t.Fatal("lookup of absent node succeeded")
+	}
+}
+
+func TestParseGraphMLMinimal(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="label" attr.type="string" for="node" id="k"/>
+  <graph edgedefault="undirected">
+    <node id="a"><data key="k">Alpha</data></node>
+    <node id="b"><data key="k">Beta</data></node>
+    <edge source="a" target="b"/>
+  </graph>
+</graphml>`
+	topo, err := ParseGraphML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 2 || len(topo.Edges) != 1 {
+		t.Fatalf("topo = %+v", topo)
+	}
+	if topo.NodeByID("a").Label != "Alpha" {
+		t.Fatalf("label = %q", topo.NodeByID("a").Label)
+	}
+}
+
+func TestParseGraphMLNoLabelsFallsBackToID(t *testing.T) {
+	doc := `<graphml><graph>
+		<node id="x"/><node id="y"/>
+		<edge source="x" target="y"/>
+	</graph></graphml>`
+	topo, err := ParseGraphML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Nodes[0].Label != "x" {
+		t.Fatalf("fallback label = %q", topo.Nodes[0].Label)
+	}
+}
+
+func TestParseGraphMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":        "this is not xml <",
+		"duplicate node": `<graphml><graph><node id="a"/><node id="a"/></graph></graphml>`,
+		"dangling edge":  `<graphml><graph><node id="a"/><edge source="a" target="zz"/></graph></graphml>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseGraphML([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestConnectedDetectsPartition(t *testing.T) {
+	doc := `<graphml><graph>
+		<node id="a"/><node id="b"/><node id="c"/>
+		<edge source="a" target="b"/>
+	</graph></graphml>`
+	topo, _ := ParseGraphML([]byte(doc))
+	if topo.Connected() {
+		t.Fatal("partitioned graph reported connected")
+	}
+}
+
+func TestHELooksLikeBackbone(t *testing.T) {
+	he := HurricaneElectric()
+	// Sanity: continental clusters exist.
+	for _, city := range []string{"San Jose", "New York", "London", "Frankfurt", "Tokyo", "Hong Kong"} {
+		if he.NodeByLabel(city) == nil {
+			t.Errorf("missing expected PoP %s", city)
+		}
+	}
+	// No self loops, no duplicate edges.
+	seen := map[string]bool{}
+	for _, e := range he.Edges {
+		if e.Source == e.Target {
+			t.Fatalf("self loop at %s", e.Source)
+		}
+		k1, k2 := e.Source+"|"+e.Target, e.Target+"|"+e.Source
+		if seen[k1] || seen[k2] {
+			t.Fatalf("duplicate edge %s—%s", e.Source, e.Target)
+		}
+		seen[k1] = true
+	}
+	// Average degree of a backbone is modest but redundant.
+	deg := 2.0 * float64(len(he.Edges)) / float64(len(he.Nodes))
+	if deg < 2.0 || deg > 6.0 {
+		t.Fatalf("average degree = %.1f", deg)
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	he := HurricaneElectric()
+	for _, n := range he.Nodes {
+		for _, m := range he.Neighbors(n.ID) {
+			found := false
+			for _, back := range he.Neighbors(m) {
+				if back == n.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric adjacency %s→%s", n.ID, m)
+			}
+		}
+	}
+}
+
+func TestEmbeddedDocIsValidXMLProlog(t *testing.T) {
+	if !strings.HasPrefix(hurricaneElectricGraphML, `<?xml`) {
+		t.Fatal("embedded GraphML lacks XML prolog")
+	}
+}

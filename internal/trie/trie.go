@@ -1,0 +1,293 @@
+// Package trie implements a binary radix (Patricia-style) trie keyed by
+// IP prefixes. It is the index structure behind every RIB, FIB, and
+// prefix filter in the testbed: it supports exact-match insert/delete,
+// longest-prefix match for forwarding, and subtree walks for
+// "covered-by" queries used by export filters.
+//
+// The trie is not safe for concurrent use; callers (RIBs, FIBs) guard it
+// with their own locks so that a lookup and the decision that follows it
+// stay atomic.
+package trie
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// node is a trie vertex. Internal vertices may carry no value; a vertex
+// with hasValue set corresponds to an inserted prefix.
+type node[V any] struct {
+	prefix   netip.Prefix
+	children [2]*node[V]
+	value    V
+	hasValue bool
+}
+
+// Trie maps IP prefixes to values of type V. IPv4 and IPv6 prefixes live
+// in separate roots so mixed-family inserts never collide.
+type Trie[V any] struct {
+	root4 *node[V]
+	root6 *node[V]
+	size  int
+}
+
+// New returns an empty trie.
+func New[V any]() *Trie[V] {
+	return &Trie[V]{
+		root4: &node[V]{prefix: netip.PrefixFrom(netip.IPv4Unspecified(), 0)},
+		root6: &node[V]{prefix: netip.PrefixFrom(netip.IPv6Unspecified(), 0)},
+	}
+}
+
+// Len reports the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+func (t *Trie[V]) rootFor(p netip.Prefix) *node[V] {
+	if p.Addr().Is4() {
+		return t.root4
+	}
+	return t.root6
+}
+
+// bitAt returns bit i (0-indexed from the most significant bit) of addr.
+func bitAt(addr netip.Addr, i int) int {
+	b := addr.AsSlice()
+	return int(b[i/8]>>(7-uint(i%8))) & 1
+}
+
+// canon normalizes a prefix to its masked, canonical form. Un-normalized
+// prefixes (host bits set) would otherwise make equal routes look
+// distinct.
+func canon(p netip.Prefix) netip.Prefix { return p.Masked() }
+
+// commonPrefixLen returns the length of the longest common prefix of a
+// and b, capped at max.
+func commonPrefixLen(a, b netip.Addr, maxLen int) int {
+	ab, bb := a.AsSlice(), b.AsSlice()
+	n := 0
+	for i := range ab {
+		x := ab[i] ^ bb[i]
+		if x == 0 {
+			n += 8
+			if n >= maxLen {
+				return maxLen
+			}
+			continue
+		}
+		for bit := 7; bit >= 0; bit-- {
+			if x&(1<<uint(bit)) != 0 {
+				break
+			}
+			n++
+		}
+		break
+	}
+	if n > maxLen {
+		n = maxLen
+	}
+	return n
+}
+
+// Insert adds or replaces the value for prefix p. It reports whether the
+// prefix was newly inserted (false means an existing value was replaced).
+func (t *Trie[V]) Insert(p netip.Prefix, v V) bool {
+	if !p.IsValid() {
+		panic(fmt.Sprintf("trie: invalid prefix %v", p))
+	}
+	p = canon(p)
+	n := t.rootFor(p)
+	for {
+		if n.prefix == p {
+			added := !n.hasValue
+			n.value, n.hasValue = v, true
+			if added {
+				t.size++
+			}
+			return added
+		}
+		// p is strictly longer than n.prefix and contained in it.
+		bit := bitAt(p.Addr(), n.prefix.Bits())
+		child := n.children[bit]
+		if child == nil {
+			nn := &node[V]{prefix: p, value: v, hasValue: true}
+			n.children[bit] = nn
+			t.size++
+			return true
+		}
+		if child.prefix.Contains(p.Addr()) && child.prefix.Bits() <= p.Bits() {
+			n = child
+			continue
+		}
+		// Split: find the common prefix of child.prefix and p.
+		cl := commonPrefixLen(child.prefix.Addr(), p.Addr(), min(child.prefix.Bits(), p.Bits()))
+		joint := canon(netip.PrefixFrom(p.Addr(), cl))
+		mid := &node[V]{prefix: joint}
+		n.children[bit] = mid
+		mid.children[bitAt(child.prefix.Addr(), cl)] = child
+		if joint == p {
+			mid.value, mid.hasValue = v, true
+			t.size++
+			return true
+		}
+		nn := &node[V]{prefix: p, value: v, hasValue: true}
+		mid.children[bitAt(p.Addr(), cl)] = nn
+		t.size++
+		return true
+	}
+}
+
+// Get returns the value stored at exactly prefix p.
+func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
+	var zero V
+	if !p.IsValid() {
+		return zero, false
+	}
+	p = canon(p)
+	n := t.rootFor(p)
+	for n != nil {
+		if n.prefix == p {
+			if n.hasValue {
+				return n.value, true
+			}
+			return zero, false
+		}
+		if !n.prefix.Contains(p.Addr()) || n.prefix.Bits() > p.Bits() {
+			return zero, false
+		}
+		n = n.children[bitAt(p.Addr(), n.prefix.Bits())]
+	}
+	return zero, false
+}
+
+// Delete removes prefix p, reporting whether it was present. Interior
+// structure is left in place (path compression is not re-run); lookups
+// remain correct and memory is reclaimed when subtrees empty out on
+// subsequent inserts.
+func (t *Trie[V]) Delete(p netip.Prefix) bool {
+	if !p.IsValid() {
+		return false
+	}
+	p = canon(p)
+	n := t.rootFor(p)
+	var parent *node[V]
+	var parentBit int
+	for n != nil {
+		if n.prefix == p {
+			if !n.hasValue {
+				return false
+			}
+			var zero V
+			n.value, n.hasValue = zero, false
+			t.size--
+			// Prune a now-valueless leaf.
+			if parent != nil && n.children[0] == nil && n.children[1] == nil {
+				parent.children[parentBit] = nil
+			}
+			return true
+		}
+		if !n.prefix.Contains(p.Addr()) || n.prefix.Bits() > p.Bits() {
+			return false
+		}
+		parent = n
+		parentBit = bitAt(p.Addr(), n.prefix.Bits())
+		n = n.children[parentBit]
+	}
+	return false
+}
+
+// Lookup performs a longest-prefix match for addr, returning the most
+// specific stored prefix containing it.
+func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
+	var (
+		bestP  netip.Prefix
+		bestV  V
+		found  bool
+		target = netip.PrefixFrom(addr, addr.BitLen())
+	)
+	n := t.rootFor(target)
+	for n != nil {
+		if !n.prefix.Contains(addr) {
+			break
+		}
+		if n.hasValue {
+			bestP, bestV, found = n.prefix, n.value, true
+		}
+		if n.prefix.Bits() == addr.BitLen() {
+			break
+		}
+		n = n.children[bitAt(addr, n.prefix.Bits())]
+	}
+	return bestP, bestV, found
+}
+
+// LookupPrefix returns the most specific stored prefix that covers all
+// of p (i.e. p's longest-prefix match as a whole block).
+func (t *Trie[V]) LookupPrefix(p netip.Prefix) (netip.Prefix, V, bool) {
+	p = canon(p)
+	var (
+		bestP netip.Prefix
+		bestV V
+		found bool
+	)
+	n := t.rootFor(p)
+	for n != nil {
+		if !n.prefix.Contains(p.Addr()) || n.prefix.Bits() > p.Bits() {
+			break
+		}
+		if n.hasValue {
+			bestP, bestV, found = n.prefix, n.value, true
+		}
+		if n.prefix.Bits() == p.Bits() {
+			break
+		}
+		n = n.children[bitAt(p.Addr(), n.prefix.Bits())]
+	}
+	return bestP, bestV, found
+}
+
+// Walk visits every stored prefix in lexicographic (trie) order. The
+// callback returns false to stop early. Walk visits IPv4 before IPv6.
+func (t *Trie[V]) Walk(fn func(netip.Prefix, V) bool) {
+	if !walk(t.root4, fn) {
+		return
+	}
+	walk(t.root6, fn)
+}
+
+func walk[V any](n *node[V], fn func(netip.Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasValue {
+		if !fn(n.prefix, n.value) {
+			return false
+		}
+	}
+	return walk(n.children[0], fn) && walk(n.children[1], fn)
+}
+
+// CoveredBy visits every stored prefix contained within p (including p
+// itself if stored).
+func (t *Trie[V]) CoveredBy(p netip.Prefix, fn func(netip.Prefix, V) bool) {
+	p = canon(p)
+	n := t.rootFor(p)
+	for n != nil {
+		if n.prefix.Bits() >= p.Bits() {
+			if p.Contains(n.prefix.Addr()) {
+				walk(n, fn)
+			}
+			return
+		}
+		if !n.prefix.Contains(p.Addr()) {
+			return
+		}
+		n = n.children[bitAt(p.Addr(), n.prefix.Bits())]
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package tunnel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"peering/internal/dataplane"
+)
+
+// Packet wire format (all big-endian):
+//
+//	u64 id | 4B src | 4B dst | u8 ttl | u8 proto | u8 icmp |
+//	u16 sport | u16 dport | u32 seq | u64 orig | u32 plen | payload
+//
+// Trace is deliberately not serialized: it is emulation-side metadata
+// and must not cross the "wire" (a real tunnel would not carry it).
+const packetHeaderLen = 8 + 4 + 4 + 1 + 1 + 1 + 2 + 2 + 4 + 8 + 4
+
+// EncodePacket serializes pkt for transmission through a tunnel.
+func EncodePacket(pkt *dataplane.Packet) ([]byte, error) {
+	if !pkt.Src.Is4() || !pkt.Dst.Is4() {
+		return nil, fmt.Errorf("tunnel: packet %v→%v is not IPv4", pkt.Src, pkt.Dst)
+	}
+	b := make([]byte, packetHeaderLen, packetHeaderLen+len(pkt.Payload))
+	off := 0
+	binary.BigEndian.PutUint64(b[off:], pkt.ID)
+	off += 8
+	src, dst := pkt.Src.As4(), pkt.Dst.As4()
+	copy(b[off:], src[:])
+	off += 4
+	copy(b[off:], dst[:])
+	off += 4
+	b[off] = pkt.TTL
+	off++
+	b[off] = byte(pkt.Proto)
+	off++
+	b[off] = byte(pkt.ICMP)
+	off++
+	binary.BigEndian.PutUint16(b[off:], pkt.SrcPort)
+	off += 2
+	binary.BigEndian.PutUint16(b[off:], pkt.DstPort)
+	off += 2
+	binary.BigEndian.PutUint32(b[off:], uint32(pkt.Seq))
+	off += 4
+	binary.BigEndian.PutUint64(b[off:], pkt.Orig)
+	off += 8
+	binary.BigEndian.PutUint32(b[off:], uint32(len(pkt.Payload)))
+	return append(b, pkt.Payload...), nil
+}
+
+// DecodePacket parses a packet produced by EncodePacket.
+func DecodePacket(b []byte) (*dataplane.Packet, error) {
+	if len(b) < packetHeaderLen {
+		return nil, fmt.Errorf("tunnel: packet frame too short (%d bytes)", len(b))
+	}
+	pkt := &dataplane.Packet{}
+	off := 0
+	pkt.ID = binary.BigEndian.Uint64(b[off:])
+	off += 8
+	pkt.Src = netip.AddrFrom4([4]byte(b[off : off+4]))
+	off += 4
+	pkt.Dst = netip.AddrFrom4([4]byte(b[off : off+4]))
+	off += 4
+	pkt.TTL = b[off]
+	off++
+	pkt.Proto = dataplane.Proto(b[off])
+	off++
+	pkt.ICMP = dataplane.ICMPType(b[off])
+	off++
+	pkt.SrcPort = binary.BigEndian.Uint16(b[off:])
+	off += 2
+	pkt.DstPort = binary.BigEndian.Uint16(b[off:])
+	off += 2
+	pkt.Seq = int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	pkt.Orig = binary.BigEndian.Uint64(b[off:])
+	off += 8
+	plen := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) != off+plen {
+		return nil, fmt.Errorf("tunnel: payload length mismatch (%d declared, %d present)", plen, len(b)-off)
+	}
+	pkt.Payload = append([]byte(nil), b[off:]...)
+	return pkt, nil
+}
+
+// PacketTunnel sends and receives data-plane packets over one mux
+// stream, bridging the emulated data plane across the "wire".
+type PacketTunnel struct {
+	stream *Stream
+}
+
+// NewPacketTunnel opens (or adopts) the packet channel on m and starts
+// delivering inbound packets to onPacket.
+func NewPacketTunnel(m *Mux, onPacket func(*dataplane.Packet)) *PacketTunnel {
+	pt := &PacketTunnel{stream: m.Open(PacketChannel)}
+	go pt.readLoop(onPacket)
+	return pt
+}
+
+// AdoptStream runs a packet tunnel over an already-accepted stream.
+func AdoptStream(s *Stream, onPacket func(*dataplane.Packet)) *PacketTunnel {
+	pt := &PacketTunnel{stream: s}
+	go pt.readLoop(onPacket)
+	return pt
+}
+
+// Send encodes and transmits pkt.
+func (pt *PacketTunnel) Send(pkt *dataplane.Packet) error {
+	b, err := EncodePacket(pkt)
+	if err != nil {
+		return err
+	}
+	// Length-prefix inside the stream: streams are byte pipes.
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	if _, err := pt.stream.Write(l[:]); err != nil {
+		return err
+	}
+	_, err = pt.stream.Write(b)
+	return err
+}
+
+func (pt *PacketTunnel) readLoop(onPacket func(*dataplane.Packet)) {
+	for {
+		var l [4]byte
+		if _, err := io.ReadFull(pt.stream, l[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(l[:])
+		if n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(pt.stream, buf); err != nil {
+			return
+		}
+		pkt, err := DecodePacket(buf)
+		if err != nil {
+			continue // corrupt frame: drop, keep the tunnel up
+		}
+		onPacket(pkt)
+	}
+}
+
+// Close shuts the packet channel.
+func (pt *PacketTunnel) Close() error { return pt.stream.Close() }

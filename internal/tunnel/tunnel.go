@@ -1,0 +1,282 @@
+// Package tunnel implements the client↔server transport: a stream
+// multiplexer that carries many logical channels over one connection
+// (the role OpenVPN tunnels + per-peer TCP sessions play in the paper)
+// and a packet framing codec for exchanging data-plane traffic.
+//
+// A PEERING client holds exactly one transport to each server; over it
+// run one BGP session per upstream peer (Quagga mode), or a single
+// multiplexed session (BIRD/ADD-PATH mode), plus the data-plane packet
+// channel. Channel 0 is reserved for packets; channels ≥1 are opened by
+// the client, one per upstream peer session.
+package tunnel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// PacketChannel is the stream ID reserved for data-plane packets.
+const PacketChannel uint32 = 0
+
+// maxFrame bounds a single mux frame (header excluded).
+const maxFrame = 1 << 20
+
+// Mux multiplexes logical streams over one net.Conn. Both endpoints
+// construct a Mux over their half; streams are identified by a shared
+// ID convention (the opener assigns, the acceptor learns via OnStream).
+type Mux struct {
+	conn    net.Conn
+	onNew   func(*Stream)
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	streams map[uint32]*Stream
+	closed  bool
+	err     error
+	done    chan struct{}
+}
+
+// NewMux wraps conn. onNew fires (on the reader goroutine) whenever a
+// frame arrives for a stream this side has not opened; it may be nil to
+// reject unsolicited streams. Run starts automatically.
+func NewMux(conn net.Conn, onNew func(*Stream)) *Mux {
+	m := &Mux{
+		conn:    conn,
+		onNew:   onNew,
+		streams: make(map[uint32]*Stream),
+		done:    make(chan struct{}),
+	}
+	go m.readLoop()
+	return m
+}
+
+// Open creates (or returns) the stream with the given ID.
+func (m *Mux) Open(id uint32) *Stream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.streams[id]; ok {
+		return s
+	}
+	s := newStream(m, id)
+	m.streams[id] = s
+	return s
+}
+
+// CloseStream removes a stream and signals EOF to its reader.
+func (m *Mux) CloseStream(id uint32) {
+	m.mu.Lock()
+	s := m.streams[id]
+	delete(m.streams, id)
+	m.mu.Unlock()
+	if s != nil {
+		s.shutdown(io.EOF)
+	}
+}
+
+// Close tears down the mux and every stream.
+func (m *Mux) Close() error {
+	m.fail(errors.New("tunnel: mux closed"))
+	return nil
+}
+
+// Done is closed when the mux has terminated.
+func (m *Mux) Done() <-chan struct{} { return m.done }
+
+// Err returns the terminal error.
+func (m *Mux) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.err = err
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, s := range m.streams {
+		streams = append(streams, s)
+	}
+	m.streams = map[uint32]*Stream{}
+	close(m.done)
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, s := range streams {
+		s.shutdown(err)
+	}
+}
+
+// readLoop demultiplexes inbound frames.
+func (m *Mux) readLoop() {
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(m.conn, hdr[:]); err != nil {
+			m.fail(err)
+			return
+		}
+		id := binary.BigEndian.Uint32(hdr[0:4])
+		n := binary.BigEndian.Uint32(hdr[4:8])
+		if n > maxFrame {
+			m.fail(fmt.Errorf("tunnel: frame of %d bytes exceeds limit", n))
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(m.conn, buf); err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		s, ok := m.streams[id]
+		var isNew bool
+		if !ok && !m.closed {
+			if m.onNew == nil {
+				m.mu.Unlock()
+				continue // unsolicited stream, no acceptor: drop
+			}
+			s = newStream(m, id)
+			m.streams[id] = s
+			isNew = true
+		}
+		m.mu.Unlock()
+		if s == nil {
+			continue
+		}
+		if isNew {
+			m.onNew(s)
+		}
+		s.deliver(buf)
+	}
+}
+
+// writeFrame sends one frame for stream id.
+func (m *Mux) writeFrame(id uint32, p []byte) error {
+	if len(p) > maxFrame {
+		return fmt.Errorf("tunnel: write of %d bytes exceeds frame limit", len(p))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], id)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(p)))
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if _, err := m.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := m.conn.Write(p)
+	return err
+}
+
+// Stream is one logical channel; it implements net.Conn so BGP sessions
+// run over it unchanged.
+type Stream struct {
+	mux *Mux
+	id  uint32
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+	err    error
+}
+
+var _ net.Conn = (*Stream)(nil)
+
+func newStream(m *Mux, id uint32) *Stream {
+	s := &Stream{mux: m, id: id}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// ID returns the stream's channel ID.
+func (s *Stream) ID() uint32 { return s.id }
+
+func (s *Stream) deliver(p []byte) {
+	s.mu.Lock()
+	if !s.closed {
+		s.buf = append(s.buf, p...)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stream) shutdown(err error) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.err = err
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Read implements net.Conn.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 {
+		if s.closed {
+			if s.err == nil || errors.Is(s.err, io.EOF) {
+				return 0, io.EOF
+			}
+			return 0, s.err
+		}
+		s.cond.Wait()
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+// Write implements net.Conn.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, io.ErrClosedPipe
+	}
+	if err := s.mux.writeFrame(s.id, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close implements net.Conn: it detaches this stream from the mux.
+func (s *Stream) Close() error {
+	s.mux.mu.Lock()
+	delete(s.mux.streams, s.id)
+	s.mux.mu.Unlock()
+	s.shutdown(io.EOF)
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (s *Stream) LocalAddr() net.Addr { return streamAddr{s.id, "local"} }
+
+// RemoteAddr implements net.Conn.
+func (s *Stream) RemoteAddr() net.Addr { return streamAddr{s.id, "remote"} }
+
+// SetDeadline implements net.Conn (not supported; no-op).
+func (s *Stream) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn (not supported; no-op).
+func (s *Stream) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn (not supported; no-op).
+func (s *Stream) SetWriteDeadline(time.Time) error { return nil }
+
+type streamAddr struct {
+	id   uint32
+	side string
+}
+
+func (a streamAddr) Network() string { return "tunnel" }
+func (a streamAddr) String() string  { return fmt.Sprintf("stream-%d-%s", a.id, a.side) }

@@ -1,0 +1,113 @@
+package peering
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"peering/internal/internet"
+	"peering/internal/mininext"
+	"peering/internal/policy"
+)
+
+// LiveInternet is a synthetic AS-level Internet instantiated as live
+// software: one BGP router and one dataplane router per AS, eBGP
+// sessions on every relationship edge with Gao–Rexford export
+// policies. It is what the testbed's servers actually peer with — the
+// substitute for the real Internet the paper's deployment touches.
+type LiveInternet struct {
+	// Graph is the underlying AS-level topology.
+	Graph *internet.Graph
+	// Net hosts the per-AS containers.
+	Net *mininext.Network
+	// Containers maps ASN to its live node.
+	Containers map[uint32]*mininext.Container
+	// HostAddrOf maps ASN to an address inside its first prefix where
+	// its dataplane answers pings.
+	HostAddrOf map[uint32]netip.Addr
+}
+
+// BuildLive instantiates g as live routers. maxPrefixesPerAS caps how
+// many of each AS's prefixes are actually originated (keeps live-mode
+// table sizes proportionate; the statistical model uses full counts).
+func BuildLive(g *internet.Graph, maxPrefixesPerAS int) (*LiveInternet, error) {
+	li := &LiveInternet{
+		Graph:      g,
+		Net:        mininext.NewNetwork("live-internet"),
+		Containers: make(map[uint32]*mininext.Container),
+		HostAddrOf: make(map[uint32]netip.Addr),
+	}
+	for _, asn := range g.ASNs() {
+		lo := netip.AddrFrom4([4]byte{10, 20, byte(asn >> 8), byte(asn)})
+		c, err := li.Net.AddContainer(fmt.Sprintf("AS%d", asn), asn, lo)
+		if err != nil {
+			return nil, err
+		}
+		li.Containers[asn] = c
+	}
+	// Wire relationship edges. Provider→customer edges appear once (on
+	// the provider's customer list); peerings are symmetric, so only
+	// wire a<b.
+	for _, asn := range g.ASNs() {
+		a := g.AS(asn)
+		ca := li.Containers[asn]
+		for _, cust := range a.Customers {
+			// ca is provider: ca sees cust as customer.
+			if _, err := li.Net.LinkRel(ca, li.Containers[cust], policy.RelCustomer, policy.RelProvider); err != nil {
+				return nil, err
+			}
+		}
+		for _, peer := range a.Peers {
+			if asn < peer {
+				if _, err := li.Net.LinkRel(ca, li.Containers[peer], policy.RelPeer, policy.RelPeer); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Originate prefixes.
+	for _, asn := range g.ASNs() {
+		a := g.AS(asn)
+		c := li.Containers[asn]
+		for i, p := range a.Prefixes {
+			if maxPrefixesPerAS > 0 && i >= maxPrefixesPerAS {
+				break
+			}
+			if i == 0 {
+				host := p.Addr().Next()
+				c.DP.AddLocal(host)
+				li.HostAddrOf[asn] = host
+			}
+			c.BGP.Announce(p, announceSpecEmpty())
+		}
+	}
+	return li, nil
+}
+
+// Container returns asn's live node.
+func (li *LiveInternet) Container(asn uint32) *mininext.Container {
+	return li.Containers[asn]
+}
+
+// WaitConverged blocks until every tier-1 AS holds at least minRoutes
+// prefixes (a cheap global-convergence proxy) or the timeout passes.
+func (li *LiveInternet) WaitConverged(minRoutes int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, asn := range li.Graph.ASNs() {
+			if li.Graph.AS(asn).Kind != internet.KindTier1 {
+				continue
+			}
+			if li.Containers[asn].BGP.LocRIB().Prefixes() < minRoutes {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}

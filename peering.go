@@ -1,0 +1,410 @@
+// Package peering is a full reproduction of the PEERING testbed from
+// "PEERING: An AS for Us" (HotNets-XIII, 2014): a platform that lets
+// researchers run their own autonomous system — announcing routes,
+// exchanging traffic, and deploying services — against a live (here:
+// live-emulated) Internet through servers that interpose for safety.
+//
+// The package assembles the subsystems in internal/: the BGP stack
+// (wire, bgp, rib, policy, dampen), the data plane, the tunnel layer,
+// the IXP fabric and route server, the synthetic Internet, MinineXt
+// intradomain emulation, PEERING servers and clients, the management
+// portal, and route collectors. A Testbed wires them into the
+// architecture of the paper's Figure 1.
+package peering
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"peering/internal/bufconn"
+	"peering/internal/client"
+	"peering/internal/collector"
+	"peering/internal/dampen"
+	"peering/internal/dataplane"
+	"peering/internal/internet"
+	"peering/internal/ixp"
+	"peering/internal/mininext"
+	"peering/internal/muxproto"
+	"peering/internal/policy"
+	"peering/internal/portal"
+	"peering/internal/router"
+	"peering/internal/server"
+)
+
+// DefaultASN is the testbed's public AS number (PEERING's real ASN).
+const DefaultASN uint32 = 47065
+
+// DefaultSupernet is the testbed's address block (PEERING's real /19
+// was carved one /24 per client; we use the same geometry).
+var DefaultSupernet = netip.MustParsePrefix("184.164.224.0/19")
+
+// Mode aliases the multiplexing mode selector.
+type Mode = muxproto.Mode
+
+// Multiplexing modes.
+const (
+	ModeQuagga = muxproto.ModeQuagga
+	ModeBIRD   = muxproto.ModeBIRD
+)
+
+// AnnounceOptions re-exports the client announcement controls.
+type AnnounceOptions = client.AnnounceOptions
+
+// Config parameterizes NewTestbed.
+type Config struct {
+	// ASN is the testbed AS number (default DefaultASN).
+	ASN uint32
+	// Supernet is the prefix pool (default DefaultSupernet).
+	Supernet netip.Prefix
+	// Mode selects Quagga or BIRD multiplexing (default Quagga).
+	Mode Mode
+	// InternetSpec shapes the live synthetic Internet the testbed
+	// peers with. Zero value uses a compact 26-AS topology.
+	InternetSpec internet.Spec
+	// MaxPrefixesPerAS caps live origination per AS (default 2).
+	MaxPrefixesPerAS int
+	// BilateralPeers makes the server establish direct sessions with
+	// every open-peering IXP member in addition to the route server.
+	BilateralPeers bool
+}
+
+// liveSpec returns the default compact Internet for live operation.
+func liveSpec() internet.Spec {
+	return internet.Spec{
+		Seed: 2014, ASes: 26, Tier1s: 3, Transits: 8, CDNs: 3, Contents: 4, Prefixes: 60,
+	}
+}
+
+// Testbed is a fully assembled PEERING deployment (Figure 1): a live
+// Internet, an IXP with a route server, one PEERING server peered
+// there, a route collector observing a transit AS, and the management
+// portal.
+type Testbed struct {
+	Config
+	// Internet is the AS-level graph underlying the live routers.
+	Internet *internet.Graph
+	// Live is the running mini-Internet.
+	Live *LiveInternet
+	// Fabric is the emulated AMS-IX.
+	Fabric *ixp.Fabric
+	// Server is the PEERING server at the exchange.
+	Server *server.Server
+	// ServerMember is the server's presence on the fabric.
+	ServerMember *ixp.Member
+	// Collector observes routing from a tier-1's vantage.
+	Collector *collector.Collector
+	// CollectorVantage is the ASN the collector peers with.
+	CollectorVantage uint32
+	// Portal is the management web service.
+	Portal *portal.Portal
+
+	mu         sync.Mutex
+	nextTunnel byte
+	clients    map[string]*client.Client
+}
+
+// NewTestbed assembles a live deployment.
+func NewTestbed(cfg Config) (*Testbed, error) {
+	if cfg.ASN == 0 {
+		cfg.ASN = DefaultASN
+	}
+	if !cfg.Supernet.IsValid() {
+		cfg.Supernet = DefaultSupernet
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeQuagga
+	}
+	if cfg.InternetSpec.ASes == 0 {
+		cfg.InternetSpec = liveSpec()
+	}
+	if cfg.MaxPrefixesPerAS == 0 {
+		cfg.MaxPrefixesPerAS = 2
+	}
+	tb := &Testbed{Config: cfg, clients: make(map[string]*client.Client)}
+
+	// 1. The Internet.
+	tb.Internet = internet.Generate(cfg.InternetSpec)
+	live, err := BuildLive(tb.Internet, cfg.MaxPrefixesPerAS)
+	if err != nil {
+		return nil, fmt.Errorf("peering: build live internet: %w", err)
+	}
+	tb.Live = live
+
+	// 2. The exchange, with every CDN/content/transit AS as a member.
+	lanPrefix := netip.MustParsePrefix("80.249.208.0/21")
+	tb.Fabric = ixp.NewFabric("ams-ix", lanPrefix, 6777)
+	for _, asn := range tb.Internet.ASNs() {
+		a := tb.Internet.AS(asn)
+		switch a.Kind {
+		case internet.KindCDN, internet.KindContent, internet.KindTransit:
+			c := live.Containers[asn]
+			m := tb.Fabric.Join(c.BGP, c.DP)
+			// Let the member's FIB resolve IXP-LAN next hops.
+			c.RegisterSubnet(lanPrefix, m.MemberIface)
+		}
+	}
+
+	// 3. The PEERING server joins the exchange: upstream 1 is the
+	// route server; optional bilateral sessions follow.
+	// Dampening: the strict RFC defaults suppress after two
+	// back-to-back flaps, which would block interactive experiments
+	// that legitimately change announcements a few times; the testbed
+	// runs a relaxed profile (suppress after ~6 quick flaps) while
+	// still stopping runaway flappers.
+	damp := dampen.DefaultConfig()
+	damp.SuppressThreshold = 6000
+	tb.Server = server.New(server.Config{
+		Site:      "amsterdam01",
+		ASN:       cfg.ASN,
+		RouterID:  cfg.Supernet.Addr(),
+		Mode:      cfg.Mode,
+		Dampening: damp,
+	})
+	member, rsConn := tb.Fabric.JoinExternal(cfg.ASN, tb.Server.DP())
+	tb.ServerMember = member
+	up, err := tb.Server.AddUpstream(server.UpstreamConfig{
+		ID: 1, Name: "ams-ix-rs", ASN: tb.Fabric.RS.AS(),
+		PeerAddr: tb.Fabric.RouteServerAddr(), LocalAddr: member.LANAddr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.Server.AttachUpstream(up, rsConn)
+	// Traffic egress: default route into the exchange fabric.
+	tb.Server.DP().SetRoute(netip.MustParsePrefix("0.0.0.0/0"), netip.Addr{}, member.MemberIface)
+
+	// Upstreams 2 and 3: two transit providers (the paper's university
+	// providers — PEERING was multihomed through "dozens of indirect
+	// providers"), so the testbed's announcements reach the whole
+	// Internet and alternate paths exist when experiments poison one
+	// chain.
+	var providerASNs []uint32
+	for _, asn := range tb.Internet.ASNs() {
+		if tb.Internet.AS(asn).Kind == internet.KindTransit {
+			providerASNs = append(providerASNs, asn)
+			if len(providerASNs) == 2 {
+				break
+			}
+		}
+	}
+	for i, providerASN := range providerASNs {
+		prov := live.Containers[providerASN]
+		provAddr := netip.AddrFrom4([4]byte{10, 254, byte(i), 1})
+		localAddr := netip.AddrFrom4([4]byte{10, 254, byte(i), 2})
+		linkNet := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 254, byte(i), 0}), 30)
+		provPeer := prov.BGP.AddPeer(router.PeerConfig{
+			Addr:      localAddr,
+			LocalAddr: provAddr,
+			AS:        cfg.ASN,
+			// The provider sees the testbed as a customer: it gives us
+			// a full table and exports our routes everywhere.
+			Relationship: policy.RelCustomer,
+			Describe:     "peering-testbed",
+		})
+		upProv, err := tb.Server.AddUpstream(server.UpstreamConfig{
+			ID: uint32(2 + i), Name: fmt.Sprintf("ge-transit-as%d", providerASN), ASN: providerASN,
+			PeerAddr: provAddr, LocalAddr: localAddr,
+			Transit: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pc1, pc2 := bufconn.Pipe()
+		prov.BGP.Attach(provPeer, pc1)
+		tb.Server.AttachUpstream(upProv, pc2)
+		// The paired data-plane link: customer traffic the provider
+		// carries toward testbed prefixes flows here (BGP next hops on
+		// this link resolve via the registered subnet).
+		_, provIf, srvIf := dataplane.Connect(prov.DP, provAddr, "to-peering", tb.Server.DP(), localAddr, upProv.Config().Name)
+		prov.DP.AddIface(provIf)
+		tb.Server.DP().AddIface(srvIf)
+		prov.RegisterSubnet(linkNet, provIf)
+	}
+
+	if cfg.BilateralPeers {
+		id := uint32(2 + len(providerASNs))
+		for _, m := range tb.Fabric.Members() {
+			if m.Router == nil || m.ASN == cfg.ASN {
+				continue
+			}
+			if tb.Internet.AS(m.ASN) == nil {
+				continue
+			}
+			conn := tb.Fabric.BilateralConn(m, cfg.ASN, member.LANAddr)
+			u, err := tb.Server.AddUpstream(server.UpstreamConfig{
+				ID: id, Name: fmt.Sprintf("bilateral-as%d", m.ASN), ASN: m.ASN,
+				PeerAddr: m.LANAddr, LocalAddr: member.LANAddr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tb.Server.AttachUpstream(u, conn)
+			id++
+		}
+	}
+
+	// 4. A route collector peered with the first tier-1.
+	for _, asn := range tb.Internet.ASNs() {
+		if tb.Internet.AS(asn).Kind == internet.KindTier1 {
+			tb.CollectorVantage = asn
+			break
+		}
+	}
+	tb.Collector = collector.New("route-views", 6447, netip.MustParseAddr("128.223.51.102"), nil)
+	vantage := live.Containers[tb.CollectorVantage]
+	cp := vantage.BGP.AddPeer(router.PeerConfig{
+		Addr:      tb.Collector.RouterID(),
+		LocalAddr: vantage.Loopback,
+		AS:        tb.Collector.ASN(),
+		// Collectors are fed like customers: the vantage exports its
+		// full table, as RouteViews peers do.
+		Relationship: policy.RelCustomer,
+		Describe:     "route-views",
+	})
+	ca, cb := bufconn.Pipe()
+	tb.Collector.AddPeer(ca, vantage.BGP.AS())
+	vantage.BGP.Attach(cp, cb)
+
+	// 5. The portal, wired to execute scheduled announcements through
+	// (hidden) clients.
+	p, err := portal.New(cfg.Supernet, nil, portal.ExecutorFunc(tb.executeScheduled), nil)
+	if err != nil {
+		return nil, err
+	}
+	// Approval triggers automated provisioning (§3): the server learns
+	// the experiment's allocation and spoof grant, whether the approval
+	// came through Go code or the HTTP API.
+	p.SetApproveHook(func(e portal.Experiment) {
+		tb.mu.Lock()
+		tb.nextTunnel++
+		tun := netip.AddrFrom4([4]byte{10, 250, 0, tb.nextTunnel})
+		tb.mu.Unlock()
+		tb.Server.RegisterClient(server.ClientAccount{
+			ID:           e.ID,
+			Allocation:   e.Allocation,
+			SpoofAllowed: e.SpoofGrant,
+			TunnelAddr:   tun,
+		})
+	})
+	tb.Portal = p
+	return tb, nil
+}
+
+// WaitReady blocks until the server's upstream sessions are up and the
+// live Internet has broadly converged.
+func (tb *Testbed) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ready := true
+		for _, u := range tb.Server.Upstreams() {
+			if !u.Established() {
+				ready = false
+				break
+			}
+		}
+		if ready && tb.Collector.Prefixes() > 0 {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("peering: testbed not ready within %v", timeout)
+}
+
+// NewExperiment provisions an experiment end to end: portal account,
+// proposal, advisory-board approval, and server-side registration.
+// Returns the approved record (with its allocation).
+func (tb *Testbed) NewExperiment(user, id, title string, spoof bool) (*portal.Experiment, error) {
+	if _, err := tb.Portal.CreateAccount(user, user+"@example.edu"); err != nil {
+		// Account may already exist; proposals are per-experiment.
+		if _, ok := tb.Portal.Experiment(id); ok {
+			return nil, fmt.Errorf("peering: experiment %q exists", id)
+		}
+	}
+	if _, err := tb.Portal.Propose(user, id, title); err != nil {
+		return nil, err
+	}
+	// Approval fires the provisioning hook, which registers the client
+	// account on the server.
+	return tb.Portal.Approve(id, spoof)
+}
+
+// ConnectClient connects a client for an approved experiment and waits
+// for its sessions.
+func (tb *Testbed) ConnectClient(id string) (*client.Client, error) {
+	e, ok := tb.Portal.Experiment(id)
+	if !ok || e.Status != portal.StatusApproved {
+		return nil, fmt.Errorf("peering: experiment %q not approved", id)
+	}
+	ca, cb := bufconn.Pipe()
+	if err := tb.Server.AcceptClient(id, ca); err != nil {
+		return nil, err
+	}
+	cl, err := client.Connect(client.Config{
+		Name:     id,
+		RouterID: e.Allocation[0].Addr(),
+	}, cb)
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.WaitEstablished(10 * time.Second); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	tb.mu.Lock()
+	tb.clients[id] = cl
+	tb.mu.Unlock()
+	return cl, nil
+}
+
+// executeScheduled is the portal's Executor: it runs scheduled
+// announcements through the experiment's connected client (connecting
+// one if needed) — the paper's "schedule announcements without setting
+// up a client software router".
+func (tb *Testbed) executeScheduled(a portal.Announcement) error {
+	tb.mu.Lock()
+	cl := tb.clients[a.Experiment]
+	tb.mu.Unlock()
+	if cl == nil {
+		var err error
+		cl, err = tb.ConnectClient(a.Experiment)
+		if err != nil {
+			return err
+		}
+	}
+	if a.Withdraw {
+		return cl.Withdraw(a.Prefix, a.Upstreams)
+	}
+	return cl.Announce(a.Prefix, client.AnnounceOptions{Upstreams: a.Upstreams})
+}
+
+// InternetHost returns an address inside asn's first announced prefix
+// that answers pings (for data-plane experiments), or the zero Addr.
+func (tb *Testbed) InternetHost(asn uint32) netip.Addr {
+	return tb.Live.HostAddrOf[asn]
+}
+
+// Close shuts down the testbed's server and clients.
+func (tb *Testbed) Close() {
+	tb.mu.Lock()
+	cls := make([]*client.Client, 0, len(tb.clients))
+	for _, c := range tb.clients {
+		cls = append(cls, c)
+	}
+	tb.mu.Unlock()
+	for _, c := range cls {
+		c.Close()
+	}
+	tb.Server.Close()
+}
+
+// announceSpecEmpty avoids importing router in live.go's callers.
+func announceSpecEmpty() router.AnnounceSpec { return router.AnnounceSpec{} }
+
+// MinineXtNetwork re-exports the emulation layer for examples that
+// build custom intradomain topologies.
+type MinineXtNetwork = mininext.Network
+
+// Packet re-exports the dataplane packet for client traffic.
+type Packet = dataplane.Packet
