@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build vet test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The resilience layer is concurrency-heavy (supervisors, virtual-clock
+# timer cascades, fault-injected transports); keep the race detector in
+# the default gate.
+race:
+	$(GO) test -race ./...
+
+check: build vet race

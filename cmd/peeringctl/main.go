@@ -13,6 +13,7 @@
 //	peeringctl [-portal URL] announce <experiment> <prefix> [-withdraw] [-in duration]
 //	peeringctl [-portal URL] list     <experiment>
 //	peeringctl [-portal URL] pool
+//	peeringctl [-portal URL] stats
 package main
 
 import (
@@ -74,6 +75,8 @@ func main() {
 		err = c.get("/announcements?experiment=" + args[1])
 	case "pool":
 		err = c.get("/pool")
+	case "stats":
+		err = c.get("/stats")
 	default:
 		usage()
 	}
@@ -141,6 +144,7 @@ commands:
   show     <id>
   announce <experiment> <prefix> [-withdraw] [-in 30s]
   list     <experiment>
-  pool`)
+  pool
+  stats`)
 	os.Exit(2)
 }

@@ -62,6 +62,25 @@ func (s State) String() string {
 // DefaultHoldTime is used when the config leaves HoldTime zero.
 const DefaultHoldTime = 90 * time.Second
 
+// PeerClosedError is the terminal error of a session whose neighbor sent
+// a NOTIFICATION. Supervisors use it to tell an administrative shutdown
+// (Cease — do not redial) from a protocol failure (redial).
+type PeerClosedError struct {
+	Notif *wire.Notification
+}
+
+// Error implements error.
+func (e *PeerClosedError) Error() string {
+	return fmt.Sprintf("bgp: peer sent %v", e.Notif)
+}
+
+// IsPeerCease reports whether err means the peer administratively closed
+// the session with a Cease NOTIFICATION.
+func IsPeerCease(err error) bool {
+	var pc *PeerClosedError
+	return errors.As(err, &pc) && pc.Notif.Code == wire.CodeCease
+}
+
 // Config parameterizes one session endpoint.
 type Config struct {
 	// LocalAS is our autonomous system number.
@@ -215,7 +234,19 @@ func (s *Session) Err() error {
 // Run drives the session to completion: handshake, then the message
 // loop until error or Close. It returns the terminal error.
 func (s *Session) Run() error {
+	// The handshake reads have no deadline of their own, so a silent peer
+	// (or a partitioned transport) would otherwise pin this goroutine
+	// forever and stall any supervisor redialing through it.
+	hsTimer := s.clk.AfterFunc(s.cfg.HoldTime, func() {
+		s.mu.Lock()
+		pending := s.state != StateEstablished && !s.closed
+		s.mu.Unlock()
+		if pending {
+			s.abort(errors.New("bgp: handshake timed out"))
+		}
+	})
 	err := s.handshake()
+	hsTimer.Stop()
 	if err != nil {
 		s.shutdown(err)
 		return err
@@ -288,7 +319,7 @@ func (s *Session) handshake() error {
 	switch m := msg.(type) {
 	case *wire.Keepalive:
 	case *wire.Notification:
-		return fmt.Errorf("bgp: peer refused: %v", m)
+		return &PeerClosedError{Notif: m}
 	default:
 		return fmt.Errorf("bgp: expected KEEPALIVE, got %v", msg.Type())
 	}
@@ -411,11 +442,12 @@ func (s *Session) reader() error {
 		case *wire.Keepalive:
 			// hold timer already reset
 		case *wire.Notification:
-			return fmt.Errorf("bgp: peer sent %v", m)
+			return &PeerClosedError{Notif: m}
 		case *wire.RouteRefresh:
-			// Surfaced as a zero-route update so owners can re-export;
-			// routers treat Reach==Withdrawn==nil, Attrs==nil as refresh.
-			s.handler.UpdateReceived(s, &wire.Update{})
+			// Surfaced as a zero-route update so owners can re-export.
+			// Refresh distinguishes this from an End-of-RIB marker, which
+			// is also an empty UPDATE.
+			s.handler.UpdateReceived(s, &wire.Update{Refresh: true})
 		case *wire.Open:
 			ne := wire.NotifError(wire.CodeFSMError, 0, nil)
 			s.writeMsg(ne.Notification(), opts)

@@ -72,9 +72,14 @@ type Client struct {
 	announced map[netip.Prefix]AnnounceOptions
 	onRoute   func(upstreamID uint32, upd *wire.Update)
 	onPacket  func(*dataplane.Packet)
-	estCh     chan struct{}
-	estOnce   sync.Once
+	// estNotify is poked whenever a session establishes, waking
+	// WaitEstablished to recheck its condition.
+	estNotify chan struct{}
 }
+
+// provisioningTimeout bounds the wait for the server's provisioning
+// message during Connect and Reconnect.
+const provisioningTimeout = 10 * time.Second
 
 // Connect dials the testbed over conn and completes provisioning. It
 // returns once the control handshake is done; BGP sessions establish
@@ -89,14 +94,24 @@ func Connect(cfg Config, conn net.Conn) (*Client, error) {
 		sessions:  make(map[uint32]*bgp.Session),
 		views:     make(map[uint32]*rib.AdjRIB),
 		announced: make(map[netip.Prefix]AnnounceOptions),
-		estCh:     make(chan struct{}),
+		estNotify: make(chan struct{}, 1),
 	}
+	if err := c.attach(conn); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// attach binds a fresh transport and completes the provisioning
+// handshake. Views and the announced set survive, which is what lets
+// Reconnect re-claim a graceful-restart server's stale state.
+func (c *Client) attach(conn net.Conn) error {
 	provCh := make(chan *muxproto.Provisioning, 1)
 	errCh := make(chan error, 1)
-	c.mux = tunnel.NewMux(conn, func(st *tunnel.Stream) {
+	mux := tunnel.NewMux(conn, func(st *tunnel.Stream) {
 		c.acceptStream(st, provCh, errCh)
 	})
-	c.pkt = tunnel.NewPacketTunnel(c.mux, func(pkt *dataplane.Packet) {
+	pkt := tunnel.NewPacketTunnel(mux, func(pkt *dataplane.Packet) {
 		c.mu.Lock()
 		h := c.onPacket
 		c.mu.Unlock()
@@ -104,17 +119,35 @@ func Connect(cfg Config, conn net.Conn) (*Client, error) {
 			h(pkt)
 		}
 	})
+	c.mu.Lock()
+	c.mux = mux
+	c.pkt = pkt
+	c.mu.Unlock()
 	select {
-	case p := <-provCh:
-		_ = p // already published under c.mu by the control goroutine
+	case <-provCh:
+		// already published under c.mu by the control goroutine
 	case err := <-errCh:
-		c.mux.Close()
-		return nil, err
-	case <-time.After(10 * time.Second):
-		c.mux.Close()
-		return nil, errors.New("client: provisioning timeout")
+		mux.Close()
+		return err
+	case <-c.clk.After(provisioningTimeout):
+		mux.Close()
+		return errors.New("client: provisioning timeout")
 	}
-	return c, nil
+	return nil
+}
+
+// Reconnect abandons the current transport (if any) and redoes the
+// handshake over conn. Announced prefixes are replayed automatically as
+// the new sessions establish, and per-peer views are refreshed by the
+// server's replay + end-of-RIB, flushing anything stale.
+func (c *Client) Reconnect(conn net.Conn) error {
+	c.mu.Lock()
+	old := c.mux
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return c.attach(conn)
 }
 
 // acceptStream handles server-opened streams.
@@ -207,18 +240,93 @@ type sessHandler struct {
 	bird       bool
 }
 
-func (h *sessHandler) Established(*bgp.Session) {
-	h.c.estOnce.Do(func() { close(h.c.estCh) })
+func (h *sessHandler) Established(sess *bgp.Session) {
+	c := h.c
+	select {
+	case c.estNotify <- struct{}{}:
+	default:
+	}
+	// Replay our announcements so a reconnected server reclaims the
+	// routes it retained stale across the restart, then send end-of-RIB
+	// to let it flush whatever we no longer announce.
+	c.replayAnnounced(sess, h.upstreamID, h.bird)
+	sess.Send(&wire.Update{})
 }
 
 func (h *sessHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
 	h.c.handleUpdate(h.upstreamID, h.bird, sess, upd)
 }
 
-func (h *sessHandler) Closed(*bgp.Session, error) {}
+// Closed marks the session's view(s) stale on failure: routes stay
+// usable while the server redials, and the replay + end-of-RIB of the
+// next session sweeps out whatever is not re-announced.
+func (h *sessHandler) Closed(_ *bgp.Session, err error) {
+	if err == nil {
+		return
+	}
+	c := h.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h.bird {
+		for _, v := range c.views {
+			v.MarkAllStale()
+		}
+		return
+	}
+	if v := c.views[h.upstreamID]; v != nil {
+		v.MarkAllStale()
+	}
+}
+
+// replayAnnounced re-sends every announced prefix relevant to the
+// session that just established.
+func (c *Client) replayAnnounced(sess *bgp.Session, upstreamID uint32, bird bool) {
+	c.mu.Lock()
+	type ann struct {
+		p    netip.Prefix
+		opts AnnounceOptions
+	}
+	anns := make([]ann, 0, len(c.announced))
+	for p, opts := range c.announced {
+		anns = append(anns, ann{p: p, opts: opts})
+	}
+	c.mu.Unlock()
+	for _, a := range anns {
+		ids := c.selectedUpstreams(a.opts)
+		attrs := c.buildAttrs(a.opts)
+		if bird {
+			u := &wire.Update{Attrs: attrs}
+			for _, id := range ids {
+				u.Reach = append(u.Reach, wire.NLRI{Prefix: a.p, ID: wire.PathID(id)})
+			}
+			sess.Send(u)
+			continue
+		}
+		for _, id := range ids {
+			if id == upstreamID {
+				sess.Send(&wire.Update{Attrs: attrs, Reach: []wire.NLRI{{Prefix: a.p}}})
+				break
+			}
+		}
+	}
+}
 
 // handleUpdate stores received routes in the per-upstream view.
 func (c *Client) handleUpdate(upstreamID uint32, bird bool, sess *bgp.Session, upd *wire.Update) {
+	if upd.IsEndOfRIB() {
+		// The server finished its replay: flush view entries it did not
+		// re-announce (retained stale since the previous session died).
+		c.mu.Lock()
+		if bird {
+			for _, v := range c.views {
+				v.SweepStale()
+			}
+		} else if v := c.views[upstreamID]; v != nil {
+			v.SweepStale()
+		}
+		c.mu.Unlock()
+		return
+	}
 	viewFor := func(n wire.NLRI) (uint32, wire.PathID) {
 		if bird {
 			return uint32(n.ID), 0 // path ID addresses the upstream
@@ -275,24 +383,28 @@ func (c *Client) upstreamAddr(id uint32) netip.Addr {
 }
 
 // WaitEstablished blocks until every expected BGP session is up: one
-// per upstream in Quagga mode, one total in BIRD mode.
+// per upstream in Quagga mode, one total in BIRD mode. The deadline
+// runs on the injected clock, and waking is event-driven (no polling),
+// so virtual-clock tests stay deterministic.
 func (c *Client) WaitEstablished(timeout time.Duration) error {
 	prov := c.provisioning()
 	want := len(prov.Upstreams)
 	if prov.Mode == muxproto.ModeBIRD {
 		want = 1
 	}
-	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	mux := c.mux
+	c.mu.Unlock()
+	deadline := c.clk.After(timeout)
 	for {
 		if c.SessionCount() >= want {
 			return nil
 		}
 		select {
-		case <-c.mux.Done():
-			return fmt.Errorf("client: transport closed: %v", c.mux.Err())
-		case <-time.After(2 * time.Millisecond):
-		}
-		if !time.Now().Before(deadline) {
+		case <-c.estNotify:
+		case <-mux.Done():
+			return fmt.Errorf("client: transport closed: %v", mux.Err())
+		case <-deadline:
 			return errors.New("client: sessions not established in time")
 		}
 	}
@@ -460,7 +572,10 @@ func (c *Client) Withdraw(p netip.Prefix, upstreams []uint32) error {
 // SendPacket transmits a data-plane packet to the Internet through the
 // server (subject to the server's spoof filter).
 func (c *Client) SendPacket(pkt *dataplane.Packet) error {
-	return c.pkt.Send(pkt)
+	c.mu.Lock()
+	p := c.pkt
+	c.mu.Unlock()
+	return p.Send(pkt)
 }
 
 // SessionCount reports how many BGP sessions are established.
@@ -476,7 +591,21 @@ func (c *Client) SessionCount() int {
 	return n
 }
 
-// Close tears down the transport (the server withdraws our routes).
+// Close says goodbye properly and tears down the transport: each
+// session sends a Cease NOTIFICATION so the server withdraws our routes
+// immediately instead of retaining them for a graceful-restart window
+// (that retention is for crashes and transport blips, not deliberate
+// departures).
 func (c *Client) Close() error {
-	return c.mux.Close()
+	c.mu.Lock()
+	sessions := make([]*bgp.Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	mux := c.mux
+	c.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+	return mux.Close()
 }

@@ -44,7 +44,12 @@ func newFakeServer(t *testing.T, conn *bufconn.Conn, prov *muxproto.Provisioning
 		}
 		bird := prov.Mode == muxproto.ModeBIRD
 		handler := bgp.HandlerFuncs{
-			OnUpdate: func(_ *bgp.Session, u *wire.Update) { fs.updates <- u },
+			OnUpdate: func(_ *bgp.Session, u *wire.Update) {
+				if u.IsEndOfRIB() {
+					return // graceful-restart marker, not a route
+				}
+				fs.updates <- u
+			},
 		}
 		if bird {
 			st := fs.mux.Open(muxproto.StreamBGPBase)

@@ -213,7 +213,8 @@ func (c *Collector) Prefixes() int { return c.rib.Prefixes() }
 
 // WaitForPrefix blocks until an update for p arrives (announcement, or
 // withdrawal if withdraw is set), returning the record. Use for
-// convergence measurements.
+// convergence measurements. The deadline runs on the collector's
+// injected clock, so virtual-clock tests never sleep real time.
 func (c *Collector) WaitForPrefix(p netip.Prefix, withdraw bool, timeout time.Duration) (UpdateRecord, error) {
 	w := &watch{prefix: p, withdraw: withdraw, ch: make(chan UpdateRecord, 1)}
 	c.mu.Lock()
@@ -222,7 +223,7 @@ func (c *Collector) WaitForPrefix(p netip.Prefix, withdraw bool, timeout time.Du
 	select {
 	case rec := <-w.ch:
 		return rec, nil
-	case <-time.After(timeout):
+	case <-c.clk.After(timeout):
 		return UpdateRecord{}, fmt.Errorf("collector: no update for %v within %v", p, timeout)
 	}
 }

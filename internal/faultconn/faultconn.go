@@ -1,0 +1,197 @@
+// Package faultconn wraps any net.Conn with scriptable fault injection
+// for chaos testing: one-way latency, partitions that silently blackhole
+// traffic, byte-count-triggered drops, and hard resets. Faults are
+// applied per Write/Read call, never mid-call, so message framing on the
+// wrapped transport stays aligned — a partition eats whole frames, not
+// half a header.
+package faultconn
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"peering/internal/bufconn"
+	"peering/internal/clock"
+)
+
+// ErrReset is returned from Read and Write after Reset.
+var ErrReset = errors.New("faultconn: connection reset by fault injection")
+
+// Stats counts traffic through one wrapped endpoint.
+type Stats struct {
+	// BytesRead and BytesWritten count bytes actually passed through.
+	BytesRead    int64
+	BytesWritten int64
+	// WritesDropped counts whole Write calls blackholed by a partition
+	// or drop trigger.
+	WritesDropped int64
+	// BytesDropped counts the payload bytes of those writes.
+	BytesDropped int64
+}
+
+// Conn wraps an inner net.Conn with fault injection. All fault switches
+// may be flipped concurrently with I/O.
+type Conn struct {
+	inner net.Conn
+	clk   clock.Clock
+
+	mu          sync.Mutex
+	partitioned bool
+	dropAfter   int64 // pass this many more written bytes, then drop; -1 = off
+	latency     time.Duration
+	reset       bool
+	stats       Stats
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Wrap returns conn with fault injection layered on top. clk paces
+// injected latency; nil means the system clock.
+func Wrap(conn net.Conn, clk clock.Clock) *Conn {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Conn{inner: conn, clk: clk, dropAfter: -1}
+}
+
+// Pipe returns a connected in-memory pair with fault injection on both
+// endpoints. Faults are per-endpoint: partitioning one end silences only
+// that end's writes; use PartitionBoth for a symmetric cut.
+func Pipe(clk clock.Clock) (*Conn, *Conn) {
+	a, b := bufconn.Pipe()
+	return Wrap(a, clk), Wrap(b, clk)
+}
+
+// PartitionBoth cuts both directions of a wrapped pair.
+func PartitionBoth(a, b *Conn) {
+	a.Partition()
+	b.Partition()
+}
+
+// HealBoth restores both directions of a wrapped pair.
+func HealBoth(a, b *Conn) {
+	a.Heal()
+	b.Heal()
+}
+
+// Partition silently discards all subsequent writes from this endpoint.
+// Reads are unaffected (and thus block once in-flight data drains),
+// mimicking a network cut rather than a connection close.
+func (c *Conn) Partition() {
+	c.mu.Lock()
+	c.partitioned = true
+	c.mu.Unlock()
+}
+
+// Heal ends a partition; subsequent writes flow again. Writes discarded
+// during the partition stay lost.
+func (c *Conn) Heal() {
+	c.mu.Lock()
+	c.partitioned = false
+	c.mu.Unlock()
+}
+
+// DropAfter lets n more written bytes through, then blackholes every
+// later Write call in full (the call that crosses the threshold still
+// passes whole, keeping frames intact). A negative n disables the
+// trigger.
+func (c *Conn) DropAfter(n int64) {
+	c.mu.Lock()
+	c.dropAfter = n
+	c.mu.Unlock()
+}
+
+// SetLatency delays each subsequent Write by d on the wrapping clock.
+func (c *Conn) SetLatency(d time.Duration) {
+	c.mu.Lock()
+	c.latency = d
+	c.mu.Unlock()
+}
+
+// Reset simulates a connection reset: the inner conn is closed and all
+// further I/O on this endpoint fails with ErrReset.
+func (c *Conn) Reset() {
+	c.mu.Lock()
+	c.reset = true
+	c.mu.Unlock()
+	c.inner.Close()
+}
+
+// Stats snapshots the endpoint's counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	c.mu.Lock()
+	c.stats.BytesRead += int64(n)
+	reset := c.reset
+	c.mu.Unlock()
+	if reset {
+		return n, ErrReset
+	}
+	return n, err
+}
+
+// Write implements net.Conn. Depending on the scripted faults the call
+// may be delayed, silently discarded (reporting success, like a lost
+// packet), or failed.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrReset
+	}
+	drop := c.partitioned
+	if !drop && c.dropAfter >= 0 {
+		if c.dropAfter == 0 {
+			drop = true
+		} else {
+			// The crossing write passes whole so frame boundaries hold.
+			c.dropAfter -= int64(len(p))
+			if c.dropAfter < 0 {
+				c.dropAfter = 0
+			}
+		}
+	}
+	if drop {
+		c.stats.WritesDropped++
+		c.stats.BytesDropped += int64(len(p))
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	latency := c.latency
+	c.mu.Unlock()
+	if latency > 0 {
+		c.clk.Sleep(latency)
+	}
+	n, err := c.inner.Write(p)
+	c.mu.Lock()
+	c.stats.BytesWritten += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

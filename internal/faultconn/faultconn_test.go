@@ -1,0 +1,183 @@
+package faultconn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"peering/internal/clock"
+)
+
+func readN(t *testing.T, c *Conn, n int) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	got := 0
+	done := make(chan error, 1)
+	go func() {
+		for got < n {
+			m, err := c.Read(buf[got:])
+			got += m
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("read: %v (got %d/%d bytes)", err, got, n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("read stalled at %d/%d bytes", got, n)
+	}
+	return buf
+}
+
+func TestPassthrough(t *testing.T) {
+	a, b := Pipe(nil)
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readN(t, b, 5); string(got) != "hello" {
+		t.Fatalf("read %q", got)
+	}
+	if _, err := b.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	readN(t, a, 2)
+	if st := a.Stats(); st.BytesWritten != 5 || st.BytesRead != 2 || st.WritesDropped != 0 {
+		t.Fatalf("a stats = %+v", st)
+	}
+	if st := b.Stats(); st.BytesWritten != 2 || st.BytesRead != 5 {
+		t.Fatalf("b stats = %+v", st)
+	}
+}
+
+func TestPartitionDropsWholeWritesAndHeals(t *testing.T) {
+	a, b := Pipe(nil)
+	a.Partition()
+	// Writes during the partition report success — a lost packet, not a
+	// broken socket.
+	if n, err := a.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("write during partition = %d, %v", n, err)
+	}
+	if st := a.Stats(); st.WritesDropped != 1 || st.BytesDropped != 4 || st.BytesWritten != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	a.Heal()
+	if _, err := a.Write([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	// Only the post-heal write arrives; the partitioned one stays lost.
+	if got := readN(t, b, 5); string(got) != "alive" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestPartitionBothIsSymmetric(t *testing.T) {
+	a, b := Pipe(nil)
+	PartitionBoth(a, b)
+	a.Write([]byte("x"))
+	b.Write([]byte("y"))
+	if a.Stats().WritesDropped != 1 || b.Stats().WritesDropped != 1 {
+		t.Fatalf("drops = %+v / %+v", a.Stats(), b.Stats())
+	}
+	HealBoth(a, b)
+	a.Write([]byte("1"))
+	b.Write([]byte("2"))
+	if got := readN(t, b, 1); string(got) != "1" {
+		t.Fatalf("b read %q", got)
+	}
+	if got := readN(t, a, 1); string(got) != "2" {
+		t.Fatalf("a read %q", got)
+	}
+}
+
+func TestDropAfterKeepsCrossingWriteWhole(t *testing.T) {
+	a, b := Pipe(nil)
+	a.DropAfter(5)
+	a.Write([]byte("abc"))  // 3 of 5 spent
+	a.Write([]byte("defg")) // crosses the threshold: passes whole
+	a.Write([]byte("hij"))  // blackholed
+	if got := readN(t, b, 7); string(got) != "abcdefg" {
+		t.Fatalf("read %q", got)
+	}
+	if st := a.Stats(); st.WritesDropped != 1 || st.BytesDropped != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Negative disables the trigger again.
+	a.DropAfter(-1)
+	a.Write([]byte("back"))
+	if got := readN(t, b, 4); string(got) != "back" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a, b := Pipe(nil)
+	a.Write([]byte("pre"))
+	readN(t, b, 3)
+	a.Reset()
+	if _, err := a.Write([]byte("post")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write after reset: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := a.Read(buf); !errors.Is(err, ErrReset) {
+		t.Fatalf("read after reset: %v", err)
+	}
+	// The peer sees the conn die too (its inner pipe is closed).
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+}
+
+func TestLatencyRunsOnInjectedClock(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	a, b := Pipe(clk)
+	a.SetLatency(100 * time.Millisecond)
+	wrote := make(chan struct{})
+	go func() {
+		a.Write([]byte("slow"))
+		close(wrote)
+	}()
+	// The write parks on the virtual clock: it cannot complete until
+	// time moves, so the test never sleeps wall-clock time.
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.PendingTimers() == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("write never armed its latency timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-wrote:
+		t.Fatal("write completed before latency elapsed")
+	default:
+	}
+	clk.Advance(100 * time.Millisecond)
+	select {
+	case <-wrote:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write did not complete after Advance")
+	}
+	if got := readN(t, b, 4); string(got) != "slow" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestWrapArbitraryConn(t *testing.T) {
+	inner, peer := Pipe(nil) // reuse the pipe as an arbitrary net.Conn
+	c := Wrap(inner, nil)
+	c.Write([]byte("zz"))
+	if got := readN(t, peer, 2); string(got) != "zz" {
+		t.Fatalf("read %q", got)
+	}
+	if c.LocalAddr() == nil || c.RemoteAddr() == nil {
+		t.Fatal("addrs not delegated")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

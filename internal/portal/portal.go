@@ -99,6 +99,7 @@ type Portal struct {
 
 	mu            sync.Mutex
 	onApprove     func(Experiment)
+	statsSource   func() any
 	pool          []netip.Prefix // unallocated /24s
 	accounts      map[string]*Account
 	experiments   map[string]*Experiment
@@ -114,6 +115,15 @@ type Portal struct {
 func (p *Portal) SetApproveHook(fn func(Experiment)) {
 	p.mu.Lock()
 	p.onApprove = fn
+	p.mu.Unlock()
+}
+
+// SetStatsSource registers a callback supplying live testbed counters
+// (session recoveries, stale-route retention, dampening activity) for
+// the GET /stats endpoint. The returned value is JSON-encoded verbatim.
+func (p *Portal) SetStatsSource(fn func() any) {
+	p.mu.Lock()
+	p.statsSource = fn
 	p.mu.Unlock()
 }
 
@@ -365,6 +375,7 @@ func (p *Portal) Measurements(experiment string) []Measurement {
 //	GET  /announcements?experiment=X
 //	GET  /measurements?experiment=X
 //	GET  /pool
+//	GET  /stats
 func (p *Portal) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /accounts", func(w http.ResponseWriter, r *http.Request) {
@@ -432,6 +443,16 @@ func (p *Portal) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /pool", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, map[string]int{"available": p.PoolSize()}, nil)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		fn := p.statsSource
+		p.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "stats unavailable", http.StatusNotFound)
+			return
+		}
+		reply(w, fn(), nil)
 	})
 	return mux
 }

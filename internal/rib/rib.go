@@ -49,6 +49,10 @@ type Route struct {
 	IGPCost uint32
 	// Learned is when the route entered the table.
 	Learned time.Time
+	// Stale marks a route retained across a session loss under
+	// graceful-restart semantics (RFC 4724): it stays usable until the
+	// peer re-announces it or the restart window closes.
+	Stale bool
 }
 
 // LocalPref returns the route's LOCAL_PREF, applying the default.
@@ -184,6 +188,48 @@ func (a *AdjRIB) Walk(fn func(*Route) bool) {
 		}
 		return true
 	})
+}
+
+// MarkAllStale flags every stored route stale (graceful restart entry),
+// returning how many were newly marked.
+func (a *AdjRIB) MarkAllStale() int {
+	n := 0
+	a.Walk(func(r *Route) bool {
+		if !r.Stale {
+			r.Stale = true
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// SweepStale removes and returns every route still marked stale
+// (graceful restart exit: flush what the peer did not re-announce).
+func (a *AdjRIB) SweepStale() []*Route {
+	var stale []*Route
+	a.Walk(func(r *Route) bool {
+		if r.Stale {
+			stale = append(stale, r)
+		}
+		return true
+	})
+	for _, r := range stale {
+		a.Remove(r.Prefix, r.Src.PathID)
+	}
+	return stale
+}
+
+// StaleCount reports how many routes are currently marked stale.
+func (a *AdjRIB) StaleCount() int {
+	n := 0
+	a.Walk(func(r *Route) bool {
+		if r.Stale {
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 // Clear drops all routes, returning how many were removed.

@@ -238,7 +238,8 @@ func (h *peerHandler) UpdateReceived(s *bgp.Session, u *wire.Update) {
 
 func (h *peerHandler) Closed(s *bgp.Session, err error) { h.p.r.peerDown(h.p) }
 
-// peerUp sends the full table to a newly established peer.
+// peerUp sends the full table to a newly established peer, closed by an
+// end-of-RIB marker so graceful-restart peers can flush stale routes.
 func (r *Router) peerUp(p *Peer) {
 	var routes []*rib.Route
 	r.loc.WalkBest(func(rt *rib.Route) bool {
@@ -247,6 +248,9 @@ func (r *Router) peerUp(p *Peer) {
 	})
 	for _, rt := range routes {
 		r.exportRoute(p, rt)
+	}
+	if sess := p.Session(); sess != nil {
+		sess.Send(&wire.Update{})
 	}
 }
 

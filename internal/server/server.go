@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"reflect"
 	"sync"
+	"time"
 
 	"peering/internal/bgp"
 	"peering/internal/clock"
@@ -53,7 +55,17 @@ type Config struct {
 	Dampening dampen.Config
 	// Clock drives timers (nil = system).
 	Clock clock.Clock
+	// RestartWindow bounds how long routes from a lost session are
+	// retained as stale before being flushed (RFC 4724-style graceful
+	// restart). Zero means DefaultRestartWindow.
+	RestartWindow time.Duration
+	// Reconnect shapes supervised session redial backoff; zero value
+	// uses the bgp.Backoff defaults.
+	Reconnect bgp.Backoff
 }
+
+// DefaultRestartWindow is used when Config.RestartWindow is zero.
+const DefaultRestartWindow = 2 * time.Minute
 
 // Stats counts server activity, including safety interventions.
 type Stats struct {
@@ -73,6 +85,16 @@ type Stats struct {
 	FlapsSuppressed uint64
 	// SpoofsBlocked counts client packets with forbidden sources.
 	SpoofsBlocked uint64
+	// ReconnectAttempts counts supervised session redials.
+	ReconnectAttempts uint64
+	// SessionRecoveries counts sessions re-established after a failure.
+	SessionRecoveries uint64
+	// StaleRoutesRetained counts routes marked stale (instead of
+	// withdrawn) when a session was lost.
+	StaleRoutesRetained uint64
+	// StaleRoutesFlushed counts stale routes withdrawn because they were
+	// not re-announced by end-of-RIB or the restart window closed.
+	StaleRoutesFlushed uint64
 	// PacketsToClients / PacketsFromClients count tunnel traffic.
 	PacketsToClients   uint64
 	PacketsFromClients uint64
@@ -97,6 +119,16 @@ type UpstreamConfig struct {
 	Transit bool
 }
 
+// advert is one prefix the server currently announces to an upstream on
+// behalf of a client. Stale adverts are being retained across a client
+// session loss (graceful restart) and are flushed if the client does not
+// re-announce them before end-of-RIB or the restart window closes.
+type advert struct {
+	owner string
+	attrs *wire.Attrs
+	stale bool
+}
+
 // Upstream is one live upstream peering.
 type Upstream struct {
 	cfg UpstreamConfig
@@ -104,10 +136,13 @@ type Upstream struct {
 
 	mu    sync.Mutex
 	sess  *bgp.Session
+	sup   *bgp.Supervisor
 	adjIn *rib.AdjRIB
-	// advertised maps prefix → owning client ID for withdraw and
-	// disconnect bookkeeping.
-	advertised map[netip.Prefix]string
+	// advertised maps prefix → the advert bookkeeping for withdraw,
+	// disconnect, and graceful-restart handling.
+	advertised map[netip.Prefix]*advert
+	// staleTimer backstops the graceful-restart window for adjIn.
+	staleTimer clock.Timer
 }
 
 // Config returns the upstream's configuration.
@@ -147,11 +182,57 @@ type clientConn struct {
 	mux     *tunnel.Mux
 	pkt     *tunnel.PacketTunnel
 
-	mu       sync.Mutex
-	sessions map[uint32]*bgp.Session // upstream ID → session (BIRD: key 0)
+	mu sync.Mutex
+	// sups supervises the BGP sessions toward this client, keyed by
+	// upstream ID (BIRD: key 0). Supervisors redial their stream when a
+	// session dies while the tunnel itself survives.
+	sups map[uint32]*bgp.Supervisor
 	// tunIface is the server-side dataplane interface toward this
 	// client's tunnel.
 	tunIface *dataplane.Iface
+}
+
+// session returns the live session for an upstream ID, if any (it may
+// still be handshaking).
+func (c *clientConn) session(id uint32) *bgp.Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sup := c.sups[id]
+	if sup == nil {
+		return nil
+	}
+	return sup.Session()
+}
+
+// stopSupervisors administratively ends all of the client's sessions.
+func (c *clientConn) stopSupervisors() {
+	c.mu.Lock()
+	sups := make([]*bgp.Supervisor, 0, len(c.sups))
+	for _, sup := range c.sups {
+		sups = append(sups, sup)
+	}
+	c.mu.Unlock()
+	for _, sup := range sups {
+		sup.Stop()
+	}
+}
+
+// drainSupervisors cancels redialing but leaves live sessions to end on
+// their own. Used when the tunnel transport is already dead: each
+// session's reader still drains its buffer, so a Cease the client sent
+// just before the transport died is processed (immediate withdrawal)
+// instead of being raced out by an administrative teardown (which would
+// wrongly retain the routes stale).
+func (c *clientConn) drainSupervisors() {
+	c.mu.Lock()
+	sups := make([]*bgp.Supervisor, 0, len(c.sups))
+	for _, sup := range c.sups {
+		sups = append(sups, sup)
+	}
+	c.mu.Unlock()
+	for _, sup := range sups {
+		sup.Drain()
+	}
 }
 
 // Server is a PEERING server instance.
@@ -167,6 +248,9 @@ type Server struct {
 	accounts  map[string]ClientAccount
 	alloc     *trie.Trie[string] // prefix → client ID
 	stats     Stats
+	// restartTimers backstop per-client graceful-restart windows: if the
+	// client has not re-announced its stale routes by then, they flush.
+	restartTimers map[string]clock.Timer
 }
 
 // New creates a server.
@@ -180,15 +264,19 @@ func New(cfg Config) *Server {
 	if cfg.Dampening.HalfLife == 0 {
 		cfg.Dampening = dampen.DefaultConfig()
 	}
+	if cfg.RestartWindow <= 0 {
+		cfg.RestartWindow = DefaultRestartWindow
+	}
 	s := &Server{
-		cfg:       cfg,
-		damper:    dampen.New(cfg.Dampening, cfg.Clock),
-		clk:       cfg.Clock,
-		dp:        dataplane.NewRouter(cfg.Site),
-		upstreams: make(map[uint32]*Upstream),
-		clients:   make(map[string]*clientConn),
-		accounts:  make(map[string]ClientAccount),
-		alloc:     trie.New[string](),
+		cfg:           cfg,
+		damper:        dampen.New(cfg.Dampening, cfg.Clock),
+		clk:           cfg.Clock,
+		dp:            dataplane.NewRouter(cfg.Site),
+		upstreams:     make(map[uint32]*Upstream),
+		clients:       make(map[string]*clientConn),
+		accounts:      make(map[string]ClientAccount),
+		alloc:         trie.New[string](),
+		restartTimers: make(map[string]clock.Timer),
 	}
 	return s
 }
@@ -228,7 +316,7 @@ func (s *Server) AddUpstream(cfg UpstreamConfig) (*Upstream, error) {
 	if _, dup := s.upstreams[cfg.ID]; dup {
 		return nil, fmt.Errorf("server: upstream ID %d already registered", cfg.ID)
 	}
-	u := &Upstream{cfg: cfg, srv: s, adjIn: rib.NewAdjRIB(), advertised: make(map[netip.Prefix]string)}
+	u := &Upstream{cfg: cfg, srv: s, adjIn: rib.NewAdjRIB(), advertised: make(map[netip.Prefix]*advert)}
 	s.upstreams[cfg.ID] = u
 	return u, nil
 }
@@ -251,15 +339,24 @@ func (s *Server) Upstreams() []*Upstream {
 	return out
 }
 
-// AttachUpstream runs the BGP session with upstream u over conn.
-func (s *Server) AttachUpstream(u *Upstream, conn net.Conn) *bgp.Session {
-	sess := bgp.New(conn, bgp.Config{
+// upstreamSessionConfig is the session config shared by supervised and
+// unsupervised upstream attachment.
+func (s *Server) upstreamSessionConfig(u *Upstream) bgp.Config {
+	return bgp.Config{
 		LocalAS:  s.cfg.ASN,
 		LocalID:  s.cfg.RouterID,
 		PeerAS:   u.cfg.ASN,
 		Clock:    s.clk,
 		Describe: fmt.Sprintf("%s-up-%s", s.cfg.Site, u.cfg.Name),
-	}, &upstreamHandler{u: u})
+	}
+}
+
+// AttachUpstream runs the BGP session with upstream u over conn. The
+// session is not supervised: if it dies it stays down (but its routes
+// are still retained stale for the restart window). Prefer
+// AttachUpstreamSupervised for transports that can be redialed.
+func (s *Server) AttachUpstream(u *Upstream, conn net.Conn) *bgp.Session {
+	sess := bgp.New(conn, s.upstreamSessionConfig(u), &upstreamHandler{u: u})
 	u.mu.Lock()
 	u.sess = sess
 	u.mu.Unlock()
@@ -267,22 +364,76 @@ func (s *Server) AttachUpstream(u *Upstream, conn net.Conn) *bgp.Session {
 	return sess
 }
 
+// AttachUpstreamSupervised brings up the BGP session with upstream u
+// through a supervisor that redials with backoff on failure. On
+// re-establishment the server re-announces the routes it was announcing
+// on behalf of clients and sends end-of-RIB; routes learned from the
+// peer are retained stale in the meantime.
+func (s *Server) AttachUpstreamSupervised(u *Upstream, dial func() (net.Conn, error)) *bgp.Supervisor {
+	sup := bgp.NewSupervisor(bgp.SupervisorConfig{
+		Session: s.upstreamSessionConfig(u),
+		Dial:    dial,
+		Backoff: s.cfg.Reconnect,
+		OnAttempt: func(int) {
+			s.bump(func(st *Stats) { st.ReconnectAttempts++ })
+		},
+		OnRecover: func(int) {
+			s.bump(func(st *Stats) { st.SessionRecoveries++ })
+		},
+	}, &upstreamHandler{u: u})
+	u.mu.Lock()
+	u.sup = sup
+	u.mu.Unlock()
+	sup.Start()
+	return sup
+}
+
 type upstreamHandler struct{ u *Upstream }
 
-func (h *upstreamHandler) Established(*bgp.Session) {}
+func (h *upstreamHandler) Established(sess *bgp.Session) {
+	u := h.u
+	type readv struct {
+		prefix netip.Prefix
+		attrs  *wire.Attrs
+	}
+	var outs []readv
+	u.mu.Lock()
+	u.sess = sess
+	// Re-announce everything we were advertising on this peering before
+	// the restart (including stale adverts: they have not been withdrawn
+	// from the world, so the recovered peer must keep hearing them).
+	for p, ad := range u.advertised {
+		outs = append(outs, readv{prefix: p, attrs: ad.attrs})
+	}
+	u.mu.Unlock()
+	for _, o := range outs {
+		sess.Send(&wire.Update{Attrs: o.attrs, Reach: []wire.NLRI{{Prefix: o.prefix}}})
+	}
+	// End-of-RIB: tells a graceful-restart peer our replay is complete.
+	sess.Send(&wire.Update{})
+}
 
 func (h *upstreamHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
 	h.u.srv.handleUpstreamUpdate(h.u, sess, upd)
 }
 
-func (h *upstreamHandler) Closed(*bgp.Session, error) {
-	h.u.srv.handleUpstreamDown(h.u)
+func (h *upstreamHandler) Closed(_ *bgp.Session, err error) {
+	h.u.srv.handleUpstreamDown(h.u, err)
 }
 
 // handleUpstreamUpdate relays a peer's routes to every client. The
 // server deliberately does NOT run best-path selection: each client
 // sees each peer's routes verbatim (§3).
 func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.Update) {
+	if upd.Refresh {
+		return // refresh requests from upstreams are not honored yet
+	}
+	if upd.IsEndOfRIB() {
+		// The peer finished replaying its table after a restart: every
+		// route still stale was not re-announced and must go.
+		s.flushUpstreamStale(u)
+		return
+	}
 	// Book-keep Adj-RIB-In so late-joining clients get a full replay.
 	u.mu.Lock()
 	for _, n := range upd.Withdrawn {
@@ -317,8 +468,29 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 	}
 }
 
-// handleUpstreamDown clears upstream state; clients see withdraws.
-func (s *Server) handleUpstreamDown(u *Upstream) {
+// handleUpstreamDown reacts to the loss of an upstream session. A
+// transport failure marks the peer's routes stale for the restart
+// window (RFC 4724: keep forwarding while the session recovers); a
+// deliberate teardown (our Close or the peer's Cease) withdraws them
+// from clients immediately.
+func (s *Server) handleUpstreamDown(u *Upstream, err error) {
+	if err != nil && !bgp.IsPeerCease(err) {
+		u.mu.Lock()
+		u.sess = nil
+		n := u.adjIn.MarkAllStale()
+		if u.staleTimer != nil {
+			u.staleTimer.Stop()
+		}
+		u.staleTimer = s.clk.AfterFunc(s.cfg.RestartWindow, func() {
+			s.flushUpstreamStale(u)
+		})
+		u.mu.Unlock()
+		if n > 0 {
+			s.bump(func(st *Stats) { st.StaleRoutesRetained += uint64(n) })
+		}
+		return
+	}
+
 	u.mu.Lock()
 	var prefixes []netip.Prefix
 	u.adjIn.Walk(func(r *rib.Route) bool {
@@ -335,28 +507,55 @@ func (s *Server) handleUpstreamDown(u *Upstream) {
 	for _, p := range prefixes {
 		wd.Withdrawn = append(wd.Withdrawn, wire.NLRI{Prefix: p})
 	}
+	for _, c := range s.clientList() {
+		s.relayToClient(c, u, wd)
+	}
+}
+
+// flushUpstreamStale withdraws from clients every adjIn route still
+// stale: graceful restart is over (end-of-RIB arrived or the window
+// closed) and the peer did not re-announce them.
+func (s *Server) flushUpstreamStale(u *Upstream) {
+	u.mu.Lock()
+	swept := u.adjIn.SweepStale()
+	if u.staleTimer != nil {
+		u.staleTimer.Stop()
+		u.staleTimer = nil
+	}
+	u.mu.Unlock()
+	if len(swept) == 0 {
+		return
+	}
+	s.bump(func(st *Stats) { st.StaleRoutesFlushed += uint64(len(swept)) })
+	wd := &wire.Update{}
+	for _, r := range swept {
+		wd.Withdrawn = append(wd.Withdrawn, wire.NLRI{Prefix: r.Prefix})
+	}
+	for _, c := range s.clientList() {
+		s.relayToClient(c, u, wd)
+	}
+}
+
+// clientList snapshots the connected clients.
+func (s *Server) clientList() []*clientConn {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	clients := make([]*clientConn, 0, len(s.clients))
 	for _, c := range s.clients {
 		clients = append(clients, c)
 	}
-	s.mu.Unlock()
-	for _, c := range clients {
-		s.relayToClient(c, u, wd)
-	}
+	return clients
 }
 
 // relayToClient forwards an upstream's update to one client, respecting
 // the multiplexing mode.
 func (s *Server) relayToClient(c *clientConn, u *Upstream, upd *wire.Update) {
 	var sess *bgp.Session
-	c.mu.Lock()
 	if s.cfg.Mode == muxproto.ModeBIRD {
-		sess = c.sessions[0]
+		sess = c.session(0)
 	} else {
-		sess = c.sessions[u.cfg.ID]
+		sess = c.session(u.cfg.ID)
 	}
-	c.mu.Unlock()
 	if sess == nil || sess.State() != bgp.StateEstablished {
 		return
 	}
@@ -425,7 +624,10 @@ func (s *Server) ownerOfAddr(addr netip.Addr) (string, bool) {
 
 // AcceptClient binds transport conn to the registered account id: it
 // sends provisioning, starts per-upstream (or ADD-PATH) BGP sessions,
-// and wires the packet tunnel into the server's data plane.
+// and wires the packet tunnel into the server's data plane. A client
+// that is already connected is superseded: its old transport is torn
+// down and its announced routes are retained stale so the fresh
+// connection can reclaim them without churning the upstreams.
 func (s *Server) AcceptClient(id string, conn net.Conn) error {
 	s.mu.Lock()
 	acct, ok := s.accounts[id]
@@ -433,17 +635,20 @@ func (s *Server) AcceptClient(id string, conn net.Conn) error {
 		s.mu.Unlock()
 		return fmt.Errorf("server: unknown client %q (experiments must be vetted first)", id)
 	}
-	if _, dup := s.clients[id]; dup {
-		s.mu.Unlock()
-		return fmt.Errorf("server: client %q already connected", id)
-	}
+	old := s.clients[id]
+	delete(s.clients, id)
 	upstreams := make([]*Upstream, 0, len(s.upstreams))
 	for _, u := range s.upstreams {
 		upstreams = append(upstreams, u)
 	}
 	s.mu.Unlock()
+	if old != nil {
+		old.stopSupervisors()
+		old.mux.Close()
+		s.markClientStale(id, nil)
+	}
 
-	c := &clientConn{account: acct, sessions: make(map[uint32]*bgp.Session)}
+	c := &clientConn{account: acct, sups: make(map[uint32]*bgp.Supervisor)}
 	c.mux = tunnel.NewMux(conn, nil)
 
 	s.mu.Lock()
@@ -458,7 +663,7 @@ func (s *Server) AcceptClient(id string, conn net.Conn) error {
 	// Reap state when the transport dies.
 	go func() {
 		<-c.mux.Done()
-		s.dropClient(id)
+		s.detachClient(c)
 	}()
 	return nil
 }
@@ -507,29 +712,45 @@ func (s *Server) clientHandshake(c *clientConn, upstreams []*Upstream) {
 		s.handleClientPacket(c, pkt)
 	})
 
-	// BGP sessions.
+	// BGP sessions, each under a supervisor: a session that dies while
+	// the tunnel survives (e.g. hold-timer expiry during congestion) is
+	// redialed on a fresh stream with backoff.
+	startSup := func(key, streamID uint32, scfg bgp.Config, h bgp.Handler) {
+		sup := bgp.NewSupervisor(bgp.SupervisorConfig{
+			Session: scfg,
+			Dial: func() (net.Conn, error) {
+				select {
+				case <-c.mux.Done():
+					return nil, fmt.Errorf("server: client %s transport closed", id)
+				default:
+					return c.mux.Open(streamID), nil
+				}
+			},
+			Backoff: s.cfg.Reconnect,
+			OnAttempt: func(int) {
+				s.bump(func(st *Stats) { st.ReconnectAttempts++ })
+			},
+			OnRecover: func(int) {
+				s.bump(func(st *Stats) { st.SessionRecoveries++ })
+			},
+		}, h)
+		c.mu.Lock()
+		c.sups[key] = sup
+		c.mu.Unlock()
+		sup.Start()
+	}
 	if s.cfg.Mode == muxproto.ModeBIRD {
-		st := c.mux.Open(muxproto.StreamBGPBase)
-		sess := bgp.New(st, bgp.Config{
+		startSup(0, muxproto.StreamBGPBase, bgp.Config{
 			LocalAS: s.cfg.ASN, LocalID: s.cfg.RouterID, Clock: s.clk,
 			AddPath:  true,
 			Describe: fmt.Sprintf("%s-cl-%s", s.cfg.Site, id),
 		}, &clientSessHandler{srv: s, c: c, birdMode: true})
-		c.mu.Lock()
-		c.sessions[0] = sess
-		c.mu.Unlock()
-		go sess.Run()
 	} else {
 		for _, u := range upstreams {
-			st := c.mux.Open(muxproto.StreamBGPBase + u.cfg.ID)
-			sess := bgp.New(st, bgp.Config{
+			startSup(u.cfg.ID, muxproto.StreamBGPBase+u.cfg.ID, bgp.Config{
 				LocalAS: s.cfg.ASN, LocalID: s.cfg.RouterID, Clock: s.clk,
 				Describe: fmt.Sprintf("%s-cl-%s-up-%s", s.cfg.Site, id, u.cfg.Name),
 			}, &clientSessHandler{srv: s, c: c, upstream: u})
-			c.mu.Lock()
-			c.sessions[u.cfg.ID] = sess
-			c.mu.Unlock()
-			go sess.Run()
 		}
 	}
 }
@@ -541,26 +762,126 @@ func (s *Server) ClientCount() int {
 	return len(s.clients)
 }
 
-// dropClient withdraws a disconnected client's announcements from all
-// upstreams. Upstream sessions stay up (§3: stability across
-// experiment churn).
-func (s *Server) dropClient(id string) {
+// detachClient reaps a client whose transport died without a BGP-level
+// goodbye. Upstream sessions stay up (§3: stability across experiment
+// churn), and — new with graceful restart — the client's announcements
+// are retained stale for the restart window so a quick reconnect does
+// not churn the upstreams. A client that closed cleanly (Cease) has
+// already been withdrawn by the session handler, so this finds nothing
+// left to retain.
+func (s *Server) detachClient(c *clientConn) {
+	id := c.account.ID
 	s.mu.Lock()
-	c := s.clients[id]
-	delete(s.clients, id)
-	upstreams := make([]*Upstream, 0, len(s.upstreams))
-	for _, u := range s.upstreams {
-		upstreams = append(upstreams, u)
+	if s.clients[id] != c {
+		s.mu.Unlock()
+		return // superseded by a newer connection, or already detached
 	}
+	delete(s.clients, id)
 	s.mu.Unlock()
-	if c == nil {
+	c.drainSupervisors()
+	s.markClientStale(id, nil)
+}
+
+// markClientStale flags every advert owned by client id as stale and
+// arms the restart-window backstop. only limits the marking to one
+// upstream (Quagga-mode session loss); nil means all upstreams.
+func (s *Server) markClientStale(id string, only *Upstream) {
+	ups := []*Upstream{only}
+	if only == nil {
+		ups = s.Upstreams()
+	}
+	n := 0
+	for _, u := range ups {
+		u.mu.Lock()
+		for _, ad := range u.advertised {
+			if ad.owner == id && !ad.stale {
+				ad.stale = true
+				n++
+			}
+		}
+		u.mu.Unlock()
+	}
+	if n == 0 {
 		return
 	}
-	for _, u := range upstreams {
+	s.bump(func(st *Stats) { st.StaleRoutesRetained += uint64(n) })
+	s.mu.Lock()
+	if _, armed := s.restartTimers[id]; !armed {
+		s.restartTimers[id] = s.clk.AfterFunc(s.cfg.RestartWindow, func() {
+			s.flushClientStale(id, nil)
+		})
+	}
+	s.mu.Unlock()
+}
+
+// flushClientStale withdraws from upstreams every advert of client id
+// still stale: the client's restart is over (it sent end-of-RIB, or the
+// window closed) and these routes were not re-announced. only limits
+// the flush to one upstream; nil means all.
+func (s *Server) flushClientStale(id string, only *Upstream) {
+	ups := []*Upstream{only}
+	if only == nil {
+		ups = s.Upstreams()
+	}
+	total := 0
+	for _, u := range ups {
 		var wd []wire.NLRI
 		u.mu.Lock()
-		for p, owner := range u.advertised {
-			if owner == id {
+		for p, ad := range u.advertised {
+			if ad.owner == id && ad.stale {
+				delete(u.advertised, p)
+				wd = append(wd, wire.NLRI{Prefix: p})
+			}
+		}
+		sess := u.sess
+		u.mu.Unlock()
+		total += len(wd)
+		if len(wd) > 0 && sess != nil {
+			sess.Send(&wire.Update{Withdrawn: wd})
+		}
+	}
+	if total > 0 {
+		s.bump(func(st *Stats) { st.StaleRoutesFlushed += uint64(total) })
+	}
+	// Disarm the backstop once nothing stale remains for this client.
+	if s.clientStaleCount(id) == 0 {
+		s.mu.Lock()
+		if t := s.restartTimers[id]; t != nil {
+			t.Stop()
+			delete(s.restartTimers, id)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// clientStaleCount counts stale adverts owned by client id.
+func (s *Server) clientStaleCount(id string) int {
+	n := 0
+	for _, u := range s.Upstreams() {
+		u.mu.Lock()
+		for _, ad := range u.advertised {
+			if ad.owner == id && ad.stale {
+				n++
+			}
+		}
+		u.mu.Unlock()
+	}
+	return n
+}
+
+// withdrawClient withdraws all of client id's adverts (stale or not)
+// from the given upstreams immediately — the client said goodbye with a
+// Cease, so there is no restart to wait for.
+func (s *Server) withdrawClient(id string, only *Upstream) {
+	ups := []*Upstream{only}
+	if only == nil {
+		ups = s.Upstreams()
+	}
+	for _, u := range ups {
+		var wd []wire.NLRI
+		u.mu.Lock()
+		for p, ad := range u.advertised {
+			if ad.owner == id {
 				delete(u.advertised, p)
 				wd = append(wd, wire.NLRI{Prefix: p})
 			}
@@ -582,14 +903,17 @@ type clientSessHandler struct {
 }
 
 func (h *clientSessHandler) Established(sess *bgp.Session) {
-	// Replay the upstream table(s) so the client has the full view.
+	// Replay the upstream table(s) so the client has the full view, then
+	// send end-of-RIB so a reconnecting client can flush stale entries
+	// from its per-peer views.
 	if h.birdMode {
 		for _, u := range h.srv.Upstreams() {
 			h.srv.replayUpstream(sess, u, true)
 		}
-		return
+	} else {
+		h.srv.replayUpstream(sess, h.upstream, false)
 	}
-	h.srv.replayUpstream(sess, h.upstream, false)
+	sess.Send(&wire.Update{})
 }
 
 func (h *clientSessHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
@@ -600,7 +924,22 @@ func (h *clientSessHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) 
 	h.srv.handleClientUpdate(h.c, h.upstream, upd)
 }
 
-func (h *clientSessHandler) Closed(*bgp.Session, error) {}
+// Closed distinguishes a clean goodbye from a transport blip. A Cease
+// from the client withdraws its routes immediately; anything else
+// retains them stale for the restart window while the supervisor
+// redials the session's stream.
+func (h *clientSessHandler) Closed(_ *bgp.Session, err error) {
+	if err == nil {
+		return // our own administrative teardown; owners handle cleanup
+	}
+	id := h.c.account.ID
+	only := h.upstream // nil in BIRD mode: one session covers all upstreams
+	if bgp.IsPeerCease(err) {
+		h.srv.withdrawClient(id, only)
+		return
+	}
+	h.srv.markClientStale(id, only)
+}
 
 // replayUpstream sends u's current Adj-RIB-In down a client session.
 func (s *Server) replayUpstream(sess *bgp.Session, u *Upstream, bird bool) {
@@ -626,6 +965,19 @@ func (s *Server) replayUpstream(sess *bgp.Session, u *Upstream, bird bool) {
 // handleClientUpdate runs the safety pipeline on a client's
 // announcement toward one upstream and relays what passes.
 func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update) {
+	if upd.Refresh {
+		// The client asked for a refresh: replay the upstream's table.
+		if sess := c.session(u.cfg.ID); sess != nil {
+			s.replayUpstream(sess, u, false)
+		}
+		return
+	}
+	if upd.IsEndOfRIB() {
+		// The client finished re-announcing after a restart: stale
+		// adverts it did not reclaim are flushed.
+		s.flushClientStale(c.account.ID, u)
+		return
+	}
 	u.mu.Lock()
 	sess := u.sess
 	u.mu.Unlock()
@@ -638,7 +990,9 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 		}
 		s.damper.RecordWithdraw(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr})
 		u.mu.Lock()
-		delete(u.advertised, n.Prefix)
+		if ad := u.advertised[n.Prefix]; ad != nil && ad.owner == c.account.ID {
+			delete(u.advertised, n.Prefix)
+		}
 		u.mu.Unlock()
 		outWd = append(outWd, wire.NLRI{Prefix: n.Prefix})
 	}
@@ -649,10 +1003,28 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 			if !ok {
 				continue
 			}
+			// Graceful re-announcement: the prefix is already advertised
+			// (retained stale across the client's restart) with identical
+			// attributes. Reclaim it silently — no upstream churn, and no
+			// dampening penalty for a flap the world never saw.
+			u.mu.Lock()
+			if ad := u.advertised[n.Prefix]; ad != nil && ad.owner == c.account.ID &&
+				ad.stale && reflect.DeepEqual(ad.attrs, attrs) {
+				ad.stale = false
+				u.mu.Unlock()
+				continue
+			}
+			u.mu.Unlock()
+			// Route-flap dampening (§3 safety) applies to every
+			// announcement that would actually reach the upstream.
+			if s.damper.RecordFlap(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr}) {
+				s.bump(func(st *Stats) { st.FlapsSuppressed++ })
+				continue
+			}
 			outAttrs = attrs
 			outReach = append(outReach, wire.NLRI{Prefix: n.Prefix})
 			u.mu.Lock()
-			u.advertised[n.Prefix] = c.account.ID
+			u.advertised[n.Prefix] = &advert{owner: c.account.ID, attrs: attrs}
 			u.mu.Unlock()
 		}
 	}
@@ -667,6 +1039,19 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 
 // handleClientUpdateBIRD demultiplexes path IDs to upstreams.
 func (s *Server) handleClientUpdateBIRD(c *clientConn, upd *wire.Update) {
+	if upd.Refresh {
+		if sess := c.session(0); sess != nil {
+			for _, u := range s.Upstreams() {
+				s.replayUpstream(sess, u, true)
+			}
+		}
+		return
+	}
+	if upd.IsEndOfRIB() {
+		// One ADD-PATH session covers every upstream.
+		s.flushClientStale(c.account.ID, nil)
+		return
+	}
 	byUpstream := map[uint32]*wire.Update{}
 	get := func(id wire.PathID) *wire.Update {
 		o := byUpstream[uint32(id)]
@@ -707,12 +1092,7 @@ func (s *Server) vetAnnouncement(c *clientConn, u *Upstream, p netip.Prefix, att
 		s.bump(func(st *Stats) { st.OriginBlocked++ })
 		return false, nil
 	}
-	// 3. Route-flap dampening.
-	if s.damper.RecordFlap(dampen.Key{Prefix: p, Source: c.account.TunnelAddr}) {
-		s.bump(func(st *Stats) { st.FlapsSuppressed++ })
-		return false, nil
-	}
-	// 4. Attribute hygiene: strip private ASNs (emulated domains stay
+	// 3. Attribute hygiene: strip private ASNs (emulated domains stay
 	// invisible), force the testbed ASN at the path head, clear
 	// LOCAL_PREF, set NEXT_HOP to our address on the peering.
 	out := attrs.Clone()
@@ -780,7 +1160,8 @@ func (s *Server) handleClientPacket(c *clientConn, pkt *dataplane.Packet) {
 	s.dp.Receive(pkt, c.tunIface.Link().Peer(c.tunIface))
 }
 
-// Close tears down all sessions and client transports.
+// Close tears down all sessions, supervisors, restart timers, and
+// client transports.
 func (s *Server) Close() {
 	s.mu.Lock()
 	clients := make([]*clientConn, 0, len(s.clients))
@@ -791,15 +1172,28 @@ func (s *Server) Close() {
 	for _, u := range s.upstreams {
 		ups = append(ups, u)
 	}
+	timers := s.restartTimers
+	s.restartTimers = make(map[string]clock.Timer)
 	s.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
 	for _, c := range clients {
+		c.stopSupervisors()
 		c.mux.Close()
 	}
 	for _, u := range ups {
 		u.mu.Lock()
+		sup := u.sup
 		sess := u.sess
+		if u.staleTimer != nil {
+			u.staleTimer.Stop()
+			u.staleTimer = nil
+		}
 		u.mu.Unlock()
-		if sess != nil {
+		if sup != nil {
+			sup.Stop()
+		} else if sess != nil {
 			sess.Close()
 		}
 	}

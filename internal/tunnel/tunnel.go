@@ -162,15 +162,16 @@ func (m *Mux) writeFrame(id uint32, p []byte) error {
 	if len(p) > maxFrame {
 		return fmt.Errorf("tunnel: write of %d bytes exceeds frame limit", len(p))
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], id)
-	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(p)))
+	// Header and payload go out in a single Write so fault-injecting
+	// transports that drop whole calls (faultconn partitions) can never
+	// split a frame and desynchronize the peer's framing.
+	buf := make([]byte, 8+len(p))
+	binary.BigEndian.PutUint32(buf[0:4], id)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(p)))
+	copy(buf[8:], p)
 	m.writeMu.Lock()
 	defer m.writeMu.Unlock()
-	if _, err := m.conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := m.conn.Write(p)
+	_, err := m.conn.Write(buf)
 	return err
 }
 

@@ -366,6 +366,19 @@ type Update struct {
 	Withdrawn []NLRI
 	Attrs     *Attrs
 	Reach     []NLRI
+	// Refresh marks an Update synthesized locally from an inbound
+	// ROUTE-REFRESH request. It is never encoded on the wire; it exists
+	// so receivers can tell a refresh request apart from an End-of-RIB
+	// marker, which is also an empty UPDATE (RFC 4724 §2).
+	Refresh bool
+}
+
+// IsEndOfRIB reports whether u is the RFC 4724 End-of-RIB marker: an
+// UPDATE with no withdrawn routes, no path attributes, and no NLRI.
+// Speakers send it after replaying their table so graceful-restart
+// receivers know which retained stale routes to flush.
+func (u *Update) IsEndOfRIB() bool {
+	return len(u.Withdrawn) == 0 && len(u.Reach) == 0 && u.Attrs == nil && !u.Refresh
 }
 
 // Type implements Message.

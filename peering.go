@@ -288,6 +288,9 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			TunnelAddr:   tun,
 		})
 	})
+	// Surface live server counters (reconnects, stale-route retention,
+	// dampening) through GET /stats and `peeringctl stats`.
+	p.SetStatsSource(func() any { return tb.Server.Stats() })
 	tb.Portal = p
 	return tb, nil
 }
