@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+.PHONY: all build vet test race bench check
 
 all: check
 
@@ -18,5 +18,12 @@ test:
 # the default gate.
 race:
 	$(GO) test -race ./...
+
+# Fan-out pipeline benchmarks. The acceptance test measures UPDATE
+# messages spent relaying a 1000-route table to 8 clients and writes
+# the result to BENCH_fanout.json.
+bench:
+	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
+	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
 
 check: build vet race

@@ -13,7 +13,7 @@
 //	peeringctl [-portal URL] announce <experiment> <prefix> [-withdraw] [-in duration]
 //	peeringctl [-portal URL] list     <experiment>
 //	peeringctl [-portal URL] pool
-//	peeringctl [-portal URL] stats
+//	peeringctl [-portal URL] stats    [-watch interval]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	spoof := flag.Bool("spoof", false, "grant controlled spoofing (approve)")
 	withdraw := flag.Bool("withdraw", false, "withdraw instead of announce")
 	in := flag.Duration("in", 0, "schedule delay (announce)")
+	watch := flag.Duration("watch", 0, "re-poll stats at this interval until interrupted (stats)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -77,6 +78,13 @@ func main() {
 		err = c.get("/pool")
 	case "stats":
 		err = c.get("/stats")
+		// -watch turns the one-shot dump into a poll loop: handy for
+		// watching fan-out queue depths and backpressure counters while
+		// an experiment churns routes.
+		for err == nil && *watch > 0 {
+			time.Sleep(*watch)
+			err = c.get("/stats")
+		}
 	default:
 		usage()
 	}
@@ -145,6 +153,6 @@ commands:
   announce <experiment> <prefix> [-withdraw] [-in 30s]
   list     <experiment>
   pool
-  stats`)
+  stats [-watch 2s]`)
 	os.Exit(2)
 }

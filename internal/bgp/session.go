@@ -160,6 +160,9 @@ type Session struct {
 	done      chan struct{}
 	holdTimer clock.Timer
 	kaTimer   clock.Timer
+	// sentUpdates counts UPDATEs accepted by Send — the batching
+	// pipeline's measure of how many messages actually hit the wire.
+	sentUpdates uint64
 }
 
 // New wraps conn in a session. Call Run (usually in a goroutine) to
@@ -191,6 +194,21 @@ func (s *Session) State() State {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state
+}
+
+// Established reports whether the session is currently Established.
+func (s *Session) Established() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == StateEstablished && !s.closed
+}
+
+// SentUpdates reports how many UPDATE messages Send has accepted over
+// the session's lifetime.
+func (s *Session) SentUpdates() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sentUpdates
 }
 
 // PeerAS returns the neighbor's (4-octet) ASN once OPEN has been
@@ -374,6 +392,7 @@ func (s *Session) Send(u *wire.Update) error {
 		s.mu.Unlock()
 		return fmt.Errorf("bgp: session %s not established (state %v)", s.cfg.Describe, st)
 	}
+	s.sentUpdates++
 	s.mu.Unlock()
 	s.enqueue(u)
 	return nil

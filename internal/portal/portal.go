@@ -119,8 +119,11 @@ func (p *Portal) SetApproveHook(fn func(Experiment)) {
 }
 
 // SetStatsSource registers a callback supplying live testbed counters
-// (session recoveries, stale-route retention, dampening activity) for
-// the GET /stats endpoint. The returned value is JSON-encoded verbatim.
+// (session recoveries, stale-route retention, dampening activity, and
+// the fan-out pipeline's batching/backpressure gauges — coalesced
+// operations, soft-limit crossings, queue high-water mark, per-client
+// queue depths) for the GET /stats endpoint. The returned value is
+// JSON-encoded verbatim.
 func (p *Portal) SetStatsSource(fn func() any) {
 	p.mu.Lock()
 	p.statsSource = fn

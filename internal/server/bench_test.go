@@ -1,0 +1,235 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+
+	"peering/internal/bufconn"
+	"peering/internal/client"
+	"peering/internal/muxproto"
+	"peering/internal/router"
+)
+
+// Fan-out benchmarks: how many UPDATE messages the batching pipeline
+// spends relaying one upstream's table to N clients, and how long a
+// late joiner waits for a full replay.
+
+// benchPrefix maps an integer to a distinct /32 under 10.0.0.0/8
+// (host routes: no masked bits to collide on the wire).
+func benchPrefix(i int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}), 32)
+}
+
+// fanoutBench is a 1-upstream × N-client rig on the system clock.
+type fanoutBench struct {
+	srv     *Server
+	up      *router.Router
+	clients []*client.Client
+}
+
+func newFanoutBench(tb testing.TB, nClients int) *fanoutBench {
+	tb.Helper()
+	fb := &fanoutBench{}
+	fb.srv = New(Config{
+		Site:     "bench01",
+		ASN:      testbedASN,
+		RouterID: addr("184.164.224.1"),
+		Mode:     muxproto.ModeQuagga,
+	})
+	fb.up = router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
+	u, err := fb.srv.AddUpstream(UpstreamConfig{
+		ID: 1, Name: "up1", ASN: 3356,
+		PeerAddr: addr("80.249.208.10"), LocalAddr: addr("80.249.208.1"),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p := fb.up.AddPeer(router.PeerConfig{
+		Addr: addr("80.249.208.1"), LocalAddr: addr("80.249.208.10"), AS: testbedASN,
+	})
+	ca, cb := bufconn.Pipe()
+	fb.srv.AttachUpstream(u, ca)
+	fb.up.Attach(p, cb)
+	benchWait(tb, "upstream session", func() bool { return u.Established() })
+
+	for i := 0; i < nClients; i++ {
+		id := fmt.Sprintf("exp%d", i+1)
+		if err := fb.srv.RegisterClient(ClientAccount{
+			ID:         id,
+			Allocation: []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{184, 164, byte(224 + i), 0}), 24)},
+			TunnelAddr: addr(fmt.Sprintf("10.250.0.%d", i+1)),
+		}); err != nil {
+			tb.Fatal(err)
+		}
+		ca, cb := bufconn.Pipe()
+		if err := fb.srv.AcceptClient(id, ca); err != nil {
+			tb.Fatal(err)
+		}
+		cl, err := client.Connect(client.Config{Name: id, RouterID: addr(fmt.Sprintf("10.250.0.%d", i+1))}, cb)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := cl.WaitEstablished(10 * time.Second); err != nil {
+			tb.Fatal(err)
+		}
+		fb.clients = append(fb.clients, cl)
+	}
+	return fb
+}
+
+func (fb *fanoutBench) close() {
+	for _, cl := range fb.clients {
+		cl.Close()
+	}
+	fb.srv.Close()
+}
+
+// benchWait is waitFor with a longer deadline: benchmark tables are an
+// order of magnitude larger than the functional tests'.
+func benchWait(tb testing.TB, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tb.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFanoutMessageReduction is the batching acceptance check: relaying
+// a 1000-route table from one upstream to 8 clients must take at least
+// 5× fewer Session.Send calls than one-message-per-route would. When
+// BENCH_FANOUT_JSON names a path (as `make bench` arranges), the
+// measurement is written there as JSON.
+func TestFanoutMessageReduction(t *testing.T) {
+	const nClients, nRoutes = 8, 1000
+	fb := newFanoutBench(t, nClients)
+	defer fb.close()
+
+	for i := 0; i < nRoutes; i++ {
+		fb.up.Announce(benchPrefix(i), router.AnnounceSpec{})
+	}
+	benchWait(t, "routes at server", func() bool {
+		return fb.srv.Upstream(1).RoutesIn() == nRoutes
+	})
+	for i, cl := range fb.clients {
+		cl := cl
+		benchWait(t, fmt.Sprintf("client %d convergence", i+1), func() bool {
+			return cl.RouteCount(1) == nRoutes
+		})
+	}
+	// Stats are bumped after the flush that delivered the routes; wait
+	// for the relay counter to account for every client's full table.
+	benchWait(t, "relay accounting", func() bool {
+		return fb.srv.Stats().RoutesRelayedToClients == uint64(nClients*nRoutes)
+	})
+
+	st := fb.srv.Stats()
+	baseline := uint64(nClients * nRoutes) // one UPDATE per route per client
+	if st.UpdatesToClients*5 > baseline {
+		t.Fatalf("batching sent %d UPDATEs for %d NLRIs; want at least 5x reduction over %d",
+			st.UpdatesToClients, st.RoutesRelayedToClients, baseline)
+	}
+	// Cross-check the stat against the sessions' own send counters:
+	// every UPDATE toward a client goes through the fan-out pipeline.
+	var sent uint64
+	fb.srv.mu.Lock()
+	conns := make([]*clientConn, 0, len(fb.srv.clients))
+	for _, c := range fb.srv.clients {
+		conns = append(conns, c)
+	}
+	fb.srv.mu.Unlock()
+	for _, c := range conns {
+		if sess := c.session(1); sess != nil {
+			sent += sess.SentUpdates()
+		}
+	}
+	if sent != st.UpdatesToClients {
+		t.Fatalf("session send counters total %d, stats say %d", sent, st.UpdatesToClients)
+	}
+
+	t.Logf("relayed %d NLRIs to %d clients in %d UPDATEs (%.1fx reduction)",
+		st.RoutesRelayedToClients, nClients, st.UpdatesToClients,
+		float64(baseline)/float64(st.UpdatesToClients))
+
+	if path := os.Getenv("BENCH_FANOUT_JSON"); path != "" {
+		out, err := json.MarshalIndent(map[string]any{
+			"clients":          nClients,
+			"routes":           nRoutes,
+			"nlris_relayed":    st.RoutesRelayedToClients,
+			"updates_sent":     st.UpdatesToClients,
+			"baseline_updates": baseline,
+			"reduction":        float64(baseline) / float64(st.UpdatesToClients),
+			"coalesced":        st.FanoutCoalesced,
+			"backpressure":     st.FanoutBackpressure,
+			"queue_high_water": st.FanoutQueueHighWater,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFanoutThroughput measures end-to-end relay throughput:
+// routes announced by the upstream until every one of 4 clients holds
+// the full table. The routes-relayed/s metric counts NLRIs delivered
+// across all clients.
+func BenchmarkFanoutThroughput(b *testing.B) {
+	const nClients = 4
+	fb := newFanoutBench(b, nClients)
+	defer fb.close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.up.Announce(benchPrefix(i), router.AnnounceSpec{})
+	}
+	for _, cl := range fb.clients {
+		cl := cl
+		benchWait(b, "client convergence", func() bool { return cl.RouteCount(1) == b.N })
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*nClients)/b.Elapsed().Seconds(), "routes-relayed/s")
+}
+
+// BenchmarkReplayLatency measures how long a late-joining client waits
+// for the full replay of a 1000-route table (connect through converged
+// view, per iteration).
+func BenchmarkReplayLatency(b *testing.B) {
+	const nRoutes = 1000
+	fb := newFanoutBench(b, 0)
+	defer fb.close()
+	for i := 0; i < nRoutes; i++ {
+		fb.up.Announce(benchPrefix(i), router.AnnounceSpec{})
+	}
+	benchWait(b, "routes at server", func() bool {
+		return fb.srv.Upstream(1).RoutesIn() == nRoutes
+	})
+	if err := fb.srv.RegisterClient(ClientAccount{
+		ID: "replay", Allocation: clientAlloc(), TunnelAddr: addr("10.250.0.99"),
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca, cb := bufconn.Pipe()
+		if err := fb.srv.AcceptClient("replay", ca); err != nil {
+			b.Fatal(err)
+		}
+		cl, err := client.Connect(client.Config{Name: "replay", RouterID: addr("10.250.0.99")}, cb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWait(b, "replay convergence", func() bool { return cl.RouteCount(1) == nRoutes })
+		cl.Close()
+	}
+}

@@ -1,0 +1,266 @@
+package server
+
+// This file is the fan-out pipeline: every route relayed from an
+// upstream to a client passes through that client's outbound queue
+// instead of being sent synchronously on the upstream's reader
+// goroutine. The queue coalesces per (upstream, prefix) — a later
+// announcement overwrites a pending one, a withdrawal cancels a pending
+// announcement — so its depth is bounded by the live state space, and a
+// dedicated per-client worker drains it, packing NLRIs that share
+// attributes into as few UPDATEs as MaxMsgLen allows. Upstream readers
+// therefore never block on a slow client; a client that cannot keep up
+// shows as queue depth and backpressure counters, not as head-of-line
+// blocking for its peers.
+
+import (
+	"net/netip"
+	"sync"
+
+	"peering/internal/bgp"
+	"peering/internal/muxproto"
+	"peering/internal/rib"
+	"peering/internal/wire"
+)
+
+// DefaultFanoutHighWater is used when Config.FanoutHighWater is zero.
+const DefaultFanoutHighWater = 32768
+
+// outKey identifies one queued fan-out operation: the server relays
+// each upstream's routes verbatim, so (upstream, prefix) names exactly
+// one slot of client-visible state.
+type outKey struct {
+	upstream uint32
+	prefix   netip.Prefix
+}
+
+// outOp is one pending operation; nil attrs means withdraw. The attrs
+// pointer is shared with the Adj-RIB-In and other clients' queues and
+// must never be mutated (see wire.PackUpdates).
+type outOp struct {
+	key   outKey
+	attrs *wire.Attrs
+}
+
+// outCounters are the per-queue deltas merged into Server.Stats on each
+// flush.
+type outCounters struct {
+	coalesced    uint64
+	backpressure uint64
+	highWater    int
+}
+
+// outQueue is one client's coalescing outbound queue.
+type outQueue struct {
+	mu      sync.Mutex
+	pending map[outKey]int // key → index into ops
+	ops     []outOp        // first-enqueue order; coalesced in place
+	// eors are End-of-RIB markers, keyed like ops and flushed after
+	// them, so a replayed table always lands before the marker that
+	// tells the client to sweep stale entries.
+	eors   []uint32
+	notify chan struct{}
+
+	softLimit int
+	ctr       outCounters
+}
+
+func newOutQueue(highWater int) *outQueue {
+	if highWater <= 0 {
+		highWater = DefaultFanoutHighWater
+	}
+	return &outQueue{
+		pending:   make(map[outKey]int),
+		notify:    make(chan struct{}, 1),
+		softLimit: highWater,
+	}
+}
+
+// put queues one operation, coalescing onto a pending one for the same
+// (upstream, prefix): only the latest state ever reaches the client.
+func (q *outQueue) put(upstream uint32, p netip.Prefix, attrs *wire.Attrs) {
+	k := outKey{upstream: upstream, prefix: p}
+	q.mu.Lock()
+	if i, ok := q.pending[k]; ok {
+		q.ops[i].attrs = attrs
+		q.ctr.coalesced++
+	} else {
+		q.pending[k] = len(q.ops)
+		q.ops = append(q.ops, outOp{key: k, attrs: attrs})
+		if d := len(q.ops) + len(q.eors); d > q.ctr.highWater {
+			q.ctr.highWater = d
+		}
+		if len(q.ops) > q.softLimit {
+			q.ctr.backpressure++
+		}
+	}
+	q.mu.Unlock()
+	q.wake()
+}
+
+// putEoR queues an End-of-RIB marker. upstream is the session-routing
+// key (the upstream ID in Quagga mode, 0 in BIRD mode).
+func (q *outQueue) putEoR(upstream uint32) {
+	q.mu.Lock()
+	q.eors = append(q.eors, upstream)
+	if d := len(q.ops) + len(q.eors); d > q.ctr.highWater {
+		q.ctr.highWater = d
+	}
+	q.mu.Unlock()
+	q.wake()
+}
+
+func (q *outQueue) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take drains everything pending, in enqueue order, along with the
+// counter deltas accumulated since the last take.
+func (q *outQueue) take() (ops []outOp, eors []uint32, ctr outCounters) {
+	q.mu.Lock()
+	ops, q.ops = q.ops, nil
+	eors, q.eors = q.eors, nil
+	if len(q.pending) > 0 {
+		q.pending = make(map[outKey]int, len(q.pending))
+	}
+	ctr, q.ctr = q.ctr, outCounters{}
+	q.mu.Unlock()
+	return ops, eors, ctr
+}
+
+// depth reports pending operations plus End-of-RIB markers.
+func (q *outQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ops) + len(q.eors)
+}
+
+// ---------------------------------------------------------------------
+// Server-side enqueue and the per-client worker
+
+// enqueueUpdate queues an upstream's update for one client.
+func (s *Server) enqueueUpdate(c *clientConn, upstream uint32, upd *wire.Update) {
+	for _, n := range upd.Withdrawn {
+		c.out.put(upstream, n.Prefix, nil)
+	}
+	if upd.Attrs == nil {
+		return
+	}
+	for _, n := range upd.Reach {
+		c.out.put(upstream, n.Prefix, upd.Attrs)
+	}
+}
+
+// enqueueReplay queues upstream u's current Adj-RIB-In for client c,
+// followed by an End-of-RIB marker when eor is set. Replays flow
+// through the same queue as live fan-out, so a replay can never deliver
+// an announcement behind a concurrent withdrawal of the same prefix.
+func (s *Server) enqueueReplay(c *clientConn, u *Upstream, eor bool) {
+	u.mu.Lock()
+	u.adjIn.Walk(func(r *rib.Route) bool {
+		c.out.put(u.cfg.ID, r.Prefix, r.Attrs)
+		return true
+	})
+	u.mu.Unlock()
+	if eor {
+		key := u.cfg.ID
+		if s.cfg.Mode == muxproto.ModeBIRD {
+			key = 0
+		}
+		c.out.putEoR(key)
+	}
+}
+
+// runFanout is the per-client worker: it drains the client's queue and
+// flushes batches until the client's transport dies.
+func (s *Server) runFanout(c *clientConn) {
+	for {
+		select {
+		case <-c.out.notify:
+		case <-c.mux.Done():
+			return
+		}
+		ops, eors, ctr := c.out.take()
+		s.flushFanout(c, ops, eors, ctr)
+	}
+}
+
+// flushFanout sends one drained batch down the client's session(s).
+// Operations whose session is down are dropped: the Established replay
+// of the Adj-RIB-In (plus End-of-RIB) reconstructs the client's view
+// when the session comes back, so nothing is lost — only deferred.
+func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outCounters) {
+	bird := s.cfg.Mode == muxproto.ModeBIRD
+	type batch struct {
+		sess  *bgp.Session
+		wd    []wire.NLRI
+		reach []wire.AttrRoute
+	}
+	batches := make(map[uint32]*batch)
+	var order []uint32
+	get := func(skey uint32) *batch {
+		b := batches[skey]
+		if b == nil {
+			b = &batch{}
+			if sess := c.session(skey); sess != nil && sess.Established() {
+				b.sess = sess
+			}
+			batches[skey] = b
+			order = append(order, skey)
+		}
+		return b
+	}
+	for _, op := range ops {
+		skey := op.key.upstream
+		pathID := wire.PathID(0)
+		if bird {
+			skey = 0
+			pathID = wire.PathID(op.key.upstream)
+		}
+		b := get(skey)
+		if b.sess == nil {
+			continue
+		}
+		n := wire.NLRI{Prefix: op.key.prefix, ID: pathID}
+		if op.attrs == nil {
+			b.wd = append(b.wd, n)
+		} else {
+			b.reach = append(b.reach, wire.AttrRoute{NLRI: n, Attrs: op.attrs})
+		}
+	}
+	var sent, relayed uint64
+	for _, skey := range order {
+		b := batches[skey]
+		if b.sess == nil || (len(b.wd) == 0 && len(b.reach) == 0) {
+			continue
+		}
+		for _, upd := range wire.PackUpdates(b.wd, b.reach, b.sess.Options()) {
+			if err := b.sess.Send(upd); err != nil {
+				break // session died mid-flush; Established replay recovers
+			}
+			sent++
+			relayed += uint64(len(upd.Reach))
+		}
+	}
+	for _, skey := range eors {
+		if sess := c.session(skey); sess != nil && sess.Established() {
+			if sess.Send(&wire.Update{}) == nil {
+				sent++
+			}
+		}
+	}
+	if sent == 0 && relayed == 0 && ctr == (outCounters{}) {
+		return
+	}
+	s.bump(func(st *Stats) {
+		st.UpdatesToClients += sent
+		st.RoutesRelayedToClients += relayed
+		st.FanoutCoalesced += ctr.coalesced
+		st.FanoutBackpressure += ctr.backpressure
+		if hw := uint64(ctr.highWater); hw > st.FanoutQueueHighWater {
+			st.FanoutQueueHighWater = hw
+		}
+	})
+}

@@ -1,0 +1,504 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"peering/internal/bgp"
+	"peering/internal/bufconn"
+	"peering/internal/client"
+	"peering/internal/clock"
+	"peering/internal/dampen"
+	"peering/internal/muxproto"
+	"peering/internal/router"
+	"peering/internal/wire"
+)
+
+// Tests for the fan-out pipeline (fanout.go) and for the
+// announcement-loss bugs in the client→upstream path: announcements
+// made while an upstream is down must be deferred (not penalized and
+// not lost), spurious withdrawals must not be relayed or charged, and a
+// clean upstream teardown must disarm the restart-window backstop.
+
+func fanoutAttrs(asn uint32) *wire.Attrs {
+	return &wire.Attrs{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.Segment{{Type: wire.SegSequence, ASNs: []uint32{asn}}},
+		NextHop: addr("80.249.208.10"),
+	}
+}
+
+func TestOutQueueCoalescing(t *testing.T) {
+	q := newOutQueue(0)
+	a1 := fanoutAttrs(100)
+	a2 := fanoutAttrs(200)
+	pA, pB := prefix("11.0.0.0/16"), prefix("12.0.0.0/16")
+
+	// announce → withdraw → announce collapses to one op carrying the
+	// final attributes.
+	q.put(1, pA, a1)
+	q.put(1, pA, nil)
+	q.put(1, pA, a2)
+	ops, eors, ctr := q.take()
+	if len(ops) != 1 || len(eors) != 0 {
+		t.Fatalf("got %d ops, %d eors; want 1, 0", len(ops), len(eors))
+	}
+	if ops[0].attrs != a2 {
+		t.Fatalf("coalesced op carries %p, want the final attrs %p", ops[0].attrs, a2)
+	}
+	if ctr.coalesced != 2 {
+		t.Fatalf("coalesced counter = %d, want 2", ctr.coalesced)
+	}
+
+	// announce → withdraw collapses to a withdraw, in the slot of the
+	// first enqueue: per-prefix order is preserved, not re-sorted.
+	q.put(1, pA, a1)
+	q.put(1, pB, a1)
+	q.put(1, pA, nil)
+	ops, _, ctr = q.take()
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want 2", len(ops))
+	}
+	if ops[0].key.prefix != pA || ops[0].attrs != nil {
+		t.Fatalf("op[0] = %+v, want withdraw of %v", ops[0], pA)
+	}
+	if ops[1].key.prefix != pB || ops[1].attrs != a1 {
+		t.Fatalf("op[1] = %+v, want announce of %v", ops[1], pB)
+	}
+	if ctr.coalesced != 1 {
+		t.Fatalf("coalesced counter = %d, want 1", ctr.coalesced)
+	}
+
+	// The same prefix via different upstreams is distinct state: no
+	// coalescing across upstream IDs.
+	q.put(1, pA, a1)
+	q.put(2, pA, a1)
+	ops, _, ctr = q.take()
+	if len(ops) != 2 || ctr.coalesced != 0 {
+		t.Fatalf("cross-upstream ops = %d (coalesced %d), want 2 (0)", len(ops), ctr.coalesced)
+	}
+
+	// End-of-RIB markers drain alongside ops, and take empties the queue.
+	q.put(1, pA, a1)
+	q.putEoR(1)
+	ops, eors, _ = q.take()
+	if len(ops) != 1 || len(eors) != 1 || eors[0] != 1 {
+		t.Fatalf("ops=%d eors=%v, want 1 op and EoR for upstream 1", len(ops), eors)
+	}
+	if ops, eors, _ := q.take(); len(ops) != 0 || len(eors) != 0 || q.depth() != 0 {
+		t.Fatalf("queue not empty after take: %d ops, %d eors, depth %d", len(ops), len(eors), q.depth())
+	}
+}
+
+func TestOutQueueBackpressureCounters(t *testing.T) {
+	q := newOutQueue(2)
+	a := fanoutAttrs(100)
+	for i := 0; i < 4; i++ {
+		q.put(1, prefix("11.0.0.0/16"), a) // coalesces: never backpressure
+	}
+	q.put(1, prefix("11.1.0.0/16"), a)
+	q.put(1, prefix("11.2.0.0/16"), a)
+	q.put(1, prefix("11.3.0.0/16"), a) // 4th distinct key: over the soft limit
+	_, _, ctr := q.take()
+	if ctr.backpressure != 2 {
+		t.Fatalf("backpressure = %d, want 2 (keys 3 and 4 over limit 2)", ctr.backpressure)
+	}
+	if ctr.highWater != 4 {
+		t.Fatalf("highWater = %d, want 4", ctr.highWater)
+	}
+	if ctr.coalesced != 3 {
+		t.Fatalf("coalesced = %d, want 3", ctr.coalesced)
+	}
+}
+
+// soloSupervisedRig is the single-upstream, virtual-clock,
+// supervised-transport rig shared by the announcement-loss regression
+// tests. Dampening is the strict default: the bugs under test charged
+// penalties the world should never have seen, and the default
+// thresholds are exactly what made them bite.
+type soloSupervisedRig struct {
+	clk *clock.Virtual
+	srv *Server
+	up  *router.Router
+	u   *Upstream
+	sup *bgp.Supervisor
+	cl  *client.Client
+
+	mu        sync.Mutex
+	serverEnd net.Conn
+}
+
+func (r *soloSupervisedRig) killTransport() {
+	r.mu.Lock()
+	conn := r.serverEnd
+	r.mu.Unlock()
+	conn.Close()
+}
+
+func newSoloSupervisedRig(t *testing.T) *soloSupervisedRig {
+	t.Helper()
+	r := &soloSupervisedRig{clk: clock.NewVirtual(time.Unix(1_700_000_000, 0))}
+	r.srv = New(Config{
+		Site:      "solo01",
+		ASN:       testbedASN,
+		RouterID:  addr("184.164.224.1"),
+		Mode:      muxproto.ModeQuagga,
+		Clock:     r.clk,
+		Reconnect: bgp.Backoff{Initial: time.Second, Max: 8 * time.Second, Factor: 2},
+	})
+	t.Cleanup(r.srv.Close)
+
+	r.up = router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1"), Clock: r.clk})
+	u, err := r.srv.AddUpstream(UpstreamConfig{
+		ID: 1, Name: "up1", ASN: 3356,
+		PeerAddr: addr("80.249.208.10"), LocalAddr: addr("80.249.208.1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.u = u
+	p := r.up.AddPeer(router.PeerConfig{
+		Addr: addr("80.249.208.1"), LocalAddr: addr("80.249.208.10"), AS: testbedASN,
+	})
+	dial := func() (net.Conn, error) {
+		ca, cb := bufconn.Pipe()
+		r.mu.Lock()
+		r.serverEnd = ca
+		r.mu.Unlock()
+		r.up.Attach(p, cb)
+		return ca, nil
+	}
+	r.sup = r.srv.AttachUpstreamSupervised(u, dial)
+	waitFor(t, "upstream session", func() bool { return u.Established() })
+
+	if err := r.srv.RegisterClient(ClientAccount{
+		ID: "exp1", Allocation: clientAlloc(), TunnelAddr: addr("10.250.0.1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := bufconn.Pipe()
+	if err := r.srv.AcceptClient("exp1", ca); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.Connect(client.Config{Name: "exp1", RouterID: addr("10.250.0.1"), Clock: r.clk}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.WaitEstablished(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.cl = cl
+	return r
+}
+
+// advertisedHas reports whether the upstream's advert book-keeping holds
+// p for owner.
+func advertisedHas(u *Upstream, p netip.Prefix, owner string) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ad := u.advertised[p]
+	return ad != nil && ad.owner == owner
+}
+
+// TestAnnounceWhileUpstreamDownDeferredNotPenalized is the regression
+// test for announcement loss bug #1: announcements arriving while the
+// upstream session is down used to be charged to the damper (three
+// announcements crossed the default suppress threshold, silently
+// discarding the route) even though nothing could reach the wire. They
+// must instead be recorded for replay, penalty-free, and delivered when
+// the supervisor brings the session back.
+func TestAnnounceWhileUpstreamDownDeferredNotPenalized(t *testing.T) {
+	r := newSoloSupervisedRig(t)
+	clientPfx := prefix("184.164.224.0/24")
+	marker := prefix("184.164.224.0/25")
+	key := dampen.Key{Prefix: clientPfx, Source: addr("10.250.0.1")}
+
+	r.killTransport()
+	waitFor(t, "upstream death noticed", func() bool {
+		return r.sup.Stats().ConsecutiveFailures == 1
+	})
+
+	// Re-announce the same prefix three times while the upstream is
+	// down. Client-session handling is serialized, so the marker
+	// announcement proves all three were processed.
+	for i := 0; i < 3; i++ {
+		if err := r.cl.Announce(clientPfx, client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.cl.Announce(marker, client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "announcements recorded for replay", func() bool {
+		return advertisedHas(r.u, clientPfx, "exp1") && advertisedHas(r.u, marker, "exp1")
+	})
+
+	if pen := r.srv.damper.Penalty(key); pen != 0 {
+		t.Fatalf("announcing while the upstream is down charged penalty %v", pen)
+	}
+	st := r.srv.Stats()
+	if st.FlapsSuppressed != 0 {
+		t.Fatalf("FlapsSuppressed = %d while nothing reached the wire", st.FlapsSuppressed)
+	}
+	if st.AnnouncementsRelayed != 0 {
+		t.Fatalf("AnnouncementsRelayed = %d with the upstream down", st.AnnouncementsRelayed)
+	}
+
+	// Redial timer was armed at death + 1s backoff. Recovery must replay
+	// the deferred announcements.
+	r.clk.Advance(1100 * time.Millisecond)
+	waitFor(t, "deferred announcements reach the upstream", func() bool {
+		return r.u.Established() &&
+			r.up.LocRIB().Best(clientPfx) != nil &&
+			r.up.LocRIB().Best(marker) != nil
+	})
+	if pen := r.srv.damper.Penalty(key); pen != 0 {
+		t.Fatalf("replay on recovery charged penalty %v", pen)
+	}
+	if st := r.srv.Stats(); st.FlapsSuppressed != 0 {
+		t.Fatalf("FlapsSuppressed = %d after recovery", st.FlapsSuppressed)
+	}
+}
+
+// upstreamSess reads the server-side session toward an upstream.
+func upstreamSess(s *Server, id uint32) *bgp.Session {
+	u := s.Upstream(id)
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.sess
+}
+
+// TestSpuriousWithdrawNotRelayedOrPenalized is the regression test for
+// announcement loss bug #2: withdrawing a prefix the client never
+// announced used to be relayed upstream AND charged to the damper —
+// two spurious withdrawals later, the client's first real announcement
+// was suppressed. A withdrawal of a prefix not in the advert map must
+// be a no-op on both counts.
+func TestSpuriousWithdrawNotRelayedOrPenalized(t *testing.T) {
+	r := newRig(t, muxproto.ModeQuagga)
+	cl := r.connectClient(t, "exp1", clientAlloc(), false)
+	clientPfx := prefix("184.164.224.0/24")
+	marker := prefix("184.164.224.0/25")
+	key := dampen.Key{Prefix: clientPfx, Source: addr("10.250.0.1")}
+
+	sess := upstreamSess(r.srv, 1)
+	base := sess.SentUpdates()
+
+	// Two withdrawals of a prefix that was never announced. With the
+	// default damper config these alone used to bank a penalty of 2000 —
+	// exactly the suppress threshold.
+	for i := 0; i < 2; i++ {
+		if err := cl.Withdraw(clientPfx, []uint32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Marker announcement on the same session: once it lands at the
+	// upstream, both withdrawals have been processed.
+	if err := cl.Announce(marker, client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "marker at upstream", func() bool {
+		return r.up1.LocRIB().Best(marker) != nil
+	})
+
+	if got := sess.SentUpdates(); got != base+1 {
+		t.Fatalf("upstream saw %d UPDATEs, want 1 (the marker): spurious withdrawals were relayed", got-base)
+	}
+	if pen := r.srv.damper.Penalty(key); pen != 0 {
+		t.Fatalf("spurious withdrawals charged penalty %v", pen)
+	}
+
+	// The first real announcement must not be suppressed.
+	if err := cl.Announce(clientPfx, client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "real announcement at upstream", func() bool {
+		return r.up1.LocRIB().Best(clientPfx) != nil
+	})
+	if st := r.srv.Stats(); st.FlapsSuppressed != 0 {
+		t.Fatalf("FlapsSuppressed = %d; the real announcement was charged for spurious withdrawals", st.FlapsSuppressed)
+	}
+}
+
+// TestCleanTeardownStopsStaleTimer is the regression test for bug #3:
+// the clean-teardown branch of handleUpstreamDown cleared the
+// Adj-RIB-In but left the restart-window backstop armed. The leaked
+// timer would fire into a future restart window and disarm it. The
+// virtual clock counts armed timers, so the leak is directly
+// observable.
+func TestCleanTeardownStopsStaleTimer(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	srv := New(Config{
+		Site:     "solo02",
+		ASN:      testbedASN,
+		RouterID: addr("184.164.224.1"),
+		Mode:     muxproto.ModeQuagga,
+		Clock:    clk,
+	})
+	t.Cleanup(srv.Close)
+	u, err := srv.AddUpstream(UpstreamConfig{
+		ID: 1, Name: "up1", ASN: 3356,
+		PeerAddr: addr("80.249.208.10"), LocalAddr: addr("80.249.208.1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerCfg := bgp.Config{
+		LocalAS: 3356, LocalID: addr("4.69.0.1"), PeerAS: testbedASN, Clock: clk,
+	}
+
+	// Raw peer that announces two prefixes but never sends End-of-RIB
+	// (End-of-RIB would flush the stale state and disarm the timer
+	// through the legitimate path, masking the leak).
+	annUpd := &wire.Update{
+		Reach: []wire.NLRI{{Prefix: prefix("11.0.0.0/16")}, {Prefix: prefix("11.1.0.0/16")}},
+		Attrs: fanoutAttrs(3356),
+	}
+	ca, cb := bufconn.Pipe()
+	sess1 := srv.AttachUpstream(u, ca)
+	peer1 := bgp.New(cb, peerCfg, bgp.HandlerFuncs{
+		OnEstablished: func(s *bgp.Session) { s.Send(annUpd) },
+	})
+	go peer1.Run()
+	waitFor(t, "routes in adj-rib-in", func() bool { return u.RoutesIn() == 2 })
+
+	// Abrupt transport death: unclean loss arms the restart-window
+	// backstop.
+	ca.Close()
+	waitFor(t, "stale retention", func() bool {
+		return srv.Stats().StaleRoutesRetained == 2
+	})
+	waitFor(t, "both sessions down", func() bool {
+		select {
+		case <-sess1.Done():
+		default:
+			return false
+		}
+		select {
+		case <-peer1.Done():
+			return true
+		default:
+			return false
+		}
+	})
+	// Dead sessions stop their hold/keepalive timers, so exactly the
+	// backstop remains armed.
+	waitFor(t, "only the restart-window backstop armed", func() bool {
+		return clk.PendingTimers() == 1
+	})
+
+	// The peer comes back but re-announces nothing and sends no
+	// End-of-RIB, then says a clean goodbye (Cease). The clean-teardown
+	// path clears the Adj-RIB-In — and must also disarm the backstop.
+	ca2, cb2 := bufconn.Pipe()
+	sess2 := srv.AttachUpstream(u, ca2)
+	peer2 := bgp.New(cb2, peerCfg, bgp.HandlerFuncs{})
+	go peer2.Run()
+	waitFor(t, "session re-established", func() bool { return u.Established() })
+
+	peer2.Close()
+	waitFor(t, "clean teardown complete", func() bool {
+		select {
+		case <-sess2.Done():
+			return true
+		default:
+			return false
+		}
+	})
+	waitFor(t, "restart-window backstop disarmed", func() bool {
+		return clk.PendingTimers() == 0
+	})
+
+	// And the window closing later must be a no-op, not a flush of a
+	// table that no longer exists.
+	clk.Advance(DefaultRestartWindow + time.Minute)
+	if st := srv.Stats(); st.StaleRoutesFlushed != 0 {
+		t.Fatalf("StaleRoutesFlushed = %d after clean teardown", st.StaleRoutesFlushed)
+	}
+}
+
+// TestFanoutConvergesThroughFlaps is the end-to-end
+// coalescing-correctness test: a burst of announce/withdraw/announce
+// churn for one prefix may coalesce arbitrarily in the client queues,
+// but every client must converge to the final state, whichever it is.
+func TestFanoutConvergesThroughFlaps(t *testing.T) {
+	r := newRig(t, muxproto.ModeQuagga)
+	cl := r.connectClient(t, "exp1", clientAlloc(), false)
+	p := prefix("11.0.0.0/16")
+
+	// End announced.
+	for i := 0; i < 25; i++ {
+		r.up1.Announce(p, router.AnnounceSpec{Prepend: i % 3})
+		if i%2 == 1 {
+			r.up1.Withdraw(p)
+		}
+	}
+	r.up1.Announce(p, router.AnnounceSpec{Prepend: 2})
+	waitFor(t, "client converges to announced", func() bool {
+		rt := cl.RoutesFor(p)[1]
+		return rt != nil && rt.Attrs.PathLen() == 3
+	})
+
+	// End withdrawn.
+	for i := 0; i < 25; i++ {
+		r.up1.Withdraw(p)
+		r.up1.Announce(p, router.AnnounceSpec{})
+	}
+	r.up1.Withdraw(p)
+	waitFor(t, "client converges to withdrawn", func() bool {
+		return cl.RoutesFor(p)[1] == nil
+	})
+}
+
+// TestConcurrentReplayAndChurn races late-joining clients' replays
+// against live upstream churn. Under -race this also exercises the
+// attribute-aliasing contract (bug #4): one *wire.Attrs rides the
+// Adj-RIB-In and every client's queue concurrently, and the packer
+// must treat it as immutable.
+func TestConcurrentReplayAndChurn(t *testing.T) {
+	r := newRig(t, muxproto.ModeQuagga)
+	stable := make([]netip.Prefix, 50)
+	churn := make([]netip.Prefix, 50)
+	for i := range stable {
+		stable[i] = prefix(fmt.Sprintf("11.0.%d.0/24", i))
+		churn[i] = prefix(fmt.Sprintf("12.0.%d.0/24", i))
+	}
+	for _, p := range stable {
+		r.up1.Announce(p, router.AnnounceSpec{})
+	}
+	waitFor(t, "stable routes in adj-rib-in", func() bool {
+		return r.srv.Upstream(1).RoutesIn() == len(stable)
+	})
+	cl1 := r.connectClient(t, "exp1", clientAlloc(), false)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 3; round++ {
+			for _, p := range churn {
+				r.up1.Announce(p, router.AnnounceSpec{Prepend: round})
+			}
+			for _, p := range churn {
+				r.up1.Withdraw(p)
+			}
+		}
+		for _, p := range churn {
+			r.up1.Announce(p, router.AnnounceSpec{})
+		}
+	}()
+
+	// Two more clients replay the table while the churn runs.
+	cl2 := r.connectClient(t, "exp2", []netip.Prefix{prefix("184.164.225.0/24")}, false)
+	cl3 := r.connectClient(t, "exp3", []netip.Prefix{prefix("184.164.226.0/24")}, false)
+	<-done
+
+	want := len(stable) + len(churn)
+	waitFor(t, "all clients converge", func() bool {
+		return cl1.RouteCount(1) == want && cl2.RouteCount(1) == want && cl3.RouteCount(1) == want
+	})
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// Reconnect shapes supervised session redial backoff; zero value
 	// uses the bgp.Backoff defaults.
 	Reconnect bgp.Backoff
+	// FanoutHighWater is the per-client pending fan-out queue depth
+	// above which enqueues count as backpressure. The queue itself is
+	// bounded by coalescing (at most one pending operation per
+	// (upstream, prefix)); this threshold only tunes when a client is
+	// reported as slow. Zero means DefaultFanoutHighWater.
+	FanoutHighWater int
 }
 
 // DefaultRestartWindow is used when Config.RestartWindow is zero.
@@ -73,6 +79,20 @@ type Stats struct {
 	RoutesFromUpstreams uint64
 	// RoutesRelayedToClients counts NLRIs fanned out to clients.
 	RoutesRelayedToClients uint64
+	// UpdatesToClients counts UPDATE messages sent to clients by the
+	// fan-out pipeline. Batch packing puts many NLRIs in one message, so
+	// RoutesRelayedToClients / UpdatesToClients is the packing ratio.
+	UpdatesToClients uint64
+	// FanoutCoalesced counts queued fan-out operations overwritten by a
+	// newer operation on the same (upstream, prefix) before being sent.
+	FanoutCoalesced uint64
+	// FanoutBackpressure counts enqueues that found a client's pending
+	// queue above Config.FanoutHighWater (a slow client; upstream
+	// readers keep going regardless).
+	FanoutBackpressure uint64
+	// FanoutQueueHighWater is the deepest any client's pending queue has
+	// been.
+	FanoutQueueHighWater uint64
 	// AnnouncementsRelayed counts client NLRIs accepted and sent to
 	// upstream peers.
 	AnnouncementsRelayed uint64
@@ -181,6 +201,9 @@ type clientConn struct {
 	account ClientAccount
 	mux     *tunnel.Mux
 	pkt     *tunnel.PacketTunnel
+	// out is the client's coalescing outbound queue, drained by a
+	// dedicated worker (see fanout.go).
+	out *outQueue
 
 	mu sync.Mutex
 	// sups supervises the BGP sessions toward this client, keyed by
@@ -392,22 +415,18 @@ type upstreamHandler struct{ u *Upstream }
 
 func (h *upstreamHandler) Established(sess *bgp.Session) {
 	u := h.u
-	type readv struct {
-		prefix netip.Prefix
-		attrs  *wire.Attrs
-	}
-	var outs []readv
+	var outs []wire.AttrRoute
 	u.mu.Lock()
 	u.sess = sess
 	// Re-announce everything we were advertising on this peering before
 	// the restart (including stale adverts: they have not been withdrawn
 	// from the world, so the recovered peer must keep hearing them).
 	for p, ad := range u.advertised {
-		outs = append(outs, readv{prefix: p, attrs: ad.attrs})
+		outs = append(outs, wire.AttrRoute{NLRI: wire.NLRI{Prefix: p}, Attrs: ad.attrs})
 	}
 	u.mu.Unlock()
-	for _, o := range outs {
-		sess.Send(&wire.Update{Attrs: o.attrs, Reach: []wire.NLRI{{Prefix: o.prefix}}})
+	for _, upd := range wire.PackUpdates(nil, outs, sess.Options()) {
+		sess.Send(upd)
 	}
 	// End-of-RIB: tells a graceful-restart peer our replay is complete.
 	sess.Send(&wire.Update{})
@@ -457,14 +476,11 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 		s.bump(func(st *Stats) { st.RoutesFromUpstreams += uint64(len(upd.Reach)) })
 	}
 
-	s.mu.Lock()
-	clients := make([]*clientConn, 0, len(s.clients))
-	for _, c := range s.clients {
-		clients = append(clients, c)
-	}
-	s.mu.Unlock()
-	for _, c := range clients {
-		s.relayToClient(c, u, upd)
+	// Fan out through the per-client queues: the upstream reader never
+	// blocks on a slow client, and upd.Attrs (shared, immutable) rides
+	// into every queue without cloning.
+	for _, c := range s.clientList() {
+		s.enqueueUpdate(c, u.cfg.ID, upd)
 	}
 }
 
@@ -499,16 +515,21 @@ func (s *Server) handleUpstreamDown(u *Upstream, err error) {
 	})
 	u.adjIn.Clear()
 	u.sess = nil
+	// A restart-window backstop armed by an earlier unclean loss must
+	// not outlive the peering it was guarding: the Adj-RIB-In is empty
+	// now, and a late firing would wrongly disarm a future window.
+	if u.staleTimer != nil {
+		u.staleTimer.Stop()
+		u.staleTimer = nil
+	}
 	u.mu.Unlock()
 	if len(prefixes) == 0 {
 		return
 	}
-	wd := &wire.Update{}
-	for _, p := range prefixes {
-		wd.Withdrawn = append(wd.Withdrawn, wire.NLRI{Prefix: p})
-	}
 	for _, c := range s.clientList() {
-		s.relayToClient(c, u, wd)
+		for _, p := range prefixes {
+			c.out.put(u.cfg.ID, p, nil)
+		}
 	}
 }
 
@@ -527,12 +548,10 @@ func (s *Server) flushUpstreamStale(u *Upstream) {
 		return
 	}
 	s.bump(func(st *Stats) { st.StaleRoutesFlushed += uint64(len(swept)) })
-	wd := &wire.Update{}
-	for _, r := range swept {
-		wd.Withdrawn = append(wd.Withdrawn, wire.NLRI{Prefix: r.Prefix})
-	}
 	for _, c := range s.clientList() {
-		s.relayToClient(c, u, wd)
+		for _, r := range swept {
+			c.out.put(u.cfg.ID, r.Prefix, nil)
+		}
 	}
 }
 
@@ -545,41 +564,6 @@ func (s *Server) clientList() []*clientConn {
 		clients = append(clients, c)
 	}
 	return clients
-}
-
-// relayToClient forwards an upstream's update to one client, respecting
-// the multiplexing mode.
-func (s *Server) relayToClient(c *clientConn, u *Upstream, upd *wire.Update) {
-	var sess *bgp.Session
-	if s.cfg.Mode == muxproto.ModeBIRD {
-		sess = c.session(0)
-	} else {
-		sess = c.session(u.cfg.ID)
-	}
-	if sess == nil || sess.State() != bgp.StateEstablished {
-		return
-	}
-	out := &wire.Update{Attrs: upd.Attrs}
-	for _, n := range upd.Withdrawn {
-		id := wire.PathID(0)
-		if s.cfg.Mode == muxproto.ModeBIRD {
-			id = wire.PathID(u.cfg.ID)
-		}
-		out.Withdrawn = append(out.Withdrawn, wire.NLRI{Prefix: n.Prefix, ID: id})
-	}
-	for _, n := range upd.Reach {
-		id := wire.PathID(0)
-		if s.cfg.Mode == muxproto.ModeBIRD {
-			id = wire.PathID(u.cfg.ID)
-		}
-		out.Reach = append(out.Reach, wire.NLRI{Prefix: n.Prefix, ID: id})
-	}
-	if len(out.Withdrawn) == 0 && len(out.Reach) == 0 {
-		return
-	}
-	if err := sess.Send(out); err == nil && len(out.Reach) > 0 {
-		s.bump(func(st *Stats) { st.RoutesRelayedToClients += uint64(len(out.Reach)) })
-	}
 }
 
 // ---------------------------------------------------------------------
@@ -649,11 +633,15 @@ func (s *Server) AcceptClient(id string, conn net.Conn) error {
 	}
 
 	c := &clientConn{account: acct, sups: make(map[uint32]*bgp.Supervisor)}
+	c.out = newOutQueue(s.cfg.FanoutHighWater)
 	c.mux = tunnel.NewMux(conn, nil)
 
 	s.mu.Lock()
 	s.clients[id] = c
 	s.mu.Unlock()
+
+	// The fan-out worker drains c.out for the life of the transport.
+	go s.runFanout(c)
 
 	// The handshake (provisioning, client ack, session bring-up) runs
 	// asynchronously: the client may not even be connected yet, and a
@@ -762,6 +750,23 @@ func (s *Server) ClientCount() int {
 	return len(s.clients)
 }
 
+// QueueDepths reports each connected client's pending fan-out queue
+// depth (operations plus end-of-RIB markers not yet flushed) — the live
+// backpressure view behind GET /stats.
+func (s *Server) QueueDepths() map[string]int {
+	out := make(map[string]int)
+	s.mu.Lock()
+	clients := make([]*clientConn, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, c := range clients {
+		out[c.account.ID] = c.out.depth()
+	}
+	return out
+}
+
 // detachClient reaps a client whose transport died without a BGP-level
 // goodbye. Upstream sessions stay up (§3: stability across experiment
 // churn), and — new with graceful restart — the client's announcements
@@ -837,7 +842,9 @@ func (s *Server) flushClientStale(id string, only *Upstream) {
 		u.mu.Unlock()
 		total += len(wd)
 		if len(wd) > 0 && sess != nil {
-			sess.Send(&wire.Update{Withdrawn: wd})
+			for _, upd := range wire.PackUpdates(wd, nil, sess.Options()) {
+				sess.Send(upd)
+			}
 		}
 	}
 	if total > 0 {
@@ -889,7 +896,9 @@ func (s *Server) withdrawClient(id string, only *Upstream) {
 		sess := u.sess
 		u.mu.Unlock()
 		if len(wd) > 0 && sess != nil {
-			sess.Send(&wire.Update{Withdrawn: wd})
+			for _, upd := range wire.PackUpdates(wd, nil, sess.Options()) {
+				sess.Send(upd)
+			}
 		}
 	}
 }
@@ -902,18 +911,21 @@ type clientSessHandler struct {
 	birdMode bool
 }
 
-func (h *clientSessHandler) Established(sess *bgp.Session) {
+func (h *clientSessHandler) Established(_ *bgp.Session) {
 	// Replay the upstream table(s) so the client has the full view, then
-	// send end-of-RIB so a reconnecting client can flush stale entries
-	// from its per-peer views.
+	// an end-of-RIB marker so a reconnecting client can flush stale
+	// entries from its per-peer views. The replay goes through the
+	// client's fan-out queue, not directly down the session: live
+	// withdrawals racing the replay coalesce onto the queued
+	// announcements instead of being reordered behind them.
 	if h.birdMode {
 		for _, u := range h.srv.Upstreams() {
-			h.srv.replayUpstream(sess, u, true)
+			h.srv.enqueueReplay(h.c, u, false)
 		}
+		h.c.out.putEoR(0)
 	} else {
-		h.srv.replayUpstream(sess, h.upstream, false)
+		h.srv.enqueueReplay(h.c, h.upstream, true)
 	}
-	sess.Send(&wire.Update{})
 }
 
 func (h *clientSessHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
@@ -941,35 +953,14 @@ func (h *clientSessHandler) Closed(_ *bgp.Session, err error) {
 	h.srv.markClientStale(id, only)
 }
 
-// replayUpstream sends u's current Adj-RIB-In down a client session.
-func (s *Server) replayUpstream(sess *bgp.Session, u *Upstream, bird bool) {
-	var routes []*rib.Route
-	u.mu.Lock()
-	u.adjIn.Walk(func(r *rib.Route) bool {
-		routes = append(routes, r)
-		return true
-	})
-	u.mu.Unlock()
-	for _, r := range routes {
-		id := wire.PathID(0)
-		if bird {
-			id = wire.PathID(u.cfg.ID)
-		}
-		sess.Send(&wire.Update{
-			Attrs: r.Attrs,
-			Reach: []wire.NLRI{{Prefix: r.Prefix, ID: id}},
-		})
-	}
-}
-
 // handleClientUpdate runs the safety pipeline on a client's
 // announcement toward one upstream and relays what passes.
 func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update) {
 	if upd.Refresh {
-		// The client asked for a refresh: replay the upstream's table.
-		if sess := c.session(u.cfg.ID); sess != nil {
-			s.replayUpstream(sess, u, false)
-		}
+		// The client asked for a refresh: replay the upstream's table
+		// through the fan-out queue (no end-of-RIB — a refresh is not a
+		// restart, so nothing should be swept).
+		s.enqueueReplay(c, u, false)
 		return
 	}
 	if upd.IsEndOfRIB() {
@@ -981,22 +972,37 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 	u.mu.Lock()
 	sess := u.sess
 	u.mu.Unlock()
+	// est decides whether operations reach the wire now. When the
+	// upstream is down, announcements are only recorded in u.advertised
+	// — the Established handler replays that map, so nothing is lost —
+	// and no dampening penalty accrues for churn the world never sees.
+	est := sess != nil && sess.Established()
 
-	var outWd, outReach []wire.NLRI
+	var outWd []wire.NLRI
 	for _, n := range upd.Withdrawn {
 		if !s.allocatedTo(c.account.ID, n.Prefix) {
 			s.bump(func(st *Stats) { st.HijacksBlocked++ })
 			continue
 		}
-		s.damper.RecordWithdraw(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr})
+		// Only withdrawals of prefixes this client actually has
+		// advertised are relayed (and penalized): a spurious withdrawal
+		// must neither reach the upstream nor charge the client.
 		u.mu.Lock()
-		if ad := u.advertised[n.Prefix]; ad != nil && ad.owner == c.account.ID {
+		ad := u.advertised[n.Prefix]
+		owned := ad != nil && ad.owner == c.account.ID
+		if owned {
 			delete(u.advertised, n.Prefix)
 		}
 		u.mu.Unlock()
-		outWd = append(outWd, wire.NLRI{Prefix: n.Prefix})
+		if !owned {
+			continue
+		}
+		if est {
+			s.damper.RecordWithdraw(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr})
+			outWd = append(outWd, wire.NLRI{Prefix: n.Prefix})
+		}
 	}
-	var outAttrs *wire.Attrs
+	var outRoutes []wire.AttrRoute
 	if upd.Attrs != nil {
 		for _, n := range upd.Reach {
 			ok, attrs := s.vetAnnouncement(c, u, n.Prefix, upd.Attrs)
@@ -1017,33 +1023,38 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 			u.mu.Unlock()
 			// Route-flap dampening (§3 safety) applies to every
 			// announcement that would actually reach the upstream.
-			if s.damper.RecordFlap(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr}) {
-				s.bump(func(st *Stats) { st.FlapsSuppressed++ })
-				continue
+			if est {
+				if s.damper.RecordFlap(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr}) {
+					s.bump(func(st *Stats) { st.FlapsSuppressed++ })
+					continue
+				}
 			}
-			outAttrs = attrs
-			outReach = append(outReach, wire.NLRI{Prefix: n.Prefix})
 			u.mu.Lock()
 			u.advertised[n.Prefix] = &advert{owner: c.account.ID, attrs: attrs}
 			u.mu.Unlock()
+			if est {
+				outRoutes = append(outRoutes, wire.AttrRoute{NLRI: wire.NLRI{Prefix: n.Prefix}, Attrs: attrs})
+			}
 		}
 	}
-	if sess == nil || (len(outWd) == 0 && len(outReach) == 0) {
+	if !est || (len(outWd) == 0 && len(outRoutes) == 0) {
 		return
 	}
-	out := &wire.Update{Withdrawn: outWd, Attrs: outAttrs, Reach: outReach}
-	if err := sess.Send(out); err == nil && len(outReach) > 0 {
-		s.bump(func(st *Stats) { st.AnnouncementsRelayed += uint64(len(outReach)) })
+	for _, out := range wire.PackUpdates(outWd, outRoutes, sess.Options()) {
+		if err := sess.Send(out); err != nil {
+			break // session died mid-batch; Established replays u.advertised
+		}
+		if n := len(out.Reach); n > 0 {
+			s.bump(func(st *Stats) { st.AnnouncementsRelayed += uint64(n) })
+		}
 	}
 }
 
 // handleClientUpdateBIRD demultiplexes path IDs to upstreams.
 func (s *Server) handleClientUpdateBIRD(c *clientConn, upd *wire.Update) {
 	if upd.Refresh {
-		if sess := c.session(0); sess != nil {
-			for _, u := range s.Upstreams() {
-				s.replayUpstream(sess, u, true)
-			}
+		for _, u := range s.Upstreams() {
+			s.enqueueReplay(c, u, false)
 		}
 		return
 	}

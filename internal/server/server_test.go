@@ -17,7 +17,7 @@ func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
 
 const testbedASN = 47065
 
-func waitFor(t *testing.T, what string, cond func() bool) {
+func waitFor(t testing.TB, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {

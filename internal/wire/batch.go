@@ -1,0 +1,106 @@
+package wire
+
+import "fmt"
+
+// AttrRoute pairs one announced NLRI with its path attributes, the unit
+// of work the batch packer consumes.
+type AttrRoute struct {
+	NLRI  NLRI
+	Attrs *Attrs
+}
+
+// maxBodyBudget is the room an UPDATE body has for withdrawn routes,
+// path attributes, and NLRI combined: MaxMsgLen minus the header and
+// the two 2-byte length fields.
+const maxBodyBudget = MaxMsgLen - HeaderLen - 4
+
+// nlriWireLen returns the encoded size of one NLRI under opt.
+func nlriWireLen(n NLRI, opt Options) int {
+	l := 1 + (n.Prefix.Bits()+7)/8
+	if opt.AddPath {
+		l += 4
+	}
+	return l
+}
+
+// PackUpdates packs withdrawals and announcements into as few UPDATE
+// messages as MaxMsgLen allows: announcements sharing an identical
+// canonical attribute encoding ride in one message, split only when the
+// NLRI would overflow the 4096-byte frame. Withdrawals come first (in
+// their own messages), then one run of messages per attribute group, so
+// a caller that emits at most one operation per prefix — the fan-out
+// queue's coalescing invariant — keeps per-prefix ordering intact even
+// though prefixes with different attributes are regrouped.
+//
+// PackUpdates never mutates its inputs: Attrs are only read (marshaled
+// for the grouping key), and the produced Updates alias the caller's
+// Attrs pointers. Callers must treat relayed Attrs as immutable — the
+// same pointer may sit in the Adj-RIB-In and in every client's queue.
+func PackUpdates(withdrawn []NLRI, routes []AttrRoute, opt Options) []*Update {
+	var out []*Update
+	for len(withdrawn) > 0 {
+		upd := &Update{}
+		budget := maxBodyBudget
+		for len(withdrawn) > 0 {
+			l := nlriWireLen(withdrawn[0], opt)
+			if l > budget && len(upd.Withdrawn) > 0 {
+				break
+			}
+			upd.Withdrawn = append(upd.Withdrawn, withdrawn[0])
+			withdrawn = withdrawn[1:]
+			budget -= l
+		}
+		out = append(out, upd)
+	}
+
+	// Group announcements by canonical attribute encoding, preserving
+	// first-appearance order of groups and of NLRIs within a group. The
+	// encoded length doubles as the per-message attribute cost.
+	type group struct {
+		attrs    *Attrs
+		attrsLen int
+		nlris    []NLRI
+	}
+	byKey := make(map[string]*group)
+	var order []*group
+	for _, r := range routes {
+		if r.Attrs == nil {
+			continue // announcements require attributes; nothing to relay
+		}
+		key := ""
+		attrsLen := 0
+		if b, err := r.Attrs.marshal(opt); err == nil {
+			key = string(b)
+			attrsLen = len(b)
+		} else {
+			// Unencodable attrs: give them a unique key so the failure
+			// surfaces per-route at Send time instead of poisoning a group.
+			key = fmt.Sprintf("!%p", r.Attrs)
+		}
+		g := byKey[key]
+		if g == nil {
+			g = &group{attrs: r.Attrs, attrsLen: attrsLen}
+			byKey[key] = g
+			order = append(order, g)
+		}
+		g.nlris = append(g.nlris, r.NLRI)
+	}
+	for _, g := range order {
+		nlris := g.nlris
+		for len(nlris) > 0 {
+			upd := &Update{Attrs: g.attrs}
+			budget := maxBodyBudget - g.attrsLen
+			for len(nlris) > 0 {
+				l := nlriWireLen(nlris[0], opt)
+				if l > budget && len(upd.Reach) > 0 {
+					break
+				}
+				upd.Reach = append(upd.Reach, nlris[0])
+				nlris = nlris[1:]
+				budget -= l
+			}
+			out = append(out, upd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+func batchPrefix(t testing.TB, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%q): %v", s, err)
+	}
+	return p
+}
+
+func batchAttrs(asn uint32) *Attrs {
+	return &Attrs{
+		ASPath:  []Segment{{Type: SegSequence, ASNs: []uint32{asn}}},
+		NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+	}
+}
+
+func TestPackUpdatesGroupsByAttrs(t *testing.T) {
+	a1 := batchAttrs(100)
+	a2 := batchAttrs(200)
+	a1b := batchAttrs(100) // distinct pointer, identical encoding
+	routes := []AttrRoute{
+		{NLRI: NLRI{Prefix: batchPrefix(t, "10.0.0.0/24")}, Attrs: a1},
+		{NLRI: NLRI{Prefix: batchPrefix(t, "10.0.1.0/24")}, Attrs: a2},
+		{NLRI: NLRI{Prefix: batchPrefix(t, "10.0.2.0/24")}, Attrs: a1b},
+	}
+	out := PackUpdates(nil, routes, Options{AS4: true})
+	if len(out) != 2 {
+		t.Fatalf("got %d updates, want 2 (one per attribute group): %+v", len(out), out)
+	}
+	if len(out[0].Reach) != 2 || len(out[1].Reach) != 1 {
+		t.Fatalf("group sizes = %d, %d; want 2, 1", len(out[0].Reach), len(out[1].Reach))
+	}
+	if out[0].Reach[0].Prefix != routes[0].NLRI.Prefix || out[0].Reach[1].Prefix != routes[2].NLRI.Prefix {
+		t.Fatalf("first group lost NLRI order: %v", out[0].Reach)
+	}
+}
+
+func TestPackUpdatesWithdrawFirstAndOrdered(t *testing.T) {
+	wd := []NLRI{
+		{Prefix: batchPrefix(t, "10.1.0.0/24")},
+		{Prefix: batchPrefix(t, "10.1.1.0/24")},
+	}
+	routes := []AttrRoute{{NLRI: NLRI{Prefix: batchPrefix(t, "10.2.0.0/24")}, Attrs: batchAttrs(100)}}
+	out := PackUpdates(wd, routes, Options{AS4: true})
+	if len(out) != 2 {
+		t.Fatalf("got %d updates, want 2", len(out))
+	}
+	if got := out[0].Withdrawn; len(got) != 2 || got[0] != wd[0] || got[1] != wd[1] {
+		t.Fatalf("withdraw message = %v, want %v first", got, wd)
+	}
+	if len(out[1].Reach) != 1 {
+		t.Fatalf("announce message = %+v", out[1])
+	}
+}
+
+func TestPackUpdatesSplitsAtMaxMsgLen(t *testing.T) {
+	// Enough /24s to overflow one 4096-byte frame (4 bytes each encoded,
+	// 9 with ADD-PATH), all sharing one attribute set.
+	attrs := batchAttrs(100)
+	var routes []AttrRoute
+	for i := 0; i < 2000; i++ {
+		p := batchPrefix(t, fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+		routes = append(routes, AttrRoute{NLRI: NLRI{Prefix: p, ID: PathID(i)}, Attrs: attrs})
+	}
+	for _, opt := range []Options{{AS4: true}, {AS4: true, AddPath: true}} {
+		out := PackUpdates(nil, routes, opt)
+		if len(out) < 2 {
+			t.Fatalf("opt %+v: 2000 routes fit in %d message(s)?", opt, len(out))
+		}
+		total := 0
+		for _, u := range out {
+			b, err := Marshal(u, opt)
+			if err != nil {
+				t.Fatalf("opt %+v: Marshal: %v", opt, err)
+			}
+			if len(b) > MaxMsgLen {
+				t.Fatalf("opt %+v: packed message is %d bytes", opt, len(b))
+			}
+			total += len(u.Reach)
+		}
+		// Order across the split must be preserved.
+		i := 0
+		for _, u := range out {
+			for _, n := range u.Reach {
+				if n != routes[i].NLRI {
+					t.Fatalf("opt %+v: NLRI %d = %v, want %v", opt, i, n, routes[i].NLRI)
+				}
+				i++
+			}
+		}
+		if total != len(routes) {
+			t.Fatalf("opt %+v: packed %d NLRIs, want %d", opt, total, len(routes))
+		}
+	}
+}
+
+func TestPackUpdatesLargeWithdrawSplit(t *testing.T) {
+	var wd []NLRI
+	for i := 0; i < 1200; i++ {
+		wd = append(wd, NLRI{Prefix: batchPrefix(t, fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))})
+	}
+	out := PackUpdates(wd, nil, Options{AS4: true})
+	if len(out) < 2 {
+		t.Fatalf("1200 withdrawals fit in %d message(s)?", len(out))
+	}
+	total := 0
+	for _, u := range out {
+		if len(u.Reach) != 0 || u.Attrs != nil {
+			t.Fatalf("withdraw-only message carries announcements: %+v", u)
+		}
+		b, err := Marshal(u, Options{AS4: true})
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		if len(b) > MaxMsgLen {
+			t.Fatalf("packed withdraw message is %d bytes", len(b))
+		}
+		total += len(u.Withdrawn)
+	}
+	if total != len(wd) {
+		t.Fatalf("packed %d withdrawals, want %d", total, len(wd))
+	}
+}
+
+// TestPackUpdatesDoesNotMutateAttrs enforces the immutability contract:
+// the packer only reads the attribute sets it is handed (the same
+// pointer may be shared by the Adj-RIB-In and every client's queue).
+func TestPackUpdatesDoesNotMutateAttrs(t *testing.T) {
+	attrs := batchAttrs(100)
+	attrs.Communities = []Community{MakeCommunity(47065, 1)}
+	attrs.HasMED, attrs.MED = true, 50
+	snapshot := attrs.Clone()
+	routes := []AttrRoute{
+		{NLRI: NLRI{Prefix: batchPrefix(t, "10.0.0.0/24")}, Attrs: attrs},
+		{NLRI: NLRI{Prefix: batchPrefix(t, "10.0.1.0/24")}, Attrs: attrs},
+	}
+	out := PackUpdates([]NLRI{{Prefix: batchPrefix(t, "10.9.0.0/24")}}, routes, Options{AS4: true})
+	if !reflect.DeepEqual(attrs.Clone(), snapshot) {
+		t.Fatalf("PackUpdates mutated attrs:\n got %+v\nwant %+v", attrs, snapshot)
+	}
+	if len(out) != 2 || out[1].Attrs != attrs {
+		t.Fatalf("packed update should alias the caller's attrs (documented contract)")
+	}
+}

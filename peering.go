@@ -289,8 +289,15 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		})
 	})
 	// Surface live server counters (reconnects, stale-route retention,
-	// dampening) through GET /stats and `peeringctl stats`.
-	p.SetStatsSource(func() any { return tb.Server.Stats() })
+	// dampening, fan-out batching/backpressure) through GET /stats and
+	// `peeringctl stats`, plus the instantaneous per-client queue depths
+	// so a stalled client is visible as a growing number.
+	p.SetStatsSource(func() any {
+		return struct {
+			server.Stats
+			FanoutQueues map[string]int `json:"FanoutQueues,omitempty"`
+		}{tb.Server.Stats(), tb.Server.QueueDepths()}
+	})
 	tb.Portal = p
 	return tb, nil
 }
