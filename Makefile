@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench check docs
 
 all: check
 
@@ -26,4 +26,14 @@ bench:
 	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
 	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
 
-check: build vet race
+# Documentation gate: vet plus a check that every internal package (and
+# the root module) carries a package comment — godoc is part of the
+# operator surface, not an afterthought.
+docs: vet
+	@undoc=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... . | grep . || true); \
+	if [ -n "$$undoc" ]; then \
+		echo "packages missing a package comment:"; echo "$$undoc"; exit 1; \
+	fi
+	@echo "docs: all packages documented"
+
+check: build docs race

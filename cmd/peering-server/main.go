@@ -19,6 +19,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8480", "portal listen address")
 	mode := flag.String("mode", "quagga", "multiplexing mode: quagga or bird")
 	bilateral := flag.Bool("bilateral", false, "add bilateral sessions to every open IXP member")
+	pprofOn := flag.Bool("pprof", false, "enable /debug/pprof/* on the portal listener")
 	flag.Parse()
 
 	var m peering.Mode
@@ -46,7 +47,11 @@ func main() {
 	log.Printf("  IXP members:   %d (route server AS%d)", len(tb.Fabric.Members()), tb.Fabric.RS.AS())
 	log.Printf("  upstreams:     %d sessions", len(tb.Server.Upstreams()))
 	log.Printf("  collector:     AS%d vantage, %d prefixes", tb.CollectorVantage, tb.Collector.Prefixes())
+	if *pprofOn {
+		tb.Portal.EnablePprof()
+	}
 	log.Printf("portal API on http://%s (POST /accounts, /experiments, /announcements …)", *addr)
+	log.Printf("telemetry on http://%s/metrics (Prometheus) and /stats (JSON)", *addr)
 
 	srv := &http.Server{Addr: *addr, Handler: tb.Portal.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {

@@ -14,6 +14,11 @@
 //	peeringctl [-portal URL] list     <experiment>
 //	peeringctl [-portal URL] pool
 //	peeringctl [-portal URL] stats    [-watch interval]
+//	peeringctl [-portal URL] metrics  [-watch interval]
+//
+// stats renders the portal's JSON counter snapshot; metrics scrapes
+// GET /metrics (the same instruments in Prometheus text format,
+// including histograms and per-label series) and pretty-prints it.
 package main
 
 import (
@@ -85,6 +90,12 @@ func main() {
 			time.Sleep(*watch)
 			err = c.get("/stats")
 		}
+	case "metrics":
+		err = c.metrics()
+		for err == nil && *watch > 0 {
+			time.Sleep(*watch)
+			err = c.metrics()
+		}
 	default:
 		usage()
 	}
@@ -114,6 +125,47 @@ func (c *ctl) get(path string) error {
 		return err
 	}
 	return render(resp)
+}
+
+// metrics scrapes GET /metrics and pretty-prints the Prometheus text
+// format: one block per family, headed by the metric name and HELP
+// text, with each sample's repeated family name elided so the labels
+// and values line up.
+func (c *ctl) metrics() error {
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	family := ""
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			family = name
+			fmt.Printf("\n%s — %s\n", name, help)
+		case strings.HasPrefix(line, "#"):
+			// TYPE and other comments add nothing the header lacks.
+		default:
+			sample := line
+			if family != "" && strings.HasPrefix(sample, family) {
+				sample = strings.TrimPrefix(sample, family)
+				if sample == "" || sample[0] == ' ' {
+					sample = "=" + sample // unlabeled: "name 42" → "= 42"
+				}
+			}
+			fmt.Printf("  %s\n", strings.TrimSpace(sample))
+		}
+	}
+	return nil
 }
 
 // render pretty-prints the portal's JSON reply.
@@ -153,6 +205,7 @@ commands:
   announce <experiment> <prefix> [-withdraw] [-in 30s]
   list     <experiment>
   pool
-  stats [-watch 2s]`)
+  stats   [-watch 2s]
+  metrics [-watch 2s]`)
 	os.Exit(2)
 }

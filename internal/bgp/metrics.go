@@ -1,0 +1,119 @@
+package bgp
+
+import (
+	"strings"
+
+	"peering/internal/telemetry"
+	"peering/internal/wire"
+)
+
+// Metrics is the session layer's instrument set, shared by every
+// session and supervisor created with the same Config.Metrics. One
+// instance per registry: construct with NewMetrics and hand the same
+// pointer to all session configs. A nil *Metrics disables session
+// instrumentation (each method guards itself), so tests and embedded
+// uses pay nothing.
+type Metrics struct {
+	// MsgsIn / MsgsOut count BGP messages by type ("open", "update",
+	// "keepalive", "notification", "refresh") crossing any session.
+	MsgsIn  *telemetry.CounterVec
+	MsgsOut *telemetry.CounterVec
+	// Sessions gauges how many sessions currently sit in each FSM
+	// state; a session leaves the gauge entirely when it closes.
+	Sessions *telemetry.GaugeVec
+	// SessionsClosed counts session terminations over all time.
+	SessionsClosed *telemetry.Counter
+	// Reconnects counts supervisor redial attempts (not initial dials);
+	// Recoveries counts sessions re-established after ≥1 failure.
+	Reconnects *telemetry.Counter
+	Recoveries *telemetry.Counter
+}
+
+// NewMetrics registers the session layer's metrics on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		MsgsIn: r.CounterVec("peering_bgp_messages_in_total",
+			"BGP messages received, by message type.", "type"),
+		MsgsOut: r.CounterVec("peering_bgp_messages_out_total",
+			"BGP messages sent, by message type.", "type"),
+		Sessions: r.GaugeVec("peering_bgp_sessions",
+			"Live BGP sessions by FSM state.", "state"),
+		SessionsClosed: r.Counter("peering_bgp_sessions_closed_total",
+			"BGP sessions terminated (any reason)."),
+		Reconnects: r.Counter("peering_bgp_reconnect_attempts_total",
+			"Supervised session redial attempts."),
+		Recoveries: r.Counter("peering_bgp_session_recoveries_total",
+			"Sessions re-established after at least one failure."),
+	}
+}
+
+// msgIn / msgOut / sessionState / sessionClosed are the nil-safe hooks
+// sessions call; keeping them here keeps session.go free of guards.
+
+func (m *Metrics) msgIn(msg wire.Message) {
+	if m != nil {
+		m.MsgsIn.With(msgTypeLabel(msg.Type())).Inc()
+	}
+}
+
+func (m *Metrics) msgOut(msg wire.Message) {
+	if m != nil {
+		m.MsgsOut.With(msgTypeLabel(msg.Type())).Inc()
+	}
+}
+
+// sessionState moves a session from FSM state old to new on the state
+// gauge; old < 0 means the session is new (nothing to decrement).
+func (m *Metrics) sessionState(old, new State) {
+	if m == nil {
+		return
+	}
+	if old >= 0 {
+		m.Sessions.With(stateLabel(old)).Dec()
+	}
+	m.Sessions.With(stateLabel(new)).Inc()
+}
+
+// sessionClosed removes a closing session from the state gauge and
+// counts the termination.
+func (m *Metrics) sessionClosed(last State) {
+	if m == nil {
+		return
+	}
+	m.Sessions.With(stateLabel(last)).Dec()
+	m.SessionsClosed.Inc()
+}
+
+func (m *Metrics) reconnect() {
+	if m != nil {
+		m.Reconnects.Inc()
+	}
+}
+
+func (m *Metrics) recovery() {
+	if m != nil {
+		m.Recoveries.Inc()
+	}
+}
+
+// msgTypeLabel maps a wire message type to its metric label.
+func msgTypeLabel(t wire.MsgType) string {
+	switch t {
+	case wire.MsgOpen:
+		return "open"
+	case wire.MsgUpdate:
+		return "update"
+	case wire.MsgNotification:
+		return "notification"
+	case wire.MsgKeepalive:
+		return "keepalive"
+	case wire.MsgRouteRefresh:
+		return "refresh"
+	default:
+		return "unknown"
+	}
+}
+
+// stateLabel is the lowercase FSM state name used as the state gauge's
+// label value.
+func stateLabel(s State) string { return strings.ToLower(s.String()) }

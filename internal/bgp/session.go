@@ -9,6 +9,12 @@
 // which is exactly the property the testbed relies on ("from each
 // client's perspective, it essentially has direct connections to the
 // upstream and peer ASes").
+//
+// Sessions and supervisors are instrumented through a shared, optional
+// Metrics instance (Config.Metrics): message counts by type, a live
+// per-FSM-state session gauge, and redial/recovery counters, all on
+// the unified telemetry registry. A nil Metrics disables recording, so
+// the package stays usable standalone.
 package bgp
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"peering/internal/clock"
+	"peering/internal/telemetry"
 	"peering/internal/wire"
 )
 
@@ -100,6 +107,10 @@ type Config struct {
 	Clock clock.Clock
 	// Describe labels the session in errors and logs.
 	Describe string
+	// Metrics, when non-nil, receives message counts and FSM state
+	// transitions for this session (shared across all sessions built
+	// with the same instance; see NewMetrics).
+	Metrics *Metrics
 }
 
 // Handler receives session events. Calls are serialized per session.
@@ -160,9 +171,10 @@ type Session struct {
 	done      chan struct{}
 	holdTimer clock.Timer
 	kaTimer   clock.Timer
-	// sentUpdates counts UPDATEs accepted by Send — the batching
-	// pipeline's measure of how many messages actually hit the wire.
-	sentUpdates uint64
+	// sent counts UPDATEs accepted by Send — the batching pipeline's
+	// measure of how many messages actually hit the wire. A standalone
+	// telemetry counter: lock-free, readable without s.mu.
+	sent telemetry.Counter
 }
 
 // New wraps conn in a session. Call Run (usually in a goroutine) to
@@ -178,6 +190,7 @@ func New(conn net.Conn, cfg Config, h Handler) *Session {
 	if h == nil {
 		h = HandlerFuncs{}
 	}
+	cfg.Metrics.sessionState(-1, StateOpenSent)
 	return &Session{
 		cfg:     cfg,
 		conn:    conn,
@@ -205,11 +218,7 @@ func (s *Session) Established() bool {
 
 // SentUpdates reports how many UPDATE messages Send has accepted over
 // the session's lifetime.
-func (s *Session) SentUpdates() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sentUpdates
-}
+func (s *Session) SentUpdates() uint64 { return s.sent.Value() }
 
 // PeerAS returns the neighbor's (4-octet) ASN once OPEN has been
 // received, else 0.
@@ -300,6 +309,7 @@ func (s *Session) handshake() error {
 		s.sendNotifForErr(err)
 		return fmt.Errorf("bgp: await OPEN: %w", err)
 	}
+	s.cfg.Metrics.msgIn(msg)
 	po, ok := msg.(*wire.Open)
 	if !ok {
 		notif := wire.NotifError(wire.CodeFSMError, 0, nil)
@@ -325,6 +335,7 @@ func (s *Session) handshake() error {
 	s.holdTime = hold
 	s.opts = wire.Options{AddPath: addPath, AS4: true}
 	s.mu.Unlock()
+	s.cfg.Metrics.sessionState(StateOpenSent, StateOpenConfirm)
 
 	// OpenConfirm: send KEEPALIVE, await theirs.
 	if err := s.writeMsg(&wire.Keepalive{}, wire.DefaultOptions); err != nil {
@@ -334,6 +345,7 @@ func (s *Session) handshake() error {
 	if err != nil {
 		return fmt.Errorf("bgp: await KEEPALIVE: %w", err)
 	}
+	s.cfg.Metrics.msgIn(msg)
 	switch m := msg.(type) {
 	case *wire.Keepalive:
 	case *wire.Notification:
@@ -345,6 +357,7 @@ func (s *Session) handshake() error {
 	s.mu.Lock()
 	s.state = StateEstablished
 	s.mu.Unlock()
+	s.cfg.Metrics.sessionState(StateOpenConfirm, StateEstablished)
 	s.startTimers()
 	return nil
 }
@@ -392,8 +405,8 @@ func (s *Session) Send(u *wire.Update) error {
 		s.mu.Unlock()
 		return fmt.Errorf("bgp: session %s not established (state %v)", s.cfg.Describe, st)
 	}
-	s.sentUpdates++
 	s.mu.Unlock()
+	s.sent.Inc()
 	s.enqueue(u)
 	return nil
 }
@@ -433,7 +446,9 @@ func (s *Session) writeMsg(m wire.Message, opts wire.Options) error {
 	if err != nil {
 		return err
 	}
-	_, err = s.conn.Write(b)
+	if _, err = s.conn.Write(b); err == nil {
+		s.cfg.Metrics.msgOut(m)
+	}
 	return err
 }
 
@@ -454,6 +469,7 @@ func (s *Session) reader() error {
 			s.sendNotifForErr(err)
 			return fmt.Errorf("bgp: read: %w", err)
 		}
+		s.cfg.Metrics.msgIn(msg)
 		s.resetHold()
 		switch m := msg.(type) {
 		case *wire.Update:
@@ -517,6 +533,7 @@ func (s *Session) shutdown(err error) {
 		return
 	}
 	s.closed = true
+	last := s.state
 	s.state = StateClosed
 	s.closeErr = err
 	if s.holdTimer != nil {
@@ -527,6 +544,7 @@ func (s *Session) shutdown(err error) {
 	}
 	close(s.done)
 	s.mu.Unlock()
+	s.cfg.Metrics.sessionClosed(last)
 	s.conn.Close()
 	s.handler.Closed(s, err)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"peering/internal/clock"
+	"peering/internal/telemetry"
 	"peering/internal/wire"
 )
 
@@ -112,9 +113,13 @@ type Supervisor struct {
 	timer       clock.Timer
 	started     bool
 	stopped     bool
-	attempts    uint64
-	recoveries  uint64
 	consecutive int
+
+	// attempts/recoveries are standalone telemetry counters: readable
+	// lock-free by Stats, mirrored onto the shared Metrics (if any) so
+	// the aggregate surfaces on /metrics.
+	attempts   telemetry.Counter
+	recoveries telemetry.Counter
 
 	doneOnce sync.Once
 	done     chan struct{}
@@ -217,8 +222,8 @@ func (sv *Supervisor) Stats() SupervisorStats {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	return SupervisorStats{
-		Attempts:            sv.attempts,
-		Recoveries:          sv.recoveries,
+		Attempts:            sv.attempts.Value(),
+		Recoveries:          sv.recoveries.Value(),
 		ConsecutiveFailures: sv.consecutive,
 	}
 }
@@ -283,8 +288,9 @@ func (sv *Supervisor) sessionEnded(err error) {
 			sv.mu.Unlock()
 			return
 		}
-		sv.attempts++
 		sv.mu.Unlock()
+		sv.attempts.Inc()
+		sv.cfg.Session.Metrics.reconnect()
 		if onAttempt != nil {
 			onAttempt(n)
 		}
@@ -306,13 +312,14 @@ func (w supHandler) Established(s *Session) {
 	sv.mu.Lock()
 	failures := sv.consecutive
 	sv.consecutive = 0
-	if failures > 0 {
-		sv.recoveries++
-	}
 	onRecover := sv.cfg.OnRecover
 	sv.mu.Unlock()
-	if failures > 0 && onRecover != nil {
-		onRecover(failures)
+	if failures > 0 {
+		sv.recoveries.Inc()
+		sv.cfg.Session.Metrics.recovery()
+		if onRecover != nil {
+			onRecover(failures)
+		}
 	}
 	sv.h.Established(s)
 }

@@ -8,6 +8,10 @@
 // with a configurable half-life. When it crosses the suppress threshold
 // the route is suppressed — not propagated — until decay brings it back
 // under the reuse threshold.
+//
+// A damper is observable through an optional Metrics instance
+// (Instrument): penalty applications by kind, suppress/reuse threshold
+// crossings, and a scrape-time gauge of tracked records.
 package dampen
 
 import (
@@ -73,8 +77,9 @@ type state struct {
 
 // Damper tracks flap penalties. It is safe for concurrent use.
 type Damper struct {
-	cfg   Config
-	clock clock.Clock
+	cfg     Config
+	clock   clock.Clock
+	metrics *Metrics // set by Instrument; nil disables recording
 
 	mu     sync.Mutex
 	states map[Key]*state
@@ -98,6 +103,7 @@ func (d *Damper) decayTo(s *state, now time.Time) {
 	s.lastUpdate = now
 	if s.suppressed && s.penalty < d.cfg.ReuseThreshold {
 		s.suppressed = false
+		d.metrics.reuse()
 	}
 	// Drop negligible state.
 	if s.penalty < 1 {
@@ -105,9 +111,9 @@ func (d *Damper) decayTo(s *state, now time.Time) {
 	}
 }
 
-// recordPenalty applies a flap of weight w to key k and returns whether
-// the route is now suppressed.
-func (d *Damper) recordPenalty(k Key, w float64) bool {
+// recordPenalty applies a flap of weight w and metric kind to key k and
+// returns whether the route is now suppressed.
+func (d *Damper) recordPenalty(k Key, w float64, kind string) bool {
 	now := d.clock.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -121,8 +127,10 @@ func (d *Damper) recordPenalty(k Key, w float64) bool {
 	if maxP := d.cfg.maxPenalty(); s.penalty > maxP {
 		s.penalty = maxP
 	}
-	if s.penalty >= d.cfg.SuppressThreshold {
+	d.metrics.penalty(kind)
+	if s.penalty >= d.cfg.SuppressThreshold && !s.suppressed {
 		s.suppressed = true
+		d.metrics.suppress()
 	}
 	return s.suppressed
 }
@@ -130,13 +138,13 @@ func (d *Damper) recordPenalty(k Key, w float64) bool {
 // RecordFlap registers a re-announcement (attribute change) of k,
 // returning true if the route is suppressed.
 func (d *Damper) RecordFlap(k Key) bool {
-	return d.recordPenalty(k, d.cfg.FlapPenalty)
+	return d.recordPenalty(k, d.cfg.FlapPenalty, "flap")
 }
 
 // RecordWithdraw registers a withdrawal of k, returning true if the
 // route is suppressed.
 func (d *Damper) RecordWithdraw(k Key) bool {
-	return d.recordPenalty(k, d.cfg.WithdrawPenalty)
+	return d.recordPenalty(k, d.cfg.WithdrawPenalty, "withdraw")
 }
 
 // Suppressed reports whether k is currently suppressed, applying decay

@@ -8,6 +8,11 @@
 // The portal is an ordinary net/http JSON API backed by an in-memory
 // store with optional JSON snapshot persistence — the "database
 // tracking all the relevant data" the paper describes.
+//
+// It is also the operator surface: GET /stats serves the JSON counter
+// snapshot (SetStatsSource), GET /metrics the Prometheus exposition of
+// the same instruments (SetMetricsHandler), and /debug/pprof/* serves
+// runtime profiles once EnablePprof has been called.
 package portal
 
 import (
@@ -15,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"sort"
 	"sync"
@@ -97,15 +103,17 @@ type Portal struct {
 	executor Executor
 	notify   Notifier
 
-	mu            sync.Mutex
-	onApprove     func(Experiment)
-	statsSource   func() any
-	pool          []netip.Prefix // unallocated /24s
-	accounts      map[string]*Account
-	experiments   map[string]*Experiment
-	announcements []*Announcement
-	measurements  []Measurement
-	nextAnnID     int
+	mu             sync.Mutex
+	onApprove      func(Experiment)
+	statsSource    func() any
+	metricsHandler http.Handler
+	pprofEnabled   bool
+	pool           []netip.Prefix // unallocated /24s
+	accounts       map[string]*Account
+	experiments    map[string]*Experiment
+	announcements  []*Announcement
+	measurements   []Measurement
+	nextAnnID      int
 }
 
 // SetApproveHook registers a callback fired after each approval — the
@@ -124,9 +132,34 @@ func (p *Portal) SetApproveHook(fn func(Experiment)) {
 // operations, soft-limit crossings, queue high-water mark, per-client
 // queue depths) for the GET /stats endpoint. The returned value is
 // JSON-encoded verbatim.
+//
+// Each call replaces the previous source: the portal holds exactly one,
+// and the newest registration wins for all subsequent GET /stats
+// requests (in-flight requests keep the source they already read).
+// Passing nil unregisters the source, returning GET /stats to 404.
 func (p *Portal) SetStatsSource(fn func() any) {
 	p.mu.Lock()
 	p.statsSource = fn
+	p.mu.Unlock()
+}
+
+// SetMetricsHandler registers the handler behind GET /metrics — in
+// production the server telemetry registry's Handler, serving the
+// Prometheus text format. Like SetStatsSource, each call replaces the
+// previous handler and nil unregisters it (GET /metrics then 404s).
+func (p *Portal) SetMetricsHandler(h http.Handler) {
+	p.mu.Lock()
+	p.metricsHandler = h
+	p.mu.Unlock()
+}
+
+// EnablePprof turns on the /debug/pprof/* endpoints. They are always
+// routed but answer 404 until enabled: profiling a production mux is
+// an explicit operator decision (-pprof on peering-server), not a
+// default attack surface.
+func (p *Portal) EnablePprof() {
+	p.mu.Lock()
+	p.pprofEnabled = true
 	p.mu.Unlock()
 }
 
@@ -378,7 +411,9 @@ func (p *Portal) Measurements(experiment string) []Measurement {
 //	GET  /announcements?experiment=X
 //	GET  /measurements?experiment=X
 //	GET  /pool
-//	GET  /stats
+//	GET  /stats                 JSON counters (see SetStatsSource)
+//	GET  /metrics               Prometheus text format (see SetMetricsHandler)
+//	GET  /debug/pprof/*         profiling, 404 unless EnablePprof was called
 func (p *Portal) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /accounts", func(w http.ResponseWriter, r *http.Request) {
@@ -457,6 +492,35 @@ func (p *Portal) Handler() http.Handler {
 		}
 		reply(w, fn(), nil)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		h := p.metricsHandler
+		p.mu.Unlock()
+		if h == nil {
+			http.Error(w, "metrics unavailable", http.StatusNotFound)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+	// pprof endpoints: routed unconditionally, gated at request time so
+	// EnablePprof works whenever it is called relative to Handler.
+	gated := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			p.mu.Lock()
+			on := p.pprofEnabled
+			p.mu.Unlock()
+			if !on {
+				http.Error(w, "pprof disabled", http.StatusNotFound)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET /debug/pprof/", gated(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", gated(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", gated(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", gated(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", gated(pprof.Trace))
 	return mux
 }
 

@@ -3,6 +3,7 @@ package portal
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"peering/internal/clock"
+	"peering/internal/telemetry"
 )
 
 var epoch = time.Date(2014, 10, 27, 0, 0, 0, 0, time.UTC)
@@ -296,4 +298,41 @@ func TestHTTPErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("get unknown: %d", resp.StatusCode)
 	}
+}
+
+// TestMetricsAndPprofEndpoints: GET /metrics proxies the registered
+// handler (404 before registration), and /debug/pprof/* answers 404
+// until EnablePprof flips the gate — even on an already-built Handler.
+func TestMetricsAndPprofEndpoints(t *testing.T) {
+	p, _, _ := newPortal(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, _ := http.Get(srv.URL + "/metrics")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unregistered /metrics: %d, want 404", resp.StatusCode)
+	}
+	reg := telemetry.NewRegistry()
+	reg.Counter("peering_portal_test_total", "x").Add(7)
+	p.SetMetricsHandler(reg.Handler())
+	resp, _ = http.Get(srv.URL + "/metrics")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("peering_portal_test_total 7")) {
+		t.Fatalf("/metrics = %d %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	resp, _ = http.Get(srv.URL + "/debug/pprof/")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof before enable: %d, want 404", resp.StatusCode)
+	}
+	p.EnablePprof()
+	resp, _ = http.Get(srv.URL + "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof after enable: %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
 }

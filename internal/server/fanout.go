@@ -230,6 +230,7 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 			b.reach = append(b.reach, wire.AttrRoute{NLRI: n, Attrs: op.attrs})
 		}
 	}
+	m := s.metrics
 	var sent, relayed uint64
 	for _, skey := range order {
 		b := batches[skey]
@@ -242,6 +243,7 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 			}
 			sent++
 			relayed += uint64(len(upd.Reach))
+			m.fanoutPacked.Observe(float64(len(upd.Reach) + len(upd.Withdrawn)))
 		}
 	}
 	for _, skey := range eors {
@@ -251,16 +253,9 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 			}
 		}
 	}
-	if sent == 0 && relayed == 0 && ctr == (outCounters{}) {
-		return
-	}
-	s.bump(func(st *Stats) {
-		st.UpdatesToClients += sent
-		st.RoutesRelayedToClients += relayed
-		st.FanoutCoalesced += ctr.coalesced
-		st.FanoutBackpressure += ctr.backpressure
-		if hw := uint64(ctr.highWater); hw > st.FanoutQueueHighWater {
-			st.FanoutQueueHighWater = hw
-		}
-	})
+	m.fanoutUpdates.Add(sent)
+	m.fanoutRelayed.Add(relayed)
+	m.fanoutCoalesced.Add(ctr.coalesced)
+	m.fanoutBackpressure.Add(ctr.backpressure)
+	m.fanoutHighWater.Max(float64(ctr.highWater))
 }

@@ -1,0 +1,199 @@
+package server
+
+// This file defines the server's instrument set on the unified
+// telemetry registry. Event counters are bumped inline at the point
+// the event happens (lock-free, no shared stats mutex); "current size"
+// readings — connected clients, queue depths, RIB sizes, advert counts
+// — are scrape-time funcs that sample live structures, so label sets
+// follow client/peer churn without ever leaking a stale series.
+//
+// Server.Stats() is rebuilt on top of the same registry: the public
+// Stats struct survives as the JSON shape of GET /stats, but every
+// field is now read from a telemetry instrument.
+
+import (
+	"peering/internal/bgp"
+	"peering/internal/telemetry"
+	"peering/internal/wire"
+)
+
+// convergenceBuckets span the three regimes an announcement can cross
+// before reaching an upstream: sub-millisecond for the synchronous
+// relay path, seconds for redial backoff while an upstream session
+// recovers, and minutes when the announcement waits out a restart
+// window. Measured against the server's injected clock, so virtual-
+// clock tests land deterministic observations.
+var convergenceBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// packingBuckets cover NLRIs-per-UPDATE from unbatched (1) up past the
+// practical MaxMsgLen packing ceiling; powers of two match the
+// doubling behavior of batch growth.
+var packingBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// serverMetrics holds every instrument the server layer owns, plus the
+// shared BGP session metrics it hands to each session config.
+type serverMetrics struct {
+	reg *telemetry.Registry
+	bgp *bgp.Metrics
+
+	// Relay and safety-intervention counters (§3 interposition).
+	routesFromUpstreams  *telemetry.Counter
+	announcementsRelayed *telemetry.Counter
+	hijacksBlocked       *telemetry.Counter
+	originBlocked        *telemetry.Counter
+	flapsSuppressed      *telemetry.Counter
+	spoofsBlocked        *telemetry.Counter
+	staleRetained        *telemetry.Counter
+	staleFlushed         *telemetry.Counter
+	packetsToClients     *telemetry.Counter
+	packetsFromClients   *telemetry.Counter
+
+	// Fan-out pipeline counters (see fanout.go).
+	fanoutRelayed      *telemetry.Counter
+	fanoutUpdates      *telemetry.Counter
+	fanoutCoalesced    *telemetry.Counter
+	fanoutBackpressure *telemetry.Counter
+	fanoutHighWater    *telemetry.Gauge
+	fanoutPacked       *telemetry.Histogram
+
+	// convergence measures client-announce → upstream-send latency.
+	convergence *telemetry.Histogram
+}
+
+// newServerMetrics registers the server's metric families on r. The
+// scrape-time funcs close over s, so one registry must not be shared
+// by two Servers (registration would panic on the duplicate names
+// anyway).
+func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg: r,
+		bgp: bgp.NewMetrics(r),
+
+		routesFromUpstreams: r.Counter("peering_server_routes_from_upstreams_total",
+			"UPDATE NLRIs received from upstream peers."),
+		announcementsRelayed: r.Counter("peering_server_announcements_relayed_total",
+			"Client NLRIs accepted by the safety pipeline and sent upstream."),
+		hijacksBlocked: r.Counter("peering_server_hijacks_blocked_total",
+			"Client announcements outside the client's allocation."),
+		originBlocked: r.Counter("peering_server_origin_blocked_total",
+			"Client announcements with a disallowed origin AS."),
+		flapsSuppressed: r.Counter("peering_server_flaps_suppressed_total",
+			"Client announcements dropped by route-flap dampening."),
+		spoofsBlocked: r.Counter("peering_server_spoofs_blocked_total",
+			"Client packets dropped by the source-address filter."),
+		staleRetained: r.Counter("peering_server_stale_routes_retained_total",
+			"Routes marked stale instead of withdrawn on session loss."),
+		staleFlushed: r.Counter("peering_server_stale_routes_flushed_total",
+			"Stale routes withdrawn at end-of-RIB or restart-window close."),
+		packetsToClients: r.Counter("peering_server_packets_to_clients_total",
+			"Data-plane packets forwarded into client tunnels."),
+		packetsFromClients: r.Counter("peering_server_packets_from_clients_total",
+			"Data-plane packets accepted from client tunnels."),
+
+		fanoutRelayed: r.Counter("peering_fanout_routes_relayed_total",
+			"NLRIs fanned out to clients."),
+		fanoutUpdates: r.Counter("peering_fanout_updates_total",
+			"UPDATE messages sent to clients by the fan-out pipeline."),
+		fanoutCoalesced: r.Counter("peering_fanout_coalesced_total",
+			"Queued fan-out operations overwritten before being sent."),
+		fanoutBackpressure: r.Counter("peering_fanout_backpressure_total",
+			"Enqueues that found a client's queue above the high-water mark."),
+		fanoutHighWater: r.Gauge("peering_fanout_queue_high_water",
+			"Deepest any client's pending fan-out queue has been."),
+		fanoutPacked: r.Histogram("peering_fanout_update_nlris",
+			"NLRIs packed into each UPDATE sent to a client.", packingBuckets),
+
+		convergence: r.Histogram("peering_convergence_announce_latency_seconds",
+			"Latency from client announcement received to the route's first successful send to an upstream peer, including any redial backoff or restart window the announcement waited out.",
+			convergenceBuckets),
+	}
+
+	r.GaugeFunc("peering_server_clients",
+		"Clients currently connected.",
+		func() float64 { return float64(s.ClientCount()) })
+	r.GaugeVecFunc("peering_fanout_queue_depth",
+		"Pending fan-out operations per connected client.", []string{"client"},
+		func(emit func(v float64, labelValues ...string)) {
+			for id, d := range s.QueueDepths() {
+				emit(float64(d), id)
+			}
+		})
+	r.GaugeVecFunc("peering_rib_routes",
+		"Adj-RIB-In size per upstream peer.", []string{"peer"},
+		func(emit func(v float64, labelValues ...string)) {
+			for _, u := range s.Upstreams() {
+				emit(float64(u.RoutesIn()), u.cfg.Name)
+			}
+		})
+	r.GaugeVecFunc("peering_rib_adverts",
+		"Prefixes currently advertised to upstreams per owning client.", []string{"client"},
+		func(emit func(v float64, labelValues ...string)) {
+			byOwner := make(map[string]int)
+			for _, u := range s.Upstreams() {
+				u.mu.Lock()
+				for _, ad := range u.advertised {
+					byOwner[ad.owner]++
+				}
+				u.mu.Unlock()
+			}
+			for owner, n := range byOwner {
+				emit(float64(n), owner)
+			}
+		})
+	return m
+}
+
+// observeConvergence closes the convergence measurement for adverts in
+// sent that are still pending their first successful transmission to
+// upstream u: the elapsed time since the client's announcement was
+// received is recorded on the latency histogram. Called after a
+// successful session Send, from both the direct relay path and the
+// Established replay of deferred announcements.
+func (s *Server) observeConvergence(u *Upstream, sent []wire.NLRI) {
+	now := s.clk.Now()
+	u.mu.Lock()
+	for _, n := range sent {
+		if ad := u.advertised[n.Prefix]; ad != nil && ad.pending {
+			ad.pending = false
+			s.metrics.convergence.Observe(now.Sub(ad.announced).Seconds())
+		}
+	}
+	u.mu.Unlock()
+}
+
+// Telemetry returns the server's metric registry — the backing store
+// of both GET /stats and GET /metrics.
+func (s *Server) Telemetry() *telemetry.Registry { return s.metrics.reg }
+
+// Stats returns a snapshot of counters, read from the telemetry
+// registry. The struct is the stable JSON shape of GET /stats; the
+// fields are aggregates of the same instruments GET /metrics exposes.
+func (s *Server) Stats() Stats {
+	m := s.metrics
+	return Stats{
+		RoutesFromUpstreams:    m.routesFromUpstreams.Value(),
+		RoutesRelayedToClients: m.fanoutRelayed.Value(),
+		UpdatesToClients:       m.fanoutUpdates.Value(),
+		FanoutCoalesced:        m.fanoutCoalesced.Value(),
+		FanoutBackpressure:     m.fanoutBackpressure.Value(),
+		FanoutQueueHighWater:   uint64(m.fanoutHighWater.Value()),
+		AnnouncementsRelayed:   m.announcementsRelayed.Value(),
+		HijacksBlocked:         m.hijacksBlocked.Value(),
+		OriginBlocked:          m.originBlocked.Value(),
+		FlapsSuppressed:        m.flapsSuppressed.Value(),
+		SpoofsBlocked:          m.spoofsBlocked.Value(),
+		ReconnectAttempts:      m.bgp.Reconnects.Value(),
+		SessionRecoveries:      m.bgp.Recoveries.Value(),
+		StaleRoutesRetained:    m.staleRetained.Value(),
+		StaleRoutesFlushed:     m.staleFlushed.Value(),
+		PacketsToClients:       m.packetsToClients.Value(),
+		PacketsFromClients:     m.packetsFromClients.Value(),
+	}
+}
+
+// ConvergenceSamples reports how many convergence latencies have been
+// observed and their sum in seconds (test and debugging hook; the full
+// distribution is on /metrics).
+func (s *Server) ConvergenceSamples() (count uint64, sumSeconds float64) {
+	return s.metrics.convergence.Count(), s.metrics.convergence.Sum()
+}

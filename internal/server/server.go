@@ -15,6 +15,13 @@
 //     the data plane;
 //   - upstream sessions stay established across client churn, so the
 //     rest of the Internet sees a stable AS.
+//
+// Every counter the server keeps — relay volumes, safety
+// interventions, fan-out pressure, graceful-restart retention, and an
+// end-to-end convergence-latency histogram — lives on one telemetry
+// registry (Config.Metrics, or a private one reachable via
+// Telemetry). GET /stats and GET /metrics are two encodings of those
+// same instruments; see metrics.go and DESIGN.md §10.
 package server
 
 import (
@@ -33,6 +40,7 @@ import (
 	"peering/internal/muxproto"
 	"peering/internal/rib"
 	"peering/internal/router"
+	"peering/internal/telemetry"
 	"peering/internal/trie"
 	"peering/internal/tunnel"
 	"peering/internal/wire"
@@ -68,6 +76,11 @@ type Config struct {
 	// (upstream, prefix)); this threshold only tunes when a client is
 	// reported as slow. Zero means DefaultFanoutHighWater.
 	FanoutHighWater int
+	// Metrics is the telemetry registry the server registers its metric
+	// families on (nil = a private registry, reachable via Telemetry).
+	// Because family names are fixed, two Servers must not share one
+	// registry.
+	Metrics *telemetry.Registry
 }
 
 // DefaultRestartWindow is used when Config.RestartWindow is zero.
@@ -147,6 +160,13 @@ type advert struct {
 	owner string
 	attrs *wire.Attrs
 	stale bool
+	// announced is the clock reading when the client's announcement was
+	// received; pending is true until the advert's first successful send
+	// to the upstream closes the convergence-latency measurement (see
+	// observeConvergence). An announcement accepted while the upstream
+	// is down stays pending until the Established replay delivers it.
+	announced time.Time
+	pending   bool
 }
 
 // Upstream is one live upstream peering.
@@ -260,17 +280,17 @@ func (c *clientConn) drainSupervisors() {
 
 // Server is a PEERING server instance.
 type Server struct {
-	cfg    Config
-	damper *dampen.Damper
-	clk    clock.Clock
-	dp     *dataplane.Router
+	cfg     Config
+	damper  *dampen.Damper
+	clk     clock.Clock
+	dp      *dataplane.Router
+	metrics *serverMetrics
 
 	mu        sync.Mutex
 	upstreams map[uint32]*Upstream
 	clients   map[string]*clientConn
 	accounts  map[string]ClientAccount
 	alloc     *trie.Trie[string] // prefix → client ID
-	stats     Stats
 	// restartTimers backstop per-client graceful-restart windows: if the
 	// client has not re-announced its stale routes by then, they flush.
 	restartTimers map[string]clock.Timer
@@ -290,6 +310,10 @@ func New(cfg Config) *Server {
 	if cfg.RestartWindow <= 0 {
 		cfg.RestartWindow = DefaultRestartWindow
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s := &Server{
 		cfg:           cfg,
 		damper:        dampen.New(cfg.Dampening, cfg.Clock),
@@ -301,6 +325,8 @@ func New(cfg Config) *Server {
 		alloc:         trie.New[string](),
 		restartTimers: make(map[string]clock.Timer),
 	}
+	s.metrics = newServerMetrics(reg, s)
+	s.damper.Instrument(reg)
 	return s
 }
 
@@ -312,19 +338,6 @@ func (s *Server) Site() string { return s.cfg.Site }
 
 // DP returns the server's dataplane router (for wiring into fabrics).
 func (s *Server) DP() *dataplane.Router { return s.dp }
-
-// Stats returns a snapshot of counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-func (s *Server) bump(f func(*Stats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
-}
 
 // ---------------------------------------------------------------------
 // Upstream side
@@ -370,6 +383,7 @@ func (s *Server) upstreamSessionConfig(u *Upstream) bgp.Config {
 		LocalID:  s.cfg.RouterID,
 		PeerAS:   u.cfg.ASN,
 		Clock:    s.clk,
+		Metrics:  s.metrics.bgp,
 		Describe: fmt.Sprintf("%s-up-%s", s.cfg.Site, u.cfg.Name),
 	}
 }
@@ -397,12 +411,6 @@ func (s *Server) AttachUpstreamSupervised(u *Upstream, dial func() (net.Conn, er
 		Session: s.upstreamSessionConfig(u),
 		Dial:    dial,
 		Backoff: s.cfg.Reconnect,
-		OnAttempt: func(int) {
-			s.bump(func(st *Stats) { st.ReconnectAttempts++ })
-		},
-		OnRecover: func(int) {
-			s.bump(func(st *Stats) { st.SessionRecoveries++ })
-		},
 	}, &upstreamHandler{u: u})
 	u.mu.Lock()
 	u.sup = sup
@@ -426,7 +434,11 @@ func (h *upstreamHandler) Established(sess *bgp.Session) {
 	}
 	u.mu.Unlock()
 	for _, upd := range wire.PackUpdates(nil, outs, sess.Options()) {
-		sess.Send(upd)
+		if sess.Send(upd) != nil {
+			return // session died mid-replay; the next Established retries
+		}
+		// Announcements accepted while the peering was down converge here.
+		u.srv.observeConvergence(u, upd.Reach)
 	}
 	// End-of-RIB: tells a graceful-restart peer our replay is complete.
 	sess.Send(&wire.Update{})
@@ -473,7 +485,7 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 	}
 	u.mu.Unlock()
 	if len(upd.Reach) > 0 {
-		s.bump(func(st *Stats) { st.RoutesFromUpstreams += uint64(len(upd.Reach)) })
+		s.metrics.routesFromUpstreams.Add(uint64(len(upd.Reach)))
 	}
 
 	// Fan out through the per-client queues: the upstream reader never
@@ -502,7 +514,7 @@ func (s *Server) handleUpstreamDown(u *Upstream, err error) {
 		})
 		u.mu.Unlock()
 		if n > 0 {
-			s.bump(func(st *Stats) { st.StaleRoutesRetained += uint64(n) })
+			s.metrics.staleRetained.Add(uint64(n))
 		}
 		return
 	}
@@ -547,7 +559,7 @@ func (s *Server) flushUpstreamStale(u *Upstream) {
 	if len(swept) == 0 {
 		return
 	}
-	s.bump(func(st *Stats) { st.StaleRoutesFlushed += uint64(len(swept)) })
+	s.metrics.staleFlushed.Add(uint64(len(swept)))
 	for _, c := range s.clientList() {
 		for _, r := range swept {
 			c.out.put(u.cfg.ID, r.Prefix, nil)
@@ -715,12 +727,6 @@ func (s *Server) clientHandshake(c *clientConn, upstreams []*Upstream) {
 				}
 			},
 			Backoff: s.cfg.Reconnect,
-			OnAttempt: func(int) {
-				s.bump(func(st *Stats) { st.ReconnectAttempts++ })
-			},
-			OnRecover: func(int) {
-				s.bump(func(st *Stats) { st.SessionRecoveries++ })
-			},
 		}, h)
 		c.mu.Lock()
 		c.sups[key] = sup
@@ -731,12 +737,14 @@ func (s *Server) clientHandshake(c *clientConn, upstreams []*Upstream) {
 		startSup(0, muxproto.StreamBGPBase, bgp.Config{
 			LocalAS: s.cfg.ASN, LocalID: s.cfg.RouterID, Clock: s.clk,
 			AddPath:  true,
+			Metrics:  s.metrics.bgp,
 			Describe: fmt.Sprintf("%s-cl-%s", s.cfg.Site, id),
 		}, &clientSessHandler{srv: s, c: c, birdMode: true})
 	} else {
 		for _, u := range upstreams {
 			startSup(u.cfg.ID, muxproto.StreamBGPBase+u.cfg.ID, bgp.Config{
 				LocalAS: s.cfg.ASN, LocalID: s.cfg.RouterID, Clock: s.clk,
+				Metrics:  s.metrics.bgp,
 				Describe: fmt.Sprintf("%s-cl-%s-up-%s", s.cfg.Site, id, u.cfg.Name),
 			}, &clientSessHandler{srv: s, c: c, upstream: u})
 		}
@@ -809,7 +817,7 @@ func (s *Server) markClientStale(id string, only *Upstream) {
 	if n == 0 {
 		return
 	}
-	s.bump(func(st *Stats) { st.StaleRoutesRetained += uint64(n) })
+	s.metrics.staleRetained.Add(uint64(n))
 	s.mu.Lock()
 	if _, armed := s.restartTimers[id]; !armed {
 		s.restartTimers[id] = s.clk.AfterFunc(s.cfg.RestartWindow, func() {
@@ -848,7 +856,7 @@ func (s *Server) flushClientStale(id string, only *Upstream) {
 		}
 	}
 	if total > 0 {
-		s.bump(func(st *Stats) { st.StaleRoutesFlushed += uint64(total) })
+		s.metrics.staleFlushed.Add(uint64(total))
 	}
 	// Disarm the backstop once nothing stale remains for this client.
 	if s.clientStaleCount(id) == 0 {
@@ -956,6 +964,9 @@ func (h *clientSessHandler) Closed(_ *bgp.Session, err error) {
 // handleClientUpdate runs the safety pipeline on a client's
 // announcement toward one upstream and relays what passes.
 func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update) {
+	// recv stamps the convergence measurement: announce-to-upstream-send
+	// latency starts the moment the client's UPDATE is in hand.
+	recv := s.clk.Now()
 	if upd.Refresh {
 		// The client asked for a refresh: replay the upstream's table
 		// through the fan-out queue (no end-of-RIB — a refresh is not a
@@ -981,7 +992,7 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 	var outWd []wire.NLRI
 	for _, n := range upd.Withdrawn {
 		if !s.allocatedTo(c.account.ID, n.Prefix) {
-			s.bump(func(st *Stats) { st.HijacksBlocked++ })
+			s.metrics.hijacksBlocked.Inc()
 			continue
 		}
 		// Only withdrawals of prefixes this client actually has
@@ -1025,12 +1036,12 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 			// announcement that would actually reach the upstream.
 			if est {
 				if s.damper.RecordFlap(dampen.Key{Prefix: n.Prefix, Source: c.account.TunnelAddr}) {
-					s.bump(func(st *Stats) { st.FlapsSuppressed++ })
+					s.metrics.flapsSuppressed.Inc()
 					continue
 				}
 			}
 			u.mu.Lock()
-			u.advertised[n.Prefix] = &advert{owner: c.account.ID, attrs: attrs}
+			u.advertised[n.Prefix] = &advert{owner: c.account.ID, attrs: attrs, announced: recv, pending: true}
 			u.mu.Unlock()
 			if est {
 				outRoutes = append(outRoutes, wire.AttrRoute{NLRI: wire.NLRI{Prefix: n.Prefix}, Attrs: attrs})
@@ -1044,8 +1055,9 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 		if err := sess.Send(out); err != nil {
 			break // session died mid-batch; Established replays u.advertised
 		}
+		s.observeConvergence(u, out.Reach)
 		if n := len(out.Reach); n > 0 {
-			s.bump(func(st *Stats) { st.AnnouncementsRelayed += uint64(n) })
+			s.metrics.announcementsRelayed.Add(uint64(n))
 		}
 	}
 }
@@ -1094,13 +1106,13 @@ func (s *Server) handleClientUpdateBIRD(c *clientConn, upd *wire.Update) {
 func (s *Server) vetAnnouncement(c *clientConn, u *Upstream, p netip.Prefix, attrs *wire.Attrs) (bool, *wire.Attrs) {
 	// 1. Prefix ownership: no hijacks, no leaks of non-testbed space.
 	if !s.allocatedTo(c.account.ID, p) {
-		s.bump(func(st *Stats) { st.HijacksBlocked++ })
+		s.metrics.hijacksBlocked.Inc()
 		return false, nil
 	}
 	// 2. Origin check: the path must originate from the testbed ASN or
 	// a private ASN of an emulated domain (stripped below).
 	if origin := attrs.OriginAS(); origin != 0 && origin != s.cfg.ASN && !router.IsPrivateASN(origin) {
-		s.bump(func(st *Stats) { st.OriginBlocked++ })
+		s.metrics.originBlocked.Inc()
 		return false, nil
 	}
 	// 3. Attribute hygiene: strip private ASNs (emulated domains stay
@@ -1154,7 +1166,7 @@ func (t *tunnelEndpoint) Receive(pkt *dataplane.Packet, _ *dataplane.Iface) {
 		return
 	}
 	if err := t.c.pkt.Send(pkt); err == nil {
-		t.srv.bump(func(st *Stats) { st.PacketsToClients++ })
+		t.srv.metrics.packetsToClients.Inc()
 	}
 }
 
@@ -1163,11 +1175,11 @@ func (t *tunnelEndpoint) Receive(pkt *dataplane.Packet, _ *dataplane.Iface) {
 func (s *Server) handleClientPacket(c *clientConn, pkt *dataplane.Packet) {
 	if !c.account.SpoofAllowed {
 		if owner, ok := s.ownerOfAddr(pkt.Src); !ok || owner != c.account.ID {
-			s.bump(func(st *Stats) { st.SpoofsBlocked++ })
+			s.metrics.spoofsBlocked.Inc()
 			return
 		}
 	}
-	s.bump(func(st *Stats) { st.PacketsFromClients++ })
+	s.metrics.packetsFromClients.Inc()
 	s.dp.Receive(pkt, c.tunIface.Link().Peer(c.tunIface))
 }
 

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"peering/internal/client"
+	"peering/internal/muxproto"
+	"peering/internal/router"
+)
+
+// scrape encodes the server's registry the way GET /metrics would.
+func scrape(t *testing.T, s *Server) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := s.Telemetry().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestMetricsEndToEnd drives routes both directions through a live rig
+// and asserts the scrape covers every subsystem: session state and
+// message counters, relay and fan-out counters, scrape-time RIB and
+// client gauges, dampening state, and the convergence histogram.
+func TestMetricsEndToEnd(t *testing.T) {
+	r := newRig(t, muxproto.ModeQuagga)
+	cl := r.connectClient(t, "exp1", clientAlloc(), false)
+
+	// Upstream → client: two routes fan out.
+	r.up1.Announce(prefix("11.0.0.0/16"), router.AnnounceSpec{})
+	r.up1.Announce(prefix("11.1.0.0/16"), router.AnnounceSpec{})
+	waitFor(t, "client sees upstream routes", func() bool {
+		return cl.RouteCount(1) == 2
+	})
+
+	// Client → upstream: one accepted announcement, one blocked hijack.
+	if err := cl.Announce(prefix("184.164.224.0/24"), client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Announce(prefix("8.8.8.0/24"), client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "announcement at upstream", func() bool {
+		return r.up1.LocRIB().Best(prefix("184.164.224.0/24")) != nil
+	})
+	waitFor(t, "hijack counted", func() bool {
+		return r.srv.Stats().HijacksBlocked == 1
+	})
+
+	got := scrape(t, r.srv)
+	for _, want := range []string{
+		// Session layer: established sessions exist and UPDATEs crossed.
+		`peering_bgp_sessions{state="established"}`,
+		`peering_bgp_messages_in_total{type="update"}`,
+		`peering_bgp_messages_out_total{type="update"}`,
+		// Relay + safety pipeline.
+		"peering_server_routes_from_upstreams_total 2",
+		"peering_server_announcements_relayed_total 1",
+		"peering_server_hijacks_blocked_total 1",
+		// Fan-out pipeline counters and packing histogram.
+		"peering_fanout_routes_relayed_total",
+		"peering_fanout_updates_total",
+		`peering_fanout_update_nlris_bucket{le="+Inf"}`,
+		`peering_fanout_queue_depth{client="exp1"}`,
+		// Scrape-time gauges follow live structures.
+		"peering_server_clients 1",
+		`peering_rib_routes{peer="4.69.0.1"} 2`,
+		`peering_rib_adverts{client="exp1"} 1`,
+		// Dampening charged the accepted announcement.
+		`peering_dampen_penalties_total{kind="flap"} 1`,
+		"peering_dampen_tracked_keys 1",
+		// Convergence histogram observed the relayed announcement.
+		"peering_convergence_announce_latency_seconds_count 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", got)
+	}
+
+	// /stats and /metrics read the same instruments: the snapshot must
+	// agree with what was just scraped.
+	st := r.srv.Stats()
+	if st.RoutesFromUpstreams != 2 || st.AnnouncementsRelayed != 1 {
+		t.Fatalf("Stats() = %+v diverges from the registry", st)
+	}
+}
+
+// TestConvergenceLatencyVirtualClock pins the convergence histogram's
+// semantics against the injected clock. The direct path (upstream up)
+// observes zero virtual latency; an announcement deferred behind a dead
+// upstream observes the redial backoff it actually waited out.
+func TestConvergenceLatencyVirtualClock(t *testing.T) {
+	r := newSoloSupervisedRig(t)
+	clientPfx := prefix("184.164.224.0/24")
+	marker := prefix("184.164.224.0/25")
+
+	// Direct path: no virtual time passes between receive and send.
+	if err := r.cl.Announce(clientPfx, client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "direct announcement at upstream", func() bool {
+		return r.up.LocRIB().Best(clientPfx) != nil
+	})
+	count, sum := r.srv.ConvergenceSamples()
+	if count != 1 || sum != 0 {
+		t.Fatalf("direct path: count=%d sum=%v, want 1 observation of 0s", count, sum)
+	}
+
+	// Deferred path: the upstream dies, the announcement is recorded but
+	// cannot be sent, and the measurement stays open across the backoff.
+	r.killTransport()
+	waitFor(t, "upstream death noticed", func() bool {
+		return r.sup.Stats().ConsecutiveFailures == 1
+	})
+	if err := r.cl.Announce(marker, client.AnnounceOptions{Upstreams: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "announcement recorded for replay", func() bool {
+		return advertisedHas(r.u, marker, "exp1")
+	})
+	if count, _ := r.srv.ConvergenceSamples(); count != 1 {
+		t.Fatalf("deferred announcement observed before reaching the wire (count=%d)", count)
+	}
+
+	// Advance past the 1s redial backoff: the supervisor reconnects and
+	// the Established replay closes the measurement at the virtual time
+	// that actually elapsed.
+	r.clk.Advance(1100 * time.Millisecond)
+	waitFor(t, "deferred announcement at upstream", func() bool {
+		return r.u.Established() && r.up.LocRIB().Best(marker) != nil
+	})
+	waitFor(t, "deferred observation recorded", func() bool {
+		count, _ := r.srv.ConvergenceSamples()
+		return count == 2
+	})
+	// The replay runs between the redial firing at +1.0s and the end of
+	// the advance at +1.1s; the replayed prefix (clientPfx, already
+	// observed) must not be observed again.
+	_, sum = r.srv.ConvergenceSamples()
+	if sum < 0.999 || sum > 1.101 {
+		t.Fatalf("deferred latency sum = %vs, want ~1.0–1.1s of virtual time", sum)
+	}
+	// The sample lands in the seconds-scale buckets on the scrape.
+	got := scrape(t, r.srv)
+	if !strings.Contains(got, `peering_convergence_announce_latency_seconds_bucket{le="0.5"} 1`) {
+		t.Fatalf("sub-second bucket should hold only the direct sample:\n%s", got)
+	}
+	if !strings.Contains(got, `peering_convergence_announce_latency_seconds_bucket{le="2.5"} 2`) {
+		t.Fatalf("2.5s bucket should hold both samples:\n%s", got)
+	}
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the MIME type of the Prometheus text exposition
+// format this package emits.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo encodes every registered family in Prometheus text format,
+// families sorted by metric name, series within a family sorted by
+// label values. It implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	entries := make([]entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].d.name < entries[j].d.name })
+
+	enc := &encoder{}
+	for _, e := range entries {
+		e.encode(enc)
+	}
+	n, err := w.Write(enc.buf.Bytes())
+	return int64(n), err
+}
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteTo(w)
+	})
+}
+
+// encoder accumulates text-format output.
+type encoder struct {
+	buf bytes.Buffer
+}
+
+// header writes the # HELP and # TYPE lines for a family.
+func (e *encoder) header(d desc) {
+	e.buf.WriteString("# HELP ")
+	e.buf.WriteString(d.name)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(escapeHelp(d.help))
+	e.buf.WriteString("\n# TYPE ")
+	e.buf.WriteString(d.name)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(d.typ)
+	e.buf.WriteByte('\n')
+}
+
+// sample writes one series line: name{labels} value.
+func (e *encoder) sample(name string, labels, values []string, value string) {
+	e.buf.WriteString(name)
+	e.labelSet(labels, values, "", "")
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(value)
+	e.buf.WriteByte('\n')
+}
+
+// labelSet writes {a="x",b="y"} (nothing if empty). extraName/extraVal
+// append one more pair (the histogram `le` label) after the vec labels.
+func (e *encoder) labelSet(labels, values []string, extraName, extraVal string) {
+	if len(labels) == 0 && extraName == "" {
+		return
+	}
+	e.buf.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			e.buf.WriteByte(',')
+		}
+		e.buf.WriteString(l)
+		e.buf.WriteString(`="`)
+		e.buf.WriteString(escapeLabel(values[i]))
+		e.buf.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			e.buf.WriteByte(',')
+		}
+		e.buf.WriteString(extraName)
+		e.buf.WriteString(`="`)
+		e.buf.WriteString(escapeLabel(extraVal))
+		e.buf.WriteByte('"')
+	}
+	e.buf.WriteByte('}')
+}
+
+// histogram writes the _bucket/_sum/_count series of one histogram
+// child. The +Inf bucket and _count are taken from the same cumulative
+// snapshot so the exposition is always internally consistent.
+func (e *encoder) histogram(name string, labels, values []string, h *Histogram) {
+	bounds, cumulative := h.Buckets()
+	for i, b := range bounds {
+		e.buf.WriteString(name)
+		e.buf.WriteString("_bucket")
+		e.labelSet(labels, values, "le", formatLe(b))
+		e.buf.WriteByte(' ')
+		e.buf.WriteString(formatUint(cumulative[i]))
+		e.buf.WriteByte('\n')
+	}
+	total := cumulative[len(cumulative)-1]
+	e.sample(name+"_sum", labels, values, formatFloat(h.Sum()))
+	e.sample(name+"_count", labels, values, formatUint(total))
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// formatLe renders a bucket bound for the `le` label; +Inf is spelled
+// the way Prometheus expects.
+func formatLe(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds (inclusive, Prometheus `le` semantics); an implicit +Inf
+// bucket catches everything else. Observe is lock-free; a scrape reads
+// the buckets without stopping writers, so a snapshot may be slightly
+// torn between buckets — the standard Prometheus trade for a hot path
+// that never blocks.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    Gauge           // running sum of observed values
+	count  atomic.Uint64
+}
+
+// NewHistogram returns an unregistered histogram with the given bucket
+// upper bounds (ascending; +Inf implicit). Use Registry.Histogram to
+// expose one on /metrics.
+func NewHistogram(buckets []float64) *Histogram {
+	bounds := checkBuckets(buckets)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// checkBuckets validates and copies a bucket layout.
+func checkBuckets(buckets []float64) []float64 {
+	bounds := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram buckets must be ascending")
+	}
+	for _, b := range bounds {
+		if math.IsNaN(b) {
+			panic("telemetry: NaN histogram bucket")
+		}
+	}
+	// A trailing +Inf is implicit; drop an explicit one.
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], +1) {
+		bounds = bounds[:n-1]
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Buckets returns the bucket upper bounds and the cumulative count at
+// each (Prometheus `le` semantics), ending with the +Inf bucket equal
+// to Count.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = append(append([]float64(nil), h.bounds...), math.Inf(+1))
+	cumulative = make([]uint64, len(h.counts))
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+	}
+	return bounds, cumulative
+}

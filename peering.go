@@ -298,6 +298,9 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			FanoutQueues map[string]int `json:"FanoutQueues,omitempty"`
 		}{tb.Server.Stats(), tb.Server.QueueDepths()}
 	})
+	// The same instruments, Prometheus-shaped: GET /metrics serves the
+	// server's telemetry registry for scraping.
+	p.SetMetricsHandler(tb.Server.Telemetry().Handler())
 	tb.Portal = p
 	return tb, nil
 }
