@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check docs
+.PHONY: all build vet test race bench fuzz-smoke check docs
 
 all: check
 
@@ -25,6 +25,15 @@ race:
 bench:
 	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
 	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
+	BENCH_REPLAY_JSON=$(CURDIR)/BENCH_replay.json $(GO) test . -run TestReplayBenchmark -count=1 -v
+
+# Short coverage-guided fuzz runs over the two wire-format decoders —
+# the MRT record codec and the BGP message codec. Go runs one fuzz
+# target per invocation, hence two commands. Seeds come from the golden
+# MRT fixtures, so a corpus regression fails fast.
+fuzz-smoke:
+	$(GO) test ./internal/mrt/ -run '^$$' -fuzz '^FuzzMRTRecord$$' -fuzztime 10s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzParseMessage$$' -fuzztime 10s
 
 # Documentation gate: vet plus a check that every internal package (and
 # the root module) carries a package comment — godoc is part of the
@@ -36,4 +45,4 @@ docs: vet
 	fi
 	@echo "docs: all packages documented"
 
-check: build docs race
+check: build docs race fuzz-smoke

@@ -20,6 +20,7 @@ func main() {
 	mode := flag.String("mode", "quagga", "multiplexing mode: quagga or bird")
 	bilateral := flag.Bool("bilateral", false, "add bilateral sessions to every open IXP member")
 	pprofOn := flag.Bool("pprof", false, "enable /debug/pprof/* on the portal listener")
+	archiveDir := flag.String("archive", "", "directory for the collector's rotating MRT archive (empty = no archival)")
 	flag.Parse()
 
 	var m peering.Mode
@@ -33,7 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	tb, err := peering.NewTestbed(peering.Config{Mode: m, BilateralPeers: *bilateral})
+	tb, err := peering.NewTestbed(peering.Config{Mode: m, BilateralPeers: *bilateral, ArchiveDir: *archiveDir})
 	if err != nil {
 		log.Fatalf("testbed: %v", err)
 	}
@@ -47,6 +48,9 @@ func main() {
 	log.Printf("  IXP members:   %d (route server AS%d)", len(tb.Fabric.Members()), tb.Fabric.RS.AS())
 	log.Printf("  upstreams:     %d sessions", len(tb.Server.Upstreams()))
 	log.Printf("  collector:     AS%d vantage, %d prefixes", tb.CollectorVantage, tb.Collector.Prefixes())
+	if tb.Archive != nil {
+		log.Printf("  MRT archive:   %s (GET /archive, POST /archive/rotate)", tb.Archive.Dir())
+	}
 	if *pprofOn {
 		tb.Portal.EnablePprof()
 	}

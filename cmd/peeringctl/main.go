@@ -15,10 +15,20 @@
 //	peeringctl [-portal URL] pool
 //	peeringctl [-portal URL] stats    [-watch interval]
 //	peeringctl [-portal URL] metrics  [-watch interval]
+//	peeringctl [-portal URL] archive
+//	peeringctl [-portal URL] dump
+//	peeringctl cat    <file.mrt>
+//	peeringctl replay <file.mrt> [-mode quagga|bird] [-timed] [-speed 10]
 //
 // stats renders the portal's JSON counter snapshot; metrics scrapes
 // GET /metrics (the same instruments in Prometheus text format,
 // including histograms and per-label series) and pretty-prints it.
+//
+// archive shows the collector's MRT archive status; dump seals the
+// current segment and writes a RIB snapshot beside it. cat and replay
+// operate on local MRT files without a portal: cat prints each record
+// human-readably, replay feeds the trace through a freshly assembled
+// server and reports throughput.
 package main
 
 import (
@@ -39,6 +49,9 @@ func main() {
 	withdraw := flag.Bool("withdraw", false, "withdraw instead of announce")
 	in := flag.Duration("in", 0, "schedule delay (announce)")
 	watch := flag.Duration("watch", 0, "re-poll stats at this interval until interrupted (stats)")
+	mode := flag.String("mode", "quagga", "mux mode for replay: quagga or bird")
+	timed := flag.Bool("timed", false, "honor the trace's recorded timing (replay)")
+	speed := flag.Float64("speed", 1, "timed-replay compression factor (replay)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -96,6 +109,16 @@ func main() {
 			time.Sleep(*watch)
 			err = c.metrics()
 		}
+	case "archive":
+		err = c.get("/archive")
+	case "dump":
+		err = c.post("/archive/rotate", struct{}{})
+	case "cat":
+		need(args, 2)
+		err = catMRT(args[1])
+	case "replay":
+		need(args, 2)
+		err = replayMRT(args[1], *mode, *timed, *speed)
 	default:
 		usage()
 	}
@@ -206,6 +229,10 @@ commands:
   list     <experiment>
   pool
   stats   [-watch 2s]
-  metrics [-watch 2s]`)
+  metrics [-watch 2s]
+  archive
+  dump
+  cat    <file.mrt>
+  replay <file.mrt> [-mode quagga|bird] [-timed] [-speed 10]`)
 	os.Exit(2)
 }

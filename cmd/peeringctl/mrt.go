@@ -1,0 +1,125 @@
+// Local MRT file operations: `peeringctl cat` and `peeringctl replay`
+// work on archive files directly, no portal required.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"peering"
+	"peering/internal/mrt"
+	"peering/internal/wire"
+)
+
+// catMRT prints every record of an MRT file human-readably: one line
+// per BGP4MP update, one per RIB snapshot record.
+func catMRT(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := mrt.NewReader(f)
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("record %d: %w", n, err)
+		}
+		fmt.Printf("%s %s/%s %s\n",
+			rec.Time.Format("2006-01-02T15:04:05.000000Z"),
+			rec.Type, mrt.SubtypeString(rec.Type, rec.Subtype), describeRecord(rec))
+		n++
+	}
+	fmt.Printf("%d records\n", n)
+	return nil
+}
+
+// describeRecord summarizes one record's payload for cat output.
+func describeRecord(rec *mrt.Record) string {
+	switch rec.Type {
+	case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
+		m, err := mrt.ParseBGP4MP(rec)
+		if err != nil {
+			return "(" + err.Error() + ")"
+		}
+		upd, err := m.Update()
+		if err != nil {
+			return "(" + err.Error() + ")"
+		}
+		head := fmt.Sprintf("AS%d %v → AS%d %v:", m.PeerAS, m.PeerIP, m.LocalAS, m.LocalIP)
+		if upd == nil {
+			return head + " non-UPDATE message"
+		}
+		if upd.IsEndOfRIB() {
+			return head + " end-of-RIB"
+		}
+		var parts []string
+		if len(upd.Reach) > 0 {
+			parts = append(parts, fmt.Sprintf("announce %s path %v", nlriList(upd.Reach), upd.Attrs.ASList()))
+		}
+		if len(upd.Withdrawn) > 0 {
+			parts = append(parts, "withdraw "+nlriList(upd.Withdrawn))
+		}
+		return head + " " + strings.Join(parts, ", ")
+	case mrt.TypeTableDumpV2:
+		switch rec.Subtype {
+		case mrt.SubtypePeerIndexTable:
+			pi, err := mrt.ParsePeerIndex(rec)
+			if err != nil {
+				return "(" + err.Error() + ")"
+			}
+			return fmt.Sprintf("collector %v view %q, %d peers", pi.CollectorID, pi.ViewName, len(pi.Peers))
+		case mrt.SubtypeRIBIPv4Unicast, mrt.SubtypeRIBIPv4UnicastAddPath:
+			rib, err := mrt.ParseRIB(rec)
+			if err != nil {
+				return "(" + err.Error() + ")"
+			}
+			return fmt.Sprintf("seq %d %v, %d entries", rib.Sequence, rib.Prefix, len(rib.Entries))
+		}
+	}
+	return fmt.Sprintf("%d body bytes", len(rec.Body))
+}
+
+// nlriList renders NLRI compactly, including ADD-PATH path IDs.
+func nlriList(ns []wire.NLRI) string {
+	var parts []string
+	for _, n := range ns {
+		if n.ID != 0 {
+			parts = append(parts, fmt.Sprintf("%v(path-id %d)", n.Prefix, n.ID))
+		} else {
+			parts = append(parts, n.Prefix.String())
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// replayMRT replays a trace into a fresh server and prints the report.
+func replayMRT(path, mode string, timed bool, speed float64) error {
+	var m peering.Mode
+	switch mode {
+	case "quagga", "":
+		m = peering.ModeQuagga
+	case "bird":
+		m = peering.ModeBIRD
+	default:
+		return fmt.Errorf("unknown mode %q (want quagga or bird)", mode)
+	}
+	rep, err := peering.ReplayArchive(path, m, timed, speed)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

@@ -147,6 +147,24 @@ func (v *Virtual) Advance(d time.Duration) {
 	v.mu.Unlock()
 }
 
+// NextDeadline reports the earliest deadline among armed timers, so a
+// test driver can advance exactly to the next scheduled event (e.g. to
+// step a timed MRT replay) without guessing the step size. ok is false
+// when no timer is pending.
+func (v *Virtual) NextDeadline() (when time.Time, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, e := range v.heap {
+		if e.gen != e.timer.gen || !e.timer.pending {
+			continue // stopped or superseded by Reset
+		}
+		if !ok || e.when.Before(when) {
+			when, ok = e.when, true
+		}
+	}
+	return when, ok
+}
+
 // PendingTimers reports how many timers are armed (for tests).
 func (v *Virtual) PendingTimers() int {
 	v.mu.Lock()

@@ -148,3 +148,30 @@ func TestRealClockBasics(t *testing.T) {
 		t.Fatal("real AfterFunc never fired")
 	}
 }
+
+func TestVirtualNextDeadline(t *testing.T) {
+	start := time.Unix(1404000000, 0)
+	v := NewVirtual(start)
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a deadline with no timers armed")
+	}
+	a := v.AfterFunc(3*time.Second, func() {})
+	b := v.AfterFunc(time.Second, func() {})
+	if when, ok := v.NextDeadline(); !ok || !when.Equal(start.Add(time.Second)) {
+		t.Fatalf("NextDeadline = %v, %v; want %v", when, ok, start.Add(time.Second))
+	}
+	// Stopping the earlier timer exposes the later one.
+	b.Stop()
+	if when, ok := v.NextDeadline(); !ok || !when.Equal(start.Add(3*time.Second)) {
+		t.Fatalf("NextDeadline after stop = %v, %v; want %v", when, ok, start.Add(3*time.Second))
+	}
+	// Reset supersedes the original heap entry.
+	a.Reset(10 * time.Second)
+	if when, ok := v.NextDeadline(); !ok || !when.Equal(start.Add(10*time.Second)) {
+		t.Fatalf("NextDeadline after reset = %v, %v; want %v", when, ok, start.Add(10*time.Second))
+	}
+	v.Advance(10 * time.Second)
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a deadline after all timers fired")
+	}
+}

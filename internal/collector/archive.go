@@ -1,0 +1,244 @@
+// MRT sink: the collector's bridge to the internal/mrt archive. Every
+// update a peer sends is re-encoded on the session's negotiated codec
+// options and appended to the archive as a BGP4MP_ET record; each time
+// the archive seals a segment, the collector dumps its merged RIB as a
+// TABLE_DUMP_V2 snapshot file beside it.
+
+package collector
+
+import (
+	"fmt"
+	"net/netip"
+	"path/filepath"
+	"sort"
+
+	"peering/internal/bgp"
+	"peering/internal/mrt"
+	"peering/internal/rib"
+	"peering/internal/wire"
+)
+
+// archiveSink tracks the attached archive and its snapshot history.
+// Fields are guarded by Collector.mu.
+type archiveSink struct {
+	a            *mrt.Archive
+	snapSeq      int
+	snapshots    []string
+	lastSnapshot string
+}
+
+// AttachArchive routes every subsequent update into a and hooks its
+// rotations to dump RIB snapshots. Attach before peers connect to
+// capture a complete trace.
+func (c *Collector) AttachArchive(a *mrt.Archive) {
+	c.mu.Lock()
+	c.arch = &archiveSink{a: a}
+	c.mu.Unlock()
+	a.SetOnRotate(func(string, uint64) { c.dumpSnapshot() })
+}
+
+// ArchiveStatus returns the attached archive's status, or ok=false when
+// none is attached.
+func (c *Collector) ArchiveStatus() (st mrt.ArchiveStatus, snapshots []string, ok bool) {
+	c.mu.Lock()
+	sink := c.arch
+	if sink != nil {
+		snapshots = append([]string(nil), sink.snapshots...)
+	}
+	c.mu.Unlock()
+	if sink == nil {
+		return mrt.ArchiveStatus{}, nil, false
+	}
+	return sink.a.Status(), snapshots, true
+}
+
+// RotateArchive seals the current archive segment and dumps a RIB
+// snapshot, returning both paths. An empty segment yields ("", "", nil)
+// — there was nothing to seal.
+func (c *Collector) RotateArchive() (sealed, snapshot string, err error) {
+	c.mu.Lock()
+	sink := c.arch
+	c.mu.Unlock()
+	if sink == nil {
+		return "", "", fmt.Errorf("collector %s: no archive attached", c.name)
+	}
+	sealed, err = sink.a.Rotate()
+	if err != nil || sealed == "" {
+		return "", "", err
+	}
+	// The rotation hook (dumpSnapshot) ran synchronously inside Rotate.
+	c.mu.Lock()
+	snapshot = sink.lastSnapshot
+	c.mu.Unlock()
+	return sealed, snapshot, nil
+}
+
+// archiveMRT appends one received update to the attached archive (a
+// no-op without one). The message is re-encoded on the session's
+// negotiated options, so the archived bytes match what the peer put on
+// the wire.
+func (c *Collector) archiveMRT(sess *bgp.Session, upd *wire.Update) {
+	c.mu.Lock()
+	sink := c.arch
+	c.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	opts := sess.Options()
+	msg, err := wire.Marshal(upd, opts)
+	if err != nil {
+		c.archiveError()
+		return
+	}
+	m := &mrt.BGP4MP{
+		PeerAS:  sess.PeerAS(),
+		LocalAS: c.asn,
+		PeerIP:  c.peerKeyAddr(sess),
+		LocalIP: c.id,
+		Message: msg,
+		AS4:     opts.AS4,
+		AddPath: opts.AddPath,
+	}
+	rec, err := m.Record(c.clk.Now(), true)
+	if err != nil {
+		c.archiveError()
+		return
+	}
+	if err := sink.a.WriteRecord(rec); err != nil {
+		c.archiveError()
+	}
+}
+
+// dumpSnapshot writes the collector's merged RIB beside the archive's
+// segments as rib-<time>-<seq>.mrt; it runs on every segment seal.
+func (c *Collector) dumpSnapshot() {
+	c.mu.Lock()
+	sink := c.arch
+	if sink == nil {
+		c.mu.Unlock()
+		return
+	}
+	sink.snapSeq++
+	name := fmt.Sprintf("rib-%s-%04d.mrt", c.clk.Now().UTC().Format("20060102T150405Z"), sink.snapSeq)
+	path := filepath.Join(sink.a.Dir(), name)
+	c.mu.Unlock()
+
+	if err := c.DumpRIB(path); err != nil {
+		c.archiveError()
+		c.mu.Lock()
+		sink.lastSnapshot = ""
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	sink.snapshots = append(sink.snapshots, path)
+	sink.lastSnapshot = path
+	c.mu.Unlock()
+}
+
+// DumpRIB writes the collector's current merged RIB to path as a
+// TABLE_DUMP_V2 snapshot: one PEER_INDEX_TABLE record followed by one
+// RIB record per prefix, in address order.
+func (c *Collector) DumpRIB(path string) error {
+	records, err := c.snapshotRecords()
+	if err != nil {
+		return err
+	}
+	var m *mrt.Metrics
+	c.mu.Lock()
+	if c.arch != nil {
+		m = c.arch.a.Metrics()
+	}
+	c.mu.Unlock()
+	return mrt.WriteFile(path, records, m)
+}
+
+// snapshotRecords builds the TABLE_DUMP_V2 record sequence for the
+// current RIB.
+func (c *Collector) snapshotRecords() ([]*mrt.Record, error) {
+	now := c.clk.Now()
+
+	// One walk collects every candidate path grouped by prefix and the
+	// deduplicated peer set that advertised them.
+	byPrefix := map[netip.Prefix][]*rib.Route{}
+	type peerID struct {
+		addr netip.Addr
+		id   netip.Addr
+		as   uint32
+	}
+	peerSet := map[peerID]bool{}
+	c.rib.WalkAll(func(r *rib.Route) bool {
+		byPrefix[r.Prefix] = append(byPrefix[r.Prefix], r)
+		peerSet[peerID{addr: r.Src.Addr, id: r.PeerID, as: r.PeerAS}] = true
+		return true
+	})
+
+	peers := make([]peerID, 0, len(peerSet))
+	for p := range peerSet {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].as != peers[j].as {
+			return peers[i].as < peers[j].as
+		}
+		return peers[i].addr.Less(peers[j].addr)
+	})
+	index := map[peerID]uint16{}
+	pi := &mrt.PeerIndex{CollectorID: c.id, ViewName: c.name}
+	for i, p := range peers {
+		index[p] = uint16(i)
+		bgpID := p.id
+		if !bgpID.Is4() {
+			bgpID = netip.AddrFrom4([4]byte{0, 0, 0, 1})
+		}
+		pi.Peers = append(pi.Peers, mrt.Peer{BGPID: bgpID, Addr: p.addr, AS: p.as})
+	}
+	head, err := pi.Record(now)
+	if err != nil {
+		return nil, fmt.Errorf("collector %s: peer index: %w", c.name, err)
+	}
+	records := []*mrt.Record{head}
+
+	prefixes := make([]netip.Prefix, 0, len(byPrefix))
+	for p := range byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr() != prefixes[j].Addr() {
+			return prefixes[i].Addr().Less(prefixes[j].Addr())
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	for seq, p := range prefixes {
+		routes := byPrefix[p]
+		r := &mrt.RIB{Sequence: uint32(seq), Prefix: p}
+		for _, rt := range routes {
+			if rt.Src.PathID != 0 {
+				r.AddPath = true
+			}
+		}
+		for _, rt := range routes {
+			r.Entries = append(r.Entries, mrt.RIBEntry{
+				PeerIndex:  index[peerID{addr: rt.Src.Addr, id: rt.PeerID, as: rt.PeerAS}],
+				Originated: rt.Learned,
+				PathID:     rt.Src.PathID,
+				Attrs:      rt.Attrs,
+			})
+		}
+		rec, err := r.Record(now)
+		if err != nil {
+			return nil, fmt.Errorf("collector %s: RIB record for %v: %w", c.name, p, err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// archiveError counts one failed archival operation.
+func (c *Collector) archiveError() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mArchiveErrs != nil {
+		c.mArchiveErrs.Inc()
+	}
+}

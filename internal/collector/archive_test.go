@@ -1,0 +1,192 @@
+package collector
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"testing"
+
+	"peering/internal/mrt"
+	"peering/internal/router"
+	"peering/internal/telemetry"
+)
+
+// TestLogRingBuffer: the in-memory update log is bounded; eviction is
+// FIFO and counted, and Log() stays in arrival order across the wrap.
+func TestLogRingBuffer(t *testing.T) {
+	c := New("rv1", 6447, addr("128.223.51.102"), nil)
+	c.SetLogCap(4)
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	r := router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
+	peerUp(t, c, r, "4.69.0.1")
+
+	var prefixes []netip.Prefix
+	for i := 0; i < 12; i++ {
+		p := prefix(fmt.Sprintf("100.64.%d.0/24", i))
+		prefixes = append(prefixes, p)
+		r.Announce(p, router.AnnounceSpec{})
+		waitFor(t, "route archived", func() bool { return c.HasRoute(p) })
+	}
+
+	log := c.Log()
+	if len(log) != 4 {
+		t.Fatalf("log holds %d records, want cap 4", len(log))
+	}
+	if got := c.Dropped(); got != 8 {
+		t.Fatalf("dropped = %d, want 8", got)
+	}
+	// Arrival order survives the wrap: the last record is the newest.
+	last := log[len(log)-1]
+	if len(last.Reach) != 1 || last.Reach[0] != prefixes[11] {
+		t.Fatalf("newest record = %+v, want %v", last, prefixes[11])
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].Time.Before(log[i-1].Time) {
+			t.Fatalf("log out of order at %d: %v < %v", i, log[i].Time, log[i-1].Time)
+		}
+	}
+	// UpdatesFor only sees what the ring still holds.
+	if got := c.UpdatesFor(prefixes[0]); len(got) != 0 {
+		t.Fatalf("evicted prefix still visible: %+v", got)
+	}
+	if got := c.UpdatesFor(prefixes[11]); len(got) != 1 {
+		t.Fatalf("retained prefix not visible: %+v", got)
+	}
+
+	// Shrinking the cap evicts the oldest records immediately.
+	c.SetLogCap(2)
+	if got := len(c.Log()); got != 2 {
+		t.Fatalf("log holds %d records after shrink, want 2", got)
+	}
+	if got := c.Dropped(); got != 10 {
+		t.Fatalf("dropped after shrink = %d, want 10", got)
+	}
+}
+
+// TestCollectorMRTArchive wires a collector to a rotating archive:
+// updates land as BGP4MP_ET records, and a manual rotation seals the
+// segment and dumps a RIB snapshot that matches the collector's table.
+func TestCollectorMRTArchive(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	arch, err := mrt.NewArchive(mrt.ArchiveConfig{Dir: dir, Metrics: mrt.NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New("rv1", 6447, addr("128.223.51.102"), nil)
+	c.Instrument(reg)
+	c.AttachArchive(arch)
+	r := router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
+	peerUp(t, c, r, "4.69.0.1")
+
+	for i := 0; i < 5; i++ {
+		p := prefix(fmt.Sprintf("100.64.%d.0/24", i))
+		r.Announce(p, router.AnnounceSpec{})
+		waitFor(t, "route archived", func() bool { return c.HasRoute(p) })
+	}
+	r.Withdraw(prefix("100.64.4.0/24"))
+	waitFor(t, "withdraw archived", func() bool { return !c.HasRoute(prefix("100.64.4.0/24")) })
+
+	sealed, snapshot, err := c.RotateArchive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed == "" || snapshot == "" {
+		t.Fatalf("rotate returned sealed=%q snapshot=%q", sealed, snapshot)
+	}
+
+	// The sealed segment replays the session: every record is a
+	// BGP4MP_ET from AS3356 whose embedded message decodes.
+	f, err := os.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd := mrt.NewReader(f)
+	announced, withdrawn := 0, 0
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type != mrt.TypeBGP4MPET {
+			t.Fatalf("record type %v, want BGP4MP_ET", rec.Type)
+		}
+		m, err := mrt.ParseBGP4MP(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.PeerAS != 3356 || m.LocalAS != 6447 {
+			t.Fatalf("identity AS%d→AS%d, want AS3356→AS6447", m.PeerAS, m.LocalAS)
+		}
+		upd, err := m.Update()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upd == nil {
+			continue
+		}
+		announced += len(upd.Reach)
+		withdrawn += len(upd.Withdrawn)
+	}
+	if announced < 5 || withdrawn < 1 {
+		t.Fatalf("trace carries %d announcements, %d withdrawals; want ≥5 and ≥1", announced, withdrawn)
+	}
+
+	// The snapshot is a valid TABLE_DUMP_V2 dump of the live table: 4
+	// prefixes remain after the withdrawal.
+	sf, err := os.Open(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	srd := mrt.NewReader(sf)
+	head, err := srd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := mrt.ParsePeerIndex(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi.Peers) != 1 || pi.Peers[0].AS != 3356 || pi.ViewName != "rv1" {
+		t.Fatalf("peer index: %+v", pi)
+	}
+	var ribs int
+	for {
+		rec, err := srd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := mrt.ParseRIB(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.HasRoute(rr.Prefix) {
+			t.Fatalf("snapshot has %v, collector does not", rr.Prefix)
+		}
+		if len(rr.Entries) == 0 || rr.Entries[0].Attrs.ASList()[0] != 3356 {
+			t.Fatalf("RIB entries for %v: %+v", rr.Prefix, rr.Entries)
+		}
+		ribs++
+	}
+	if ribs != c.Prefixes() {
+		t.Fatalf("snapshot has %d RIB records, collector holds %d prefixes", ribs, c.Prefixes())
+	}
+
+	st, snaps, ok := c.ArchiveStatus()
+	if !ok || st.Rotations != 1 || len(snaps) != 1 || snaps[0] != snapshot {
+		t.Fatalf("archive status: %+v snaps %v ok=%v", st, snaps, ok)
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"peering/internal/bgp"
 	"peering/internal/clock"
 	"peering/internal/rib"
+	"peering/internal/telemetry"
 	"peering/internal/wire"
 )
 
@@ -34,6 +35,12 @@ type UpdateRecord struct {
 	Path []uint32
 }
 
+// DefaultLogCap bounds the in-memory update log. At ~100 bytes per
+// record this caps the log near 6 MiB; older records are evicted in
+// FIFO order (they have already reached the MRT archive, if one is
+// attached).
+const DefaultLogCap = 65536
+
 // Collector is a passive BGP archive.
 type Collector struct {
 	name string
@@ -43,9 +50,16 @@ type Collector struct {
 
 	mu      sync.Mutex
 	log     []UpdateRecord
+	logCap  int
+	logHead int // index of the oldest record once log is full
+	dropped uint64
 	rib     *rib.LocRIB
 	peers   int
 	watches []*watch
+
+	arch         *archiveSink
+	mDropped     *telemetry.Counter
+	mArchiveErrs *telemetry.Counter
 }
 
 // watch is a pending WaitForPrefix.
@@ -60,7 +74,75 @@ func New(name string, asn uint32, id netip.Addr, clk clock.Clock) *Collector {
 	if clk == nil {
 		clk = clock.System
 	}
-	return &Collector{name: name, asn: asn, id: id, clk: clk, rib: rib.NewLocRIB()}
+	return &Collector{name: name, asn: asn, id: id, clk: clk, logCap: DefaultLogCap, rib: rib.NewLocRIB()}
+}
+
+// SetLogCap bounds the in-memory update log to n records (n <= 0 means
+// unbounded). Shrinking below the current size evicts the oldest
+// records.
+func (c *Collector) SetLogCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	all := c.copyLogLocked(make([]UpdateRecord, 0, len(c.log)))
+	if n > 0 && len(all) > n {
+		evicted := len(all) - n
+		all = all[evicted:]
+		c.dropped += uint64(evicted)
+		if c.mDropped != nil {
+			c.mDropped.Add(uint64(evicted))
+		}
+	}
+	c.log = all
+	c.logHead = 0
+	c.logCap = n
+}
+
+// Dropped reports how many log records have been evicted by the cap.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Instrument registers the collector's instrument set on reg: log size
+// and evictions, plus MRT archival errors.
+func (c *Collector) Instrument(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mDropped = reg.Counter("peering_collector_log_dropped_total",
+		"Update-log records evicted by the ring-buffer cap.")
+	c.mArchiveErrs = reg.Counter("peering_collector_archive_errors_total",
+		"Updates or snapshots the collector failed to archive as MRT.")
+	c.mDropped.Add(c.dropped)
+	reg.GaugeFunc("peering_collector_log_records",
+		"Update records currently held in the collector's in-memory log.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.log))
+		})
+}
+
+// appendLogLocked adds rec to the log, evicting the oldest record when
+// the cap is reached. Caller holds c.mu.
+func (c *Collector) appendLogLocked(rec UpdateRecord) {
+	if c.logCap > 0 && len(c.log) >= c.logCap {
+		c.log[c.logHead] = rec
+		c.logHead = (c.logHead + 1) % len(c.log)
+		c.dropped++
+		if c.mDropped != nil {
+			c.mDropped.Inc()
+		}
+		return
+	}
+	c.log = append(c.log, rec)
+}
+
+// copyLogLocked appends the log's records to out in arrival order.
+// Caller holds c.mu.
+func (c *Collector) copyLogLocked(out []UpdateRecord) []UpdateRecord {
+	out = append(out, c.log[c.logHead:]...)
+	return append(out, c.log[:c.logHead]...)
 }
 
 // ASN returns the collector's AS number.
@@ -102,6 +184,7 @@ func (h *peerHandler) Closed(*bgp.Session, error) {
 
 // archive records an update and fires watches.
 func (c *Collector) archive(sess *bgp.Session, upd *wire.Update) {
+	c.archiveMRT(sess, upd)
 	rec := UpdateRecord{Time: c.clk.Now(), PeerAS: sess.PeerAS()}
 	for _, n := range upd.Withdrawn {
 		rec.Withdrawn = append(rec.Withdrawn, n.Prefix)
@@ -117,7 +200,7 @@ func (c *Collector) archive(sess *bgp.Session, upd *wire.Update) {
 	}
 
 	c.mu.Lock()
-	c.log = append(c.log, rec)
+	c.appendLogLocked(rec)
 	// Maintain the collector's merged RIB view.
 	src := rib.PeerKey{Addr: c.peerKeyAddr(sess)}
 	for _, p := range rec.Withdrawn {
@@ -167,33 +250,39 @@ func (c *Collector) peerKeyAddr(sess *bgp.Session) netip.Addr {
 	return netip.AddrFrom4([4]byte{0, 0, 0, 1})
 }
 
-// Log returns a copy of the archived updates.
+// Log returns a copy of the archived updates (oldest first; records
+// beyond the log cap have been evicted).
 func (c *Collector) Log() []UpdateRecord {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]UpdateRecord, len(c.log))
-	copy(out, c.log)
-	return out
+	return c.copyLogLocked(make([]UpdateRecord, 0, len(c.log)))
 }
 
-// UpdatesFor returns archived updates mentioning prefix p.
+// UpdatesFor returns archived updates mentioning prefix p, oldest
+// first.
 func (c *Collector) UpdatesFor(p netip.Prefix) []UpdateRecord {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []UpdateRecord
-	for _, r := range c.log {
+	scan := func(r UpdateRecord) {
 		for _, x := range r.Reach {
 			if x == p {
 				out = append(out, r)
-				break
+				return
 			}
 		}
 		for _, x := range r.Withdrawn {
 			if x == p {
 				out = append(out, r)
-				break
+				return
 			}
 		}
+	}
+	for _, r := range c.log[c.logHead:] {
+		scan(r)
+	}
+	for _, r := range c.log[:c.logHead] {
+		scan(r)
 	}
 	return out
 }

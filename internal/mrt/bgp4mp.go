@@ -1,0 +1,172 @@
+// BGP4MP record bodies (RFC 6396 §4.4): one BGP message as heard on a
+// session, framed with the peer identity the collector saw it from.
+
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"peering/internal/wire"
+)
+
+// BGP4MP is the decoded body of a BGP4MP/BGP4MP_ET message record: the
+// identity of the session it was captured on plus the verbatim BGP
+// message (19-byte header included).
+type BGP4MP struct {
+	// PeerAS is the AS of the speaker whose message this is; LocalAS is
+	// the collector's AS.
+	PeerAS  uint32
+	LocalAS uint32
+	// IfIndex is the RFC's interface index; the testbed has no
+	// interfaces, so it archives zero.
+	IfIndex uint16
+	// PeerIP and LocalIP are the session endpoints. Both must be the
+	// same address family.
+	PeerIP  netip.Addr
+	LocalIP netip.Addr
+	// Message is the full BGP message as captured.
+	Message []byte
+	// AS4 selects the _AS4 subtypes (4-octet AS fields, and 4-octet
+	// AS_PATH encoding inside Message); AddPath the RFC 8050 _ADDPATH
+	// subtypes (NLRI in Message carry path IDs).
+	AS4     bool
+	AddPath bool
+}
+
+// Options returns the wire codec options the embedded message was
+// encoded with, as implied by the record subtype.
+func (m *BGP4MP) Options() wire.Options {
+	return wire.Options{AddPath: m.AddPath, AS4: m.AS4}
+}
+
+// Subtype returns the record subtype encoding m's AS4/AddPath flags.
+func (m *BGP4MP) Subtype() uint16 {
+	switch {
+	case m.AS4 && m.AddPath:
+		return SubtypeBGP4MPMessageAS4AddPath
+	case m.AS4:
+		return SubtypeBGP4MPMessageAS4
+	case m.AddPath:
+		return SubtypeBGP4MPMessageAddPath
+	default:
+		return SubtypeBGP4MPMessage
+	}
+}
+
+// Record encodes m as a BGP4MP record stamped t; extended selects
+// BGP4MP_ET (microsecond timestamps).
+func (m *BGP4MP) Record(t time.Time, extended bool) (*Record, error) {
+	if !m.PeerIP.IsValid() || !m.LocalIP.IsValid() {
+		return nil, fmt.Errorf("mrt: BGP4MP needs peer and local addresses")
+	}
+	if m.PeerIP.Is4() != m.LocalIP.Is4() {
+		return nil, fmt.Errorf("mrt: BGP4MP peer %v and local %v differ in address family", m.PeerIP, m.LocalIP)
+	}
+	var b []byte
+	if m.AS4 {
+		b = binary.BigEndian.AppendUint32(b, m.PeerAS)
+		b = binary.BigEndian.AppendUint32(b, m.LocalAS)
+	} else {
+		if m.PeerAS > 0xffff || m.LocalAS > 0xffff {
+			return nil, fmt.Errorf("mrt: AS %d/%d needs the AS4 subtype", m.PeerAS, m.LocalAS)
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(m.PeerAS))
+		b = binary.BigEndian.AppendUint16(b, uint16(m.LocalAS))
+	}
+	b = binary.BigEndian.AppendUint16(b, m.IfIndex)
+	if m.PeerIP.Is4() {
+		b = binary.BigEndian.AppendUint16(b, wire.AFIIPv4)
+		p, l := m.PeerIP.As4(), m.LocalIP.As4()
+		b = append(b, p[:]...)
+		b = append(b, l[:]...)
+	} else {
+		b = binary.BigEndian.AppendUint16(b, wire.AFIIPv6)
+		p, l := m.PeerIP.As16(), m.LocalIP.As16()
+		b = append(b, p[:]...)
+		b = append(b, l[:]...)
+	}
+	b = append(b, m.Message...)
+	typ := TypeBGP4MP
+	if extended {
+		typ = TypeBGP4MPET
+	}
+	return &Record{Time: t, Type: typ, Subtype: m.Subtype(), Body: b}, nil
+}
+
+// ParseBGP4MP decodes a BGP4MP or BGP4MP_ET message record body.
+func ParseBGP4MP(rec *Record) (*BGP4MP, error) {
+	if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
+		return nil, fmt.Errorf("mrt: %v is not a BGP4MP record", rec.Type)
+	}
+	m := &BGP4MP{}
+	switch rec.Subtype {
+	case SubtypeBGP4MPMessage:
+	case SubtypeBGP4MPMessageAS4:
+		m.AS4 = true
+	case SubtypeBGP4MPMessageAddPath:
+		m.AddPath = true
+	case SubtypeBGP4MPMessageAS4AddPath:
+		m.AS4, m.AddPath = true, true
+	default:
+		return nil, fmt.Errorf("mrt: unsupported BGP4MP subtype %d", rec.Subtype)
+	}
+	b := rec.Body
+	asLen := 2
+	if m.AS4 {
+		asLen = 4
+	}
+	if len(b) < 2*asLen+4 {
+		return nil, fmt.Errorf("mrt: BGP4MP body truncated (%d bytes)", len(b))
+	}
+	if m.AS4 {
+		m.PeerAS = binary.BigEndian.Uint32(b[0:4])
+		m.LocalAS = binary.BigEndian.Uint32(b[4:8])
+	} else {
+		m.PeerAS = uint32(binary.BigEndian.Uint16(b[0:2]))
+		m.LocalAS = uint32(binary.BigEndian.Uint16(b[2:4]))
+	}
+	b = b[2*asLen:]
+	m.IfIndex = binary.BigEndian.Uint16(b[0:2])
+	afi := binary.BigEndian.Uint16(b[2:4])
+	b = b[4:]
+	switch afi {
+	case wire.AFIIPv4:
+		if len(b) < 8 {
+			return nil, fmt.Errorf("mrt: BGP4MP body truncated in addresses")
+		}
+		m.PeerIP = netip.AddrFrom4([4]byte(b[0:4]))
+		m.LocalIP = netip.AddrFrom4([4]byte(b[4:8]))
+		b = b[8:]
+	case wire.AFIIPv6:
+		if len(b) < 32 {
+			return nil, fmt.Errorf("mrt: BGP4MP body truncated in addresses")
+		}
+		m.PeerIP = netip.AddrFrom16([16]byte(b[0:16]))
+		m.LocalIP = netip.AddrFrom16([16]byte(b[16:32]))
+		b = b[32:]
+	default:
+		return nil, fmt.Errorf("mrt: BGP4MP AFI %d unsupported", afi)
+	}
+	if len(b) < wire.HeaderLen {
+		return nil, fmt.Errorf("mrt: BGP4MP message shorter than a BGP header")
+	}
+	m.Message = append([]byte(nil), b...)
+	return m, nil
+}
+
+// Update decodes the embedded BGP message. Non-UPDATE messages (a
+// collector may archive OPENs or NOTIFICATIONs) return (nil, nil).
+func (m *BGP4MP) Update() (*wire.Update, error) {
+	msg, err := wire.Decode(m.Message, m.Options())
+	if err != nil {
+		return nil, err
+	}
+	upd, ok := msg.(*wire.Update)
+	if !ok {
+		return nil, nil
+	}
+	return upd, nil
+}

@@ -1,0 +1,98 @@
+package mrt
+
+import (
+	"time"
+
+	"peering/internal/telemetry"
+)
+
+// replayLagBuckets span the scheduling error of a timestamp-faithful
+// replay: sub-millisecond (keeping up), the milliseconds regime of a
+// loaded receiver, and the multi-second regime that means the trace is
+// being delivered slower than it was recorded.
+var replayLagBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30}
+
+// Metrics is the archival/replay instrument set. One instance per
+// registry, shared by every Writer, Archive, Reader, and replay built
+// with it; a nil *Metrics disables instrumentation (each hook guards
+// itself).
+type Metrics struct {
+	// RecordsWritten / BytesWritten count archived output by MRT record
+	// type ("bgp4mp", "bgp4mp_et", "table_dump_v2").
+	RecordsWritten *telemetry.CounterVec
+	BytesWritten   *telemetry.CounterVec
+	// Rotations counts archive segments sealed (size, age, or manual).
+	Rotations *telemetry.Counter
+	// DecodeErrors counts records a Reader could not decode.
+	DecodeErrors *telemetry.Counter
+	// ReplayRecords counts records delivered by replay runs.
+	ReplayRecords *telemetry.Counter
+	// ReplayLag observes how far behind schedule each record of a
+	// timestamp-faithful replay was delivered.
+	ReplayLag *telemetry.Histogram
+}
+
+// NewMetrics registers the MRT instrument set on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		RecordsWritten: r.CounterVec("peering_mrt_records_written_total",
+			"MRT records archived, by record type.", "type"),
+		BytesWritten: r.CounterVec("peering_mrt_bytes_written_total",
+			"MRT bytes archived (headers included), by record type.", "type"),
+		Rotations: r.Counter("peering_mrt_rotations_total",
+			"Archive segments sealed (size limit, age limit, or manual rotation)."),
+		DecodeErrors: r.Counter("peering_mrt_decode_errors_total",
+			"MRT records that failed to decode."),
+		ReplayRecords: r.Counter("peering_mrt_replay_records_total",
+			"MRT records delivered by replay runs."),
+		ReplayLag: r.Histogram("peering_mrt_replay_lag_seconds",
+			"How far behind its recorded schedule each replayed record was delivered (timed replay only).",
+			replayLagBuckets),
+	}
+}
+
+// typeLabel maps a record type to its metric label value.
+func typeLabel(t Type) string {
+	switch t {
+	case TypeBGP4MP:
+		return "bgp4mp"
+	case TypeBGP4MPET:
+		return "bgp4mp_et"
+	case TypeTableDumpV2:
+		return "table_dump_v2"
+	default:
+		return "other"
+	}
+}
+
+func (m *Metrics) recordWritten(t Type, bytes int) {
+	if m != nil {
+		m.RecordsWritten.With(typeLabel(t)).Inc()
+		m.BytesWritten.With(typeLabel(t)).Add(uint64(bytes))
+	}
+}
+
+func (m *Metrics) rotation() {
+	if m != nil {
+		m.Rotations.Inc()
+	}
+}
+
+func (m *Metrics) decodeError() {
+	if m != nil {
+		m.DecodeErrors.Inc()
+	}
+}
+
+func (m *Metrics) replayed(lag time.Duration, timed bool) {
+	if m == nil {
+		return
+	}
+	m.ReplayRecords.Inc()
+	if timed {
+		if lag < 0 {
+			lag = 0
+		}
+		m.ReplayLag.Observe(lag.Seconds())
+	}
+}

@@ -1,0 +1,71 @@
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reader streams MRT records from an archive.
+type Reader struct {
+	r       *bufio.Reader
+	metrics *Metrics
+	peeked  *Record
+	hdr     [headerLen]byte
+}
+
+// NewReader wraps r for streaming decode.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Instrument routes decode-error counts to m (nil disables).
+func (d *Reader) Instrument(m *Metrics) { d.metrics = m }
+
+// Next returns the next record, or io.EOF at a clean end of stream. A
+// decode error is counted on the instrument set and returned; the
+// stream cannot be resynchronized past it (MRT has no framing marker).
+func (d *Reader) Next() (*Record, error) {
+	if rec := d.peeked; rec != nil {
+		d.peeked = nil
+		return rec, nil
+	}
+	rec, err := d.read()
+	if err != nil && err != io.EOF {
+		d.metrics.decodeError()
+	}
+	return rec, err
+}
+
+// Peek returns the next record without consuming it.
+func (d *Reader) Peek() (*Record, error) {
+	if d.peeked == nil {
+		rec, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		d.peeked = rec
+	}
+	return d.peeked, nil
+}
+
+func (d *Reader) read() (*Record, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mrt: truncated record header: %w", err)
+	}
+	length := int(binary.BigEndian.Uint32(d.hdr[8:12]))
+	if length > MaxBodyLen {
+		return nil, fmt.Errorf("mrt: record length %d exceeds %d", length, MaxBodyLen)
+	}
+	buf := make([]byte, headerLen+length)
+	copy(buf, d.hdr[:])
+	if _, err := io.ReadFull(d.r, buf[headerLen:]); err != nil {
+		return nil, fmt.Errorf("mrt: truncated record body: %w", err)
+	}
+	rec, _, err := Unmarshal(buf)
+	return rec, err
+}

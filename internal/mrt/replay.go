@@ -1,0 +1,217 @@
+// Replay: feeding an archived trace back through live machinery. The
+// core loop (Replay) paces records against a clock and hands decoded
+// UPDATEs to a delivery function; ReplaySession wraps it in a real BGP
+// session so the receiving side cannot tell a replay from the original
+// peer.
+
+package mrt
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"time"
+
+	"peering/internal/bgp"
+	"peering/internal/clock"
+	"peering/internal/wire"
+)
+
+// ReplayConfig shapes one replay run.
+type ReplayConfig struct {
+	// Clock paces a timed replay and stamps stats (nil = system).
+	Clock clock.Clock
+	// Timed honors the trace's inter-record gaps: record i is delivered
+	// when (its timestamp − the first timestamp)/Speed has elapsed on
+	// Clock. False replays as fast as the receiver drains.
+	Timed bool
+	// Speed compresses the schedule when Timed (2 = twice as fast);
+	// 0 means 1.
+	Speed float64
+	// Metrics receives replay counts and lag observations (nil
+	// disables).
+	Metrics *Metrics
+}
+
+// ReplayStats summarizes a replay run.
+type ReplayStats struct {
+	// Records counts BGP4MP records delivered; Skipped counts records
+	// passed over (other types, non-UPDATE messages, undecodable
+	// bodies).
+	Records int `json:"records"`
+	Skipped int `json:"skipped"`
+	// Updates counts UPDATE messages delivered; Routes and Withdrawals
+	// count the NLRIs inside them.
+	Updates     int `json:"updates"`
+	Routes      int `json:"routes"`
+	Withdrawals int `json:"withdrawals"`
+	// TraceSpan is last−first record timestamp; Elapsed is how long the
+	// delivery loop ran on the replay clock.
+	TraceSpan time.Duration `json:"trace_span"`
+	Elapsed   time.Duration `json:"elapsed"`
+	// MaxLag is the worst behind-schedule delivery of a timed replay.
+	MaxLag time.Duration `json:"max_lag"`
+}
+
+// Replay streams BGP4MP records from r, delivering each decoded UPDATE
+// in order. Records that are not BGP4MP UPDATEs are counted as skipped;
+// a malformed record aborts the run (the stream cannot be resynced).
+func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) error) (ReplayStats, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	speed := cfg.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	r.Instrument(cfg.Metrics)
+
+	var st ReplayStats
+	var t0, start time.Time
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
+			st.Skipped++
+			continue
+		}
+		m, err := ParseBGP4MP(rec)
+		if err != nil {
+			cfg.Metrics.decodeError()
+			st.Skipped++
+			continue
+		}
+		upd, err := m.Update()
+		if err != nil {
+			cfg.Metrics.decodeError()
+			st.Skipped++
+			continue
+		}
+		if upd == nil {
+			st.Skipped++ // OPEN/NOTIFICATION/KEEPALIVE in the trace
+			continue
+		}
+		if st.Records == 0 {
+			t0 = rec.Time
+			start = clk.Now()
+		}
+		st.TraceSpan = rec.Time.Sub(t0)
+		var lag time.Duration
+		if cfg.Timed {
+			target := start.Add(time.Duration(float64(rec.Time.Sub(t0)) / speed))
+			if d := target.Sub(clk.Now()); d > 0 {
+				clk.Sleep(d)
+			} else if -d > st.MaxLag {
+				st.MaxLag = -d
+			}
+			lag = clk.Now().Sub(target)
+		}
+		if err := deliver(m, upd); err != nil {
+			return st, fmt.Errorf("mrt: replay delivery: %w", err)
+		}
+		cfg.Metrics.replayed(lag, cfg.Timed)
+		st.Records++
+		st.Updates++
+		st.Routes += len(upd.Reach)
+		st.Withdrawals += len(upd.Withdrawn)
+	}
+	if st.Records > 0 {
+		st.Elapsed = clk.Now().Sub(start)
+	}
+	return st, nil
+}
+
+// SessionReplayConfig shapes ReplaySession. The zero value impersonates
+// the trace's original peer: LocalAS and LocalID default to the first
+// record's PeerAS and PeerIP, and ADD-PATH is offered when the trace
+// carries path IDs.
+type SessionReplayConfig struct {
+	// LocalAS and LocalID override the replayer's BGP identity.
+	LocalAS uint32
+	LocalID netip.Addr
+	// PeerAS, when nonzero, is enforced against the receiver's OPEN.
+	PeerAS uint32
+	// EstablishTimeout bounds the handshake (default 30s on the wall
+	// clock, regardless of Replay.Clock).
+	EstablishTimeout time.Duration
+	// Metrics instruments the replayer's BGP session (nil disables).
+	Metrics *bgp.Metrics
+	// Replay is the pacing configuration.
+	Replay ReplayConfig
+}
+
+// ReplaySession speaks BGP over conn as the trace's original peer and
+// replays every archived UPDATE through it, re-encoded on the live
+// session's negotiated options. The session is left established so the
+// receiver's tables can be inspected; the caller closes it (which also
+// closes conn) when done.
+func ReplaySession(conn net.Conn, r *Reader, cfg SessionReplayConfig) (ReplayStats, *bgp.Session, error) {
+	// The trace's first record supplies the identity the receiver
+	// expects to hear from.
+	localAS, localID, addPath := cfg.LocalAS, cfg.LocalID, false
+	if first, err := r.Peek(); err == nil && (first.Type == TypeBGP4MP || first.Type == TypeBGP4MPET) {
+		if m, err := ParseBGP4MP(first); err == nil {
+			if localAS == 0 {
+				localAS = m.PeerAS
+			}
+			if !localID.IsValid() {
+				localID = m.PeerIP
+			}
+			addPath = m.AddPath
+		}
+	}
+	if localAS == 0 {
+		localAS = 64512 // private ASN fallback for a trace with no usable head
+	}
+	if !localID.Is4() {
+		localID = netip.AddrFrom4([4]byte{10, 99, 99, 1})
+	}
+
+	established := make(chan *bgp.Session, 1)
+	sess := bgp.New(conn, bgp.Config{
+		LocalAS:  localAS,
+		LocalID:  localID,
+		PeerAS:   cfg.PeerAS,
+		AddPath:  addPath,
+		Clock:    cfg.Replay.Clock,
+		Metrics:  cfg.Metrics,
+		Describe: "mrt-replay",
+	}, bgp.HandlerFuncs{
+		OnEstablished: func(s *bgp.Session) {
+			select {
+			case established <- s:
+			default:
+			}
+		},
+	})
+	go sess.Run()
+
+	timeout := cfg.EstablishTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	select {
+	case <-established:
+	case <-sess.Done():
+		return ReplayStats{}, nil, fmt.Errorf("mrt: replay session closed during handshake: %w", sess.Err())
+	case <-time.After(timeout):
+		sess.Close()
+		return ReplayStats{}, nil, fmt.Errorf("mrt: replay session not established within %v", timeout)
+	}
+
+	st, err := Replay(r, cfg.Replay, func(_ *BGP4MP, upd *wire.Update) error {
+		return sess.Send(upd)
+	})
+	if err != nil {
+		sess.Close()
+		return st, nil, err
+	}
+	return st, sess, nil
+}

@@ -1,0 +1,142 @@
+package mrt
+
+import (
+	"bytes"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"peering/internal/clock"
+	"peering/internal/telemetry"
+	"peering/internal/wire"
+)
+
+// replayTrace builds an in-memory trace with updates at the given
+// offsets from fixTime, plus one TABLE_DUMP_V2 record that replay must
+// skip.
+func replayTrace(t *testing.T, offsets []time.Duration) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, nil)
+	pi := &PeerIndex{CollectorID: netip.MustParseAddr("128.223.51.102")}
+	head, err := pi.Record(fixTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteRecord(head); err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range offsets {
+		m := &BGP4MP{
+			PeerAS: fixPeerAS, LocalAS: fixLocalAS, PeerIP: fixPeerIP, LocalIP: fixLocalIP,
+			Message: mustMarshal(t, &wire.Update{
+				Attrs: fixAttrs("80.249.208.10", fixPeerAS, 3356),
+				Reach: []wire.NLRI{{Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 0}), 24)}},
+			}, wire.Options{AS4: true}),
+			AS4: true,
+		}
+		rec, err := m.Record(fixTime.Add(off), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReplayTimedPacing drives a timestamp-faithful replay on a virtual
+// clock and checks each record is delivered exactly on its compressed
+// schedule. The driver advances the clock to the replayer's next
+// deadline (clock.Virtual.NextDeadline), so the test is deterministic
+// and never sleeps real time.
+func TestReplayTimedPacing(t *testing.T) {
+	trace := replayTrace(t, []time.Duration{0, time.Second, 3 * time.Second})
+	clk := clock.NewVirtual(fixTime)
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+
+	var mu sync.Mutex
+	var deliveredAt []time.Duration
+	done := make(chan struct{})
+	var stats ReplayStats
+	var rerr error
+	go func() {
+		defer close(done)
+		r := NewReader(bytes.NewReader(trace))
+		stats, rerr = Replay(r, ReplayConfig{Clock: clk, Timed: true, Speed: 2, Metrics: m},
+			func(_ *BGP4MP, _ *wire.Update) error {
+				mu.Lock()
+				deliveredAt = append(deliveredAt, clk.Now().Sub(fixTime))
+				mu.Unlock()
+				return nil
+			})
+	}()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+			if when, ok := clk.NextDeadline(); ok {
+				clk.Advance(when.Sub(clk.Now()))
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	// Speed 2 halves the 0s/1s/3s schedule.
+	want := []time.Duration{0, 500 * time.Millisecond, 1500 * time.Millisecond}
+	if len(deliveredAt) != len(want) {
+		t.Fatalf("delivered %d records, want %d", len(deliveredAt), len(want))
+	}
+	for i, at := range deliveredAt {
+		if at != want[i] {
+			t.Errorf("record %d delivered at +%v, want +%v", i, at, want[i])
+		}
+	}
+	if stats.Records != 3 || stats.Routes != 3 || stats.Skipped != 1 {
+		t.Fatalf("stats: %+v (want 3 records, 3 routes, 1 skipped TDv2)", stats)
+	}
+	if stats.TraceSpan != 3*time.Second {
+		t.Fatalf("trace span %v, want 3s", stats.TraceSpan)
+	}
+	if stats.Elapsed != 1500*time.Millisecond {
+		t.Fatalf("elapsed %v on the virtual clock, want 1.5s", stats.Elapsed)
+	}
+	if stats.MaxLag != 0 {
+		t.Fatalf("max lag %v on a virtual clock, want 0", stats.MaxLag)
+	}
+	if got := m.ReplayRecords.Value(); got != 3 {
+		t.Fatalf("replay records metric = %d, want 3", got)
+	}
+}
+
+// TestReplayMaxSpeed: with Timed off, nothing sleeps — on a virtual
+// clock the whole trace delivers at a single instant.
+func TestReplayMaxSpeed(t *testing.T) {
+	trace := replayTrace(t, []time.Duration{0, time.Minute, time.Hour})
+	clk := clock.NewVirtual(fixTime)
+	r := NewReader(bytes.NewReader(trace))
+	n := 0
+	stats, err := Replay(r, ReplayConfig{Clock: clk}, func(_ *BGP4MP, upd *wire.Update) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || stats.Records != 3 {
+		t.Fatalf("delivered %d/%d records, want 3", n, stats.Records)
+	}
+	if stats.Elapsed != 0 {
+		t.Fatalf("max-speed replay took %v virtual time, want 0", stats.Elapsed)
+	}
+	if stats.TraceSpan != time.Hour {
+		t.Fatalf("trace span %v, want 1h", stats.TraceSpan)
+	}
+}

@@ -1,0 +1,282 @@
+// TABLE_DUMP_V2 record bodies (RFC 6396 §4.3): a deduplicated peer
+// index followed by per-prefix RIB entries. A snapshot file is one
+// PEER_INDEX_TABLE record followed by one RIB record per prefix.
+
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"peering/internal/wire"
+)
+
+// snapshotAttrOptions is the codec state for RIB-entry attribute
+// blocks: RFC 6396 §4.3.4 requires AS_PATH in 4-octet form regardless
+// of what the live session negotiated.
+var snapshotAttrOptions = wire.Options{AS4: true}
+
+// Peer is one entry of the PEER_INDEX_TABLE; RIB entries reference
+// peers by their position in the table.
+type Peer struct {
+	// BGPID is the peer's BGP identifier.
+	BGPID netip.Addr
+	// Addr is the peer's session address.
+	Addr netip.Addr
+	// AS is the peer's AS number.
+	AS uint32
+}
+
+// PeerIndex is the PEER_INDEX_TABLE record: collector identity plus the
+// peer table every subsequent RIB record indexes into.
+type PeerIndex struct {
+	// CollectorID is the collector's BGP identifier.
+	CollectorID netip.Addr
+	// ViewName labels the RIB view (often empty in real archives).
+	ViewName string
+	Peers    []Peer
+}
+
+// peerType builds the RFC 6396 §4.3.1 peer-type bit field: bit 0 set
+// for an IPv6 peer address, bit 1 set for a 4-byte AS field. The
+// encoder always writes 4-byte ASes.
+const (
+	peerTypeIPv6 = 0x01
+	peerTypeAS4  = 0x02
+)
+
+// Record encodes the peer index stamped t.
+func (p *PeerIndex) Record(t time.Time) (*Record, error) {
+	if !p.CollectorID.Is4() {
+		return nil, fmt.Errorf("mrt: collector BGP ID %v is not IPv4", p.CollectorID)
+	}
+	if len(p.ViewName) > 0xffff || len(p.Peers) > 0xffff {
+		return nil, fmt.Errorf("mrt: peer index too large (%d-byte view, %d peers)", len(p.ViewName), len(p.Peers))
+	}
+	id := p.CollectorID.As4()
+	b := append([]byte(nil), id[:]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.ViewName)))
+	b = append(b, p.ViewName...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Peers)))
+	for _, peer := range p.Peers {
+		if !peer.BGPID.Is4() {
+			return nil, fmt.Errorf("mrt: peer BGP ID %v is not IPv4", peer.BGPID)
+		}
+		if !peer.Addr.IsValid() {
+			return nil, fmt.Errorf("mrt: peer address missing")
+		}
+		typ := byte(peerTypeAS4)
+		if peer.Addr.Is6() {
+			typ |= peerTypeIPv6
+		}
+		b = append(b, typ)
+		pid := peer.BGPID.As4()
+		b = append(b, pid[:]...)
+		if peer.Addr.Is4() {
+			a := peer.Addr.As4()
+			b = append(b, a[:]...)
+		} else {
+			a := peer.Addr.As16()
+			b = append(b, a[:]...)
+		}
+		b = binary.BigEndian.AppendUint32(b, peer.AS)
+	}
+	return &Record{Time: t, Type: TypeTableDumpV2, Subtype: SubtypePeerIndexTable, Body: b}, nil
+}
+
+// ParsePeerIndex decodes a PEER_INDEX_TABLE record body.
+func ParsePeerIndex(rec *Record) (*PeerIndex, error) {
+	if rec.Type != TypeTableDumpV2 || rec.Subtype != SubtypePeerIndexTable {
+		return nil, fmt.Errorf("mrt: %v subtype %d is not a PEER_INDEX_TABLE", rec.Type, rec.Subtype)
+	}
+	b := rec.Body
+	if len(b) < 8 {
+		return nil, fmt.Errorf("mrt: peer index truncated (%d bytes)", len(b))
+	}
+	p := &PeerIndex{CollectorID: netip.AddrFrom4([4]byte(b[0:4]))}
+	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
+	b = b[6:]
+	if len(b) < nameLen+2 {
+		return nil, fmt.Errorf("mrt: peer index truncated in view name")
+	}
+	p.ViewName = string(b[:nameLen])
+	count := int(binary.BigEndian.Uint16(b[nameLen : nameLen+2]))
+	b = b[nameLen+2:]
+	for i := 0; i < count; i++ {
+		if len(b) < 5 {
+			return nil, fmt.Errorf("mrt: peer index truncated at peer %d", i)
+		}
+		typ := b[0]
+		peer := Peer{BGPID: netip.AddrFrom4([4]byte(b[1:5]))}
+		b = b[5:]
+		if typ&peerTypeIPv6 != 0 {
+			if len(b) < 16 {
+				return nil, fmt.Errorf("mrt: peer index truncated at peer %d address", i)
+			}
+			peer.Addr = netip.AddrFrom16([16]byte(b[0:16]))
+			b = b[16:]
+		} else {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("mrt: peer index truncated at peer %d address", i)
+			}
+			peer.Addr = netip.AddrFrom4([4]byte(b[0:4]))
+			b = b[4:]
+		}
+		if typ&peerTypeAS4 != 0 {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("mrt: peer index truncated at peer %d AS", i)
+			}
+			peer.AS = binary.BigEndian.Uint32(b[0:4])
+			b = b[4:]
+		} else {
+			if len(b) < 2 {
+				return nil, fmt.Errorf("mrt: peer index truncated at peer %d AS", i)
+			}
+			peer.AS = uint32(binary.BigEndian.Uint16(b[0:2]))
+			b = b[2:]
+		}
+		p.Peers = append(p.Peers, peer)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("mrt: %d trailing bytes after peer index", len(b))
+	}
+	return p, nil
+}
+
+// RIBEntry is one path to the enclosing record's prefix.
+type RIBEntry struct {
+	// PeerIndex references the advertising peer's position in the
+	// snapshot's PEER_INDEX_TABLE.
+	PeerIndex uint16
+	// Originated is when the route was learned (one-second precision on
+	// the wire).
+	Originated time.Time
+	// PathID is the ADD-PATH identifier; encoded only in the _ADDPATH
+	// subtype.
+	PathID wire.PathID
+	// Attrs is the entry's path-attribute block (always 4-octet AS).
+	Attrs *wire.Attrs
+}
+
+// RIB is one RIB_IPV4_UNICAST[_ADDPATH] record: every archived path to
+// one prefix.
+type RIB struct {
+	// Sequence numbers records within a dump, starting at 0.
+	Sequence uint32
+	Prefix   netip.Prefix
+	// AddPath selects the RFC 8050 subtype carrying per-entry path IDs.
+	AddPath bool
+	Entries []RIBEntry
+}
+
+// Record encodes the RIB record stamped t.
+func (r *RIB) Record(t time.Time) (*Record, error) {
+	if !r.Prefix.IsValid() || !r.Prefix.Addr().Is4() {
+		return nil, fmt.Errorf("mrt: RIB_IPV4_UNICAST needs an IPv4 prefix, got %v", r.Prefix)
+	}
+	if len(r.Entries) > 0xffff {
+		return nil, fmt.Errorf("mrt: too many RIB entries (%d)", len(r.Entries))
+	}
+	b := binary.BigEndian.AppendUint32(nil, r.Sequence)
+	bits := r.Prefix.Bits()
+	b = append(b, byte(bits))
+	addr := r.Prefix.Masked().Addr().As4()
+	b = append(b, addr[:(bits+7)/8]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		sec := e.Originated.Unix()
+		if sec < 0 {
+			sec = 0
+		}
+		b = binary.BigEndian.AppendUint16(b, e.PeerIndex)
+		b = binary.BigEndian.AppendUint32(b, uint32(sec))
+		if r.AddPath {
+			b = binary.BigEndian.AppendUint32(b, uint32(e.PathID))
+		}
+		attrs, err := wire.MarshalAttrs(e.Attrs, snapshotAttrOptions)
+		if err != nil {
+			return nil, fmt.Errorf("mrt: encode RIB entry attrs for %v: %w", r.Prefix, err)
+		}
+		if len(attrs) > 0xffff {
+			return nil, fmt.Errorf("mrt: RIB entry attributes too long (%d bytes)", len(attrs))
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+		b = append(b, attrs...)
+	}
+	sub := SubtypeRIBIPv4Unicast
+	if r.AddPath {
+		sub = SubtypeRIBIPv4UnicastAddPath
+	}
+	return &Record{Time: t, Type: TypeTableDumpV2, Subtype: sub, Body: b}, nil
+}
+
+// ParseRIB decodes a RIB_IPV4_UNICAST or RIB_IPV4_UNICAST_ADDPATH
+// record body.
+func ParseRIB(rec *Record) (*RIB, error) {
+	if rec.Type != TypeTableDumpV2 {
+		return nil, fmt.Errorf("mrt: %v is not a TABLE_DUMP_V2 record", rec.Type)
+	}
+	r := &RIB{}
+	switch rec.Subtype {
+	case SubtypeRIBIPv4Unicast:
+	case SubtypeRIBIPv4UnicastAddPath:
+		r.AddPath = true
+	default:
+		return nil, fmt.Errorf("mrt: unsupported TABLE_DUMP_V2 subtype %d", rec.Subtype)
+	}
+	b := rec.Body
+	if len(b) < 5 {
+		return nil, fmt.Errorf("mrt: RIB record truncated (%d bytes)", len(b))
+	}
+	r.Sequence = binary.BigEndian.Uint32(b[0:4])
+	bits := int(b[4])
+	if bits > 32 {
+		return nil, fmt.Errorf("mrt: RIB prefix length %d invalid for IPv4", bits)
+	}
+	nb := (bits + 7) / 8
+	b = b[5:]
+	if len(b) < nb+2 {
+		return nil, fmt.Errorf("mrt: RIB record truncated in prefix")
+	}
+	var a [4]byte
+	copy(a[:], b[:nb])
+	r.Prefix = netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked()
+	count := int(binary.BigEndian.Uint16(b[nb : nb+2]))
+	b = b[nb+2:]
+	for i := 0; i < count; i++ {
+		fixed := 8
+		if r.AddPath {
+			fixed += 4
+		}
+		if len(b) < fixed {
+			return nil, fmt.Errorf("mrt: RIB record truncated at entry %d", i)
+		}
+		e := RIBEntry{
+			PeerIndex:  binary.BigEndian.Uint16(b[0:2]),
+			Originated: time.Unix(int64(binary.BigEndian.Uint32(b[2:6])), 0).UTC(),
+		}
+		b = b[6:]
+		if r.AddPath {
+			e.PathID = wire.PathID(binary.BigEndian.Uint32(b[0:4]))
+			b = b[4:]
+		}
+		attrLen := int(binary.BigEndian.Uint16(b[0:2]))
+		b = b[2:]
+		if len(b) < attrLen {
+			return nil, fmt.Errorf("mrt: RIB record truncated in entry %d attributes", i)
+		}
+		attrs, err := wire.ParseAttrs(b[:attrLen], snapshotAttrOptions)
+		if err != nil {
+			return nil, fmt.Errorf("mrt: RIB entry %d attrs: %w", i, err)
+		}
+		e.Attrs = attrs
+		b = b[attrLen:]
+		r.Entries = append(r.Entries, e)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("mrt: %d trailing bytes after RIB entries", len(b))
+	}
+	return r, nil
+}

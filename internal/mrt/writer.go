@@ -1,0 +1,328 @@
+package mrt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"peering/internal/clock"
+)
+
+// Writer streams MRT records to one destination.
+type Writer struct {
+	w       io.Writer
+	metrics *Metrics
+	buf     []byte
+	records uint64
+	bytes   uint64
+}
+
+// NewWriter wraps w for streaming encode; m may be nil.
+func NewWriter(w io.Writer, m *Metrics) *Writer {
+	return &Writer{w: w, metrics: m}
+}
+
+// WriteRecord encodes and writes one record, returning its encoded
+// size.
+func (w *Writer) WriteRecord(rec *Record) (int, error) {
+	b, err := rec.AppendTo(w.buf[:0])
+	if err != nil {
+		return 0, err
+	}
+	w.buf = b[:0]
+	if _, err := w.w.Write(b); err != nil {
+		return 0, err
+	}
+	w.records++
+	w.bytes += uint64(len(b))
+	w.metrics.recordWritten(rec.Type, len(b))
+	return len(b), nil
+}
+
+// Records reports how many records this writer has written.
+func (w *Writer) Records() uint64 { return w.records }
+
+// Bytes reports how many bytes this writer has written.
+func (w *Writer) Bytes() uint64 { return w.bytes }
+
+// WriteFile writes records as a standalone MRT file (used for RIB
+// snapshots, which live in their own files beside the update archive).
+func WriteFile(path string, records []*Record, m *Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f, m)
+	for _, rec := range records {
+		if _, err := w.WriteRecord(rec); err != nil {
+			f.Close()
+			os.Remove(path)
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// ---------------------------------------------------------------------
+// Rotating archive
+
+// Archive defaults.
+const (
+	DefaultMaxBytes = 16 << 20
+	DefaultMaxAge   = time.Hour
+	DefaultPrefix   = "updates"
+)
+
+// ArchiveConfig parameterizes an Archive.
+type ArchiveConfig struct {
+	// Dir is the directory segments are written into (created if
+	// needed).
+	Dir string
+	// Prefix names segment files: <Prefix>-<opened>-<seq>.mrt
+	// (default DefaultPrefix).
+	Prefix string
+	// MaxBytes rotates a segment before it would exceed this size
+	// (default DefaultMaxBytes).
+	MaxBytes int64
+	// MaxAge rotates a non-empty segment this long after it was opened
+	// (default DefaultMaxAge).
+	MaxAge time.Duration
+	// Clock drives age rotation and file naming (nil = system).
+	Clock clock.Clock
+	// Metrics receives write/rotation counts (nil disables).
+	Metrics *Metrics
+	// OnRotate, if set, runs synchronously after each segment is sealed
+	// — the collector hooks its RIB snapshot dump here. The callback
+	// must not call back into the Archive.
+	OnRotate func(sealed string, records uint64)
+}
+
+// Archive is a size/age-rotating MRT writer: a continuous record
+// stream lands in bounded segment files, each sealed segment triggering
+// the OnRotate hook (dump-on-rotate snapshots).
+type Archive struct {
+	cfg ArchiveConfig
+	clk clock.Clock
+
+	mu         sync.Mutex
+	f          *os.File
+	w          *Writer
+	cur        string
+	opened     time.Time
+	seq        int
+	ageTimer   clock.Timer
+	sealed     []string
+	totalRecs  uint64
+	totalBytes uint64
+	rotations  uint64
+	closed     bool
+}
+
+// ArchiveStatus is a point-in-time view of an Archive, JSON-shaped for
+// the portal's GET /archive endpoint.
+type ArchiveStatus struct {
+	Dir            string    `json:"dir"`
+	CurrentFile    string    `json:"current_file"`
+	CurrentRecords uint64    `json:"current_records"`
+	CurrentBytes   uint64    `json:"current_bytes"`
+	OpenedAt       time.Time `json:"opened_at"`
+	SealedSegments []string  `json:"sealed_segments,omitempty"`
+	Records        uint64    `json:"records_total"`
+	Bytes          uint64    `json:"bytes_total"`
+	Rotations      uint64    `json:"rotations"`
+}
+
+// NewArchive opens an archive in cfg.Dir and starts its first segment.
+func NewArchive(cfg ArchiveConfig) (*Archive, error) {
+	if cfg.Prefix == "" {
+		cfg.Prefix = DefaultPrefix
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = DefaultMaxAge
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mrt: archive dir: %w", err)
+	}
+	a := &Archive{cfg: cfg, clk: clk}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.openSegment(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Dir returns the archive directory.
+func (a *Archive) Dir() string { return a.cfg.Dir }
+
+// Metrics returns the instrument set the archive was built with (may be
+// nil).
+func (a *Archive) Metrics() *Metrics { return a.cfg.Metrics }
+
+// SetOnRotate replaces the seal hook (see ArchiveConfig.OnRotate).
+func (a *Archive) SetOnRotate(fn func(sealed string, records uint64)) {
+	a.mu.Lock()
+	a.cfg.OnRotate = fn
+	a.mu.Unlock()
+}
+
+// openSegment starts a new segment file. Caller holds a.mu.
+func (a *Archive) openSegment() error {
+	a.seq++
+	a.opened = a.clk.Now()
+	name := fmt.Sprintf("%s-%s-%04d.mrt", a.cfg.Prefix, a.opened.UTC().Format("20060102T150405Z"), a.seq)
+	path := filepath.Join(a.cfg.Dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mrt: open segment: %w", err)
+	}
+	a.f = f
+	a.w = NewWriter(f, a.cfg.Metrics)
+	a.cur = path
+	if a.ageTimer != nil {
+		a.ageTimer.Stop()
+	}
+	a.ageTimer = a.clk.AfterFunc(a.cfg.MaxAge, func() { a.Rotate() })
+	return nil
+}
+
+// WriteRecord archives one record, rotating first if the current
+// segment would exceed MaxBytes.
+func (a *Archive) WriteRecord(rec *Record) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("mrt: archive closed")
+	}
+	var hook func()
+	if a.w.Records() > 0 && int64(a.w.Bytes())+int64(headerLen+len(rec.Body)+4) > a.cfg.MaxBytes {
+		h, err := a.sealLocked()
+		if err != nil {
+			a.mu.Unlock()
+			return err
+		}
+		hook = h
+		if err := a.openSegment(); err != nil {
+			a.mu.Unlock()
+			return err
+		}
+	}
+	n, err := a.w.WriteRecord(rec)
+	if err == nil {
+		a.totalRecs++
+		a.totalBytes += uint64(n)
+	}
+	a.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return err
+}
+
+// sealLocked closes the current segment and returns the deferred
+// OnRotate invocation (run it after releasing a.mu). Caller holds a.mu.
+func (a *Archive) sealLocked() (func(), error) {
+	if err := a.f.Close(); err != nil {
+		return nil, fmt.Errorf("mrt: seal segment: %w", err)
+	}
+	sealed, records := a.cur, a.w.Records()
+	a.sealed = append(a.sealed, sealed)
+	a.rotations++
+	a.cfg.Metrics.rotation()
+	fn := a.cfg.OnRotate
+	if fn == nil {
+		return func() {}, nil
+	}
+	return func() { fn(sealed, records) }, nil
+}
+
+// Rotate seals the current segment (firing OnRotate) and starts a new
+// one. An empty segment is left in place — there is nothing to seal —
+// and "" is returned.
+func (a *Archive) Rotate() (sealed string, err error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return "", fmt.Errorf("mrt: archive closed")
+	}
+	if a.w.Records() == 0 {
+		// Nothing archived since the segment opened; re-arm the age timer
+		// instead of sealing an empty file.
+		a.ageTimer.Reset(a.cfg.MaxAge)
+		a.mu.Unlock()
+		return "", nil
+	}
+	hook, err := a.sealLocked()
+	if err != nil {
+		a.mu.Unlock()
+		return "", err
+	}
+	sealed = a.sealed[len(a.sealed)-1]
+	if err := a.openSegment(); err != nil {
+		a.closed = true
+		a.mu.Unlock()
+		return sealed, err
+	}
+	a.mu.Unlock()
+	hook()
+	return sealed, nil
+}
+
+// Close seals the current segment (firing OnRotate if it holds
+// records) and stops the archive.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	if a.ageTimer != nil {
+		a.ageTimer.Stop()
+	}
+	hook := func() {}
+	var err error
+	if a.w.Records() == 0 {
+		// Remove the empty trailing segment rather than archiving a
+		// zero-record file.
+		err = a.f.Close()
+		os.Remove(a.cur)
+		a.cur = ""
+	} else {
+		hook, err = a.sealLocked()
+		a.cur = ""
+	}
+	a.mu.Unlock()
+	hook()
+	return err
+}
+
+// Status reports the archive's current state.
+func (a *Archive) Status() ArchiveStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := ArchiveStatus{
+		Dir:            a.cfg.Dir,
+		SealedSegments: append([]string(nil), a.sealed...),
+		Records:        a.totalRecs,
+		Bytes:          a.totalBytes,
+		Rotations:      a.rotations,
+	}
+	if !a.closed {
+		st.CurrentFile = a.cur
+		st.CurrentRecords = a.w.Records()
+		st.CurrentBytes = a.w.Bytes()
+		st.OpenedAt = a.opened
+	}
+	return st
+}

@@ -106,6 +106,8 @@ type Portal struct {
 	mu             sync.Mutex
 	onApprove      func(Experiment)
 	statsSource    func() any
+	archiveStatus  func() any
+	archiveRotate  func() (any, error)
 	metricsHandler http.Handler
 	pprofEnabled   bool
 	pool           []netip.Prefix // unallocated /24s
@@ -140,6 +142,18 @@ func (p *Portal) SetApproveHook(fn func(Experiment)) {
 func (p *Portal) SetStatsSource(fn func() any) {
 	p.mu.Lock()
 	p.statsSource = fn
+	p.mu.Unlock()
+}
+
+// SetArchiveSource registers the callbacks behind the MRT archive
+// endpoints: status supplies GET /archive (JSON-encoded verbatim) and
+// rotate implements POST /archive/rotate, returning the rotation result
+// or an error (reported as 409). Like SetStatsSource, the newest
+// registration wins and nil unregisters (both endpoints then 404).
+func (p *Portal) SetArchiveSource(status func() any, rotate func() (any, error)) {
+	p.mu.Lock()
+	p.archiveStatus = status
+	p.archiveRotate = rotate
 	p.mu.Unlock()
 }
 
@@ -412,6 +426,8 @@ func (p *Portal) Measurements(experiment string) []Measurement {
 //	GET  /measurements?experiment=X
 //	GET  /pool
 //	GET  /stats                 JSON counters (see SetStatsSource)
+//	GET  /archive               MRT archive status (see SetArchiveSource)
+//	POST /archive/rotate        seal the current MRT segment + dump a RIB snapshot
 //	GET  /metrics               Prometheus text format (see SetMetricsHandler)
 //	GET  /debug/pprof/*         profiling, 404 unless EnablePprof was called
 func (p *Portal) Handler() http.Handler {
@@ -491,6 +507,27 @@ func (p *Portal) Handler() http.Handler {
 			return
 		}
 		reply(w, fn(), nil)
+	})
+	mux.HandleFunc("GET /archive", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		fn := p.archiveStatus
+		p.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "archive unavailable", http.StatusNotFound)
+			return
+		}
+		reply(w, fn(), nil)
+	})
+	mux.HandleFunc("POST /archive/rotate", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		fn := p.archiveRotate
+		p.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "archive unavailable", http.StatusNotFound)
+			return
+		}
+		out, err := fn()
+		reply(w, out, err)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		p.mu.Lock()

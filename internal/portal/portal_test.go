@@ -3,6 +3,7 @@ package portal
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -335,4 +336,52 @@ func TestMetricsAndPprofEndpoints(t *testing.T) {
 		t.Fatalf("pprof after enable: %d, want 200", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// TestArchiveEndpoints: GET /archive and POST /archive/rotate proxy the
+// registered archive source (404 before registration, 409 on rotate
+// failure), and a nil source unregisters.
+func TestArchiveEndpoints(t *testing.T) {
+	p, _, _ := newPortal(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, _ := http.Get(srv.URL + "/archive")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unregistered /archive: %d, want 404", resp.StatusCode)
+	}
+
+	rotateErr := error(nil)
+	p.SetArchiveSource(
+		func() any { return map[string]any{"segment": "updates-0001.mrt", "records": 42} },
+		func() (any, error) { return map[string]string{"sealed": "updates-0001.mrt"}, rotateErr },
+	)
+	resp, _ = http.Get(srv.URL + "/archive")
+	var st map[string]any
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st["records"] != float64(42) {
+		t.Fatalf("/archive = %d %v", resp.StatusCode, st)
+	}
+
+	resp = post(t, srv, "/archive/rotate", struct{}{})
+	var out map[string]string
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out["sealed"] != "updates-0001.mrt" {
+		t.Fatalf("rotate = %d %v", resp.StatusCode, out)
+	}
+
+	rotateErr = errors.New("archive empty")
+	resp = post(t, srv, "/archive/rotate", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("failed rotate = %d, want 409", resp.StatusCode)
+	}
+
+	p.SetArchiveSource(nil, nil)
+	resp, _ = http.Get(srv.URL + "/archive")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unregistered again /archive: %d, want 404", resp.StatusCode)
+	}
 }

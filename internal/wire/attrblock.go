@@ -1,0 +1,19 @@
+package wire
+
+// Standalone path-attribute blocks. UPDATE messages carry attributes
+// inline, but the MRT TABLE_DUMP_V2 format (RFC 6396 §4.3.4) stores a
+// bare attribute block per RIB entry — same encoding, no surrounding
+// message. These wrappers expose the codec for that use; per the RFC,
+// snapshot attributes always use 4-octet AS_PATH encoding, so callers
+// should pass Options{AS4: true}.
+
+// MarshalAttrs encodes a path-attribute block exactly as it would
+// appear inside an UPDATE.
+func MarshalAttrs(a *Attrs, opt Options) ([]byte, error) {
+	return a.marshal(opt)
+}
+
+// ParseAttrs decodes a standalone path-attribute block.
+func ParseAttrs(b []byte, opt Options) (*Attrs, error) {
+	return parseAttrs(b, opt)
+}

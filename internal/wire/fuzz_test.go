@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseMessage throws arbitrary bytes at the message decoder under
+// both codec option sets. A message that decodes must re-encode, and
+// the re-encoding must decode back to an identical structure — the
+// codec normalizes representation, so byte-identity is not required,
+// but structural identity is.
+func FuzzParseMessage(f *testing.F) {
+	seedOpts := Options{AS4: true, AddPath: true}
+	open := &Open{Version: 4, AS: 47065, HoldTime: 90, BGPID: netip.MustParseAddr("184.164.224.1")}
+	if b, err := Marshal(open, seedOpts); err == nil {
+		f.Add(b)
+	}
+	upd := &Update{
+		Attrs: &Attrs{
+			Origin:      OriginIGP,
+			ASPath:      []Segment{{Type: SegSequence, ASNs: []uint32{196615, 3356}}},
+			NextHop:     netip.MustParseAddr("80.249.208.10"),
+			Communities: []Community{CommNoExport},
+		},
+		Reach:     []NLRI{{Prefix: netip.MustParsePrefix("184.164.224.0/24"), ID: 1}},
+		Withdrawn: []NLRI{{Prefix: netip.MustParsePrefix("10.0.0.0/8"), ID: 2}},
+	}
+	if b, err := Marshal(upd, seedOpts); err == nil {
+		f.Add(b)
+	}
+	if b, err := Marshal(&Keepalive{}, seedOpts); err == nil {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opt := range []Options{{}, {AS4: true, AddPath: true}} {
+			m, err := Decode(data, opt)
+			if err != nil {
+				continue
+			}
+			b, err := Marshal(m, opt)
+			if err != nil {
+				// Some decodable messages carry values the encoder refuses
+				// (e.g. an Open whose optional parameters exceed limits);
+				// rejecting is fine, panicking is not.
+				continue
+			}
+			m2, err := Decode(b, opt)
+			if err != nil {
+				t.Fatalf("re-encoded message does not decode (opts %+v): %v\n in  %x\n out %x", opt, err, data, b)
+			}
+			if !reflect.DeepEqual(m, m2) {
+				t.Fatalf("re-decode differs (opts %+v):\n m  %#v\n m2 %#v", opt, m, m2)
+			}
+		}
+	})
+}

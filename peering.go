@@ -26,6 +26,7 @@ import (
 	"peering/internal/internet"
 	"peering/internal/ixp"
 	"peering/internal/mininext"
+	"peering/internal/mrt"
 	"peering/internal/muxproto"
 	"peering/internal/policy"
 	"peering/internal/portal"
@@ -68,6 +69,10 @@ type Config struct {
 	// BilateralPeers makes the server establish direct sessions with
 	// every open-peering IXP member in addition to the route server.
 	BilateralPeers bool
+	// ArchiveDir, when set, attaches a rotating MRT archive to the
+	// collector: every update it hears lands there as BGP4MP_ET records,
+	// and each segment rotation dumps a TABLE_DUMP_V2 RIB snapshot.
+	ArchiveDir string
 }
 
 // liveSpec returns the default compact Internet for live operation.
@@ -97,6 +102,9 @@ type Testbed struct {
 	Collector *collector.Collector
 	// CollectorVantage is the ASN the collector peers with.
 	CollectorVantage uint32
+	// Archive is the collector's MRT archive (nil unless ArchiveDir was
+	// configured).
+	Archive *mrt.Archive
 	// Portal is the management web service.
 	Portal *portal.Portal
 
@@ -253,6 +261,18 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		}
 	}
 	tb.Collector = collector.New("route-views", 6447, netip.MustParseAddr("128.223.51.102"), nil)
+	tb.Collector.Instrument(tb.Server.Telemetry())
+	if cfg.ArchiveDir != "" {
+		arch, err := mrt.NewArchive(mrt.ArchiveConfig{
+			Dir:     cfg.ArchiveDir,
+			Metrics: mrt.NewMetrics(tb.Server.Telemetry()),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("peering: open MRT archive: %w", err)
+		}
+		tb.Archive = arch
+		tb.Collector.AttachArchive(arch)
+	}
 	vantage := live.Containers[tb.CollectorVantage]
 	cp := vantage.BGP.AddPeer(router.PeerConfig{
 		Addr:      tb.Collector.RouterID(),
@@ -301,6 +321,23 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	// The same instruments, Prometheus-shaped: GET /metrics serves the
 	// server's telemetry registry for scraping.
 	p.SetMetricsHandler(tb.Server.Telemetry().Handler())
+	// MRT archive status and rotation, for `peeringctl archive`/`dump`.
+	p.SetArchiveSource(
+		func() any {
+			st, snaps, ok := tb.Collector.ArchiveStatus()
+			return struct {
+				Enabled bool `json:"enabled"`
+				mrt.ArchiveStatus
+				Snapshots []string `json:"snapshots,omitempty"`
+			}{ok, st, snaps}
+		},
+		func() (any, error) {
+			sealed, snapshot, err := tb.Collector.RotateArchive()
+			if err != nil {
+				return nil, err
+			}
+			return map[string]string{"sealed": sealed, "snapshot": snapshot}, nil
+		})
 	tb.Portal = p
 	return tb, nil
 }
@@ -410,6 +447,9 @@ func (tb *Testbed) Close() {
 		c.Close()
 	}
 	tb.Server.Close()
+	if tb.Archive != nil {
+		tb.Archive.Close()
+	}
 }
 
 // announceSpecEmpty avoids importing router in live.go's callers.

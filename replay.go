@@ -1,0 +1,119 @@
+// Replay driver: stand up a fresh PEERING server and feed an archived
+// MRT trace into it as if the original upstream were announcing live.
+// This is what `peeringctl replay` and the replay benchmark run.
+
+package peering
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"peering/internal/mrt"
+	"peering/internal/server"
+)
+
+// ReplayReport is the outcome of one ReplayArchive run, JSON-shaped for
+// peeringctl output and BENCH_replay.json.
+type ReplayReport struct {
+	File  string  `json:"file"`
+	Mode  Mode    `json:"mode"`
+	Timed bool    `json:"timed"`
+	Speed float64 `json:"speed,omitempty"`
+
+	Records         int `json:"records"`
+	Updates         int `json:"updates"`
+	RoutesAnnounced int `json:"routes_announced"`
+	Withdrawals     int `json:"withdrawals"`
+	Skipped         int `json:"skipped"`
+
+	TraceSpan     time.Duration `json:"trace_span"`
+	Elapsed       time.Duration `json:"elapsed"`
+	MaxLag        time.Duration `json:"max_lag"`
+	RecordsPerSec float64       `json:"records_per_sec"`
+
+	// RoutesAtServer is the receiving server's adj-RIB-in size once the
+	// replay settled — the reproduced table.
+	RoutesAtServer int `json:"routes_at_server"`
+}
+
+// ReplayArchive replays the MRT trace at path into a freshly assembled
+// single-upstream server running in the given mux mode. timed=false
+// replays as fast as the server drains; timed=true honors the trace's
+// recorded gaps, compressed by speed (0 = real time).
+func ReplayArchive(path string, mode Mode, timed bool, speed float64) (*ReplayReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := mrt.NewReader(f)
+
+	// The trace's first record identifies the peer to impersonate; the
+	// upstream is configured to expect it.
+	first, err := r.Peek()
+	if err != nil {
+		return nil, fmt.Errorf("peering: read %s: %w", path, err)
+	}
+	m, err := mrt.ParseBGP4MP(first)
+	if err != nil {
+		return nil, fmt.Errorf("peering: %s does not start with a BGP4MP record: %w", path, err)
+	}
+
+	if mode == "" {
+		mode = ModeQuagga
+	}
+	srv := server.New(server.Config{
+		Site:     "replay01",
+		ASN:      DefaultASN,
+		RouterID: netip.AddrFrom4([4]byte{184, 164, 224, 1}),
+		Mode:     mode,
+	})
+	defer srv.Close()
+	up, err := srv.AddUpstream(server.UpstreamConfig{
+		ID: 1, Name: "replay", ASN: m.PeerAS,
+		PeerAddr: m.PeerIP, LocalAddr: m.LocalIP,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stats, sess, err := srv.ReplayUpstream(up, r, mrt.ReplayConfig{Timed: timed, Speed: speed})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	// Let the server's session reader drain: the replay returns once the
+	// last update is queued, not once it is processed.
+	settled, stableFor := up.RoutesIn(), 0
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline) && stableFor < 10; {
+		time.Sleep(5 * time.Millisecond)
+		if n := up.RoutesIn(); n == settled {
+			stableFor++
+		} else {
+			settled, stableFor = n, 0
+		}
+	}
+
+	rep := &ReplayReport{
+		File:            path,
+		Mode:            mode,
+		Timed:           timed,
+		Speed:           speed,
+		Records:         stats.Records,
+		Updates:         stats.Updates,
+		RoutesAnnounced: stats.Routes,
+		Withdrawals:     stats.Withdrawals,
+		Skipped:         stats.Skipped,
+		TraceSpan:       stats.TraceSpan,
+		Elapsed:         stats.Elapsed,
+		MaxLag:          stats.MaxLag,
+		RoutesAtServer:  settled,
+	}
+	if s := stats.Elapsed.Seconds(); s > 0 {
+		rep.RecordsPerSec = float64(stats.Records) / s
+	}
+	return rep, nil
+}

@@ -1,0 +1,376 @@
+package peering
+
+// Replay cross-validation: an archived live run, replayed through a
+// fresh server, must reproduce the live run's final per-client RIB
+// state — the property that makes MRT archives usable as deterministic
+// experiment inputs. Plus the replay throughput benchmark `make bench`
+// records to BENCH_replay.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"peering/internal/bufconn"
+	"peering/internal/collector"
+	"peering/internal/mrt"
+	"peering/internal/muxproto"
+	"peering/internal/rib"
+	"peering/internal/router"
+	"peering/internal/server"
+	"peering/internal/wire"
+
+	clientpkg "peering/internal/client"
+)
+
+func xvAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func xvPrefix(i int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i >> 8), byte(i), 0}), 24)
+}
+
+// xvServer assembles a single-upstream server in the given mode with
+// nClients connected clients. The upstream expects AS 3356 at 4.69.0.1
+// — the identity both the live router and the replayed trace present.
+func xvServer(t *testing.T, mode muxproto.Mode, nClients int) (*server.Server, *server.Upstream, []*clientpkg.Client) {
+	t.Helper()
+	srv := server.New(server.Config{
+		Site: "xv", ASN: 47065, RouterID: xvAddr("184.164.224.1"), Mode: mode,
+	})
+	t.Cleanup(srv.Close)
+	up, err := srv.AddUpstream(server.UpstreamConfig{
+		ID: 1, Name: "transit", ASN: 3356,
+		PeerAddr: xvAddr("4.69.0.1"), LocalAddr: xvAddr("184.164.224.1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*clientpkg.Client, nClients)
+	for i := range clients {
+		id := fmt.Sprintf("c%d", i+1)
+		if err := srv.RegisterClient(server.ClientAccount{
+			ID:         id,
+			Allocation: []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{184, 164, byte(225 + i), 0}), 24)},
+			TunnelAddr: netip.AddrFrom4([4]byte{10, 250, 0, byte(i + 1)}),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ca, cb := bufconn.Pipe()
+		if err := srv.AcceptClient(id, ca); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := clientpkg.Connect(clientpkg.Config{
+			Name: id, RouterID: netip.AddrFrom4([4]byte{184, 164, byte(225 + i), 1}),
+		}, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		if err := cl.WaitEstablished(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = cl
+	}
+	return srv, up, clients
+}
+
+// xvRouteKey canonicalizes everything about a route a client can
+// observe; two runs agree iff their key sets per client are equal.
+func xvRouteKey(rt *rib.Route) string {
+	return fmt.Sprintf("%v as=%v nh=%v origin=%v comm=%v",
+		rt.Prefix, rt.Attrs.ASList(), rt.Attrs.NextHop, rt.Attrs.Origin, rt.Attrs.Communities)
+}
+
+func xvClientTable(cl *clientpkg.Client) map[string]bool {
+	table := make(map[string]bool)
+	for _, rt := range cl.Routes(1) {
+		table[xvRouteKey(rt)] = true
+	}
+	return table
+}
+
+// TestReplayCrossValidation runs the acceptance scenario in both mux
+// modes: a live 1-upstream × 8-client × 1000-route run is archived via
+// a collector's MRT sink (including mid-run withdraw/re-announce
+// churn); replaying the sealed segment into a fresh server must leave
+// every client with a byte-for-byte identical view of the table.
+func TestReplayCrossValidation(t *testing.T) {
+	const nClients, nRoutes, nWithdrawn, nChurned = 8, 1000, 100, 50
+	for _, mode := range []muxproto.Mode{muxproto.ModeQuagga, muxproto.ModeBIRD} {
+		t.Run(string(mode), func(t *testing.T) {
+			dir := t.TempDir()
+
+			// Live half: a router announcing the full table before any
+			// session comes up, feeding the server and, in parallel, a
+			// collector whose archive records the session.
+			rtr := router.New(router.Config{AS: 3356, RouterID: xvAddr("4.69.0.1")})
+			for i := 0; i < nRoutes; i++ {
+				spec := router.AnnounceSpec{}
+				if i%3 == 0 {
+					spec.Prepend = 1
+				}
+				if i%5 == 0 {
+					spec.Communities = []wire.Community{wire.CommNoExport}
+				}
+				rtr.Announce(xvPrefix(i), spec)
+			}
+
+			arch, err := mrt.NewArchive(mrt.ArchiveConfig{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := collector.New("xv", 47065, xvAddr("128.223.51.102"), nil)
+			col.AttachArchive(arch)
+			cp := rtr.AddPeer(router.PeerConfig{
+				Addr: col.RouterID(), LocalAddr: xvAddr("4.69.0.1"), AS: col.ASN(), Describe: "collector",
+			})
+			ca, cb := bufconn.Pipe()
+			col.AddPeer(ca, rtr.AS())
+			rtr.Attach(cp, cb)
+
+			liveSrv, liveUp, liveClients := xvServer(t, mode, nClients)
+			sp := rtr.AddPeer(router.PeerConfig{
+				Addr: xvAddr("184.164.224.1"), LocalAddr: xvAddr("4.69.0.1"), AS: 47065,
+			})
+			sa, sb := bufconn.Pipe()
+			liveSrv.AttachUpstream(liveUp, sa)
+			rtr.Attach(sp, sb)
+
+			waitFor(t, "live table", func() bool { return liveUp.RoutesIn() == nRoutes })
+			waitFor(t, "collector table", func() bool { return col.Prefixes() == nRoutes })
+
+			// Churn: withdraw 100 prefixes, then re-announce 50 of them
+			// with a longer path — the trace must carry the transition.
+			for i := 0; i < nWithdrawn; i++ {
+				rtr.Withdraw(xvPrefix(i))
+			}
+			for i := 0; i < nChurned; i++ {
+				rtr.Announce(xvPrefix(i), router.AnnounceSpec{Prepend: 3})
+			}
+			const want = nRoutes - nWithdrawn + nChurned
+			churned := xvPrefix(0)
+			settled := func(pathLen func(netip.Prefix) int, n func() int) func() bool {
+				return func() bool { return n() == want && pathLen(churned) == 4 }
+			}
+			waitFor(t, "live churn", func() bool { return liveUp.RoutesIn() == want })
+			waitFor(t, "collector churn", settled(func(p netip.Prefix) int {
+				if rt := col.Route(p); rt != nil {
+					return rt.Attrs.PathLen()
+				}
+				return 0
+			}, col.Prefixes))
+			for i, cl := range liveClients {
+				cl := cl
+				waitFor(t, fmt.Sprintf("live client %d churn", i+1), settled(func(p netip.Prefix) int {
+					for _, rt := range cl.RoutesFor(p) {
+						return rt.Attrs.PathLen()
+					}
+					return 0
+				}, func() int { return cl.RouteCount(1) }))
+			}
+
+			// Seal the archive and snapshot the live per-client tables.
+			sealed, snapshot, err := col.RotateArchive()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := arch.Close(); err != nil {
+				t.Fatal(err)
+			}
+			liveTables := make([]map[string]bool, nClients)
+			for i, cl := range liveClients {
+				liveTables[i] = xvClientTable(cl)
+				if len(liveTables[i]) != want {
+					t.Fatalf("live client %d holds %d routes, want %d", i+1, len(liveTables[i]), want)
+				}
+			}
+
+			// The RIB snapshot dumped at rotation matches the live table.
+			xvCheckSnapshot(t, snapshot, col, want)
+
+			// Replay half: a fresh server + clients, fed the sealed trace.
+			f, err := os.Open(sealed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			repSrv, repUp, repClients := xvServer(t, mode, nClients)
+			stats, sess, err := repSrv.ReplayUpstream(repUp, mrt.NewReader(f), mrt.ReplayConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			if stats.Routes < nRoutes || stats.Withdrawals < nWithdrawn {
+				t.Fatalf("trace carried %d announcements, %d withdrawals; want ≥%d and ≥%d",
+					stats.Routes, stats.Withdrawals, nRoutes, nWithdrawn)
+			}
+			for i, cl := range repClients {
+				cl := cl
+				waitFor(t, fmt.Sprintf("replay client %d churn", i+1), settled(func(p netip.Prefix) int {
+					for _, rt := range cl.RoutesFor(p) {
+						return rt.Attrs.PathLen()
+					}
+					return 0
+				}, func() int { return cl.RouteCount(1) }))
+			}
+
+			// The reproduced state: every client's table is identical to
+			// its live counterpart, attribute for attribute.
+			for i, cl := range repClients {
+				got := xvClientTable(cl)
+				if len(got) != len(liveTables[i]) {
+					t.Fatalf("replay client %d holds %d routes, live held %d", i+1, len(got), len(liveTables[i]))
+				}
+				for key := range liveTables[i] {
+					if !got[key] {
+						t.Errorf("replay client %d missing live route %s", i+1, key)
+					}
+				}
+				if t.Failed() {
+					t.FailNow()
+				}
+			}
+		})
+	}
+}
+
+// xvCheckSnapshot parses the TABLE_DUMP_V2 snapshot written at rotation
+// and checks it against the collector's live table.
+func xvCheckSnapshot(t *testing.T, path string, col *collector.Collector, want int) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := mrt.NewReader(f)
+	head, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := mrt.ParsePeerIndex(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi.Peers) != 1 || pi.Peers[0].AS != 3356 {
+		t.Fatalf("snapshot peer index: %+v", pi)
+	}
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := mrt.ParseRIB(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := col.Route(rr.Prefix)
+		if live == nil {
+			t.Fatalf("snapshot has %v, collector does not", rr.Prefix)
+		}
+		if got := rr.Entries[0].Attrs.PathLen(); got != live.Attrs.PathLen() {
+			t.Fatalf("snapshot path len %d for %v, live %d", got, rr.Prefix, live.Attrs.PathLen())
+		}
+		n++
+	}
+	if n != want {
+		t.Fatalf("snapshot holds %d RIB records, want %d", n, want)
+	}
+}
+
+// xvSynthTrace writes an n-record BGP4MP_ET trace with records spaced
+// apart evenly — the benchmark input.
+func xvSynthTrace(t testing.TB, dir string, n int, spacing time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, "bench.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mrt.NewWriter(f, nil)
+	base := time.Date(2014, 10, 27, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		msg, err := wire.Marshal(&wire.Update{
+			Attrs: &wire.Attrs{
+				Origin:  wire.OriginIGP,
+				ASPath:  []wire.Segment{{Type: wire.SegSequence, ASNs: []uint32{3356, 1299}}},
+				NextHop: xvAddr("4.69.0.1"),
+			},
+			Reach: []wire.NLRI{{Prefix: xvPrefix(i)}},
+		}, wire.Options{AS4: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &mrt.BGP4MP{
+			PeerAS: 3356, LocalAS: 47065,
+			PeerIP: xvAddr("4.69.0.1"), LocalIP: xvAddr("128.223.51.102"),
+			Message: msg, AS4: true,
+		}
+		rec, err := m.Record(base.Add(time.Duration(i)*spacing), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayBenchmark measures replay throughput over a synthetic
+// 1000-record trace, max-speed and timestamp-faithful (compressed
+// 5000×). When BENCH_REPLAY_JSON names a path (as `make bench`
+// arranges), both measurements are written there as JSON.
+func TestReplayBenchmark(t *testing.T) {
+	const nRecords = 1000
+	path := xvSynthTrace(t, t.TempDir(), nRecords, time.Millisecond)
+
+	maxSpeed, err := ReplayArchive(path, ModeBIRD, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSpeed.Records != nRecords || maxSpeed.RoutesAtServer != nRecords {
+		t.Fatalf("max-speed replay: %+v", maxSpeed)
+	}
+
+	timed, err := ReplayArchive(path, ModeBIRD, true, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Records != nRecords || timed.RoutesAtServer != nRecords {
+		t.Fatalf("timed replay: %+v", timed)
+	}
+	if timed.Elapsed <= 0 || timed.RecordsPerSec <= 0 {
+		t.Fatalf("timed replay has no pacing signal: %+v", timed)
+	}
+
+	t.Logf("max-speed: %d records in %v (%.0f rec/s); timed ×%g: %v, max lag %v",
+		maxSpeed.Records, maxSpeed.Elapsed, maxSpeed.RecordsPerSec,
+		timed.Speed, timed.Elapsed, timed.MaxLag)
+
+	if out := os.Getenv("BENCH_REPLAY_JSON"); out != "" {
+		b, err := json.MarshalIndent(map[string]any{
+			"records":   nRecords,
+			"max_speed": maxSpeed,
+			"timed":     timed,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
