@@ -19,21 +19,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Fan-out pipeline benchmarks. The acceptance test measures UPDATE
-# messages spent relaying a 1000-route table to 8 clients and writes
-# the result to BENCH_fanout.json.
+# Fan-out pipeline benchmarks. The acceptance tests measure UPDATE
+# messages spent relaying a 1000-route table to 8 clients
+# (BENCH_fanout.json) and the allocation cost of the same scenario
+# (BENCH_hotpath.json, with the committed pre-PR baseline alongside).
 bench:
 	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
+	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test ./internal/server/ -run TestRelayHotPathAllocs -count=1 -v
 	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
 	BENCH_REPLAY_JSON=$(CURDIR)/BENCH_replay.json $(GO) test . -run TestReplayBenchmark -count=1 -v
 
-# Short coverage-guided fuzz runs over the two wire-format decoders —
-# the MRT record codec and the BGP message codec. Go runs one fuzz
-# target per invocation, hence two commands. Seeds come from the golden
-# MRT fixtures, so a corpus regression fails fast.
+# Short coverage-guided fuzz runs over the wire-format decoders and the
+# attribute-equality invariant that interning rests on (Equal(a,b) ⟺
+# identical canonical encoding). Go runs one fuzz target per
+# invocation, hence one command each. Seeds come from the golden MRT
+# fixtures and canonical attribute blocks, so a corpus regression fails
+# fast.
 fuzz-smoke:
 	$(GO) test ./internal/mrt/ -run '^$$' -fuzz '^FuzzMRTRecord$$' -fuzztime 10s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzParseMessage$$' -fuzztime 10s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzAttrsEqual$$' -fuzztime 10s
 
 # Documentation gate: vet plus a check that every internal package (and
 # the root module) carries a package comment — godoc is part of the
@@ -45,4 +50,8 @@ docs: vet
 	fi
 	@echo "docs: all packages documented"
 
-check: build docs race fuzz-smoke
+# Both test flavors run in the gate: -race for the concurrency layer,
+# and a plain run because the allocation-budget tests (AllocsPerRun and
+# the relay-path budget) only assert without the race runtime's own
+# allocations in the way.
+check: build docs test race fuzz-smoke

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"peering/internal/bufpool"
 	"peering/internal/clock"
 	"peering/internal/telemetry"
 	"peering/internal/wire"
@@ -442,13 +443,20 @@ func (s *Session) writer() {
 }
 
 func (s *Session) writeMsg(m wire.Message, opts wire.Options) error {
-	b, err := wire.Marshal(m, opts)
+	// Encode into a pooled buffer: every transport below (bufconn,
+	// tunnel streams, faultconn) either copies the bytes or completes the
+	// write before returning, so the buffer is reusable as soon as
+	// conn.Write returns.
+	buf := bufpool.Get(0)
+	b, err := wire.AppendMessage(buf[:0], m, opts)
 	if err != nil {
+		bufpool.Put(buf)
 		return err
 	}
 	if _, err = s.conn.Write(b); err == nil {
 		s.cfg.Metrics.msgOut(m)
 	}
+	bufpool.Put(b)
 	return err
 }
 

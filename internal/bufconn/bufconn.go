@@ -40,11 +40,15 @@ type pipeAddr string
 func (a pipeAddr) Network() string { return "bufconn" }
 func (a pipeAddr) String() string  { return string(a) }
 
-// buffer is one direction's byte queue.
+// buffer is one direction's byte queue. Unread bytes live in
+// data[off:]; reads advance off and writes compact the consumed head
+// back to the front before growing, so a long-lived connection settles
+// into one reused backing array instead of reallocating per window.
 type buffer struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	data     []byte
+	off      int
 	limit    int
 	closed   bool
 	deadline time.Time // read deadline on this direction
@@ -64,12 +68,17 @@ func (b *buffer) write(p []byte) (int, error) {
 		if b.closed {
 			return total, io.ErrClosedPipe
 		}
-		space := b.limit - len(b.data)
+		space := b.limit - (len(b.data) - b.off)
 		if space == 0 {
 			b.cond.Wait()
 			continue
 		}
 		n := min(space, len(p))
+		if b.off > 0 && len(b.data)+n > cap(b.data) {
+			// Reclaim the consumed head instead of growing.
+			b.data = b.data[:copy(b.data, b.data[b.off:])]
+			b.off = 0
+		}
 		b.data = append(b.data, p[:n]...)
 		p = p[n:]
 		total += n
@@ -82,9 +91,12 @@ func (b *buffer) read(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		if len(b.data) > 0 {
-			n := copy(p, b.data)
-			b.data = b.data[n:]
+		if len(b.data) > b.off {
+			n := copy(p, b.data[b.off:])
+			b.off += n
+			if b.off == len(b.data) {
+				b.data, b.off = b.data[:0], 0
+			}
 			b.cond.Broadcast()
 			return n, nil
 		}

@@ -1,0 +1,61 @@
+// Package bufpool provides size-classed, sync.Pool-backed byte buffers
+// for the wire-format hot paths: message decode bodies, encode buffers,
+// and tunnel frames. A BGP mux moves one short-lived []byte per message
+// in each direction; without pooling that is an allocation (and GC work)
+// per message at every layer.
+//
+// Ownership contract: a buffer obtained from Get is owned by the caller
+// until Put returns it. Put hands ownership back to the pool — after
+// Put, the buffer's contents may be overwritten by any goroutine at any
+// time, so nothing reachable from long-lived state (RIB routes, intern
+// tables, archived records) may alias a pooled buffer. Decoders uphold
+// this by copying every byte they retain; see wire.ReadMessage.
+package bufpool
+
+import "sync"
+
+// classes are the pooled capacity tiers. BGP messages cap at 4096
+// bytes; tunnel frames and MRT records run larger. Requests above the
+// top class fall back to plain make and are not recycled.
+var classes = [...]int{256, 1024, 4096, 16384, 65536}
+
+var pools [len(classes)]sync.Pool
+
+// classFor returns the index of the smallest class holding n bytes, or
+// -1 if n exceeds every class.
+func classFor(n int) int {
+	for i, c := range classes {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer with len n. Its contents are undefined — callers
+// must overwrite before reading. Capacity may exceed n; append within
+// capacity never reallocates.
+func Get(n int) []byte {
+	i := classFor(n)
+	if i < 0 {
+		return make([]byte, n)
+	}
+	if v := pools[i].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, classes[i])
+}
+
+// Put returns b to its size class. Buffers whose capacity matches no
+// class (grown by append, or produced outside Get) are dropped for the
+// garbage collector. Callers must not use b after Put.
+func Put(b []byte) {
+	c := cap(b)
+	for i, cl := range classes {
+		if c == cl {
+			b = b[:0:c]
+			pools[i].Put(&b)
+			return
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndClass(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 4096, 65536} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) len = %d", n, len(b))
+		}
+		if c := classFor(n); c >= 0 && cap(b) != classes[c] {
+			t.Fatalf("Get(%d) cap = %d, want class %d", n, cap(b), classes[c])
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeFallsBack(t *testing.T) {
+	n := classes[len(classes)-1] + 1
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("oversize Get len = %d, want %d", len(b), n)
+	}
+	Put(b) // must not panic; dropped silently
+}
+
+func TestReuse(t *testing.T) {
+	// Not guaranteed by sync.Pool, but on a single goroutine with no GC
+	// in between, a Put buffer should come back.
+	b := Get(100)
+	b[0] = 0xAA
+	Put(b)
+	c := Get(100)
+	defer Put(c)
+	if cap(c) != cap(b) {
+		t.Logf("pool did not reuse (cap %d vs %d); allowed but unexpected", cap(c), cap(b))
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := (i*37)%5000 + 1
+				b := Get(n)
+				for j := range b {
+					b[j] = seed
+				}
+				for j := range b {
+					if b[j] != seed {
+						t.Error("buffer shared while owned")
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

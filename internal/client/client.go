@@ -66,6 +66,10 @@ type Client struct {
 	pkt  *tunnel.PacketTunnel
 	prov *muxproto.Provisioning
 
+	// intern canonicalizes attribute sets across all per-upstream views:
+	// the same route relayed for N upstreams costs one stored *Attrs.
+	intern *wire.InternTable
+
 	mu        sync.Mutex
 	sessions  map[uint32]*bgp.Session // upstream ID → session (BIRD: key 0)
 	views     map[uint32]*rib.AdjRIB  // upstream ID → received routes
@@ -91,6 +95,7 @@ func Connect(cfg Config, conn net.Conn) (*Client, error) {
 	c := &Client{
 		cfg:       cfg,
 		clk:       cfg.Clock,
+		intern:    wire.NewInternTable(),
 		sessions:  make(map[uint32]*bgp.Session),
 		views:     make(map[uint32]*rib.AdjRIB),
 		announced: make(map[netip.Prefix]AnnounceOptions),
@@ -333,6 +338,9 @@ func (c *Client) handleUpdate(upstreamID uint32, bird bool, sess *bgp.Session, u
 		}
 		return upstreamID, n.ID
 	}
+	// Intern once per UPDATE: all NLRIs (and, for a stable route, all
+	// later re-announcements) share one stored attribute set.
+	upd.Attrs = c.intern.Intern(upd.Attrs)
 	c.mu.Lock()
 	for _, n := range upd.Withdrawn {
 		vid, pid := viewFor(n)
@@ -341,20 +349,23 @@ func (c *Client) handleUpdate(upstreamID uint32, bird bool, sess *bgp.Session, u
 		}
 	}
 	if upd.Attrs != nil {
+		now := c.clk.Now()
+		firstAS := upd.Attrs.FirstAS()
 		for _, n := range upd.Reach {
 			vid, pid := viewFor(n)
 			v := c.views[vid]
 			if v == nil {
 				v = rib.NewAdjRIB()
+				v.SetInterner(c.intern)
 				c.views[vid] = v
 			}
 			v.Set(&rib.Route{
 				Prefix:  n.Prefix,
-				Attrs:   upd.Attrs.Clone(),
+				Attrs:   upd.Attrs,
 				Src:     rib.PeerKey{Addr: c.upstreamAddr(vid), PathID: pid},
-				PeerAS:  upd.Attrs.FirstAS(),
+				PeerAS:  firstAS,
 				EBGP:    true,
-				Learned: c.clk.Now(),
+				Learned: now,
 			})
 		}
 	}
@@ -421,7 +432,10 @@ func (c *Client) Routes(id uint32) []*rib.Route {
 	}
 	var out []*rib.Route
 	v.Walk(func(r *rib.Route) bool {
-		out = append(out, r)
+		// Copy: view routes are reused in place on re-announcement, and
+		// the caller reads the result outside c.mu.
+		cp := *r
+		out = append(out, &cp)
 		return true
 	})
 	return out
@@ -446,7 +460,8 @@ func (c *Client) RoutesFor(p netip.Prefix) map[uint32]*rib.Route {
 	out := map[uint32]*rib.Route{}
 	for id, v := range c.views {
 		if r := v.Get(p, 0); r != nil {
-			out[id] = r
+			cp := *r // copy: view routes are reused in place on re-announcement
+			out[id] = &cp
 		}
 	}
 	return out

@@ -60,6 +60,12 @@ type Collector struct {
 	arch         *archiveSink
 	mDropped     *telemetry.Counter
 	mArchiveErrs *telemetry.Counter
+
+	// intern canonicalizes attribute sets across the ring buffer and the
+	// merged RIB; pathCache memoizes the flattened AS path per canonical
+	// set, since every archived record of a stable route repeats it.
+	intern    *wire.InternTable
+	pathCache map[*wire.Attrs][]uint32
 }
 
 // watch is a pending WaitForPrefix.
@@ -74,7 +80,11 @@ func New(name string, asn uint32, id netip.Addr, clk clock.Clock) *Collector {
 	if clk == nil {
 		clk = clock.System
 	}
-	return &Collector{name: name, asn: asn, id: id, clk: clk, logCap: DefaultLogCap, rib: rib.NewLocRIB()}
+	return &Collector{
+		name: name, asn: asn, id: id, clk: clk, logCap: DefaultLogCap, rib: rib.NewLocRIB(),
+		intern:    wire.NewInternTable(),
+		pathCache: make(map[*wire.Attrs][]uint32),
+	}
 }
 
 // SetLogCap bounds the in-memory update log to n records (n <= 0 means
@@ -182,15 +192,32 @@ func (h *peerHandler) Closed(*bgp.Session, error) {
 	h.c.mu.Unlock()
 }
 
+// flatPath returns the memoized flattened AS path of a canonical
+// (interned) attribute set. Records share the returned slice and treat
+// it as read-only.
+func (c *Collector) flatPath(a *wire.Attrs) []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pathCache[a]; ok {
+		return p
+	}
+	p := a.ASList()
+	c.pathCache[a] = p
+	return p
+}
+
 // archive records an update and fires watches.
 func (c *Collector) archive(sess *bgp.Session, upd *wire.Update) {
 	c.archiveMRT(sess, upd)
+	// Canonicalize once: the decoded attrs of a stable route resolve to
+	// the pointer already held by the RIB, the log, and the path cache.
+	upd.Attrs = c.intern.Intern(upd.Attrs)
 	rec := UpdateRecord{Time: c.clk.Now(), PeerAS: sess.PeerAS()}
 	for _, n := range upd.Withdrawn {
 		rec.Withdrawn = append(rec.Withdrawn, n.Prefix)
 	}
 	if upd.Attrs != nil {
-		rec.Path = upd.Attrs.ASList()
+		rec.Path = c.flatPath(upd.Attrs)
 		for _, n := range upd.Reach {
 			rec.Reach = append(rec.Reach, n.Prefix)
 		}
@@ -209,7 +236,7 @@ func (c *Collector) archive(sess *bgp.Session, upd *wire.Update) {
 	if upd.Attrs != nil {
 		for _, p := range rec.Reach {
 			c.rib.Update(&rib.Route{
-				Prefix: p, Attrs: upd.Attrs.Clone(), Src: src,
+				Prefix: p, Attrs: upd.Attrs, Src: src,
 				PeerAS: sess.PeerAS(), PeerID: sess.PeerID(), EBGP: true,
 				Learned: rec.Time,
 			})

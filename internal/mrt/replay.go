@@ -32,6 +32,10 @@ type ReplayConfig struct {
 	// Metrics receives replay counts and lag observations (nil
 	// disables).
 	Metrics *Metrics
+	// Intern, when set, canonicalizes each decoded update's attribute
+	// set before delivery, so a long churny trace resolves repeated
+	// attribute sets to shared pointers instead of allocating per record.
+	Intern *wire.InternTable
 }
 
 // ReplayStats summarizes a replay run.
@@ -98,6 +102,7 @@ func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) err
 			st.Skipped++ // OPEN/NOTIFICATION/KEEPALIVE in the trace
 			continue
 		}
+		upd.Attrs = cfg.Intern.Intern(upd.Attrs)
 		if st.Records == 0 {
 			t0 = rec.Time
 			start = clk.Now()

@@ -123,8 +123,9 @@ func Better(a, b *Route) bool {
 // AdjRIB is the set of routes received from (Adj-RIB-In) or sent to
 // (Adj-RIB-Out) a single peer. It is not safe for concurrent use.
 type AdjRIB struct {
-	t *trie.Trie[map[wire.PathID]*Route]
-	n int
+	t      *trie.Trie[map[wire.PathID]*Route]
+	n      int
+	intern *wire.InternTable
 }
 
 // NewAdjRIB returns an empty per-peer table.
@@ -132,20 +133,40 @@ func NewAdjRIB() *AdjRIB {
 	return &AdjRIB{t: trie.New[map[wire.PathID]*Route]()}
 }
 
-// Set stores r, replacing any previous route with the same prefix and
-// path ID. It returns the replaced route, if any.
-func (a *AdjRIB) Set(r *Route) *Route {
+// SetInterner makes the table canonicalize stored attribute pointers
+// through t, so routes sharing an attribute set share one *wire.Attrs.
+// Attrs stored in an interning table are frozen per the wire package's
+// interning contract.
+func (a *AdjRIB) SetInterner(t *wire.InternTable) {
+	a.intern = t
+}
+
+// Set stores a copy of *r, reporting whether it replaced a previous
+// route with the same prefix and path ID. r itself is never retained,
+// so callers can pass a stack-allocated Route; a replacement reuses
+// the stored Route in place rather than allocating. Consequently
+// routes observed via Get or Walk are owned by the table: they may be
+// overwritten by a later Set, and callers that hand them out beyond
+// the table's lock must copy. With an interner configured, the stored
+// Attrs is the canonical pointer.
+func (a *AdjRIB) Set(r *Route) bool {
+	if a.intern != nil {
+		r.Attrs = a.intern.Intern(r.Attrs)
+	}
 	m, ok := a.t.Get(r.Prefix)
 	if !ok {
 		m = make(map[wire.PathID]*Route, 1)
 		a.t.Insert(r.Prefix, m)
 	}
-	old := m[r.Src.PathID]
-	m[r.Src.PathID] = r
-	if old == nil {
-		a.n++
+	if old := m[r.Src.PathID]; old != nil {
+		*old = *r
+		return true
 	}
-	return old
+	nr := new(Route)
+	*nr = *r
+	m[r.Src.PathID] = nr
+	a.n++
+	return false
 }
 
 // Remove deletes the route for (prefix, id), returning it if present.

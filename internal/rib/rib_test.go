@@ -222,20 +222,28 @@ func TestMEDIntransitivityExists(t *testing.T) {
 func TestAdjRIBSetRemove(t *testing.T) {
 	a := NewAdjRIB()
 	r1 := mkRoute("10.0.0.0/8", "192.0.2.1", nil)
-	if old := a.Set(r1); old != nil {
-		t.Fatal("first Set returned old route")
+	if a.Set(r1) {
+		t.Fatal("first Set reported a replacement")
+	}
+	stored := a.Get(prefix("10.0.0.0/8"), 0)
+	if stored == nil || stored == r1 {
+		t.Fatal("Set must store a copy, not retain the caller's Route")
 	}
 	r2 := mkRoute("10.0.0.0/8", "192.0.2.1", func(r *Route) { r.Attrs.Origin = wire.OriginEGP })
-	if old := a.Set(r2); old != r1 {
-		t.Fatal("replace did not return previous route")
+	if !a.Set(r2) {
+		t.Fatal("replace not reported")
 	}
 	if a.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", a.Len())
 	}
-	if got := a.Get(prefix("10.0.0.0/8"), 0); got != r2 {
-		t.Fatal("Get returned wrong route")
+	got := a.Get(prefix("10.0.0.0/8"), 0)
+	if got != stored {
+		t.Fatal("replacement must reuse the stored Route in place")
 	}
-	if rm := a.Remove(prefix("10.0.0.0/8"), 0); rm != r2 {
+	if got.Attrs.Origin != wire.OriginEGP {
+		t.Fatal("replacement did not update stored route contents")
+	}
+	if rm := a.Remove(prefix("10.0.0.0/8"), 0); rm != stored {
 		t.Fatal("Remove returned wrong route")
 	}
 	if a.Len() != 0 || a.Remove(prefix("10.0.0.0/8"), 0) != nil {

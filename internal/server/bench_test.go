@@ -139,13 +139,7 @@ func TestFanoutMessageReduction(t *testing.T) {
 	// Cross-check the stat against the sessions' own send counters:
 	// every UPDATE toward a client goes through the fan-out pipeline.
 	var sent uint64
-	fb.srv.mu.Lock()
-	conns := make([]*clientConn, 0, len(fb.srv.clients))
-	for _, c := range fb.srv.clients {
-		conns = append(conns, c)
-	}
-	fb.srv.mu.Unlock()
-	for _, c := range conns {
+	for _, c := range fb.srv.clientList() {
 		if sess := c.session(1); sess != nil {
 			sent += sess.SentUpdates()
 		}

@@ -117,14 +117,15 @@ func (q *outQueue) wake() {
 }
 
 // take drains everything pending, in enqueue order, along with the
-// counter deltas accumulated since the last take.
-func (q *outQueue) take() (ops []outOp, eors []uint32, ctr outCounters) {
+// counter deltas accumulated since the last take. The caller passes
+// back the slices from its previous take (done with them) so a steady
+// drain loop recycles two op buffers instead of growing fresh ones;
+// the index map is cleared in place for the same reason.
+func (q *outQueue) take(opsReuse []outOp, eorsReuse []uint32) (ops []outOp, eors []uint32, ctr outCounters) {
 	q.mu.Lock()
-	ops, q.ops = q.ops, nil
-	eors, q.eors = q.eors, nil
-	if len(q.pending) > 0 {
-		q.pending = make(map[outKey]int, len(q.pending))
-	}
+	ops, q.ops = q.ops, opsReuse[:0]
+	eors, q.eors = q.eors, eorsReuse[:0]
+	clear(q.pending)
 	ctr, q.ctr = q.ctr, outCounters{}
 	q.mu.Unlock()
 	return ops, eors, ctr
@@ -158,12 +159,12 @@ func (s *Server) enqueueUpdate(c *clientConn, upstream uint32, upd *wire.Update)
 // through the same queue as live fan-out, so a replay can never deliver
 // an announcement behind a concurrent withdrawal of the same prefix.
 func (s *Server) enqueueReplay(c *clientConn, u *Upstream, eor bool) {
-	u.mu.Lock()
+	u.mu.RLock()
 	u.adjIn.Walk(func(r *rib.Route) bool {
 		c.out.put(u.cfg.ID, r.Prefix, r.Attrs)
 		return true
 	})
-	u.mu.Unlock()
+	u.mu.RUnlock()
 	if eor {
 		key := u.cfg.ID
 		if s.cfg.Mode == muxproto.ModeBIRD {
@@ -176,13 +177,16 @@ func (s *Server) enqueueReplay(c *clientConn, u *Upstream, eor bool) {
 // runFanout is the per-client worker: it drains the client's queue and
 // flushes batches until the client's transport dies.
 func (s *Server) runFanout(c *clientConn) {
+	var ops []outOp
+	var eors []uint32
 	for {
 		select {
 		case <-c.out.notify:
 		case <-c.mux.Done():
 			return
 		}
-		ops, eors, ctr := c.out.take()
+		var ctr outCounters
+		ops, eors, ctr = c.out.take(ops, eors)
 		s.flushFanout(c, ops, eors, ctr)
 	}
 }
@@ -193,10 +197,16 @@ func (s *Server) runFanout(c *clientConn) {
 // when the session comes back, so nothing is lost — only deferred.
 func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outCounters) {
 	bird := s.cfg.Mode == muxproto.ModeBIRD
+	// Announcements are gathered directly into per-attrs NLRI runs so
+	// PackGrouped can alias them into the produced updates with no
+	// further copying. Everything built here must stay fresh per drain:
+	// the session writer consumes the updates (and thus these slices)
+	// asynchronously, after this call returns.
 	type batch struct {
-		sess  *bgp.Session
-		wd    []wire.NLRI
-		reach []wire.AttrRoute
+		sess   *bgp.Session
+		wd     []wire.NLRI
+		groups []wire.AttrGroup
+		gidx   map[*wire.Attrs]int
 	}
 	batches := make(map[uint32]*batch)
 	var order []uint32
@@ -212,7 +222,7 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 		}
 		return b
 	}
-	for _, op := range ops {
+	for i, op := range ops {
 		skey := op.key.upstream
 		pathID := wire.PathID(0)
 		if bird {
@@ -226,18 +236,33 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 		n := wire.NLRI{Prefix: op.key.prefix, ID: pathID}
 		if op.attrs == nil {
 			b.wd = append(b.wd, n)
-		} else {
-			b.reach = append(b.reach, wire.AttrRoute{NLRI: n, Attrs: op.attrs})
+			continue
 		}
+		if b.gidx == nil {
+			b.gidx = make(map[*wire.Attrs]int, 1)
+		}
+		gi, ok := b.gidx[op.attrs]
+		if !ok {
+			gi = len(b.groups)
+			b.gidx[op.attrs] = gi
+			b.groups = append(b.groups, wire.AttrGroup{Attrs: op.attrs})
+			if gi == 0 {
+				// Interned relay traffic is overwhelmingly one attribute
+				// set per drain: give the first run room for every
+				// remaining op so the hot path allocates exactly once.
+				b.groups[0].NLRIs = make([]wire.NLRI, 0, len(ops)-i)
+			}
+		}
+		b.groups[gi].NLRIs = append(b.groups[gi].NLRIs, n)
 	}
 	m := s.metrics
 	var sent, relayed uint64
 	for _, skey := range order {
 		b := batches[skey]
-		if b.sess == nil || (len(b.wd) == 0 && len(b.reach) == 0) {
+		if b.sess == nil || (len(b.wd) == 0 && len(b.groups) == 0) {
 			continue
 		}
-		for _, upd := range wire.PackUpdates(b.wd, b.reach, b.sess.Options()) {
+		for _, upd := range wire.PackGrouped(b.wd, b.groups, b.sess.Options()) {
 			if err := b.sess.Send(upd); err != nil {
 				break // session died mid-flush; Established replay recovers
 			}

@@ -43,7 +43,7 @@ func TestOutQueueCoalescing(t *testing.T) {
 	q.put(1, pA, a1)
 	q.put(1, pA, nil)
 	q.put(1, pA, a2)
-	ops, eors, ctr := q.take()
+	ops, eors, ctr := q.take(nil, nil)
 	if len(ops) != 1 || len(eors) != 0 {
 		t.Fatalf("got %d ops, %d eors; want 1, 0", len(ops), len(eors))
 	}
@@ -59,7 +59,7 @@ func TestOutQueueCoalescing(t *testing.T) {
 	q.put(1, pA, a1)
 	q.put(1, pB, a1)
 	q.put(1, pA, nil)
-	ops, _, ctr = q.take()
+	ops, _, ctr = q.take(nil, nil)
 	if len(ops) != 2 {
 		t.Fatalf("got %d ops, want 2", len(ops))
 	}
@@ -77,7 +77,7 @@ func TestOutQueueCoalescing(t *testing.T) {
 	// coalescing across upstream IDs.
 	q.put(1, pA, a1)
 	q.put(2, pA, a1)
-	ops, _, ctr = q.take()
+	ops, _, ctr = q.take(nil, nil)
 	if len(ops) != 2 || ctr.coalesced != 0 {
 		t.Fatalf("cross-upstream ops = %d (coalesced %d), want 2 (0)", len(ops), ctr.coalesced)
 	}
@@ -85,11 +85,11 @@ func TestOutQueueCoalescing(t *testing.T) {
 	// End-of-RIB markers drain alongside ops, and take empties the queue.
 	q.put(1, pA, a1)
 	q.putEoR(1)
-	ops, eors, _ = q.take()
+	ops, eors, _ = q.take(nil, nil)
 	if len(ops) != 1 || len(eors) != 1 || eors[0] != 1 {
 		t.Fatalf("ops=%d eors=%v, want 1 op and EoR for upstream 1", len(ops), eors)
 	}
-	if ops, eors, _ := q.take(); len(ops) != 0 || len(eors) != 0 || q.depth() != 0 {
+	if ops, eors, _ := q.take(nil, nil); len(ops) != 0 || len(eors) != 0 || q.depth() != 0 {
 		t.Fatalf("queue not empty after take: %d ops, %d eors, depth %d", len(ops), len(eors), q.depth())
 	}
 }
@@ -103,7 +103,7 @@ func TestOutQueueBackpressureCounters(t *testing.T) {
 	q.put(1, prefix("11.1.0.0/16"), a)
 	q.put(1, prefix("11.2.0.0/16"), a)
 	q.put(1, prefix("11.3.0.0/16"), a) // 4th distinct key: over the soft limit
-	_, _, ctr := q.take()
+	_, _, ctr := q.take(nil, nil)
 	if ctr.backpressure != 2 {
 		t.Fatalf("backpressure = %d, want 2 (keys 3 and 4 over limit 2)", ctr.backpressure)
 	}

@@ -130,11 +130,11 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 		func(emit func(v float64, labelValues ...string)) {
 			byOwner := make(map[string]int)
 			for _, u := range s.Upstreams() {
-				u.mu.Lock()
+				u.mu.RLock()
 				for _, ad := range u.advertised {
 					byOwner[ad.owner]++
 				}
-				u.mu.Unlock()
+				u.mu.RUnlock()
 			}
 			for owner, n := range byOwner {
 				emit(float64(n), owner)

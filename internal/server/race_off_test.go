@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; its
+// runtime instrumentation allocates on its own, so allocation budgets
+// are only enforced in non-race runs.
+const raceEnabled = false

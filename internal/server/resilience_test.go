@@ -58,9 +58,9 @@ func relaxedDampening() dampen.Config {
 // armed (both happen under one lock), so it is safe to Advance past the
 // backoff delay.
 func clientSupFailures(s *Server, id string, key uint32) int {
-	s.mu.Lock()
+	s.clMu.RLock()
 	c := s.clients[id]
-	s.mu.Unlock()
+	s.clMu.RUnlock()
 	if c == nil {
 		return 0
 	}

@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
-	"reflect"
 	"sync"
 	"time"
 
@@ -174,7 +173,7 @@ type Upstream struct {
 	cfg UpstreamConfig
 	srv *Server
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	sess  *bgp.Session
 	sup   *bgp.Supervisor
 	adjIn *rib.AdjRIB
@@ -188,17 +187,18 @@ type Upstream struct {
 // Config returns the upstream's configuration.
 func (u *Upstream) Config() UpstreamConfig { return u.cfg }
 
-// Established reports whether the upstream session is up.
+// Established reports whether the upstream session is up. Read-only:
+// stats pollers calling this never block the update write path.
 func (u *Upstream) Established() bool {
-	u.mu.Lock()
-	defer u.mu.Unlock()
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	return u.sess != nil && u.sess.State() == bgp.StateEstablished
 }
 
 // RoutesIn reports how many routes this peer currently exports to us.
 func (u *Upstream) RoutesIn() int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	return u.adjIn.Len()
 }
 
@@ -279,20 +279,37 @@ func (c *clientConn) drainSupervisors() {
 }
 
 // Server is a PEERING server instance.
+//
+// Lock hierarchy (DESIGN.md §12): the registry locks below are leaves —
+// code holding an Upstream.mu or clientConn.mu may take them, never the
+// reverse, and no code path holds two registry locks at once. All three
+// registries are read-mostly: the hot path (relay, vetting, stats) only
+// ever read-locks them, so concurrent upstream readers stop serializing
+// on client admission and bookkeeping.
 type Server struct {
 	cfg     Config
 	damper  *dampen.Damper
 	clk     clock.Clock
 	dp      *dataplane.Router
 	metrics *serverMetrics
+	// intern canonicalizes every attribute set the server stores or
+	// relays, so N clients × M routes share O(distinct attr sets) memory.
+	intern *wire.InternTable
 
-	mu        sync.Mutex
+	upMu      sync.RWMutex
 	upstreams map[uint32]*Upstream
-	clients   map[string]*clientConn
-	accounts  map[string]ClientAccount
-	alloc     *trie.Trie[string] // prefix → client ID
-	// restartTimers backstop per-client graceful-restart windows: if the
-	// client has not re-announced its stale routes by then, they flush.
+
+	clMu    sync.RWMutex
+	clients map[string]*clientConn
+
+	acctMu   sync.RWMutex
+	accounts map[string]ClientAccount
+	alloc    *trie.Trie[string] // prefix → client ID
+
+	// timerMu guards restartTimers, which backstop per-client
+	// graceful-restart windows: if the client has not re-announced its
+	// stale routes by then, they flush.
+	timerMu       sync.Mutex
 	restartTimers map[string]clock.Timer
 }
 
@@ -319,6 +336,7 @@ func New(cfg Config) *Server {
 		damper:        dampen.New(cfg.Dampening, cfg.Clock),
 		clk:           cfg.Clock,
 		dp:            dataplane.NewRouter(cfg.Site),
+		intern:        wire.NewInternTable(),
 		upstreams:     make(map[uint32]*Upstream),
 		clients:       make(map[string]*clientConn),
 		accounts:      make(map[string]ClientAccount),
@@ -347,27 +365,28 @@ func (s *Server) AddUpstream(cfg UpstreamConfig) (*Upstream, error) {
 	if cfg.ID == 0 {
 		return nil, errors.New("server: upstream ID must be ≥1 (0 is reserved)")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
 	if _, dup := s.upstreams[cfg.ID]; dup {
 		return nil, fmt.Errorf("server: upstream ID %d already registered", cfg.ID)
 	}
 	u := &Upstream{cfg: cfg, srv: s, adjIn: rib.NewAdjRIB(), advertised: make(map[netip.Prefix]*advert)}
+	u.adjIn.SetInterner(s.intern)
 	s.upstreams[cfg.ID] = u
 	return u, nil
 }
 
 // Upstream returns the upstream with the given ID.
 func (s *Server) Upstream(id uint32) *Upstream {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.upMu.RLock()
+	defer s.upMu.RUnlock()
 	return s.upstreams[id]
 }
 
 // Upstreams lists all registered upstream peers.
 func (s *Server) Upstreams() []*Upstream {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.upMu.RLock()
+	defer s.upMu.RUnlock()
 	out := make([]*Upstream, 0, len(s.upstreams))
 	for _, u := range s.upstreams {
 		out = append(out, u)
@@ -465,21 +484,26 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 		s.flushUpstreamStale(u)
 		return
 	}
+	// Canonicalize the attribute set once: a stable table re-announced by
+	// a churny peer resolves to the pointer already shared by the RIB and
+	// every client queue, so nothing below clones.
+	upd.Attrs = s.intern.Intern(upd.Attrs)
 	// Book-keep Adj-RIB-In so late-joining clients get a full replay.
 	u.mu.Lock()
 	for _, n := range upd.Withdrawn {
 		u.adjIn.Remove(n.Prefix, 0)
 	}
 	if upd.Attrs != nil {
+		now := s.clk.Now()
 		for _, n := range upd.Reach {
 			u.adjIn.Set(&rib.Route{
 				Prefix:  n.Prefix,
-				Attrs:   upd.Attrs.Clone(),
+				Attrs:   upd.Attrs,
 				Src:     rib.PeerKey{Addr: u.cfg.PeerAddr},
 				PeerAS:  sess.PeerAS(),
 				PeerID:  sess.PeerID(),
 				EBGP:    true,
-				Learned: s.clk.Now(),
+				Learned: now,
 			})
 		}
 	}
@@ -569,8 +593,8 @@ func (s *Server) flushUpstreamStale(u *Upstream) {
 
 // clientList snapshots the connected clients.
 func (s *Server) clientList() []*clientConn {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clMu.RLock()
+	defer s.clMu.RUnlock()
 	clients := make([]*clientConn, 0, len(s.clients))
 	for _, c := range s.clients {
 		clients = append(clients, c)
@@ -584,8 +608,8 @@ func (s *Server) clientList() []*clientConn {
 // RegisterClient records a vetted experiment account. Must precede
 // AcceptClient for that ID.
 func (s *Server) RegisterClient(acct ClientAccount) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.acctMu.Lock()
+	defer s.acctMu.Unlock()
 	if _, dup := s.accounts[acct.ID]; dup {
 		return fmt.Errorf("server: client %q already registered", acct.ID)
 	}
@@ -604,16 +628,16 @@ func (s *Server) RegisterClient(acct ClientAccount) error {
 // allocatedTo reports whether prefix p falls inside client id's
 // allocation (p must be covered by an allocated block owned by id).
 func (s *Server) allocatedTo(id string, p netip.Prefix) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.acctMu.RLock()
+	defer s.acctMu.RUnlock()
 	_, owner, ok := s.alloc.LookupPrefix(p)
 	return ok && owner == id
 }
 
 // ownerOfAddr returns the client owning the allocation containing addr.
 func (s *Server) ownerOfAddr(addr netip.Addr) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.acctMu.RLock()
+	defer s.acctMu.RUnlock()
 	_, owner, ok := s.alloc.Lookup(addr)
 	return owner, ok
 }
@@ -625,19 +649,17 @@ func (s *Server) ownerOfAddr(addr netip.Addr) (string, bool) {
 // down and its announced routes are retained stale so the fresh
 // connection can reclaim them without churning the upstreams.
 func (s *Server) AcceptClient(id string, conn net.Conn) error {
-	s.mu.Lock()
+	s.acctMu.RLock()
 	acct, ok := s.accounts[id]
+	s.acctMu.RUnlock()
 	if !ok {
-		s.mu.Unlock()
 		return fmt.Errorf("server: unknown client %q (experiments must be vetted first)", id)
 	}
+	s.clMu.Lock()
 	old := s.clients[id]
 	delete(s.clients, id)
-	upstreams := make([]*Upstream, 0, len(s.upstreams))
-	for _, u := range s.upstreams {
-		upstreams = append(upstreams, u)
-	}
-	s.mu.Unlock()
+	s.clMu.Unlock()
+	upstreams := s.Upstreams()
 	if old != nil {
 		old.stopSupervisors()
 		old.mux.Close()
@@ -648,9 +670,9 @@ func (s *Server) AcceptClient(id string, conn net.Conn) error {
 	c.out = newOutQueue(s.cfg.FanoutHighWater)
 	c.mux = tunnel.NewMux(conn, nil)
 
-	s.mu.Lock()
+	s.clMu.Lock()
 	s.clients[id] = c
-	s.mu.Unlock()
+	s.clMu.Unlock()
 
 	// The fan-out worker drains c.out for the life of the transport.
 	go s.runFanout(c)
@@ -753,23 +775,18 @@ func (s *Server) clientHandshake(c *clientConn, upstreams []*Upstream) {
 
 // ClientCount reports connected clients.
 func (s *Server) ClientCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clMu.RLock()
+	defer s.clMu.RUnlock()
 	return len(s.clients)
 }
 
 // QueueDepths reports each connected client's pending fan-out queue
 // depth (operations plus end-of-RIB markers not yet flushed) — the live
-// backpressure view behind GET /stats.
+// backpressure view behind GET /stats. Stats pollers hold only the
+// read lock, so they never stall client admission or the relay path.
 func (s *Server) QueueDepths() map[string]int {
 	out := make(map[string]int)
-	s.mu.Lock()
-	clients := make([]*clientConn, 0, len(s.clients))
-	for _, c := range s.clients {
-		clients = append(clients, c)
-	}
-	s.mu.Unlock()
-	for _, c := range clients {
+	for _, c := range s.clientList() {
 		out[c.account.ID] = c.out.depth()
 	}
 	return out
@@ -784,13 +801,13 @@ func (s *Server) QueueDepths() map[string]int {
 // left to retain.
 func (s *Server) detachClient(c *clientConn) {
 	id := c.account.ID
-	s.mu.Lock()
+	s.clMu.Lock()
 	if s.clients[id] != c {
-		s.mu.Unlock()
+		s.clMu.Unlock()
 		return // superseded by a newer connection, or already detached
 	}
 	delete(s.clients, id)
-	s.mu.Unlock()
+	s.clMu.Unlock()
 	c.drainSupervisors()
 	s.markClientStale(id, nil)
 }
@@ -818,13 +835,13 @@ func (s *Server) markClientStale(id string, only *Upstream) {
 		return
 	}
 	s.metrics.staleRetained.Add(uint64(n))
-	s.mu.Lock()
+	s.timerMu.Lock()
 	if _, armed := s.restartTimers[id]; !armed {
 		s.restartTimers[id] = s.clk.AfterFunc(s.cfg.RestartWindow, func() {
 			s.flushClientStale(id, nil)
 		})
 	}
-	s.mu.Unlock()
+	s.timerMu.Unlock()
 }
 
 // flushClientStale withdraws from upstreams every advert of client id
@@ -860,12 +877,12 @@ func (s *Server) flushClientStale(id string, only *Upstream) {
 	}
 	// Disarm the backstop once nothing stale remains for this client.
 	if s.clientStaleCount(id) == 0 {
-		s.mu.Lock()
+		s.timerMu.Lock()
 		if t := s.restartTimers[id]; t != nil {
 			t.Stop()
 			delete(s.restartTimers, id)
 		}
-		s.mu.Unlock()
+		s.timerMu.Unlock()
 	}
 }
 
@@ -873,13 +890,13 @@ func (s *Server) flushClientStale(id string, only *Upstream) {
 func (s *Server) clientStaleCount(id string) int {
 	n := 0
 	for _, u := range s.Upstreams() {
-		u.mu.Lock()
+		u.mu.RLock()
 		for _, ad := range u.advertised {
 			if ad.owner == id && ad.stale {
 				n++
 			}
 		}
-		u.mu.Unlock()
+		u.mu.RUnlock()
 	}
 	return n
 }
@@ -980,9 +997,9 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 		s.flushClientStale(c.account.ID, u)
 		return
 	}
-	u.mu.Lock()
+	u.mu.RLock()
 	sess := u.sess
-	u.mu.Unlock()
+	u.mu.RUnlock()
 	// est decides whether operations reach the wire now. When the
 	// upstream is down, announcements are only recorded in u.advertised
 	// — the Established handler replays that map, so nothing is lost —
@@ -1023,10 +1040,12 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 			// Graceful re-announcement: the prefix is already advertised
 			// (retained stale across the client's restart) with identical
 			// attributes. Reclaim it silently — no upstream churn, and no
-			// dampening penalty for a flap the world never saw.
+			// dampening penalty for a flap the world never saw. Both sides
+			// are interned, so identity is a pointer compare (Equal is the
+			// semantic check the interner already applied).
 			u.mu.Lock()
 			if ad := u.advertised[n.Prefix]; ad != nil && ad.owner == c.account.ID &&
-				ad.stale && reflect.DeepEqual(ad.attrs, attrs) {
+				ad.stale && ad.attrs == attrs {
 				ad.stale = false
 				u.mu.Unlock()
 				continue
@@ -1125,7 +1144,10 @@ func (s *Server) vetAnnouncement(c *clientConn, u *Upstream, p netip.Prefix, att
 	}
 	out.HasLocalPref = false
 	out.NextHop = u.cfg.LocalAddr
-	return true, out
+	// Interning the vetted result makes a client's graceful
+	// re-announcement resolve to the very pointer stored in u.advertised,
+	// and dedups the N-routes-one-policy case.
+	return true, s.intern.Intern(out)
 }
 
 // stripPrivate removes private ASNs from the path (keeps ownAS).
@@ -1186,18 +1208,12 @@ func (s *Server) handleClientPacket(c *clientConn, pkt *dataplane.Packet) {
 // Close tears down all sessions, supervisors, restart timers, and
 // client transports.
 func (s *Server) Close() {
-	s.mu.Lock()
-	clients := make([]*clientConn, 0, len(s.clients))
-	for _, c := range s.clients {
-		clients = append(clients, c)
-	}
-	ups := make([]*Upstream, 0, len(s.upstreams))
-	for _, u := range s.upstreams {
-		ups = append(ups, u)
-	}
+	clients := s.clientList()
+	ups := s.Upstreams()
+	s.timerMu.Lock()
 	timers := s.restartTimers
 	s.restartTimers = make(map[string]clock.Timer)
-	s.mu.Unlock()
+	s.timerMu.Unlock()
 	for _, t := range timers {
 		t.Stop()
 	}

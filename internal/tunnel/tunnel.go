@@ -18,6 +18,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"peering/internal/bufpool"
 )
 
 // PacketChannel is the stream ID reserved for data-plane packets.
@@ -164,14 +166,17 @@ func (m *Mux) writeFrame(id uint32, p []byte) error {
 	}
 	// Header and payload go out in a single Write so fault-injecting
 	// transports that drop whole calls (faultconn partitions) can never
-	// split a frame and desynchronize the peer's framing.
-	buf := make([]byte, 8+len(p))
+	// split a frame and desynchronize the peer's framing. The frame
+	// buffer is pooled; the underlying conn completes the write before
+	// returning, so recycling after Write is safe.
+	buf := bufpool.Get(8 + len(p))
 	binary.BigEndian.PutUint32(buf[0:4], id)
 	binary.BigEndian.PutUint32(buf[4:8], uint32(len(p)))
 	copy(buf[8:], p)
 	m.writeMu.Lock()
-	defer m.writeMu.Unlock()
 	_, err := m.conn.Write(buf)
+	m.writeMu.Unlock()
+	bufpool.Put(buf)
 	return err
 }
 

@@ -1,0 +1,69 @@
+//go:build !race
+
+// Allocation budgets for the wire hot paths, enforced with
+// testing.AllocsPerRun so a regression fails `make check`. Excluded
+// under -race: the race runtime adds bookkeeping allocations that are
+// not the code's own.
+
+package wire
+
+import (
+	"net/netip"
+	"testing"
+
+	"peering/internal/bufpool"
+)
+
+func TestEncodeAllocBudget(t *testing.T) {
+	attrs := testAttrs(0)
+	upd := &Update{
+		Attrs: attrs,
+		Reach: []NLRI{
+			{Prefix: netip.MustParsePrefix("184.164.224.0/24")},
+			{Prefix: netip.MustParsePrefix("184.164.225.0/24")},
+		},
+	}
+	buf := bufpool.Get(0)
+	defer bufpool.Put(buf)
+
+	if n := testing.AllocsPerRun(200, func() {
+		b, err := AppendMessage(buf[:0], upd, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b[:0]
+	}); n != 0 {
+		t.Errorf("AppendMessage into reused buffer: %.1f allocs/op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		b, err := attrs.appendMarshal(buf[:0], DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b[:0]
+	}); n != 0 {
+		t.Errorf("appendMarshal into reused buffer: %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestInternHitAllocBudget(t *testing.T) {
+	tbl := NewInternTable()
+	canon := tbl.Intern(testAttrs(0))
+	fresh := testAttrs(0) // equal content, never the canonical pointer
+
+	if n := testing.AllocsPerRun(200, func() {
+		if tbl.Intern(canon) != canon {
+			t.Fatal("pointer fast path broken")
+		}
+	}); n != 0 {
+		t.Errorf("intern pointer hit: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if tbl.Intern(fresh) != canon {
+			t.Fatal("content hit did not resolve to canonical pointer")
+		}
+	}); n != 0 {
+		t.Errorf("intern content hit: %.1f allocs/op, want 0", n)
+	}
+}

@@ -293,23 +293,44 @@ func appendAttrHeader(b []byte, flags, code uint8, length int) []byte {
 	return append(b, flags, code, byte(length))
 }
 
-func needsAS4(asns []uint32) bool {
-	for _, a := range asns {
-		if a > 0xffff {
-			return true
+func needsAS4(segs []Segment) bool {
+	for _, s := range segs {
+		for _, a := range s.ASNs {
+			if a > 0xffff {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-func marshalASPath(segs []Segment, four bool) ([]byte, error) {
-	var b []byte
+// asPathWireLen returns the encoded AS_PATH length without building it,
+// validating segment sizes; empty segments are skipped, matching
+// appendASPath.
+func asPathWireLen(segs []Segment, four bool) (int, error) {
+	width := 2
+	if four {
+		width = 4
+	}
+	n := 0
 	for _, s := range segs {
 		if len(s.ASNs) == 0 {
 			continue
 		}
 		if len(s.ASNs) > 255 {
-			return nil, fmt.Errorf("wire: AS_PATH segment with %d ASNs exceeds 255", len(s.ASNs))
+			return 0, fmt.Errorf("wire: AS_PATH segment with %d ASNs exceeds 255", len(s.ASNs))
+		}
+		n += 2 + len(s.ASNs)*width
+	}
+	return n, nil
+}
+
+// appendASPath appends the encoded AS_PATH to b. Callers validate via
+// asPathWireLen first.
+func appendASPath(b []byte, segs []Segment, four bool) []byte {
+	for _, s := range segs {
+		if len(s.ASNs) == 0 {
+			continue
 		}
 		b = append(b, byte(s.Type), byte(len(s.ASNs)))
 		for _, asn := range s.ASNs {
@@ -324,23 +345,29 @@ func marshalASPath(segs []Segment, four bool) ([]byte, error) {
 			}
 		}
 	}
-	return b, nil
+	return b
 }
 
 // marshal encodes the attribute set in canonical (ascending type code)
 // order.
 func (a *Attrs) marshal(opt Options) ([]byte, error) {
-	var b []byte
+	return a.appendMarshal(nil, opt)
+}
+
+// appendMarshal appends the canonical encoding to b, growing it only
+// when capacity runs out; with a pooled b the whole encode is
+// allocation-free.
+func (a *Attrs) appendMarshal(b []byte, opt Options) ([]byte, error) {
 	// ORIGIN
 	b = appendAttrHeader(b, flagTransitive, attrOrigin, 1)
 	b = append(b, byte(a.Origin))
 	// AS_PATH
-	asp, err := marshalASPath(a.ASPath, opt.AS4)
+	aspLen, err := asPathWireLen(a.ASPath, opt.AS4)
 	if err != nil {
 		return nil, err
 	}
-	b = appendAttrHeader(b, flagTransitive, attrASPath, len(asp))
-	b = append(b, asp...)
+	b = appendAttrHeader(b, flagTransitive, attrASPath, aspLen)
+	b = appendASPath(b, a.ASPath, opt.AS4)
 	// NEXT_HOP
 	if !a.NextHop.Is4() {
 		return nil, fmt.Errorf("wire: NEXT_HOP %v is not IPv4", a.NextHop)
@@ -391,17 +418,13 @@ func (a *Attrs) marshal(opt Options) ([]byte, error) {
 	// AS4_PATH / AS4_AGGREGATOR when speaking 2-octet and large ASNs
 	// are present (RFC 6793 §4.2.2).
 	if !opt.AS4 {
-		var all []uint32
-		for _, s := range a.ASPath {
-			all = append(all, s.ASNs...)
-		}
-		if needsAS4(all) {
-			as4, err := marshalASPath(a.ASPath, true)
+		if needsAS4(a.ASPath) {
+			as4Len, err := asPathWireLen(a.ASPath, true)
 			if err != nil {
 				return nil, err
 			}
-			b = appendAttrHeader(b, flagOptional|flagTransitive, attrAS4Path, len(as4))
-			b = append(b, as4...)
+			b = appendAttrHeader(b, flagOptional|flagTransitive, attrAS4Path, as4Len)
+			b = appendASPath(b, a.ASPath, true)
 		}
 		if a.Aggregator != nil && a.Aggregator.AS > 0xffff {
 			ad := a.Aggregator.Addr.As4()

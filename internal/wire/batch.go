@@ -1,12 +1,19 @@
 package wire
 
-import "fmt"
+import "peering/internal/bufpool"
 
 // AttrRoute pairs one announced NLRI with its path attributes, the unit
 // of work the batch packer consumes.
 type AttrRoute struct {
 	NLRI  NLRI
 	Attrs *Attrs
+}
+
+// AttrGroup is a run of announced NLRIs sharing one attribute set — the
+// pre-grouped input PackGrouped consumes.
+type AttrGroup struct {
+	Attrs *Attrs
+	NLRIs []NLRI
 }
 
 // maxBodyBudget is the room an UPDATE body has for withdrawn routes,
@@ -23,6 +30,122 @@ func nlriWireLen(n NLRI, opt Options) int {
 	return l
 }
 
+// nlriFit returns how many leading entries of ns fit in budget bytes,
+// always admitting the first entry so an oversized NLRI surfaces as an
+// encode error instead of an infinite loop.
+func nlriFit(ns []NLRI, budget int, opt Options) int {
+	n := 0
+	for n < len(ns) {
+		l := nlriWireLen(ns[n], opt)
+		if l > budget && n > 0 {
+			break
+		}
+		budget -= l
+		n++
+	}
+	return n
+}
+
+// PackGrouped packs withdrawals and pre-grouped announcements into as
+// few UPDATE messages as MaxMsgLen allows: each group rides in one
+// message, split only when its NLRI would overflow the 4096-byte frame.
+// Withdrawals come first (in their own messages), then one run of
+// messages per group in input order.
+//
+// The produced updates ALIAS their inputs: Withdrawn and Reach are
+// subslices of withdrawn and of the groups' NLRI slices, and Attrs
+// pointers are shared. Callers must not mutate or recycle any of these
+// until the updates have been fully consumed (for session fan-out that
+// means written by the session's writer, not merely queued), and must
+// treat Attrs as immutable — the same pointer may sit in the
+// Adj-RIB-In and in every client's queue.
+//
+// Groups with equal-content attrs behind distinct pointers are merged
+// by canonical hash + Equal, so packing density never depends on
+// whether the caller interns. Each distinct attribute set is marshaled
+// once — into a pooled scratch buffer — to learn its per-message cost;
+// attrs that fail to encode are kept unmerged so the failure surfaces
+// per-route at Send time instead of poisoning a mergeable group.
+func PackGrouped(withdrawn []NLRI, groups []AttrGroup, opt Options) []*Update {
+	var out []*Update
+	for len(withdrawn) > 0 {
+		n := nlriFit(withdrawn, maxBodyBudget, opt)
+		out = append(out, &Update{Withdrawn: withdrawn[:n:n]})
+		withdrawn = withdrawn[n:]
+	}
+	if len(groups) == 0 {
+		return out
+	}
+
+	// Measure each distinct attribute set once; merge duplicate groups
+	// (by pointer, then canonical hash + Equal) into the first-seen one.
+	// A group fed by a single input run — the whole of interned relay
+	// traffic — aliases that run's slice; only a cross-pointer merge
+	// (cold, non-interned callers) copies, so the merged NLRIs can ride
+	// in shared messages.
+	type g struct {
+		attrsLen int
+		nlris    []NLRI
+		owned    bool // nlris is a private copy, safe to append to
+	}
+	byPtr := make(map[*Attrs]*g, len(groups))
+	byHash := make(map[uint64][]*Attrs, len(groups))
+	order := make([]*Attrs, 0, len(groups))
+	scratch := bufpool.Get(0)
+	for _, in := range groups {
+		if in.Attrs == nil || len(in.NLRIs) == 0 {
+			continue // announcements require attributes; nothing to relay
+		}
+		e := byPtr[in.Attrs]
+		if e == nil {
+			h := in.Attrs.canonicalHash()
+			for _, cand := range byHash[h] {
+				if ce := byPtr[cand]; ce.attrsLen >= 0 && cand.Equal(in.Attrs) {
+					e = ce
+					break
+				}
+			}
+			if e == nil {
+				attrsLen := -1
+				if b, err := in.Attrs.appendMarshal(scratch[:0], opt); err == nil {
+					attrsLen = len(b)
+					scratch = b // keep any growth for later groups
+				}
+				e = &g{attrsLen: attrsLen}
+				byHash[h] = append(byHash[h], in.Attrs)
+				order = append(order, in.Attrs)
+			}
+			byPtr[in.Attrs] = e
+		}
+		switch {
+		case e.nlris == nil:
+			e.nlris = in.NLRIs
+		case !e.owned:
+			merged := make([]NLRI, 0, len(e.nlris)+len(in.NLRIs))
+			merged = append(append(merged, e.nlris...), in.NLRIs...)
+			e.nlris, e.owned = merged, true
+		default:
+			e.nlris = append(e.nlris, in.NLRIs...)
+		}
+	}
+	bufpool.Put(scratch)
+
+	for _, attrs := range order {
+		e := byPtr[attrs]
+		budget := maxBodyBudget
+		if e.attrsLen > 0 {
+			budget -= e.attrsLen
+		}
+		nlris := e.nlris
+		for len(nlris) > 0 {
+			n := nlriFit(nlris, budget, opt)
+			out = append(out, &Update{Attrs: attrs, Reach: nlris[:n:n]})
+			nlris = nlris[n:]
+		}
+	}
+	return out
+}
+
 // PackUpdates packs withdrawals and announcements into as few UPDATE
 // messages as MaxMsgLen allows: announcements sharing an identical
 // canonical attribute encoding ride in one message, split only when the
@@ -32,75 +155,48 @@ func nlriWireLen(n NLRI, opt Options) int {
 // queue's coalescing invariant — keeps per-prefix ordering intact even
 // though prefixes with different attributes are regrouped.
 //
-// PackUpdates never mutates its inputs: Attrs are only read (marshaled
-// for the grouping key), and the produced Updates alias the caller's
-// Attrs pointers. Callers must treat relayed Attrs as immutable — the
-// same pointer may sit in the Adj-RIB-In and in every client's queue.
+// Attrs are only read (hashed and marshaled once per group) and the
+// produced updates alias the caller's Attrs pointers and withdrawn
+// slice; see PackGrouped for the full aliasing contract. The Reach
+// slices are freshly built here (routes itself is not aliased).
 func PackUpdates(withdrawn []NLRI, routes []AttrRoute, opt Options) []*Update {
-	var out []*Update
-	for len(withdrawn) > 0 {
-		upd := &Update{}
-		budget := maxBodyBudget
-		for len(withdrawn) > 0 {
-			l := nlriWireLen(withdrawn[0], opt)
-			if l > budget && len(upd.Withdrawn) > 0 {
-				break
-			}
-			upd.Withdrawn = append(upd.Withdrawn, withdrawn[0])
-			withdrawn = withdrawn[1:]
-			budget -= l
-		}
-		out = append(out, upd)
-	}
-
-	// Group announcements by canonical attribute encoding, preserving
-	// first-appearance order of groups and of NLRIs within a group. The
-	// encoded length doubles as the per-message attribute cost.
-	type group struct {
-		attrs    *Attrs
-		attrsLen int
-		nlris    []NLRI
-	}
-	byKey := make(map[string]*group)
-	var order []*group
+	// Gather routes into attrs-pointer runs, preserving first-appearance
+	// order of groups and of NLRIs within a group, then let PackGrouped
+	// do the canonical merge and splitting. Interned callers collapse to
+	// a single group here. The NLRIs of all groups share one
+	// exactly-sized arena, carved in group order.
+	idx := make(map[*Attrs]int, 4)
+	var groups []AttrGroup
+	counts := make([]int, 0, 4)
 	for _, r := range routes {
 		if r.Attrs == nil {
-			continue // announcements require attributes; nothing to relay
+			continue
 		}
-		key := ""
-		attrsLen := 0
-		if b, err := r.Attrs.marshal(opt); err == nil {
-			key = string(b)
-			attrsLen = len(b)
-		} else {
-			// Unencodable attrs: give them a unique key so the failure
-			// surfaces per-route at Send time instead of poisoning a group.
-			key = fmt.Sprintf("!%p", r.Attrs)
+		i, ok := idx[r.Attrs]
+		if !ok {
+			i = len(groups)
+			idx[r.Attrs] = i
+			groups = append(groups, AttrGroup{Attrs: r.Attrs})
+			counts = append(counts, 0)
 		}
-		g := byKey[key]
-		if g == nil {
-			g = &group{attrs: r.Attrs, attrsLen: attrsLen}
-			byKey[key] = g
-			order = append(order, g)
-		}
-		g.nlris = append(g.nlris, r.NLRI)
+		counts[i]++
 	}
-	for _, g := range order {
-		nlris := g.nlris
-		for len(nlris) > 0 {
-			upd := &Update{Attrs: g.attrs}
-			budget := maxBodyBudget - g.attrsLen
-			for len(nlris) > 0 {
-				l := nlriWireLen(nlris[0], opt)
-				if l > budget && len(upd.Reach) > 0 {
-					break
-				}
-				upd.Reach = append(upd.Reach, nlris[0])
-				nlris = nlris[1:]
-				budget -= l
-			}
-			out = append(out, upd)
-		}
+	total := 0
+	for _, c := range counts {
+		total += c
 	}
-	return out
+	arena := make([]NLRI, 0, total)
+	for i := range groups {
+		off := len(arena)
+		groups[i].NLRIs = arena[off:off:off+counts[i]]
+		arena = arena[:off+counts[i]]
+	}
+	for _, r := range routes {
+		if r.Attrs == nil {
+			continue
+		}
+		i := idx[r.Attrs]
+		groups[i].NLRIs = append(groups[i].NLRIs, r.NLRI)
+	}
+	return PackGrouped(withdrawn, groups, opt)
 }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+
+	"peering/internal/bufpool"
 )
 
 // Message framing constants from RFC 4271 §4.1.
@@ -82,23 +84,42 @@ var DefaultOptions = Options{AS4: true}
 
 // Marshal encodes m, including the 19-byte header, using opt.
 func Marshal(m Message, opt Options) ([]byte, error) {
-	b := make([]byte, HeaderLen, 64)
-	for i := 0; i < MarkerLen; i++ {
-		b[i] = 0xff
-	}
-	b[18] = byte(m.Type())
+	return AppendMessage(make([]byte, 0, 64), m, opt)
+}
+
+// marker is the all-ones header marker (RFC 4271 §4.1).
+var marker [MarkerLen]byte = [MarkerLen]byte{
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// AppendMessage appends the full encoding of m (19-byte header included)
+// to b and returns the extended slice. With a pooled or reused b of
+// sufficient capacity the encode performs no allocation; this is the
+// session write path's entry point.
+func AppendMessage(b []byte, m Message, opt Options) ([]byte, error) {
+	start := len(b)
+	b = append(b, marker[:]...)
+	b = append(b, 0, 0, byte(m.Type()))
 	b, err := m.marshalBody(b, opt)
 	if err != nil {
 		return nil, err
 	}
-	if len(b) > MaxMsgLen {
-		return nil, fmt.Errorf("wire: %s message length %d exceeds %d", m.Type(), len(b), MaxMsgLen)
+	msgLen := len(b) - start
+	if msgLen > MaxMsgLen {
+		return nil, fmt.Errorf("wire: %s message length %d exceeds %d", m.Type(), msgLen, MaxMsgLen)
 	}
-	binary.BigEndian.PutUint16(b[16:18], uint16(len(b)))
+	binary.BigEndian.PutUint16(b[start+16:start+18], uint16(msgLen))
 	return b, nil
 }
 
-// ReadMessage reads and decodes one message from r using opt.
+// ReadMessage reads and decodes one message from r using opt. The body
+// is read into a pooled buffer that is recycled after a successful
+// decode — decoders copy every byte they retain, so no decoded message
+// aliases the pool. On decode error the buffer is deliberately NOT
+// recycled: NotifError retains sub-slices of the body as notification
+// data, and error paths are rare enough that leaking them to the GC is
+// the right trade.
 func ReadMessage(r io.Reader, opt Options) (Message, error) {
 	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -114,11 +135,17 @@ func ReadMessage(r io.Reader, opt Options) (Message, error) {
 	if length < minMsgLen || length > MaxMsgLen {
 		return nil, NotifError(CodeMessageHeaderError, SubBadMessageLength, hdr[16:18])
 	}
-	body := make([]byte, int(length)-HeaderLen)
+	body := bufpool.Get(int(length) - HeaderLen)
 	if _, err := io.ReadFull(r, body); err != nil {
+		bufpool.Put(body)
 		return nil, err
 	}
-	return decodeBody(typ, body, opt)
+	m, err := decodeBody(typ, body, opt)
+	if err != nil {
+		return nil, err
+	}
+	bufpool.Put(body)
+	return m, nil
 }
 
 // Decode decodes a full wire message (header included) from b.
@@ -385,34 +412,35 @@ func (u *Update) IsEndOfRIB() bool {
 func (*Update) Type() MsgType { return MsgUpdate }
 
 func (m *Update) marshalBody(b []byte, opt Options) ([]byte, error) {
-	wd, err := marshalNLRIs(m.Withdrawn, opt.AddPath)
+	// Both length fields are reserved up front and backfilled, so the
+	// whole body encodes into b with no intermediate slices.
+	wdStart := len(b)
+	b = append(b, 0, 0)
+	b, err := appendNLRIs(b, m.Withdrawn, opt.AddPath)
 	if err != nil {
 		return nil, err
 	}
-	if len(wd) > 0xffff {
+	wdLen := len(b) - wdStart - 2
+	if wdLen > 0xffff {
 		return nil, errors.New("wire: withdrawn routes too long")
 	}
-	b = binary.BigEndian.AppendUint16(b, uint16(len(wd)))
-	b = append(b, wd...)
-	var attrs []byte
+	binary.BigEndian.PutUint16(b[wdStart:wdStart+2], uint16(wdLen))
+	atStart := len(b)
+	b = append(b, 0, 0)
 	if m.Attrs != nil {
-		attrs, err = m.Attrs.marshal(opt)
+		b, err = m.Attrs.appendMarshal(b, opt)
 		if err != nil {
 			return nil, err
 		}
 	} else if len(m.Reach) > 0 {
 		return nil, errors.New("wire: UPDATE with NLRI requires path attributes")
 	}
-	if len(attrs) > 0xffff {
+	attrLen := len(b) - atStart - 2
+	if attrLen > 0xffff {
 		return nil, errors.New("wire: path attributes too long")
 	}
-	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
-	b = append(b, attrs...)
-	nl, err := marshalNLRIs(m.Reach, opt.AddPath)
-	if err != nil {
-		return nil, err
-	}
-	return append(b, nl...), nil
+	binary.BigEndian.PutUint16(b[atStart:atStart+2], uint16(attrLen))
+	return appendNLRIs(b, m.Reach, opt.AddPath)
 }
 
 func decodeUpdate(body []byte, opt Options) (*Update, error) {
@@ -450,10 +478,9 @@ func decodeUpdate(body []byte, opt Options) (*Update, error) {
 	return m, nil
 }
 
-// marshalNLRIs encodes prefixes in RFC 4271 compact form, with RFC 7911
+// appendNLRIs appends prefixes in RFC 4271 compact form, with RFC 7911
 // path IDs when addPath is set.
-func marshalNLRIs(ns []NLRI, addPath bool) ([]byte, error) {
-	var b []byte
+func appendNLRIs(b []byte, ns []NLRI, addPath bool) ([]byte, error) {
 	for _, n := range ns {
 		if !n.Prefix.IsValid() {
 			return nil, fmt.Errorf("wire: invalid NLRI prefix %v", n.Prefix)
@@ -473,7 +500,33 @@ func marshalNLRIs(ns []NLRI, addPath bool) ([]byte, error) {
 }
 
 func parseNLRIs(b []byte, addPath bool) ([]NLRI, error) {
-	var ns []NLRI
+	if len(b) == 0 {
+		return nil, nil
+	}
+	// Pre-count entries so the result is allocated once at exact size
+	// (a full UPDATE carries hundreds of NLRIs; append growth would
+	// roughly double the bytes).
+	count, rest := 0, b
+	for len(rest) > 0 {
+		hdr := 1
+		if addPath {
+			hdr += 4
+		}
+		if len(rest) < hdr {
+			return nil, NotifError(CodeUpdateMessageError, SubInvalidNetworkField, nil)
+		}
+		bits := int(rest[hdr-1])
+		if bits > 32 {
+			return nil, NotifError(CodeUpdateMessageError, SubInvalidNetworkField, nil)
+		}
+		nb := (bits + 7) / 8
+		if len(rest) < hdr+nb {
+			return nil, NotifError(CodeUpdateMessageError, SubInvalidNetworkField, nil)
+		}
+		rest = rest[hdr+nb:]
+		count++
+	}
+	ns := make([]NLRI, 0, count)
 	for len(b) > 0 {
 		var n NLRI
 		if addPath {
