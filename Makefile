@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke check docs
+.PHONY: all build vet staticcheck test race chaos bench fuzz-smoke check docs
 
 all: check
 
@@ -10,6 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is advisory tooling, not a baked-in dependency: run it
+# when the binary is on PATH, skip cleanly (never install) when not.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -18,6 +27,13 @@ test:
 # the default gate.
 race:
 	$(GO) test -race ./...
+
+# The orchestrated chaos suite (DESIGN.md §8): a 1-upstream × 8-client
+# mux under malformed floods, quota breaches, slow-client stalls, and
+# kill/warm-restart cycles — deterministic on the virtual clock, so
+# -race and -count=2 cost seconds, not flake.
+chaos:
+	$(GO) test ./internal/server/ -race -run '^TestChaos' -count=2 -v
 
 # Fan-out pipeline benchmarks. The acceptance tests measure UPDATE
 # messages spent relaying a 1000-route table to 8 clients
@@ -54,4 +70,4 @@ docs: vet
 # and a plain run because the allocation-budget tests (AllocsPerRun and
 # the relay-path budget) only assert without the race runtime's own
 # allocations in the way.
-check: build docs test race fuzz-smoke
+check: build docs staticcheck test race fuzz-smoke

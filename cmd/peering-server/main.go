@@ -21,6 +21,8 @@ func main() {
 	bilateral := flag.Bool("bilateral", false, "add bilateral sessions to every open IXP member")
 	pprofOn := flag.Bool("pprof", false, "enable /debug/pprof/* on the portal listener")
 	archiveDir := flag.String("archive", "", "directory for the collector's rotating MRT archive (empty = no archival)")
+	serverArchiveDir := flag.String("server-archive", "", "directory for the server's own MRT archive of upstream updates (enables crash recovery)")
+	warmRestart := flag.Bool("warm-restart", false, "rebuild the server's Adj-RIB-Ins from -server-archive before sessions come up")
 	flag.Parse()
 
 	var m peering.Mode
@@ -34,7 +36,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	tb, err := peering.NewTestbed(peering.Config{Mode: m, BilateralPeers: *bilateral, ArchiveDir: *archiveDir})
+	if *warmRestart && *serverArchiveDir == "" {
+		fmt.Fprintln(os.Stderr, "-warm-restart requires -server-archive")
+		os.Exit(2)
+	}
+	tb, err := peering.NewTestbed(peering.Config{
+		Mode: m, BilateralPeers: *bilateral, ArchiveDir: *archiveDir,
+		ServerArchiveDir: *serverArchiveDir, WarmRestart: *warmRestart,
+	})
 	if err != nil {
 		log.Fatalf("testbed: %v", err)
 	}
@@ -50,6 +59,13 @@ func main() {
 	log.Printf("  collector:     AS%d vantage, %d prefixes", tb.CollectorVantage, tb.Collector.Prefixes())
 	if tb.Archive != nil {
 		log.Printf("  MRT archive:   %s (GET /archive, POST /archive/rotate)", tb.Archive.Dir())
+	}
+	if tb.ServerArchive != nil {
+		log.Printf("  server archive: %s", tb.ServerArchive.Dir())
+	}
+	if tb.WarmRestore != nil {
+		log.Printf("  warm restart:  %d routes restored (snapshot %q + %d tail updates)",
+			tb.WarmRestore.Restored, tb.WarmRestore.Snapshot, tb.WarmRestore.TailUpdates)
 	}
 	if *pprofOn {
 		tb.Portal.EnablePprof()

@@ -27,6 +27,11 @@ type Metrics struct {
 	// Recoveries counts sessions re-established after ≥1 failure.
 	Reconnects *telemetry.Counter
 	Recoveries *telemetry.Counter
+	// Errors counts RFC 7606 containment actions taken on inbound
+	// UPDATEs, by action ("treat_as_withdraw", "attribute_discard",
+	// "session_reset"). Counted at ingress on every session — client
+	// and upstream alike — so the server inherits coverage for free.
+	Errors *telemetry.CounterVec
 }
 
 // NewMetrics registers the session layer's metrics on r.
@@ -44,6 +49,8 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 			"Supervised session redial attempts."),
 		Recoveries: r.Counter("peering_bgp_session_recoveries_total",
 			"Sessions re-established after at least one failure."),
+		Errors: r.CounterVec("peering_errors_total",
+			"RFC 7606 UPDATE error-handling actions taken, by action.", "action"),
 	}
 }
 
@@ -82,6 +89,13 @@ func (m *Metrics) sessionClosed(last State) {
 	}
 	m.Sessions.With(stateLabel(last)).Dec()
 	m.SessionsClosed.Inc()
+}
+
+// errorAction counts one RFC 7606 containment action.
+func (m *Metrics) errorAction(action string) {
+	if m != nil {
+		m.Errors.With(action).Inc()
+	}
 }
 
 func (m *Metrics) reconnect() {

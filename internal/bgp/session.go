@@ -474,6 +474,13 @@ func (s *Session) reader() error {
 			if s.isClosed() {
 				return nil
 			}
+			// Only session-reset errors reach this point: the codec
+			// absorbs treat-as-withdraw and attribute-discard into the
+			// decoded Update (RFC 7606).
+			var we *wire.Error
+			if errors.As(err, &we) {
+				s.cfg.Metrics.errorAction("session_reset")
+			}
 			s.sendNotifForErr(err)
 			return fmt.Errorf("bgp: read: %w", err)
 		}
@@ -481,6 +488,12 @@ func (s *Session) reader() error {
 		s.resetHold()
 		switch m := msg.(type) {
 		case *wire.Update:
+			if m.Malformed != nil {
+				s.cfg.Metrics.errorAction("treat_as_withdraw")
+			}
+			if len(m.Discarded) > 0 {
+				s.cfg.Metrics.errorAction("attribute_discard")
+			}
 			s.handler.UpdateReceived(s, m)
 		case *wire.Keepalive:
 			// hold timer already reset
@@ -509,6 +522,13 @@ func (s *Session) sendNotifForErr(err error) {
 
 // Close performs an administrative shutdown (Cease) and tears down.
 func (s *Session) Close() error {
+	return s.CloseCease(wire.SubAdminShutdown)
+}
+
+// CloseCease performs an administrative shutdown with a specific Cease
+// subcode (RFC 4486) — e.g. max-prefixes-reached when tearing down a
+// peer that breached its quota — and tears the session down cleanly.
+func (s *Session) CloseCease(subcode uint8) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -517,7 +537,7 @@ func (s *Session) Close() error {
 	est := s.state == StateEstablished
 	s.mu.Unlock()
 	if est {
-		ne := wire.NotifError(wire.CodeCease, wire.SubAdminShutdown, nil)
+		ne := wire.NotifError(wire.CodeCease, subcode, nil)
 		s.writeMsg(ne.Notification(), wire.DefaultOptions)
 	}
 	s.shutdown(nil)

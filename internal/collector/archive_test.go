@@ -190,3 +190,78 @@ func TestCollectorMRTArchive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMemoryWatermarkShedding: above the watermark the collector halves
+// its ring, stops buffering records and MRT writes, and keeps the
+// merged RIB live; dropping back under the line restores everything.
+func TestMemoryWatermarkShedding(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	arch, err := mrt.NewArchive(mrt.ArchiveConfig{Dir: dir, Metrics: mrt.NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New("rv1", 6447, addr("128.223.51.102"), nil)
+	c.Instrument(reg)
+	c.AttachArchive(arch)
+	var heap uint64 = 100 << 20
+	c.memUsage = func() uint64 { return heap }
+	c.SetMemoryWatermark(200 << 20)
+	r := router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
+	peerUp(t, c, r, "4.69.0.1")
+
+	// Below the watermark: records and archive bytes accumulate.
+	for i := 0; i < 8; i++ {
+		p := prefix(fmt.Sprintf("100.64.%d.0/24", i))
+		r.Announce(p, router.AnnounceSpec{})
+		waitFor(t, "route archived", func() bool { return c.HasRoute(p) })
+	}
+	if got := len(c.Log()); got != 8 {
+		t.Fatalf("log holds %d records below watermark, want 8", got)
+	}
+	if c.Shedding() {
+		t.Fatal("shedding below the watermark")
+	}
+	archived := arch.Status().Records
+
+	// Cross the watermark: the next archived update samples the heap,
+	// halves the ring, and sheds.
+	heap = 300 << 20
+	c.SetMemoryWatermark(200 << 20) // re-arm so the next update samples now
+	for i := 8; i < 12; i++ {
+		p := prefix(fmt.Sprintf("100.64.%d.0/24", i))
+		r.Announce(p, router.AnnounceSpec{})
+		waitFor(t, "route merged", func() bool { return c.HasRoute(p) })
+	}
+	if !c.Shedding() {
+		t.Fatal("not shedding above the watermark")
+	}
+	if got := len(c.Log()); got != 4 {
+		t.Fatalf("log holds %d records while shedding, want halved 4", got)
+	}
+	if got := arch.Status().Records; got != archived {
+		t.Fatalf("archive grew from %d to %d records while shedding", archived, got)
+	}
+	if got := c.MemorySheds(); got != 4 {
+		t.Fatalf("memory sheds = %d, want 4", got)
+	}
+	// The RIB stayed live: shed updates still merged.
+	if !c.HasRoute(prefix("100.64.11.0/24")) {
+		t.Fatal("RIB lost a shed update")
+	}
+
+	// Fall back under the line: normal service resumes.
+	heap = 100 << 20
+	c.SetMemoryWatermark(200 << 20)
+	r.Announce(prefix("100.64.12.0/24"), router.AnnounceSpec{})
+	waitFor(t, "post-recovery record", func() bool { return len(c.Log()) == 5 })
+	if c.Shedding() {
+		t.Fatal("still shedding after recovery")
+	}
+	if got := arch.Status().Records; got <= archived {
+		t.Fatalf("archive did not resume after recovery (still %d records)", got)
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"time"
 
@@ -41,6 +42,11 @@ type UpdateRecord struct {
 // attached).
 const DefaultLogCap = 65536
 
+// memSampleInterval is how many archived updates pass between process
+// heap samples when a memory watermark is armed: runtime.ReadMemStats
+// briefly stops the world, so it must stay off the per-update path.
+const memSampleInterval = 256
+
 // Collector is a passive BGP archive.
 type Collector struct {
 	name string
@@ -60,6 +66,18 @@ type Collector struct {
 	arch         *archiveSink
 	mDropped     *telemetry.Counter
 	mArchiveErrs *telemetry.Counter
+	mMemSheds    *telemetry.Counter
+
+	// Memory-watermark shedding: above memWatermark bytes of heap, the
+	// collector sheds its optional work — the update ring is halved and
+	// new records plus MRT buffering are skipped — until usage drops back
+	// under the line. The merged RIB and pending watches keep running;
+	// they are what experiments depend on.
+	memWatermark uint64
+	memUsage     func() uint64 // heap sampler; replaceable in tests
+	memCountdown int           // archived updates until the next sample
+	shedding     bool
+	memSheds     uint64
 
 	// intern canonicalizes attribute sets across the ring buffer and the
 	// merged RIB; pathCache memoizes the flattened AS path per canonical
@@ -84,6 +102,7 @@ func New(name string, asn uint32, id netip.Addr, clk clock.Clock) *Collector {
 		name: name, asn: asn, id: id, clk: clk, logCap: DefaultLogCap, rib: rib.NewLocRIB(),
 		intern:    wire.NewInternTable(),
 		pathCache: make(map[*wire.Attrs][]uint32),
+		memUsage:  heapInUse,
 	}
 }
 
@@ -114,6 +133,92 @@ func (c *Collector) Dropped() uint64 {
 	return c.dropped
 }
 
+// SetMemoryWatermark arms process-level memory shedding: once heap
+// usage reaches bytes, the collector halves its update ring and stops
+// buffering new records or MRT archive writes until usage falls back
+// under the watermark. Zero disarms it (the default).
+func (c *Collector) SetMemoryWatermark(bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memWatermark = bytes
+	c.memCountdown = 0 // sample on the very next archived update
+	if bytes == 0 {
+		c.shedding = false
+	}
+}
+
+// Shedding reports whether the collector is currently above its memory
+// watermark and shedding optional work.
+func (c *Collector) Shedding() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shedding
+}
+
+// MemorySheds reports how many updates have been dropped from the ring
+// and archive by watermark shedding.
+func (c *Collector) MemorySheds() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memSheds
+}
+
+// heapInUse is the default memory sampler.
+func heapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// memPressure re-samples heap usage every memSampleInterval archived
+// updates and reports whether this update's optional work (ring record,
+// MRT buffering) must be shed. Entering the shedding state halves the
+// ring immediately — holding memory is the problem, so eviction cannot
+// wait for organic churn.
+func (c *Collector) memPressure() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.memWatermark == 0 {
+		return false
+	}
+	c.memCountdown--
+	if c.memCountdown < 0 {
+		c.memCountdown = memSampleInterval - 1
+		if c.memUsage() >= c.memWatermark {
+			if !c.shedding {
+				c.shedding = true
+				c.halveLogLocked()
+			}
+		} else {
+			c.shedding = false
+		}
+	}
+	if c.shedding {
+		c.memSheds++
+		if c.mMemSheds != nil {
+			c.mMemSheds.Inc()
+		}
+	}
+	return c.shedding
+}
+
+// halveLogLocked evicts the oldest half of the update ring. Caller
+// holds c.mu.
+func (c *Collector) halveLogLocked() {
+	n := len(c.log)
+	if n < 2 {
+		return
+	}
+	all := c.copyLogLocked(make([]UpdateRecord, 0, n))
+	evicted := n - n/2
+	c.log = append(c.log[:0], all[evicted:]...)
+	c.logHead = 0
+	c.dropped += uint64(evicted)
+	if c.mDropped != nil {
+		c.mDropped.Add(uint64(evicted))
+	}
+}
+
 // Instrument registers the collector's instrument set on reg: log size
 // and evictions, plus MRT archival errors.
 func (c *Collector) Instrument(reg *telemetry.Registry) {
@@ -123,7 +228,18 @@ func (c *Collector) Instrument(reg *telemetry.Registry) {
 		"Update-log records evicted by the ring-buffer cap.")
 	c.mArchiveErrs = reg.Counter("peering_collector_archive_errors_total",
 		"Updates or snapshots the collector failed to archive as MRT.")
+	c.mMemSheds = reg.Counter("peering_collector_memory_sheds_total",
+		"Updates whose ring record and MRT buffering were shed above the memory watermark.")
 	c.mDropped.Add(c.dropped)
+	c.mMemSheds.Add(c.memSheds)
+	reg.GaugeFunc("peering_collector_shedding",
+		"1 while the collector is above its memory watermark and shedding optional work.",
+		func() float64 {
+			if c.Shedding() {
+				return 1
+			}
+			return 0
+		})
 	reg.GaugeFunc("peering_collector_log_records",
 		"Update records currently held in the collector's in-memory log.",
 		func() float64 {
@@ -206,9 +322,14 @@ func (c *Collector) flatPath(a *wire.Attrs) []uint32 {
 	return p
 }
 
-// archive records an update and fires watches.
+// archive records an update and fires watches. Under memory-watermark
+// pressure the optional work — the ring record and MRT buffering — is
+// shed; the merged RIB and watches always run.
 func (c *Collector) archive(sess *bgp.Session, upd *wire.Update) {
-	c.archiveMRT(sess, upd)
+	shed := c.memPressure()
+	if !shed {
+		c.archiveMRT(sess, upd)
+	}
 	// Canonicalize once: the decoded attrs of a stable route resolve to
 	// the pointer already held by the RIB, the log, and the path cache.
 	upd.Attrs = c.intern.Intern(upd.Attrs)
@@ -227,7 +348,9 @@ func (c *Collector) archive(sess *bgp.Session, upd *wire.Update) {
 	}
 
 	c.mu.Lock()
-	c.appendLogLocked(rec)
+	if !shed {
+		c.appendLogLocked(rec)
+	}
 	// Maintain the collector's merged RIB view.
 	src := rib.PeerKey{Addr: c.peerKeyAddr(sess)}
 	for _, p := range rec.Withdrawn {

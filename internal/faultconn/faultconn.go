@@ -29,6 +29,9 @@ type Stats struct {
 	WritesDropped int64
 	// BytesDropped counts the payload bytes of those writes.
 	BytesDropped int64
+	// WritesCorrupted counts Write calls whose payload had a byte
+	// flipped by CorruptNext.
+	WritesCorrupted int64
 }
 
 // Conn wraps an inner net.Conn with fault injection. All fault switches
@@ -39,7 +42,9 @@ type Conn struct {
 
 	mu          sync.Mutex
 	partitioned bool
-	dropAfter   int64 // pass this many more written bytes, then drop; -1 = off
+	dropAfter   int64         // pass this many more written bytes, then drop; -1 = off
+	corruptNext int64         // flip one byte in this many more writes
+	stalled     chan struct{} // non-nil while writes must block; closed to release
 	latency     time.Duration
 	reset       bool
 	stats       Stats
@@ -103,6 +108,37 @@ func (c *Conn) DropAfter(n int64) {
 	c.mu.Unlock()
 }
 
+// CorruptNext flips one byte in the middle of each of the next n Write
+// payloads — framing survives (lengths are untouched), the content
+// inside does not, which is exactly the shape of damage RFC 7606
+// handling must contain. Zero disables; the trigger rearms per call.
+func (c *Conn) CorruptNext(n int64) {
+	c.mu.Lock()
+	c.corruptNext = n
+	c.mu.Unlock()
+}
+
+// Stall blocks every subsequent Write until Unstall (or Reset). Unlike
+// a partition, nothing is lost — the writer goroutine just stops making
+// progress, like a zero-window peer or a frozen process.
+func (c *Conn) Stall() {
+	c.mu.Lock()
+	if c.stalled == nil {
+		c.stalled = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// Unstall releases writers blocked by Stall; their writes proceed.
+func (c *Conn) Unstall() {
+	c.mu.Lock()
+	if c.stalled != nil {
+		close(c.stalled)
+		c.stalled = nil
+	}
+	c.mu.Unlock()
+}
+
 // SetLatency delays each subsequent Write by d on the wrapping clock.
 func (c *Conn) SetLatency(d time.Duration) {
 	c.mu.Lock()
@@ -115,6 +151,10 @@ func (c *Conn) SetLatency(d time.Duration) {
 func (c *Conn) Reset() {
 	c.mu.Lock()
 	c.reset = true
+	if c.stalled != nil {
+		close(c.stalled) // release stalled writers into the reset error
+		c.stalled = nil
+	}
 	c.mu.Unlock()
 	c.inner.Close()
 }
@@ -144,6 +184,12 @@ func (c *Conn) Read(p []byte) (int, error) {
 // packet), or failed.
 func (c *Conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
+	for c.stalled != nil {
+		ch := c.stalled
+		c.mu.Unlock()
+		<-ch // parked until Unstall or Reset
+		c.mu.Lock()
+	}
 	if c.reset {
 		c.mu.Unlock()
 		return 0, ErrReset
@@ -165,6 +211,14 @@ func (c *Conn) Write(p []byte) (int, error) {
 		c.stats.BytesDropped += int64(len(p))
 		c.mu.Unlock()
 		return len(p), nil
+	}
+	if c.corruptNext > 0 && len(p) > 0 {
+		c.corruptNext--
+		c.stats.WritesCorrupted++
+		// Copy before flipping: the caller's buffer is not ours to damage.
+		q := append([]byte(nil), p...)
+		q[len(q)/2] ^= 0xff
+		p = q
 	}
 	latency := c.latency
 	c.mu.Unlock()

@@ -181,3 +181,86 @@ func TestWrapArbitraryConn(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCorruptNextFlipsOneByteKeepingFraming(t *testing.T) {
+	a, b := Pipe(nil)
+	a.CorruptNext(1)
+	msg := []byte("0123456789")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := readN(t, b, len(msg))
+	diffs := 0
+	for i := range msg {
+		if got[i] != msg[i] {
+			diffs++
+			if i != len(msg)/2 {
+				t.Fatalf("byte %d corrupted, want only the middle (%d)", i, len(msg)/2)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes corrupted, want exactly 1", diffs)
+	}
+	if st := a.Stats(); st.WritesCorrupted != 1 {
+		t.Fatalf("WritesCorrupted = %d, want 1", st.WritesCorrupted)
+	}
+	// The caller's buffer must be untouched.
+	if string(msg) != "0123456789" {
+		t.Fatalf("caller buffer damaged: %q", msg)
+	}
+	// The trigger is spent: the next write passes clean.
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := readN(t, b, len(msg)); string(got) != string(msg) {
+		t.Fatalf("post-trigger write corrupted: %q", got)
+	}
+}
+
+func TestStallBlocksWritesUntilUnstall(t *testing.T) {
+	a, b := Pipe(nil)
+	a.Stall()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := a.Write([]byte("delayed"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed during stall (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.Unstall()
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write still blocked after Unstall")
+	}
+	if got := readN(t, b, 7); string(got) != "delayed" {
+		t.Fatalf("read %q after unstall", got)
+	}
+}
+
+func TestResetReleasesStalledWriters(t *testing.T) {
+	a, _ := Pipe(nil)
+	a.Stall()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := a.Write([]byte("doomed"))
+		wrote <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Reset()
+	select {
+	case err := <-wrote:
+		if !errors.Is(err, ErrReset) {
+			t.Fatalf("stalled write returned %v, want ErrReset", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled write not released by Reset")
+	}
+}

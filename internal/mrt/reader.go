@@ -3,9 +3,18 @@ package mrt
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrBadRecord wraps decode failures inside a fully framed record: the
+// header's length field was honored, the body was consumed, and the
+// stream is still aligned on the next record — callers may skip and
+// continue. Truncation and oversize-length errors are NOT wrapped; the
+// stream cannot be resynchronized past those (MRT has no framing
+// marker).
+var ErrBadRecord = errors.New("mrt: malformed record")
 
 // Reader streams MRT records from an archive.
 type Reader struct {
@@ -23,9 +32,10 @@ func NewReader(r io.Reader) *Reader {
 // Instrument routes decode-error counts to m (nil disables).
 func (d *Reader) Instrument(m *Metrics) { d.metrics = m }
 
-// Next returns the next record, or io.EOF at a clean end of stream. A
-// decode error is counted on the instrument set and returned; the
-// stream cannot be resynchronized past it (MRT has no framing marker).
+// Next returns the next record, or io.EOF at a clean end of stream.
+// Decode errors are counted on the instrument set and returned; an
+// error matching ErrBadRecord left the stream aligned on the following
+// record, so the caller may skip it and call Next again.
 func (d *Reader) Next() (*Record, error) {
 	if rec := d.peeked; rec != nil {
 		d.peeked = nil
@@ -67,5 +77,10 @@ func (d *Reader) read() (*Record, error) {
 		return nil, fmt.Errorf("mrt: truncated record body: %w", err)
 	}
 	rec, _, err := Unmarshal(buf)
-	return rec, err
+	if err != nil {
+		// The full body was consumed above, so the stream is aligned on
+		// the next header regardless of what was wrong inside this one.
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	return rec, nil
 }

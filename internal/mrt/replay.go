@@ -7,6 +7,7 @@
 package mrt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -59,8 +60,12 @@ type ReplayStats struct {
 }
 
 // Replay streams BGP4MP records from r, delivering each decoded UPDATE
-// in order. Records that are not BGP4MP UPDATEs are counted as skipped;
-// a malformed record aborts the run (the stream cannot be resynced).
+// in order. Records that are not BGP4MP UPDATEs are counted as skipped.
+// A record whose body fails to decode is skipped too — the header's
+// length field keeps the stream aligned (see ErrBadRecord), and the
+// reader counts it on peering_mrt_decode_errors_total — so one corrupt
+// record costs one record, not the rest of the trace. Only truncation
+// aborts the run: there is nothing to resynchronize onto.
 func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) error) (ReplayStats, error) {
 	clk := cfg.Clock
 	if clk == nil {
@@ -78,6 +83,10 @@ func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) err
 		rec, err := r.Next()
 		if err == io.EOF {
 			break
+		}
+		if errors.Is(err, ErrBadRecord) {
+			st.Skipped++
+			continue
 		}
 		if err != nil {
 			return st, err

@@ -140,3 +140,68 @@ func TestReplayMaxSpeed(t *testing.T) {
 		t.Fatalf("trace span %v, want 1h", stats.TraceSpan)
 	}
 }
+
+// TestReplaySkipsMalformedRecords: a corrupt record body inside an
+// otherwise healthy trace costs exactly that record. The header's
+// length field keeps the stream aligned, the reader counts the decode
+// error, and replay delivers everything on either side of the damage.
+func TestReplaySkipsMalformedRecords(t *testing.T) {
+	trace := replayTrace(t, []time.Duration{0, time.Second})
+
+	// Splice in a framed-but-rotten record between the two updates: a
+	// BGP4MP_ET whose extended timestamp is out of range. Its length
+	// field is intact, so the reader can step over the body.
+	m := &BGP4MP{
+		PeerAS: fixPeerAS, LocalAS: fixLocalAS, PeerIP: fixPeerIP, LocalIP: fixLocalIP,
+		Message: mustMarshal(t, &wire.Update{
+			Attrs: fixAttrs("80.249.208.10", fixPeerAS, 3356),
+			Reach: []wire.NLRI{{Prefix: netip.MustParsePrefix("10.66.0.0/24")}},
+		}, wire.Options{AS4: true}),
+		AS4: true,
+	}
+	rec, err := m.Record(fixTime, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotten, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotten[12], rotten[13], rotten[14], rotten[15] = 0xff, 0xff, 0xff, 0xff // µs > 999999
+
+	var spliced bytes.Buffer
+	r := NewReader(bytes.NewReader(trace))
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		b, err := rec.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spliced.Write(b)
+		if i == 1 { // after the peer index and the first update
+			spliced.Write(rotten)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	var delivered int
+	stats, err := Replay(NewReader(bytes.NewReader(spliced.Bytes())), ReplayConfig{Metrics: met},
+		func(_ *BGP4MP, _ *wire.Update) error { delivered++; return nil })
+	if err != nil {
+		t.Fatalf("replay aborted on a skippable record: %v", err)
+	}
+	if delivered != 2 || stats.Updates != 2 {
+		t.Fatalf("delivered %d updates (stats %d), want 2", delivered, stats.Updates)
+	}
+	// Skipped covers the peer-index record and the rotten one.
+	if stats.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", stats.Skipped)
+	}
+	if got := met.DecodeErrors.Value(); got != 1 {
+		t.Fatalf("decode errors = %d, want 1", got)
+	}
+}

@@ -148,8 +148,11 @@ func (p *Portal) SetStatsSource(fn func() any) {
 // SetArchiveSource registers the callbacks behind the MRT archive
 // endpoints: status supplies GET /archive (JSON-encoded verbatim) and
 // rotate implements POST /archive/rotate, returning the rotation result
-// or an error (reported as 409). Like SetStatsSource, the newest
-// registration wins and nil unregisters (both endpoints then 404).
+// or an error (reported as 409 with a JSON error body). Like
+// SetStatsSource, the newest registration wins and nil unregisters:
+// GET /archive then 404s, while POST /archive/rotate answers 409 —
+// rotation conflicts with the server's configuration (archiving
+// disabled) rather than hitting a route that does not exist.
 func (p *Portal) SetArchiveSource(status func() any, rotate func() (any, error)) {
 	p.mu.Lock()
 	p.archiveStatus = status
@@ -523,7 +526,10 @@ func (p *Portal) Handler() http.Handler {
 		fn := p.archiveRotate
 		p.mu.Unlock()
 		if fn == nil {
-			http.Error(w, "archive unavailable", http.StatusNotFound)
+			// Rotation is an operator action that conflicts with how the
+			// server was started (archiving disabled), not a missing
+			// route — so 409, with a machine-readable body.
+			replyError(w, http.StatusConflict, "archiving disabled: start the server with -archive or -server-archive")
 			return
 		}
 		out, err := fn()
@@ -571,9 +577,17 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func reply(w http.ResponseWriter, v any, err error) {
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		replyError(w, http.StatusConflict, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// replyError writes a JSON error body ({"error": "..."}) so API clients
+// never have to parse free-form text out of a failure response.
+func replyError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

@@ -339,8 +339,9 @@ func TestMetricsAndPprofEndpoints(t *testing.T) {
 }
 
 // TestArchiveEndpoints: GET /archive and POST /archive/rotate proxy the
-// registered archive source (404 before registration, 409 on rotate
-// failure), and a nil source unregisters.
+// registered archive source — status 404s before registration, rotate
+// answers 409 with a JSON error body both when archiving is disabled
+// and when rotation itself fails — and a nil source unregisters.
 func TestArchiveEndpoints(t *testing.T) {
 	p, _, _ := newPortal(t)
 	srv := httptest.NewServer(p.Handler())
@@ -349,6 +350,18 @@ func TestArchiveEndpoints(t *testing.T) {
 	resp, _ := http.Get(srv.URL + "/archive")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unregistered /archive: %d, want 404", resp.StatusCode)
+	}
+	// Rotation with archiving disabled is a config conflict, not a
+	// missing route: 409, and the body must be machine-readable JSON.
+	resp = post(t, srv, "/archive/rotate", struct{}{})
+	var disabled map[string]string
+	json.NewDecoder(resp.Body).Decode(&disabled)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || disabled["error"] == "" {
+		t.Fatalf("disabled rotate = %d %v, want 409 with JSON error body", resp.StatusCode, disabled)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("disabled rotate content type = %q", ct)
 	}
 
 	rotateErr := error(nil)
@@ -374,14 +387,21 @@ func TestArchiveEndpoints(t *testing.T) {
 
 	rotateErr = errors.New("archive empty")
 	resp = post(t, srv, "/archive/rotate", struct{}{})
+	var failed map[string]string
+	json.NewDecoder(resp.Body).Decode(&failed)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("failed rotate = %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusConflict || failed["error"] != "archive empty" {
+		t.Fatalf("failed rotate = %d %v, want 409 {error: archive empty}", resp.StatusCode, failed)
 	}
 
 	p.SetArchiveSource(nil, nil)
 	resp, _ = http.Get(srv.URL + "/archive")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unregistered again /archive: %d, want 404", resp.StatusCode)
+	}
+	resp = post(t, srv, "/archive/rotate", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rotate after unregister = %d, want 409", resp.StatusCode)
 	}
 }

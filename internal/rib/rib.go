@@ -211,6 +211,22 @@ func (a *AdjRIB) Walk(fn func(*Route) bool) {
 	})
 }
 
+// WalkGrouped visits every stored route grouped by shared attribute
+// set — the shape batch packing wants. With an interner configured the
+// grouping key is pointer identity, so a full table resolves to
+// O(distinct policies) groups. The prefix slices are freshly built per
+// call and may be retained by the caller; group order is unspecified.
+func (a *AdjRIB) WalkGrouped(fn func(attrs *wire.Attrs, nlris []wire.NLRI)) {
+	groups := make(map[*wire.Attrs][]wire.NLRI)
+	a.Walk(func(r *Route) bool {
+		groups[r.Attrs] = append(groups[r.Attrs], wire.NLRI{Prefix: r.Prefix, ID: r.Src.PathID})
+		return true
+	})
+	for attrs, ns := range groups {
+		fn(attrs, ns)
+	}
+}
+
 // MarkAllStale flags every stored route stale (graceful restart entry),
 // returning how many were newly marked.
 func (a *AdjRIB) MarkAllStale() int {

@@ -46,6 +46,7 @@ type outOp struct {
 type outCounters struct {
 	coalesced    uint64
 	backpressure uint64
+	shed         uint64
 	highWater    int
 }
 
@@ -61,10 +62,15 @@ type outQueue struct {
 	notify chan struct{}
 
 	softLimit int
+	// hardLimit caps len(ops); 0 disables. Above it, announcements are
+	// shed (withdrawals still queue — they are what bounds correctness)
+	// and overflow marks the queue for a full resync.
+	hardLimit int
+	overflow  bool
 	ctr       outCounters
 }
 
-func newOutQueue(highWater int) *outQueue {
+func newOutQueue(highWater, hardLimit int) *outQueue {
 	if highWater <= 0 {
 		highWater = DefaultFanoutHighWater
 	}
@@ -72,6 +78,7 @@ func newOutQueue(highWater int) *outQueue {
 		pending:   make(map[outKey]int),
 		notify:    make(chan struct{}, 1),
 		softLimit: highWater,
+		hardLimit: hardLimit,
 	}
 }
 
@@ -83,6 +90,15 @@ func (q *outQueue) put(upstream uint32, p netip.Prefix, attrs *wire.Attrs) {
 	if i, ok := q.pending[k]; ok {
 		q.ops[i].attrs = attrs
 		q.ctr.coalesced++
+	} else if attrs != nil && q.hardLimit > 0 && len(q.ops) >= q.hardLimit {
+		// Queue memory cap (this laggard only — every client has its
+		// own queue): shed the announcement and flag the queue. The
+		// worker recovers by resyncing the full table directly down the
+		// session, bypassing the very cap that shed it. Withdrawals are
+		// never shed, so the shed-then-resync cycle cannot leave the
+		// client holding a route the world withdrew.
+		q.ctr.shed++
+		q.overflow = true
 	} else {
 		q.pending[k] = len(q.ops)
 		q.ops = append(q.ops, outOp{key: k, attrs: attrs})
@@ -121,14 +137,15 @@ func (q *outQueue) wake() {
 // back the slices from its previous take (done with them) so a steady
 // drain loop recycles two op buffers instead of growing fresh ones;
 // the index map is cleared in place for the same reason.
-func (q *outQueue) take(opsReuse []outOp, eorsReuse []uint32) (ops []outOp, eors []uint32, ctr outCounters) {
+func (q *outQueue) take(opsReuse []outOp, eorsReuse []uint32) (ops []outOp, eors []uint32, ctr outCounters, overflow bool) {
 	q.mu.Lock()
 	ops, q.ops = q.ops, opsReuse[:0]
 	eors, q.eors = q.eors, eorsReuse[:0]
 	clear(q.pending)
 	ctr, q.ctr = q.ctr, outCounters{}
+	overflow, q.overflow = q.overflow, false
 	q.mu.Unlock()
-	return ops, eors, ctr
+	return ops, eors, ctr, overflow
 }
 
 // depth reports pending operations plus End-of-RIB markers.
@@ -186,8 +203,14 @@ func (s *Server) runFanout(c *clientConn) {
 			return
 		}
 		var ctr outCounters
-		ops, eors, ctr = c.out.take(ops, eors)
+		var overflow bool
+		ops, eors, ctr, overflow = c.out.take(ops, eors)
 		s.flushFanout(c, ops, eors, ctr)
+		if overflow {
+			// Announcements were shed while this client lagged: rebuild
+			// its view synchronously from the Adj-RIB-In (quota.go).
+			s.resyncClient(c)
+		}
 	}
 }
 
@@ -282,5 +305,8 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 	m.fanoutRelayed.Add(relayed)
 	m.fanoutCoalesced.Add(ctr.coalesced)
 	m.fanoutBackpressure.Add(ctr.backpressure)
+	if ctr.shed > 0 {
+		m.quotaShed.Add(ctr.shed)
+	}
 	m.fanoutHighWater.Max(float64(ctr.highWater))
 }

@@ -33,7 +33,7 @@ func fanoutAttrs(asn uint32) *wire.Attrs {
 }
 
 func TestOutQueueCoalescing(t *testing.T) {
-	q := newOutQueue(0)
+	q := newOutQueue(0, 0)
 	a1 := fanoutAttrs(100)
 	a2 := fanoutAttrs(200)
 	pA, pB := prefix("11.0.0.0/16"), prefix("12.0.0.0/16")
@@ -43,7 +43,7 @@ func TestOutQueueCoalescing(t *testing.T) {
 	q.put(1, pA, a1)
 	q.put(1, pA, nil)
 	q.put(1, pA, a2)
-	ops, eors, ctr := q.take(nil, nil)
+	ops, eors, ctr, _ := q.take(nil, nil)
 	if len(ops) != 1 || len(eors) != 0 {
 		t.Fatalf("got %d ops, %d eors; want 1, 0", len(ops), len(eors))
 	}
@@ -59,7 +59,7 @@ func TestOutQueueCoalescing(t *testing.T) {
 	q.put(1, pA, a1)
 	q.put(1, pB, a1)
 	q.put(1, pA, nil)
-	ops, _, ctr = q.take(nil, nil)
+	ops, _, ctr, _ = q.take(nil, nil)
 	if len(ops) != 2 {
 		t.Fatalf("got %d ops, want 2", len(ops))
 	}
@@ -77,7 +77,7 @@ func TestOutQueueCoalescing(t *testing.T) {
 	// coalescing across upstream IDs.
 	q.put(1, pA, a1)
 	q.put(2, pA, a1)
-	ops, _, ctr = q.take(nil, nil)
+	ops, _, ctr, _ = q.take(nil, nil)
 	if len(ops) != 2 || ctr.coalesced != 0 {
 		t.Fatalf("cross-upstream ops = %d (coalesced %d), want 2 (0)", len(ops), ctr.coalesced)
 	}
@@ -85,17 +85,17 @@ func TestOutQueueCoalescing(t *testing.T) {
 	// End-of-RIB markers drain alongside ops, and take empties the queue.
 	q.put(1, pA, a1)
 	q.putEoR(1)
-	ops, eors, _ = q.take(nil, nil)
+	ops, eors, _, _ = q.take(nil, nil)
 	if len(ops) != 1 || len(eors) != 1 || eors[0] != 1 {
 		t.Fatalf("ops=%d eors=%v, want 1 op and EoR for upstream 1", len(ops), eors)
 	}
-	if ops, eors, _ := q.take(nil, nil); len(ops) != 0 || len(eors) != 0 || q.depth() != 0 {
+	if ops, eors, _, _ := q.take(nil, nil); len(ops) != 0 || len(eors) != 0 || q.depth() != 0 {
 		t.Fatalf("queue not empty after take: %d ops, %d eors, depth %d", len(ops), len(eors), q.depth())
 	}
 }
 
 func TestOutQueueBackpressureCounters(t *testing.T) {
-	q := newOutQueue(2)
+	q := newOutQueue(2, 0)
 	a := fanoutAttrs(100)
 	for i := 0; i < 4; i++ {
 		q.put(1, prefix("11.0.0.0/16"), a) // coalesces: never backpressure
@@ -103,7 +103,7 @@ func TestOutQueueBackpressureCounters(t *testing.T) {
 	q.put(1, prefix("11.1.0.0/16"), a)
 	q.put(1, prefix("11.2.0.0/16"), a)
 	q.put(1, prefix("11.3.0.0/16"), a) // 4th distinct key: over the soft limit
-	_, _, ctr := q.take(nil, nil)
+	_, _, ctr, _ := q.take(nil, nil)
 	if ctr.backpressure != 2 {
 		t.Fatalf("backpressure = %d, want 2 (keys 3 and 4 over limit 2)", ctr.backpressure)
 	}

@@ -56,6 +56,14 @@ type serverMetrics struct {
 	fanoutHighWater    *telemetry.Gauge
 	fanoutPacked       *telemetry.Histogram
 
+	// Quota and shedding counters (quota.go): every containment action
+	// taken against a client that outgrew its limits.
+	quotaWarnings  *telemetry.Counter
+	quotaRejected  *telemetry.Counter
+	quotaTeardowns *telemetry.Counter
+	quotaShed      *telemetry.Counter
+	quotaResyncs   *telemetry.Counter
+
 	// convergence measures client-announce → upstream-send latency.
 	convergence *telemetry.Histogram
 }
@@ -102,6 +110,17 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 			"Deepest any client's pending fan-out queue has been."),
 		fanoutPacked: r.Histogram("peering_fanout_update_nlris",
 			"NLRIs packed into each UPDATE sent to a client.", packingBuckets),
+
+		quotaWarnings: r.Counter("peering_quota_prefix_warnings_total",
+			"Clients crossing the max-prefix warn line (once per excursion)."),
+		quotaRejected: r.Counter("peering_quota_prefixes_rejected_total",
+			"Client announcements rejected at the max-prefix limit."),
+		quotaTeardowns: r.Counter("peering_quota_teardowns_total",
+			"Clients torn down (Cease/max-prefixes-reached) for quota abuse."),
+		quotaShed: r.Counter("peering_quota_fanout_shed_total",
+			"Fan-out announcements shed at a lagging client's queue cap."),
+		quotaResyncs: r.Counter("peering_quota_resyncs_total",
+			"Full-table resyncs performed after fan-out shedding."),
 
 		convergence: r.Histogram("peering_convergence_announce_latency_seconds",
 			"Latency from client announcement received to the route's first successful send to an upstream peer, including any redial backoff or restart window the announcement waited out.",
@@ -188,6 +207,11 @@ func (s *Server) Stats() Stats {
 		StaleRoutesFlushed:     m.staleFlushed.Value(),
 		PacketsToClients:       m.packetsToClients.Value(),
 		PacketsFromClients:     m.packetsFromClients.Value(),
+		QuotaWarnings:          m.quotaWarnings.Value(),
+		QuotaRejected:          m.quotaRejected.Value(),
+		QuotaTeardowns:         m.quotaTeardowns.Value(),
+		FanoutShed:             m.quotaShed.Value(),
+		FanoutResyncs:          m.quotaResyncs.Value(),
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"peering/internal/clock"
 	"peering/internal/dampen"
 	"peering/internal/dataplane"
+	"peering/internal/mrt"
 	"peering/internal/muxproto"
 	"peering/internal/rib"
 	"peering/internal/router"
@@ -75,6 +76,10 @@ type Config struct {
 	// (upstream, prefix)); this threshold only tunes when a client is
 	// reported as slow. Zero means DefaultFanoutHighWater.
 	FanoutHighWater int
+	// Quota bounds per-client resource usage (max-prefix limits,
+	// fan-out queue caps); see QuotaConfig. The zero value applies no
+	// prefix limit and the default queue cap.
+	Quota QuotaConfig
 	// Metrics is the telemetry registry the server registers its metric
 	// families on (nil = a private registry, reachable via Telemetry).
 	// Because family names are fixed, two Servers must not share one
@@ -130,6 +135,15 @@ type Stats struct {
 	// PacketsToClients / PacketsFromClients count tunnel traffic.
 	PacketsToClients   uint64
 	PacketsFromClients uint64
+	// QuotaWarnings / QuotaRejected / QuotaTeardowns count the three
+	// max-prefix containment tiers; FanoutShed and FanoutResyncs count
+	// queue-cap shedding on lagging clients and the full-table resyncs
+	// that recover them.
+	QuotaWarnings  uint64
+	QuotaRejected  uint64
+	QuotaTeardowns uint64
+	FanoutShed     uint64
+	FanoutResyncs  uint64
 }
 
 // UpstreamConfig describes one upstream peer of the server.
@@ -180,8 +194,50 @@ type Upstream struct {
 	// advertised maps prefix → the advert bookkeeping for withdraw,
 	// disconnect, and graceful-restart handling.
 	advertised map[netip.Prefix]*advert
+	// advCount tracks, per owning client, how many entries of
+	// advertised it holds — the incremental max-prefix quota reading.
+	// Maintained by addAdvertLocked/delAdvertLocked alongside every
+	// mutation of advertised.
+	advCount map[string]int
+	// quotaWarned marks clients currently above the warn line, so the
+	// warning tier fires once per excursion.
+	quotaWarned map[string]bool
 	// staleTimer backstops the graceful-restart window for adjIn.
 	staleTimer clock.Timer
+}
+
+// addAdvertLocked stores an advert keeping the per-client count
+// consistent. Callers hold u.mu.
+func (u *Upstream) addAdvertLocked(p netip.Prefix, ad *advert) {
+	if u.advertised[p] == nil {
+		u.advCount[ad.owner]++
+	}
+	u.advertised[p] = ad
+}
+
+// delAdvertLocked removes prefix p's advert, keeping the per-client
+// count and warn-tier tracking consistent. Callers hold u.mu.
+func (u *Upstream) delAdvertLocked(p netip.Prefix) {
+	ad := u.advertised[p]
+	if ad == nil {
+		return
+	}
+	delete(u.advertised, p)
+	n := u.advCount[ad.owner] - 1
+	if n <= 0 {
+		delete(u.advCount, ad.owner)
+	} else {
+		u.advCount[ad.owner] = n
+	}
+	if u.quotaWarned[ad.owner] {
+		limit := u.srv.cfg.Quota.MaxPrefixes
+		if acct, ok := u.srv.accountOf(ad.owner); ok && acct.MaxPrefixes > 0 {
+			limit = acct.MaxPrefixes
+		}
+		if limit <= 0 || n < u.srv.warnLine(limit) {
+			delete(u.quotaWarned, ad.owner)
+		}
+	}
 }
 
 // Config returns the upstream's configuration.
@@ -214,6 +270,9 @@ type ClientAccount struct {
 	// TunnelAddr is the client's address on the server's tunnel LAN
 	// (used as the dampening source key).
 	TunnelAddr netip.Addr
+	// MaxPrefixes overrides Config.Quota.MaxPrefixes for this client
+	// (0 = use the server-wide default).
+	MaxPrefixes int
 }
 
 // clientConn is one connected client.
@@ -233,6 +292,11 @@ type clientConn struct {
 	// tunIface is the server-side dataplane interface toward this
 	// client's tunnel.
 	tunIface *dataplane.Iface
+	// quotaStrikes counts announcements rejected over the max-prefix
+	// limit; crossing Quota.TeardownAfter ends the client's service.
+	quotaStrikes int
+	// tornDown marks a client already torn down for a quota breach.
+	tornDown bool
 }
 
 // session returns the live session for an upstream ID, if any (it may
@@ -311,6 +375,12 @@ type Server struct {
 	// stale routes by then, they flush.
 	timerMu       sync.Mutex
 	restartTimers map[string]clock.Timer
+
+	// archMu guards the optional MRT archive and its snapshot sequence
+	// (see warmstart.go).
+	archMu      sync.Mutex
+	arch        *mrt.Archive
+	archSnapSeq int
 }
 
 // New creates a server.
@@ -370,7 +440,12 @@ func (s *Server) AddUpstream(cfg UpstreamConfig) (*Upstream, error) {
 	if _, dup := s.upstreams[cfg.ID]; dup {
 		return nil, fmt.Errorf("server: upstream ID %d already registered", cfg.ID)
 	}
-	u := &Upstream{cfg: cfg, srv: s, adjIn: rib.NewAdjRIB(), advertised: make(map[netip.Prefix]*advert)}
+	u := &Upstream{
+		cfg: cfg, srv: s, adjIn: rib.NewAdjRIB(),
+		advertised:  make(map[netip.Prefix]*advert),
+		advCount:    make(map[string]int),
+		quotaWarned: make(map[string]bool),
+	}
 	u.adjIn.SetInterner(s.intern)
 	s.upstreams[cfg.ID] = u
 	return u, nil
@@ -478,6 +553,9 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 	if upd.Refresh {
 		return // refresh requests from upstreams are not honored yet
 	}
+	// Archive before interpreting: End-of-RIB markers belong in the
+	// trace too (warm restart replays them as harmless no-ops).
+	s.archiveUpstream(u, sess, upd)
 	if upd.IsEndOfRIB() {
 		// The peer finished replaying its table after a restart: every
 		// route still stale was not re-announced and must go.
@@ -634,6 +712,14 @@ func (s *Server) allocatedTo(id string, p netip.Prefix) bool {
 	return ok && owner == id
 }
 
+// accountOf returns the registered account for client id.
+func (s *Server) accountOf(id string) (ClientAccount, bool) {
+	s.acctMu.RLock()
+	defer s.acctMu.RUnlock()
+	acct, ok := s.accounts[id]
+	return acct, ok
+}
+
 // ownerOfAddr returns the client owning the allocation containing addr.
 func (s *Server) ownerOfAddr(addr netip.Addr) (string, bool) {
 	s.acctMu.RLock()
@@ -667,7 +753,7 @@ func (s *Server) AcceptClient(id string, conn net.Conn) error {
 	}
 
 	c := &clientConn{account: acct, sups: make(map[uint32]*bgp.Supervisor)}
-	c.out = newOutQueue(s.cfg.FanoutHighWater)
+	c.out = newOutQueue(s.cfg.FanoutHighWater, s.cfg.Quota.maxQueueOps())
 	c.mux = tunnel.NewMux(conn, nil)
 
 	s.clMu.Lock()
@@ -859,9 +945,11 @@ func (s *Server) flushClientStale(id string, only *Upstream) {
 		u.mu.Lock()
 		for p, ad := range u.advertised {
 			if ad.owner == id && ad.stale {
-				delete(u.advertised, p)
 				wd = append(wd, wire.NLRI{Prefix: p})
 			}
+		}
+		for _, n := range wd {
+			u.delAdvertLocked(n.Prefix)
 		}
 		sess := u.sess
 		u.mu.Unlock()
@@ -914,9 +1002,11 @@ func (s *Server) withdrawClient(id string, only *Upstream) {
 		u.mu.Lock()
 		for p, ad := range u.advertised {
 			if ad.owner == id {
-				delete(u.advertised, p)
 				wd = append(wd, wire.NLRI{Prefix: p})
 			}
+		}
+		for _, n := range wd {
+			u.delAdvertLocked(n.Prefix)
 		}
 		sess := u.sess
 		u.mu.Unlock()
@@ -1019,7 +1109,7 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 		ad := u.advertised[n.Prefix]
 		owned := ad != nil && ad.owner == c.account.ID
 		if owned {
-			delete(u.advertised, n.Prefix)
+			u.delAdvertLocked(n.Prefix)
 		}
 		u.mu.Unlock()
 		if !owned {
@@ -1051,6 +1141,18 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 				continue
 			}
 			u.mu.Unlock()
+			// Max-prefix quota (warn → dampen-new → teardown): only a
+			// net-new prefix consumes headroom; over the limit the
+			// announcement is dropped, and repeated abuse ends the
+			// client with Cease/max-prefixes-reached. The teardown runs
+			// off this goroutine: it closes the very session whose
+			// reader invoked us.
+			if !s.checkPrefixQuota(c, u, n) {
+				if s.quotaStrike(c) {
+					go s.tearDownClient(c, wire.SubMaxPrefixesReached)
+				}
+				continue
+			}
 			// Route-flap dampening (§3 safety) applies to every
 			// announcement that would actually reach the upstream.
 			if est {
@@ -1060,7 +1162,7 @@ func (s *Server) handleClientUpdate(c *clientConn, u *Upstream, upd *wire.Update
 				}
 			}
 			u.mu.Lock()
-			u.advertised[n.Prefix] = &advert{owner: c.account.ID, attrs: attrs, announced: recv, pending: true}
+			u.addAdvertLocked(n.Prefix, &advert{owner: c.account.ID, attrs: attrs, announced: recv, pending: true})
 			u.mu.Unlock()
 			if est {
 				outRoutes = append(outRoutes, wire.AttrRoute{NLRI: wire.NLRI{Prefix: n.Prefix}, Attrs: attrs})

@@ -13,7 +13,11 @@ func MarshalAttrs(a *Attrs, opt Options) ([]byte, error) {
 	return a.marshal(opt)
 }
 
-// ParseAttrs decodes a standalone path-attribute block.
+// ParseAttrs decodes a standalone path-attribute block. RFC 7606
+// attribute-discard handling applies (a snapshot entry with a bad
+// AGGREGATOR still parses); treat-as-withdraw errors surface as plain
+// errors since there is no surrounding UPDATE to withdraw.
 func ParseAttrs(b []byte, opt Options) (*Attrs, error) {
-	return parseAttrs(b, opt)
+	a, _, err := parseAttrs(b, opt)
+	return a, err
 }

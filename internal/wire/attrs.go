@@ -453,15 +453,15 @@ func parseASPath(v []byte, four bool) ([]Segment, error) {
 	var segs []Segment
 	for len(v) > 0 {
 		if len(v) < 2 {
-			return nil, NotifError(CodeUpdateMessageError, SubMalformedASPath, nil)
+			return nil, withdrawError(SubMalformedASPath, nil)
 		}
 		st, n := SegType(v[0]), int(v[1])
 		if st != SegSet && st != SegSequence {
-			return nil, NotifError(CodeUpdateMessageError, SubMalformedASPath, nil)
+			return nil, withdrawError(SubMalformedASPath, nil)
 		}
 		need := 2 + n*width
 		if len(v) < need {
-			return nil, NotifError(CodeUpdateMessageError, SubMalformedASPath, nil)
+			return nil, withdrawError(SubMalformedASPath, nil)
 		}
 		seg := Segment{Type: st, ASNs: make([]uint32, n)}
 		for i := 0; i < n; i++ {
@@ -478,67 +478,80 @@ func parseASPath(v []byte, four bool) ([]Segment, error) {
 	return segs, nil
 }
 
-// parseAttrs decodes a path-attribute block.
-func parseAttrs(b []byte, opt Options) (*Attrs, error) {
-	a := &Attrs{}
+// parseAttrs decodes a path-attribute block with RFC 7606 revised
+// error handling. Errors fall in three tiers: attribute-list framing
+// damage and unrecognized well-known attributes reset the session
+// (returned error has ActionSessionReset); malformation of an
+// attribute that drives route selection (ORIGIN, AS_PATH, NEXT_HOP,
+// MED, LOCAL_PREF, COMMUNITIES) or a duplicated attribute returns an
+// ActionTreatAsWithdraw error; malformation of an attribute that
+// cannot change selection (ATOMIC_AGGREGATE, AGGREGATOR, AS4_PATH,
+// AS4_AGGREGATOR) is discarded and parsing continues, with the dropped
+// type codes returned in discarded.
+func parseAttrs(b []byte, opt Options) (a *Attrs, discarded []uint8, err error) {
+	a = &Attrs{}
 	seen := map[uint8]bool{}
 	var as4Path []Segment
 	var as4Agg *Aggregator
 	for len(b) > 0 {
 		if len(b) < 3 {
-			return nil, NotifError(CodeUpdateMessageError, SubMalformedAttributeList, nil)
+			return nil, nil, NotifError(CodeUpdateMessageError, SubMalformedAttributeList, nil)
 		}
 		flags, code := b[0], b[1]
 		var vlen, hlen int
 		if flags&flagExtLen != 0 {
 			if len(b) < 4 {
-				return nil, NotifError(CodeUpdateMessageError, SubMalformedAttributeList, nil)
+				return nil, nil, NotifError(CodeUpdateMessageError, SubMalformedAttributeList, nil)
 			}
 			vlen, hlen = int(binary.BigEndian.Uint16(b[2:4])), 4
 		} else {
 			vlen, hlen = int(b[2]), 3
 		}
 		if len(b) < hlen+vlen {
-			return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, nil)
+			// The attribute overruns the block: nothing after this point
+			// can be framed, so per RFC 7606 §5.3 this stays fatal.
+			return nil, nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, nil)
 		}
 		v := b[hlen : hlen+vlen]
+		b = b[hlen+vlen:]
 		if seen[code] {
-			return nil, NotifError(CodeUpdateMessageError, SubMalformedAttributeList, nil)
+			return nil, nil, withdrawError(SubMalformedAttributeList, []byte{code})
 		}
 		seen[code] = true
 		switch code {
 		case attrOrigin:
 			if vlen != 1 {
-				return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, v)
+				return nil, nil, withdrawError(SubAttributeLengthError, v)
 			}
 			if v[0] > 2 {
-				return nil, NotifError(CodeUpdateMessageError, SubInvalidOriginAttribute, v)
+				return nil, nil, withdrawError(SubInvalidOriginAttribute, v)
 			}
 			a.Origin = Origin(v[0])
 		case attrASPath:
 			segs, err := parseASPath(v, opt.AS4)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			a.ASPath = segs
 		case attrNextHop:
 			if vlen != 4 {
-				return nil, NotifError(CodeUpdateMessageError, SubInvalidNextHopAttribute, v)
+				return nil, nil, withdrawError(SubInvalidNextHopAttribute, v)
 			}
 			a.NextHop = netip.AddrFrom4([4]byte(v))
 		case attrMED:
 			if vlen != 4 {
-				return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, v)
+				return nil, nil, withdrawError(SubAttributeLengthError, v)
 			}
 			a.MED, a.HasMED = binary.BigEndian.Uint32(v), true
 		case attrLocalPref:
 			if vlen != 4 {
-				return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, v)
+				return nil, nil, withdrawError(SubAttributeLengthError, v)
 			}
 			a.LocalPref, a.HasLocalPref = binary.BigEndian.Uint32(v), true
 		case attrAtomicAggregate:
 			if vlen != 0 {
-				return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, v)
+				discarded = append(discarded, code)
+				continue
 			}
 			a.Atomic = true
 		case attrAggregator:
@@ -548,11 +561,11 @@ func parseAttrs(b []byte, opt Options) (*Attrs, error) {
 			case 6:
 				a.Aggregator = &Aggregator{AS: uint32(binary.BigEndian.Uint16(v[0:2])), Addr: netip.AddrFrom4([4]byte(v[2:6]))}
 			default:
-				return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, v)
+				discarded = append(discarded, code)
 			}
 		case attrCommunities:
 			if vlen%4 != 0 {
-				return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, v)
+				return nil, nil, withdrawError(SubAttributeLengthError, v)
 			}
 			for i := 0; i < vlen; i += 4 {
 				a.Communities = append(a.Communities, Community(binary.BigEndian.Uint32(v[i:i+4])))
@@ -560,25 +573,32 @@ func parseAttrs(b []byte, opt Options) (*Attrs, error) {
 		case attrAS4Path:
 			segs, err := parseASPath(v, true)
 			if err != nil {
-				return nil, err
+				discarded = append(discarded, code)
+				continue
 			}
 			as4Path = segs
 		case attrAS4Aggregator:
 			if vlen != 8 {
-				return nil, NotifError(CodeUpdateMessageError, SubAttributeLengthError, v)
+				discarded = append(discarded, code)
+				continue
 			}
 			as4Agg = &Aggregator{AS: binary.BigEndian.Uint32(v[0:4]), Addr: netip.AddrFrom4([4]byte(v[4:8]))}
 		default:
 			if flags&flagOptional == 0 {
 				// Unrecognized well-known attribute: session error.
-				return nil, NotifError(CodeUpdateMessageError, SubUnrecognizedWellKnownAttr, []byte{code})
+				return nil, nil, NotifError(CodeUpdateMessageError, SubUnrecognizedWellKnownAttr, []byte{code})
 			}
 			if flags&flagTransitive != 0 {
-				a.Unknown = append(a.Unknown, RawAttr{Flags: flags, Code: code, Value: append([]byte(nil), v...)})
+				// Store the flags in the canonical form they will be
+				// forwarded with: partial set (RFC 4271 §5 — we did not
+				// recognize the attribute) and the extended-length bit
+				// dropped (pure encoding, re-derived on marshal). This
+				// keeps decode∘encode a fixed point.
+				canon := (flags &^ flagExtLen) | flagPartial
+				a.Unknown = append(a.Unknown, RawAttr{Flags: canon, Code: code, Value: append([]byte(nil), v...)})
 			}
 			// Optional non-transitive unknowns are dropped.
 		}
-		b = b[hlen+vlen:]
 	}
 	// RFC 6793 §4.2.3 reconciliation: substitute AS4_PATH data when the
 	// 2-octet path used AS_TRANS.
@@ -588,7 +608,7 @@ func parseAttrs(b []byte, opt Options) (*Attrs, error) {
 	if !opt.AS4 && as4Agg != nil && a.Aggregator != nil && a.Aggregator.AS == uint32(ASTrans) {
 		a.Aggregator = as4Agg
 	}
-	return a, nil
+	return a, discarded, nil
 }
 
 // mergeAS4Path implements the RFC 6793 AS_PATH/AS4_PATH merge: if the

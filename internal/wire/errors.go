@@ -1,6 +1,9 @@
 package wire
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Notification error codes (RFC 4271 §4.5).
 const (
@@ -55,17 +58,74 @@ const (
 	SubOutOfResources          uint8 = 8
 )
 
+// ErrorAction is the RFC 7606 revised handling for a malformed UPDATE.
+// It decides how much state one bad message may take down: the whole
+// session, just the routes the message carried, or only the offending
+// attribute.
+type ErrorAction uint8
+
+// Error actions, from most to least destructive (RFC 7606 §2).
+const (
+	// ActionSessionReset tears the session down with a NOTIFICATION.
+	// Reserved for errors that make the rest of the message — or the
+	// rest of the stream — unparseable: framing corruption, attribute
+	// list length mismatches, and NLRI field errors (§5.3).
+	ActionSessionReset ErrorAction = iota
+	// ActionTreatAsWithdraw keeps the session but treats every NLRI in
+	// the UPDATE as withdrawn: the routes cannot be trusted, the peer
+	// can.
+	ActionTreatAsWithdraw
+	// ActionAttributeDiscard drops only the malformed attribute; it is
+	// used where the attribute cannot influence route selection
+	// (ATOMIC_AGGREGATE, AGGREGATOR, AS4_*).
+	ActionAttributeDiscard
+)
+
+func (a ErrorAction) String() string {
+	switch a {
+	case ActionSessionReset:
+		return "session-reset"
+	case ActionTreatAsWithdraw:
+		return "treat-as-withdraw"
+	case ActionAttributeDiscard:
+		return "attribute-discard"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
 // Error is a protocol violation detected by the codec or FSM; it maps
-// directly to the NOTIFICATION the local speaker should emit.
+// directly to the NOTIFICATION the local speaker should emit when
+// Action is ActionSessionReset, and records the downgraded handling
+// otherwise.
 type Error struct {
 	Code    uint8
 	Subcode uint8
 	Data    []byte
+	// Action is the RFC 7606 severity. The zero value is session-reset,
+	// so every pre-7606 construction site keeps its original meaning.
+	Action ErrorAction
 }
 
-// NotifError builds an *Error.
+// NotifError builds a session-reset *Error.
 func NotifError(code, sub uint8, data []byte) *Error {
 	return &Error{Code: code, Subcode: sub, Data: data}
+}
+
+// withdrawError builds an UPDATE error handled as treat-as-withdraw.
+func withdrawError(sub uint8, data []byte) *Error {
+	return &Error{Code: CodeUpdateMessageError, Subcode: sub, Data: data, Action: ActionTreatAsWithdraw}
+}
+
+// ErrAction classifies err: the RFC 7606 action of the wire.Error in
+// its chain, or session-reset (the conservative default) for any other
+// error.
+func ErrAction(err error) ErrorAction {
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Action
+	}
+	return ActionSessionReset
 }
 
 func (e *Error) Error() string {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"net/netip"
 	"reflect"
 	"testing"
@@ -33,11 +34,50 @@ func FuzzParseMessage(f *testing.F) {
 	if b, err := Marshal(&Keepalive{}, seedOpts); err == nil {
 		f.Add(b)
 	}
+	// Malformed-attribute seeds: start from the valid UPDATE and damage
+	// the attribute block, steering the fuzzer toward the RFC 7606
+	// classification paths (truncated values, corrupted flags, duplicated
+	// and unknown attributes).
+	if b, err := Marshal(upd, seedOpts); err == nil {
+		attrStart := HeaderLen + 2 + 2 + (1+4)*1 + 2 // header, wdLen, one ADD-PATH /8 withdraw, attrLen
+		for _, mut := range []func(s []byte){
+			func(s []byte) { s[attrStart+2] = 0xff },      // ORIGIN length 1 -> 255 (overruns block)
+			func(s []byte) { s[attrStart+3] = 9 },         // ORIGIN value 9 (invalid)
+			func(s []byte) { s[attrStart] = 0x00 },        // ORIGIN flags: well-known -> malformed flags
+			func(s []byte) { s[attrStart+1] = 77 },        // ORIGIN -> unrecognized well-known code
+			func(s []byte) { s[attrStart] |= flagExtLen }, // extended-length bit without the extra byte
+			func(s []byte) { s[len(s)-8] = 0xee },         // corrupt a byte mid-attrs
+		} {
+			s := append([]byte(nil), b...)
+			mut(s)
+			f.Add(s)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, opt := range []Options{{}, {AS4: true, AddPath: true}} {
 			m, err := Decode(data, opt)
 			if err != nil {
+				// RFC 7606 classification must be total: an error that
+				// escapes Decode is by definition a session reset —
+				// treat-as-withdraw and attribute-discard are absorbed
+				// into the returned Update. Anything else is an io error
+				// from truncated framing.
+				var we *Error
+				if errors.As(err, &we) && we.Action != ActionSessionReset {
+					t.Fatalf("decode error escaped with non-reset action %v: %v\n in %x", we.Action, err, data)
+				}
 				continue
+			}
+			if u, ok := m.(*Update); ok && u.Malformed != nil {
+				if u.Malformed.Action != ActionTreatAsWithdraw {
+					t.Fatalf("Update.Malformed carries action %v, want treat-as-withdraw\n in %x", u.Malformed.Action, data)
+				}
+				if u.Attrs != nil || len(u.Reach) != 0 {
+					t.Fatalf("treat-as-withdraw left attrs/reach populated: %#v\n in %x", u, data)
+				}
+				if u.IsEndOfRIB() {
+					t.Fatalf("treat-as-withdraw update reads as End-of-RIB\n in %x", data)
+				}
 			}
 			b, err := Marshal(m, opt)
 			if err != nil {
@@ -49,6 +89,13 @@ func FuzzParseMessage(f *testing.F) {
 			m2, err := Decode(b, opt)
 			if err != nil {
 				t.Fatalf("re-encoded message does not decode (opts %+v): %v\n in  %x\n out %x", opt, err, data, b)
+			}
+			if u, ok := m.(*Update); ok && (u.Malformed != nil || u.Discarded != nil) {
+				// Malformed/Discarded are decode-side annotations the
+				// encoder does not (and must not) represent; compare the
+				// canonical remainder.
+				u = &Update{Withdrawn: u.Withdrawn, Attrs: u.Attrs, Reach: u.Reach, Refresh: u.Refresh}
+				m = u
 			}
 			if !reflect.DeepEqual(m, m2) {
 				t.Fatalf("re-decode differs (opts %+v):\n m  %#v\n m2 %#v", opt, m, m2)

@@ -398,6 +398,15 @@ type Update struct {
 	// so receivers can tell a refresh request apart from an End-of-RIB
 	// marker, which is also an empty UPDATE (RFC 4724 §2).
 	Refresh bool
+	// Malformed records that RFC 7606 treat-as-withdraw handling was
+	// applied on decode: the message carried an error that poisons its
+	// routes but not the session, so its NLRI were moved into Withdrawn
+	// and Attrs cleared. Never set on messages built for sending.
+	Malformed *Error
+	// Discarded lists attribute type codes dropped on decode by RFC
+	// 7606 attribute-discard handling. Never set on messages built for
+	// sending.
+	Discarded []uint8
 }
 
 // IsEndOfRIB reports whether u is the RFC 4724 End-of-RIB marker: an
@@ -405,7 +414,10 @@ type Update struct {
 // Speakers send it after replaying their table so graceful-restart
 // receivers know which retained stale routes to flush.
 func (u *Update) IsEndOfRIB() bool {
-	return len(u.Withdrawn) == 0 && len(u.Reach) == 0 && u.Attrs == nil && !u.Refresh
+	// A treat-as-withdraw UPDATE whose NLRI happened to be empty also
+	// ends up with no routes and no attributes; it must not pass for an
+	// End-of-RIB, which would trigger a stale sweep.
+	return len(u.Withdrawn) == 0 && len(u.Reach) == 0 && u.Attrs == nil && !u.Refresh && u.Malformed == nil
 }
 
 // Type implements Message.
@@ -462,18 +474,36 @@ func decodeUpdate(body []byte, opt Options) (*Update, error) {
 	if len(rest) < 2+attrLen {
 		return nil, NotifError(CodeUpdateMessageError, SubMalformedAttributeList, nil)
 	}
+	var attrErr *Error
 	if attrLen > 0 {
-		m.Attrs, err = parseAttrs(rest[2:2+attrLen], opt)
-		if err != nil {
-			return nil, err
+		var perr error
+		m.Attrs, m.Discarded, perr = parseAttrs(rest[2:2+attrLen], opt)
+		if perr != nil {
+			var we *Error
+			if !errors.As(perr, &we) || we.Action != ActionTreatAsWithdraw {
+				return nil, perr
+			}
+			// RFC 7606 treat-as-withdraw: the session survives, the
+			// routes do not. The NLRI field is still parsed below —
+			// NLRI damage stays fatal (§5.3) — and its prefixes join
+			// the withdrawn set.
+			attrErr, m.Attrs, m.Discarded = we, nil, nil
 		}
 	}
 	m.Reach, err = parseNLRIs(rest[2+attrLen:], opt.AddPath)
 	if err != nil {
 		return nil, err
 	}
-	if len(m.Reach) > 0 && m.Attrs == nil {
-		return nil, NotifError(CodeUpdateMessageError, SubMissingWellKnownAttribute, nil)
+	if attrErr == nil && len(m.Reach) > 0 && m.Attrs == nil {
+		// Mandatory attributes absent with NLRI present: RFC 7606 §3(d)
+		// downgrades this from session reset to treat-as-withdraw.
+		attrErr = withdrawError(SubMissingWellKnownAttribute, nil)
+	}
+	if attrErr != nil {
+		m.Withdrawn = append(m.Withdrawn, m.Reach...)
+		m.Reach = nil
+		m.Attrs = nil
+		m.Malformed = attrErr
 	}
 	return m, nil
 }

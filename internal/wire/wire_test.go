@@ -270,8 +270,27 @@ func TestDuplicateAttributeRejected(t *testing.T) {
 	al := int(dup[alOff])<<8 | int(dup[alOff+1])
 	al += 4
 	dup[alOff], dup[alOff+1] = byte(al>>8), byte(al)
-	if _, err := Decode(dup, DefaultOptions); err == nil {
-		t.Fatal("duplicate attribute accepted")
+	// RFC 7606: a duplicated attribute poisons the routes, not the
+	// session — the UPDATE decodes as a withdraw of its NLRI.
+	got, err := Decode(dup, DefaultOptions)
+	if err != nil {
+		t.Fatalf("duplicate attribute reset the session: %v", err)
+	}
+	u, ok := got.(*Update)
+	if !ok || u.Malformed == nil {
+		t.Fatalf("duplicate attribute not flagged treat-as-withdraw: %#v", got)
+	}
+	if u.Malformed.Action != ActionTreatAsWithdraw || u.Malformed.Subcode != SubMalformedAttributeList {
+		t.Fatalf("Malformed = %+v, want treat-as-withdraw malformed-attribute-list", u.Malformed)
+	}
+	if u.Attrs != nil || len(u.Reach) != 0 {
+		t.Fatalf("attrs/reach survived treat-as-withdraw: %#v", u)
+	}
+	if len(u.Withdrawn) != 1 || u.Withdrawn[0].Prefix != prefix("198.18.0.0/15") {
+		t.Fatalf("NLRI not converted to withdraw: %+v", u.Withdrawn)
+	}
+	if u.IsEndOfRIB() {
+		t.Fatal("treat-as-withdraw update must never read as End-of-RIB")
 	}
 }
 

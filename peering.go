@@ -14,6 +14,7 @@ package peering
 
 import (
 	"fmt"
+	"net"
 	"net/netip"
 	"sync"
 	"time"
@@ -73,6 +74,16 @@ type Config struct {
 	// collector: every update it hears lands there as BGP4MP_ET records,
 	// and each segment rotation dumps a TABLE_DUMP_V2 RIB snapshot.
 	ArchiveDir string
+	// ServerArchiveDir, when set, attaches a rotating MRT archive to the
+	// PEERING server itself: every update its upstreams send lands
+	// there, and each rotation dumps the Adj-RIB-Ins. This is the
+	// archive warm restart recovers from.
+	ServerArchiveDir string
+	// WarmRestart rebuilds the server's Adj-RIB-Ins from
+	// ServerArchiveDir before the upstream sessions come up (RFC 4724
+	// semantics: restored routes are stale until the live peers refresh
+	// them). Requires ServerArchiveDir.
+	WarmRestart bool
 }
 
 // liveSpec returns the default compact Internet for live operation.
@@ -105,6 +116,12 @@ type Testbed struct {
 	// Archive is the collector's MRT archive (nil unless ArchiveDir was
 	// configured).
 	Archive *mrt.Archive
+	// ServerArchive is the server's own MRT archive (nil unless
+	// ServerArchiveDir was configured).
+	ServerArchive *mrt.Archive
+	// WarmRestore reports what a WarmRestart recovered (nil when
+	// WarmRestart was off).
+	WarmRestore *server.WarmRestoreStats
 	// Portal is the management web service.
 	Portal *portal.Portal
 
@@ -179,7 +196,13 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb.Server.AttachUpstream(up, rsConn)
+	// Upstream sessions attach only after every upstream is registered,
+	// so a warm restart can seed the Adj-RIB-Ins from the archive first.
+	type upstreamAttach struct {
+		u    *server.Upstream
+		conn net.Conn
+	}
+	pending := []upstreamAttach{{up, rsConn}}
 	// Traffic egress: default route into the exchange fabric.
 	tb.Server.DP().SetRoute(netip.MustParsePrefix("0.0.0.0/0"), netip.Addr{}, member.MemberIface)
 
@@ -221,7 +244,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		}
 		pc1, pc2 := bufconn.Pipe()
 		prov.BGP.Attach(provPeer, pc1)
-		tb.Server.AttachUpstream(upProv, pc2)
+		pending = append(pending, upstreamAttach{upProv, pc2})
 		// The paired data-plane link: customer traffic the provider
 		// carries toward testbed prefixes flows here (BGP next hops on
 		// this link resolve via the registered subnet).
@@ -248,9 +271,48 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			if err != nil {
 				return nil, err
 			}
-			tb.Server.AttachUpstream(u, conn)
+			pending = append(pending, upstreamAttach{u, conn})
 			id++
 		}
+	}
+
+	// Both archives (server's and collector's) share one mrt instrument
+	// set: the registry rejects duplicate family names.
+	var mrtMetrics *mrt.Metrics
+	mrtInstruments := func() *mrt.Metrics {
+		if mrtMetrics == nil {
+			mrtMetrics = mrt.NewMetrics(tb.Server.Telemetry())
+		}
+		return mrtMetrics
+	}
+
+	// Server-side archival and warm restart: restore from the archive
+	// directory BEFORE opening a new archive there (the new archive's
+	// fresh segment would otherwise sit in the tail scan) and before any
+	// upstream session attaches.
+	if cfg.WarmRestart {
+		if cfg.ServerArchiveDir == "" {
+			return nil, fmt.Errorf("peering: warm restart requires a server archive directory")
+		}
+		st, err := tb.Server.WarmRestore(cfg.ServerArchiveDir)
+		if err != nil {
+			return nil, fmt.Errorf("peering: warm restart: %w", err)
+		}
+		tb.WarmRestore = &st
+	}
+	if cfg.ServerArchiveDir != "" {
+		sarch, err := mrt.NewArchive(mrt.ArchiveConfig{
+			Dir:     cfg.ServerArchiveDir,
+			Metrics: mrtInstruments(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("peering: open server MRT archive: %w", err)
+		}
+		tb.ServerArchive = sarch
+		tb.Server.AttachArchive(sarch)
+	}
+	for _, pa := range pending {
+		tb.Server.AttachUpstream(pa.u, pa.conn)
 	}
 
 	// 4. A route collector peered with the first tier-1.
@@ -265,7 +327,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	if cfg.ArchiveDir != "" {
 		arch, err := mrt.NewArchive(mrt.ArchiveConfig{
 			Dir:     cfg.ArchiveDir,
-			Metrics: mrt.NewMetrics(tb.Server.Telemetry()),
+			Metrics: mrtInstruments(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("peering: open MRT archive: %w", err)
@@ -449,6 +511,9 @@ func (tb *Testbed) Close() {
 	tb.Server.Close()
 	if tb.Archive != nil {
 		tb.Archive.Close()
+	}
+	if tb.ServerArchive != nil {
+		tb.ServerArchive.Close()
 	}
 }
 
