@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race chaos bench fuzz-smoke check docs
+.PHONY: all build vet staticcheck test race chaos bench bench-fulltable fuzz-smoke check docs
 
 all: check
 
@@ -39,11 +39,20 @@ chaos:
 # messages spent relaying a 1000-route table to 8 clients
 # (BENCH_fanout.json) and the allocation cost of the same scenario
 # (BENCH_hotpath.json, with the committed pre-PR baseline alongside).
-bench:
+bench: bench-fulltable
 	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
 	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test ./internal/server/ -run TestRelayHotPathAllocs -count=1 -v
 	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
 	BENCH_REPLAY_JSON=$(CURDIR)/BENCH_replay.json $(GO) test . -run TestReplayBenchmark -count=1 -v
+
+# The Internet-scale ingestion run (DESIGN.md §12): a ≥1M-prefix table
+# from internet.FullTableSpec, serialized as an MRT trace and replayed
+# at max speed into one mux with 64 count-only clients attached.
+# BENCH_fulltable.json records ingestion rate, fan-out convergence time,
+# and the steady-state heap. The same test runs as a ~25K-prefix smoke
+# in the plain `make test` / `make race` gates.
+bench-fulltable:
+	BENCH_FULLTABLE_JSON=$(CURDIR)/BENCH_fulltable.json $(GO) test . -run TestFullTableIngestion -count=1 -v -timeout 30m
 
 # Short coverage-guided fuzz runs over the wire-format decoders and the
 # attribute-equality invariant that interning rests on (Equal(a,b) ⟺

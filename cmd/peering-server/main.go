@@ -23,6 +23,7 @@ func main() {
 	archiveDir := flag.String("archive", "", "directory for the collector's rotating MRT archive (empty = no archival)")
 	serverArchiveDir := flag.String("server-archive", "", "directory for the server's own MRT archive of upstream updates (enables crash recovery)")
 	warmRestart := flag.Bool("warm-restart", false, "rebuild the server's Adj-RIB-Ins from -server-archive before sessions come up")
+	shards := flag.Int("shards", 0, "prefix-hash shards for the server's RIBs, ingest workers, and fan-out queues (0 = size from GOMAXPROCS)")
 	flag.Parse()
 
 	var m peering.Mode
@@ -43,6 +44,7 @@ func main() {
 	tb, err := peering.NewTestbed(peering.Config{
 		Mode: m, BilateralPeers: *bilateral, ArchiveDir: *archiveDir,
 		ServerArchiveDir: *serverArchiveDir, WarmRestart: *warmRestart,
+		Shards: *shards,
 	})
 	if err != nil {
 		log.Fatalf("testbed: %v", err)

@@ -37,6 +37,15 @@ type Config struct {
 	RouterID netip.Addr
 	// Clock drives session timers (nil = system).
 	Clock clock.Clock
+	// CountOnly disables per-upstream view storage: received NLRIs are
+	// tallied into per-upstream counters instead of being decoded into
+	// rib views. A full Internet table copied into dozens of client
+	// views is the dominant memory cost of a fan-out load test; counting
+	// keeps each client O(upstreams). With CountOnly set, RouteCount
+	// reports announcements net of withdrawals (re-announcements are
+	// counted again — there is no table to dedup against), and
+	// Routes/RoutesFor/BestRoute see an empty view.
+	CountOnly bool
 }
 
 // AnnounceOptions steers one announcement — the §2 control surface.
@@ -73,6 +82,7 @@ type Client struct {
 	mu        sync.Mutex
 	sessions  map[uint32]*bgp.Session // upstream ID → session (BIRD: key 0)
 	views     map[uint32]*rib.AdjRIB  // upstream ID → received routes
+	counts    map[uint32]int          // upstream ID → NLRI tally (CountOnly)
 	announced map[netip.Prefix]AnnounceOptions
 	onRoute   func(upstreamID uint32, upd *wire.Update)
 	onPacket  func(*dataplane.Packet)
@@ -98,6 +108,7 @@ func Connect(cfg Config, conn net.Conn) (*Client, error) {
 		intern:    wire.NewInternTable(),
 		sessions:  make(map[uint32]*bgp.Session),
 		views:     make(map[uint32]*rib.AdjRIB),
+		counts:    make(map[uint32]int),
 		announced: make(map[netip.Prefix]AnnounceOptions),
 		estNotify: make(chan struct{}, 1),
 	}
@@ -338,6 +349,31 @@ func (c *Client) handleUpdate(upstreamID uint32, bird bool, sess *bgp.Session, u
 		}
 		return upstreamID, n.ID
 	}
+	if c.cfg.CountOnly {
+		c.mu.Lock()
+		for _, n := range upd.Withdrawn {
+			vid, _ := viewFor(n)
+			if c.counts[vid] > 0 {
+				c.counts[vid]--
+			}
+		}
+		if upd.Attrs != nil {
+			for _, n := range upd.Reach {
+				vid, _ := viewFor(n)
+				c.counts[vid]++
+			}
+		}
+		onRoute := c.onRoute
+		c.mu.Unlock()
+		if onRoute != nil {
+			id := upstreamID
+			if bird && len(upd.Reach) > 0 {
+				id = uint32(upd.Reach[0].ID)
+			}
+			onRoute(id, upd)
+		}
+		return
+	}
 	// Intern once per UPDATE: all NLRIs (and, for a stable route, all
 	// later re-announcements) share one stored attribute set.
 	upd.Attrs = c.intern.Intern(upd.Attrs)
@@ -441,15 +477,37 @@ func (c *Client) Routes(id uint32) []*rib.Route {
 	return out
 }
 
-// RouteCount returns how many routes upstream id has sent.
+// RouteCount returns how many routes upstream id has sent (in
+// Config.CountOnly mode, the running NLRI tally for that upstream).
 func (c *Client) RouteCount(id uint32) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cfg.CountOnly {
+		return c.counts[id]
+	}
 	v := c.views[id]
 	if v == nil {
 		return 0
 	}
 	return v.Len()
+}
+
+// TotalRouteCount sums RouteCount across every upstream view (or
+// counter, in CountOnly mode).
+func (c *Client) TotalRouteCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	if c.cfg.CountOnly {
+		for _, v := range c.counts {
+			n += v
+		}
+		return n
+	}
+	for _, v := range c.views {
+		n += v.Len()
+	}
+	return n
 }
 
 // RoutesFor returns every upstream's route for prefix p — the

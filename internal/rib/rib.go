@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peering/internal/trie"
@@ -73,27 +74,59 @@ func (r *Route) MED() uint32 {
 }
 
 func (r *Route) String() string {
-	return fmt.Sprintf("%s via %s path [%s]", r.Prefix, r.Src, r.Attrs.PathString())
+	// An attribute-less route (withdrawn placeholder, or a test fixture)
+	// must format, not panic.
+	path := ""
+	if r.Attrs != nil {
+		path = r.Attrs.PathString()
+	}
+	return fmt.Sprintf("%s via %s path [%s]", r.Prefix, r.Src, path)
+}
+
+// pathLen, originOf, and firstAS read attribute fields tolerating a
+// route with no attributes at all: such a route compares as an empty
+// path with default origin, the same defaults LocalPref and MED apply,
+// instead of panicking the decision process.
+func pathLen(r *Route) int {
+	if r.Attrs == nil {
+		return 0
+	}
+	return r.Attrs.PathLen()
+}
+
+func originOf(r *Route) wire.Origin {
+	if r.Attrs == nil {
+		return wire.OriginIGP
+	}
+	return r.Attrs.Origin
+}
+
+func firstAS(r *Route) uint32 {
+	if r.Attrs == nil {
+		return 0
+	}
+	return r.Attrs.FirstAS()
 }
 
 // Better reports whether a is preferred over b under the RFC 4271 §9.1.2
 // decision process (with the standard vendor extensions for the final
-// tie-breaks). Routes must be for the same prefix.
+// tie-breaks). Routes must be for the same prefix. Routes with nil
+// Attrs are legal: every attribute-derived step reads its default.
 func Better(a, b *Route) bool {
 	// 1. Highest LOCAL_PREF.
 	if la, lb := a.LocalPref(), b.LocalPref(); la != lb {
 		return la > lb
 	}
 	// 2. Shortest AS_PATH.
-	if pa, pb := a.Attrs.PathLen(), b.Attrs.PathLen(); pa != pb {
+	if pa, pb := pathLen(a), pathLen(b); pa != pb {
 		return pa < pb
 	}
 	// 3. Lowest ORIGIN (IGP < EGP < incomplete).
-	if a.Attrs.Origin != b.Attrs.Origin {
-		return a.Attrs.Origin < b.Attrs.Origin
+	if oa, ob := originOf(a), originOf(b); oa != ob {
+		return oa < ob
 	}
 	// 4. Lowest MED among routes from the same neighbor AS.
-	if a.Attrs.FirstAS() == b.Attrs.FirstAS() {
+	if firstAS(a) == firstAS(b) {
 		if ma, mb := a.MED(), b.MED(); ma != mb {
 			return ma < mb
 		}
@@ -143,12 +176,12 @@ func (a *AdjRIB) SetInterner(t *wire.InternTable) {
 
 // Set stores a copy of *r, reporting whether it replaced a previous
 // route with the same prefix and path ID. r itself is never retained,
-// so callers can pass a stack-allocated Route; a replacement reuses
-// the stored Route in place rather than allocating. Consequently
-// routes observed via Get or Walk are owned by the table: they may be
-// overwritten by a later Set, and callers that hand them out beyond
-// the table's lock must copy. With an interner configured, the stored
-// Attrs is the canonical pointer.
+// so callers can pass a stack-allocated Route. A replacement installs a
+// freshly allocated Route rather than overwriting the old one in place:
+// the displaced *Route stays valid as an immutable snapshot, so a
+// pointer previously handed to another table (e.g. LocRIB.Update) or a
+// queue cannot be silently mutated out from under it. With an interner
+// configured, the stored Attrs is the canonical pointer.
 func (a *AdjRIB) Set(r *Route) bool {
 	if a.intern != nil {
 		r.Attrs = a.intern.Intern(r.Attrs)
@@ -158,15 +191,14 @@ func (a *AdjRIB) Set(r *Route) bool {
 		m = make(map[wire.PathID]*Route, 1)
 		a.t.Insert(r.Prefix, m)
 	}
-	if old := m[r.Src.PathID]; old != nil {
-		*old = *r
-		return true
-	}
 	nr := new(Route)
 	*nr = *r
+	replaced := m[r.Src.PathID] != nil
 	m[r.Src.PathID] = nr
-	a.n++
-	return false
+	if !replaced {
+		a.n++
+	}
+	return replaced
 }
 
 // Remove deletes the route for (prefix, id), returning it if present.
@@ -290,10 +322,23 @@ type Change struct {
 
 // LocRIB holds all candidate routes and the current best per prefix.
 // It is safe for concurrent use.
+//
+// Internally the table is split into prefix-hash shards, each with its
+// own lock and trie (see shard.go for the hash and the default shard
+// count): Update/Withdraw/Best run entirely inside one shard, so
+// concurrent mutators on different prefixes do not serialize on a
+// single table lock. The decision process is per prefix, and a prefix
+// lives in exactly one shard, so the shard count never changes which
+// route wins — only which lock guards it.
 type LocRIB struct {
-	mu     sync.RWMutex
-	t      *trie.Trie[*entry]
-	routes int
+	shards []locShard
+	mask   uint32
+	routes atomic.Int64
+}
+
+type locShard struct {
+	mu sync.RWMutex
+	t  *trie.Trie[*entry]
 }
 
 type entry struct {
@@ -302,21 +347,38 @@ type entry struct {
 	best       *Route
 }
 
-// NewLocRIB returns an empty Loc-RIB.
-func NewLocRIB() *LocRIB {
-	return &LocRIB{t: trie.New[*entry]()}
+// NewLocRIB returns an empty Loc-RIB with the default shard count.
+func NewLocRIB() *LocRIB { return NewLocRIBShards(0) }
+
+// NewLocRIBShards returns an empty Loc-RIB with n prefix-hash shards
+// (rounded up to a power of two; n <= 0 means DefaultShards).
+func NewLocRIBShards(n int) *LocRIB {
+	n = shardCount(n)
+	l := &LocRIB{shards: make([]locShard, n), mask: uint32(n - 1)}
+	for i := range l.shards {
+		l.shards[i].t = trie.New[*entry]()
+	}
+	return l
+}
+
+// Shards reports the table's shard count.
+func (l *LocRIB) Shards() int { return len(l.shards) }
+
+func (l *LocRIB) shard(p netip.Prefix) *locShard {
+	return &l.shards[prefixShard(p)&l.mask]
 }
 
 // Update inserts or replaces the candidate from r.Src for r.Prefix and
 // recomputes the best route. The returned Change has Old == New == best
 // when the best route did not move (callers test Changed).
 func (l *LocRIB) Update(r *Route) (Change, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	e, ok := l.t.Get(r.Prefix)
+	sh := l.shard(r.Prefix)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.t.Get(r.Prefix)
 	if !ok {
 		e = &entry{}
-		l.t.Insert(r.Prefix, e)
+		sh.t.Insert(r.Prefix, e)
 	}
 	replaced := false
 	for i, c := range e.candidates {
@@ -328,24 +390,31 @@ func (l *LocRIB) Update(r *Route) (Change, bool) {
 	}
 	if !replaced {
 		e.candidates = append(e.candidates, r)
-		l.routes++
+		l.routes.Add(1)
 	}
-	return l.recompute(r.Prefix, e)
+	return recompute(r.Prefix, e)
 }
 
 // Withdraw removes the candidate from src for p and recomputes.
 func (l *LocRIB) Withdraw(p netip.Prefix, src PeerKey) (Change, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	e, ok := l.t.Get(p)
+	sh := l.shard(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.t.Get(p)
 	if !ok {
 		return Change{Prefix: p}, false
 	}
 	found := false
 	for i, c := range e.candidates {
 		if c.Src == src {
-			e.candidates = append(e.candidates[:i], e.candidates[i+1:]...)
-			l.routes--
+			last := len(e.candidates) - 1
+			copy(e.candidates[i:], e.candidates[i+1:])
+			// Nil the vacated tail slot: the backing array must not pin
+			// the withdrawn route (and its attrs) until the next append
+			// overwrites it.
+			e.candidates[last] = nil
+			e.candidates = e.candidates[:last]
+			l.routes.Add(-1)
 			found = true
 			break
 		}
@@ -353,9 +422,9 @@ func (l *LocRIB) Withdraw(p netip.Prefix, src PeerKey) (Change, bool) {
 	if !found {
 		return Change{Prefix: p}, false
 	}
-	ch, changed := l.recompute(p, e)
+	ch, changed := recompute(p, e)
 	if len(e.candidates) == 0 {
-		l.t.Delete(p)
+		sh.t.Delete(p)
 	}
 	return ch, changed
 }
@@ -363,42 +432,54 @@ func (l *LocRIB) Withdraw(p netip.Prefix, src PeerKey) (Change, bool) {
 // WithdrawPeer removes every candidate learned from peer address addr
 // (session teardown), returning the resulting best-route changes.
 func (l *LocRIB) WithdrawPeer(addr netip.Addr) []Change {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var prefixes []netip.Prefix
-	l.t.Walk(func(p netip.Prefix, e *entry) bool {
-		for _, c := range e.candidates {
-			if c.Src.Addr == addr {
-				prefixes = append(prefixes, p)
-				break
-			}
-		}
-		return true
-	})
 	var changes []Change
-	for _, p := range prefixes {
-		e, _ := l.t.Get(p)
-		kept := e.candidates[:0]
-		for _, c := range e.candidates {
-			if c.Src.Addr == addr {
-				l.routes--
-				continue
+	for si := range l.shards {
+		sh := &l.shards[si]
+		sh.mu.Lock()
+		var prefixes []netip.Prefix
+		sh.t.Walk(func(p netip.Prefix, e *entry) bool {
+			for _, c := range e.candidates {
+				if c.Src.Addr == addr {
+					prefixes = append(prefixes, p)
+					break
+				}
 			}
-			kept = append(kept, c)
+			return true
+		})
+		for _, p := range prefixes {
+			e, _ := sh.t.Get(p)
+			old := e.candidates
+			kept := old[:0]
+			for _, c := range old {
+				if c.Src.Addr == addr {
+					l.routes.Add(-1)
+					continue
+				}
+				kept = append(kept, c)
+			}
+			// The compaction wrote the survivors over the front of the
+			// backing array; nil out the tail so the dropped *Routes (at
+			// full-table scale, an entire peer's worth) are collectable
+			// instead of staying pinned behind the shortened slice.
+			for j := len(kept); j < len(old); j++ {
+				old[j] = nil
+			}
+			e.candidates = kept
+			if ch, changed := recompute(p, e); changed {
+				changes = append(changes, ch)
+			}
+			if len(e.candidates) == 0 {
+				sh.t.Delete(p)
+			}
 		}
-		e.candidates = kept
-		if ch, changed := l.recompute(p, e); changed {
-			changes = append(changes, ch)
-		}
-		if len(e.candidates) == 0 {
-			l.t.Delete(p)
-		}
+		sh.mu.Unlock()
 	}
 	return changes
 }
 
-// recompute re-runs the decision process for p. Caller holds l.mu.
-func (l *LocRIB) recompute(p netip.Prefix, e *entry) (Change, bool) {
+// recompute re-runs the decision process for p. Caller holds the
+// prefix's shard lock.
+func recompute(p netip.Prefix, e *entry) (Change, bool) {
 	old := e.best
 	var best *Route
 	for _, c := range e.candidates {
@@ -415,9 +496,10 @@ func (l *LocRIB) recompute(p netip.Prefix, e *entry) (Change, bool) {
 
 // Best returns the selected route for exactly prefix p.
 func (l *LocRIB) Best(p netip.Prefix) *Route {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	e, ok := l.t.Get(p)
+	sh := l.shard(p)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.t.Get(p)
 	if !ok {
 		return nil
 	}
@@ -426,9 +508,10 @@ func (l *LocRIB) Best(p netip.Prefix) *Route {
 
 // Candidates returns all candidate routes for p (copy).
 func (l *LocRIB) Candidates(p netip.Prefix) []*Route {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	e, ok := l.t.Get(p)
+	sh := l.shard(p)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.t.Get(p)
 	if !ok {
 		return nil
 	}
@@ -437,55 +520,88 @@ func (l *LocRIB) Candidates(p netip.Prefix) []*Route {
 	return out
 }
 
-// Lookup performs a longest-prefix match over best routes.
+// Lookup performs a longest-prefix match over best routes. Covering
+// prefixes hash to different shards than their more-specifics, so every
+// shard's match is consulted and the longest wins.
 func (l *LocRIB) Lookup(addr netip.Addr) *Route {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	// Empty entries are pruned on withdraw, so every stored entry has a
-	// best route and a plain LPM suffices.
-	_, e, ok := l.t.Lookup(addr)
-	if !ok {
-		return nil
+	var best *Route
+	bestBits := -1
+	for si := range l.shards {
+		sh := &l.shards[si]
+		sh.mu.RLock()
+		// Empty entries are pruned on withdraw, so every stored entry has
+		// a best route and a plain LPM per shard suffices.
+		if p, e, ok := sh.t.Lookup(addr); ok && p.Bits() > bestBits {
+			bestBits = p.Bits()
+			best = e.best
+		}
+		sh.mu.RUnlock()
 	}
-	return e.best
+	return best
 }
 
 // Prefixes reports the number of distinct prefixes present.
 func (l *LocRIB) Prefixes() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.t.Len()
+	n := 0
+	for si := range l.shards {
+		sh := &l.shards[si]
+		sh.mu.RLock()
+		n += sh.t.Len()
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Routes reports the total number of candidate routes.
 func (l *LocRIB) Routes() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.routes
+	return int(l.routes.Load())
 }
 
-// WalkBest visits the best route of every prefix.
+// WalkBest visits the best route of every prefix. The walk locks one
+// shard at a time: it is consistent per shard, not a point-in-time
+// snapshot of the whole table, and visits prefixes in per-shard (not
+// global lexicographic) order.
 func (l *LocRIB) WalkBest(fn func(*Route) bool) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	l.t.Walk(func(_ netip.Prefix, e *entry) bool {
-		if e.best == nil {
-			return true
-		}
-		return fn(e.best)
-	})
-}
-
-// WalkAll visits every candidate route of every prefix.
-func (l *LocRIB) WalkAll(fn func(*Route) bool) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	l.t.Walk(func(_ netip.Prefix, e *entry) bool {
-		for _, r := range e.candidates {
-			if !fn(r) {
+	for si := range l.shards {
+		sh := &l.shards[si]
+		sh.mu.RLock()
+		done := false
+		sh.t.Walk(func(_ netip.Prefix, e *entry) bool {
+			if e.best == nil {
+				return true
+			}
+			if !fn(e.best) {
+				done = true
 				return false
 			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if done {
+			return
 		}
-		return true
-	})
+	}
+}
+
+// WalkAll visits every candidate route of every prefix, with the same
+// per-shard consistency and ordering caveats as WalkBest.
+func (l *LocRIB) WalkAll(fn func(*Route) bool) {
+	for si := range l.shards {
+		sh := &l.shards[si]
+		sh.mu.RLock()
+		done := false
+		sh.t.Walk(func(_ netip.Prefix, e *entry) bool {
+			for _, r := range e.candidates {
+				if !fn(r) {
+					done = true
+					return false
+				}
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if done {
+			return
+		}
+	}
 }

@@ -237,13 +237,16 @@ func TestAdjRIBSetRemove(t *testing.T) {
 		t.Fatalf("Len = %d, want 1", a.Len())
 	}
 	got := a.Get(prefix("10.0.0.0/8"), 0)
-	if got != stored {
-		t.Fatal("replacement must reuse the stored Route in place")
+	if got == stored {
+		t.Fatal("replacement must install a fresh Route, not mutate the stored one in place")
+	}
+	if stored.Attrs.Origin != wire.OriginIGP {
+		t.Fatal("displaced route snapshot was mutated by the replacement")
 	}
 	if got.Attrs.Origin != wire.OriginEGP {
 		t.Fatal("replacement did not update stored route contents")
 	}
-	if rm := a.Remove(prefix("10.0.0.0/8"), 0); rm != stored {
+	if rm := a.Remove(prefix("10.0.0.0/8"), 0); rm != got {
 		t.Fatal("Remove returned wrong route")
 	}
 	if a.Len() != 0 || a.Remove(prefix("10.0.0.0/8"), 0) != nil {

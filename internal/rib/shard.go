@@ -1,0 +1,252 @@
+package rib
+
+// Prefix-hash sharding shared by LocRIB and ShardedAdj. A full
+// Internet table (~1M prefixes) under one RWMutex serializes every
+// mutator and makes per-client fan-out gathers linear scans under that
+// same lock; splitting the table by prefix hash gives each shard its
+// own lock and trie so table operations on different prefixes proceed
+// independently. The shard of a prefix is a pure function of the
+// prefix, so a given (prefix, path) always lands in the same shard and
+// per-prefix orderings are preserved no matter how many shards exist.
+
+import (
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"peering/internal/wire"
+)
+
+// DefaultShards is the shard count used when a table is created without
+// an explicit one: enough shards that workers on every core can run
+// without contending (4× GOMAXPROCS), floored so that even a one-core
+// box exercises real sharding, capped to bound per-table fixed cost.
+func DefaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return shardCount(n)
+}
+
+// ShardCount normalizes a requested shard count: <= 0 means the
+// default, anything else is rounded up to a power of two so the shard
+// index is a mask instead of a modulo. Exported so owners of parallel
+// per-shard structures (the server's ingest pool and fan-out queues)
+// resolve the same count the tables do.
+func ShardCount(n int) int { return shardCount(n) }
+
+func shardCount(n int) int {
+	if n <= 0 {
+		return DefaultShards()
+	}
+	p := 1
+	for p < n && p < 1<<16 {
+		p <<= 1
+	}
+	return p
+}
+
+// PrefixShard hashes a prefix to a shard selector; masking with a
+// power-of-two shard count picks the shard. Exported so the server can
+// partition ingest work and queue slots on the same function the
+// tables use, keeping one prefix on one worker end to end.
+func PrefixShard(p netip.Prefix) uint32 { return prefixShard(p) }
+
+// prefixShard hashes a prefix to a shard selector (FNV-1a over the
+// 16-byte address plus the prefix length, with the high half folded in
+// so small masks still see the whole hash).
+func prefixShard(p netip.Prefix) uint32 {
+	b := p.Addr().As16()
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	h = (h ^ uint32(uint8(p.Bits()))) * 16777619
+	return h ^ h>>16
+}
+
+// ShardedAdj is a prefix-hash-sharded Adj-RIB, safe for concurrent
+// use: each shard is a plain AdjRIB under its own RWMutex. It backs
+// the server's per-upstream Adj-RIB-In, where ingest workers mutate
+// disjoint shards concurrently while replays and snapshots walk them.
+//
+// Routes handed out by Get and the walk methods are owned by the
+// table and must be treated as read-only snapshots; AdjRIB.Set's
+// copy-on-replace contract guarantees a later Set never mutates them.
+type ShardedAdj struct {
+	shards []adjShard
+	mask   uint32
+	n      atomic.Int64
+}
+
+type adjShard struct {
+	mu  sync.RWMutex
+	rib *AdjRIB
+}
+
+// NewShardedAdj returns an empty table with n shards (rounded up to a
+// power of two; n <= 0 means DefaultShards).
+func NewShardedAdj(n int) *ShardedAdj {
+	n = shardCount(n)
+	s := &ShardedAdj{shards: make([]adjShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].rib = NewAdjRIB()
+	}
+	return s
+}
+
+// Shards reports the shard count.
+func (s *ShardedAdj) Shards() int { return len(s.shards) }
+
+// ShardOf returns the index of the shard holding prefix p. Callers
+// that partition work per shard (the server's ingest pool) use it to
+// route operations to the worker owning the shard.
+func (s *ShardedAdj) ShardOf(p netip.Prefix) int {
+	return int(prefixShard(p) & s.mask)
+}
+
+// SetInterner configures attribute canonicalization on every shard.
+// Call before concurrent use.
+func (s *ShardedAdj) SetInterner(t *wire.InternTable) {
+	for i := range s.shards {
+		s.shards[i].rib.SetInterner(t)
+	}
+}
+
+// Set stores a copy of *r (see AdjRIB.Set), reporting whether it
+// replaced an existing route.
+func (s *ShardedAdj) Set(r *Route) bool {
+	sh := &s.shards[prefixShard(r.Prefix)&s.mask]
+	sh.mu.Lock()
+	replaced := sh.rib.Set(r)
+	sh.mu.Unlock()
+	if !replaced {
+		s.n.Add(1)
+	}
+	return replaced
+}
+
+// Remove deletes the route for (prefix, id), returning it if present.
+func (s *ShardedAdj) Remove(p netip.Prefix, id wire.PathID) *Route {
+	sh := &s.shards[prefixShard(p)&s.mask]
+	sh.mu.Lock()
+	r := sh.rib.Remove(p, id)
+	sh.mu.Unlock()
+	if r != nil {
+		s.n.Add(-1)
+	}
+	return r
+}
+
+// Get returns the route for (prefix, id); treat it as read-only.
+func (s *ShardedAdj) Get(p netip.Prefix, id wire.PathID) *Route {
+	sh := &s.shards[prefixShard(p)&s.mask]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rib.Get(p, id)
+}
+
+// Len reports the number of stored routes (not prefixes).
+func (s *ShardedAdj) Len() int { return int(s.n.Load()) }
+
+// Walk visits every stored route, holding each shard's read lock for
+// the duration of that shard's callbacks. Mutators of a shard are
+// therefore excluded while it is being walked — the property the
+// server's replay path relies on to never enqueue a route that a
+// concurrent ingest has already superseded — but the walk is not a
+// point-in-time snapshot across shards.
+func (s *ShardedAdj) Walk(fn func(*Route) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		done := false
+		sh.rib.Walk(func(r *Route) bool {
+			if !fn(r) {
+				done = true
+				return false
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if done {
+			return
+		}
+	}
+}
+
+// WalkGrouped visits every stored route grouped by shared attribute
+// set, accumulated across all shards (shard read locks are released
+// before fn runs, so fn may send on slow transports freely). The NLRI
+// slices are freshly built per call and may be retained.
+func (s *ShardedAdj) WalkGrouped(fn func(attrs *wire.Attrs, nlris []wire.NLRI)) {
+	groups := make(map[*wire.Attrs][]wire.NLRI)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.rib.Walk(func(r *Route) bool {
+			groups[r.Attrs] = append(groups[r.Attrs], wire.NLRI{Prefix: r.Prefix, ID: r.Src.PathID})
+			return true
+		})
+		sh.mu.RUnlock()
+	}
+	for attrs, ns := range groups {
+		fn(attrs, ns)
+	}
+}
+
+// MarkAllStale flags every stored route stale (graceful restart
+// entry), returning how many were newly marked.
+func (s *ShardedAdj) MarkAllStale() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.rib.MarkAllStale()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SweepStale removes and returns every route still marked stale.
+func (s *ShardedAdj) SweepStale() []*Route {
+	var stale []*Route
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		swept := sh.rib.SweepStale()
+		sh.mu.Unlock()
+		s.n.Add(int64(-len(swept)))
+		stale = append(stale, swept...)
+	}
+	return stale
+}
+
+// StaleCount reports how many routes are currently marked stale.
+func (s *ShardedAdj) StaleCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.rib.StaleCount()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Clear drops all routes, returning how many were removed.
+func (s *ShardedAdj) Clear() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.rib.Clear()
+		sh.mu.Unlock()
+	}
+	s.n.Add(int64(-n))
+	return n
+}

@@ -1,0 +1,338 @@
+package rib
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"peering/internal/wire"
+)
+
+// ---------------------------------------------------------------------
+// Bugfix regressions
+
+// TestNilAttrsRoutes is the attribute-less table test: String, Better,
+// and the Loc-RIB decision process must all tolerate routes carrying no
+// attributes (pre-fix, Better and String dereferenced r.Attrs
+// unconditionally and panicked).
+func TestNilAttrsRoutes(t *testing.T) {
+	bare := func(p, peer string) *Route {
+		return mkRoute(p, peer, func(r *Route) { r.Attrs = nil })
+	}
+	cases := []struct {
+		name string
+		a, b *Route
+	}{
+		{"both nil", bare("10.0.0.0/24", "192.0.2.1"), bare("10.0.0.0/24", "192.0.2.2")},
+		{"a nil", bare("10.0.0.0/24", "192.0.2.1"), mkRoute("10.0.0.0/24", "192.0.2.2", nil)},
+		{"b nil", mkRoute("10.0.0.0/24", "192.0.2.1", nil), bare("10.0.0.0/24", "192.0.2.2")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// String must render, not panic.
+			_ = tc.a.String()
+			_ = tc.b.String()
+			// Better must stay a strict weak order: not both directions.
+			ab, ba := Better(tc.a, tc.b), Better(tc.b, tc.a)
+			if ab && ba {
+				t.Fatalf("Better claims both %v > %v and the reverse", tc.a, tc.b)
+			}
+			// An attribute-less route has path length 0: it must win step 2
+			// against any route with a non-empty path (equal LOCAL_PREF).
+			l := NewLocRIB()
+			l.Update(tc.a)
+			l.Update(tc.b)
+			if best := l.Best(prefix("10.0.0.0/24")); best == nil {
+				t.Fatal("no best route selected")
+			}
+		})
+	}
+}
+
+// TestWithdrawReleasesBackingArray is the WithdrawPeer lifetime-leak
+// regression: compacting candidates with kept := e.candidates[:0] used
+// to leave the dropped *Route pointers alive in the backing array tail.
+func TestWithdrawPeerReleasesBackingArray(t *testing.T) {
+	l := NewLocRIB()
+	p := "10.1.0.0/24"
+	l.Update(mkRoute(p, "192.0.2.1", nil))
+	l.Update(mkRoute(p, "192.0.2.2", nil))
+	l.Update(mkRoute(p, "192.0.2.3", nil))
+
+	// Drop the two peers that sort last so survivors compact to the front.
+	l.WithdrawPeer(addr("192.0.2.2"))
+	l.WithdrawPeer(addr("192.0.2.3"))
+
+	e := locEntry(t, l, prefix(p))
+	if len(e.candidates) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(e.candidates))
+	}
+	for i, c := range e.candidates[:cap(e.candidates)] {
+		if i >= len(e.candidates) && c != nil {
+			t.Fatalf("backing array slot %d still pins %v after WithdrawPeer", i, c)
+		}
+	}
+}
+
+// TestWithdrawReleasesSlot covers the same leak class on single-route
+// Withdraw: the vacated last slot must not pin the removed route.
+func TestWithdrawReleasesSlot(t *testing.T) {
+	l := NewLocRIB()
+	p := "10.2.0.0/24"
+	l.Update(mkRoute(p, "192.0.2.1", nil))
+	l.Update(mkRoute(p, "192.0.2.2", nil))
+	l.Withdraw(prefix(p), PeerKey{Addr: addr("192.0.2.1")})
+
+	e := locEntry(t, l, prefix(p))
+	if len(e.candidates) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(e.candidates))
+	}
+	for i, c := range e.candidates[:cap(e.candidates)] {
+		if i >= len(e.candidates) && c != nil {
+			t.Fatalf("backing array slot %d still pins %v after Withdraw", i, c)
+		}
+	}
+}
+
+// locEntry digs the internal entry for p out of l (test-only).
+func locEntry(t *testing.T, l *LocRIB, p netip.Prefix) *entry {
+	t.Helper()
+	sh := l.shard(p)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.t.Get(p)
+	if !ok {
+		t.Fatalf("prefix %v not present", p)
+	}
+	return e
+}
+
+// TestAdjRIBSetAliasing is the AdjRIB.Set / LocRIB.Update aliasing
+// regression: Set used to overwrite the stored Route in place, so a
+// pointer previously passed to LocRIB.Update was silently mutated
+// without a recompute. Now a replacement must leave the old snapshot
+// intact until the caller re-runs the decision process.
+func TestAdjRIBSetAliasing(t *testing.T) {
+	intern := wire.NewInternTable()
+	adj := NewAdjRIB()
+	adj.SetInterner(intern)
+	loc := NewLocRIB()
+	p := prefix("10.3.0.0/24")
+
+	adj.Set(mkRoute("10.3.0.0/24", "192.0.2.1", nil))
+	stored := adj.Get(p, 0)
+	loc.Update(stored)
+	oldAttrs := stored.Attrs
+
+	// Replace the route with a longer path. Pre-fix this overwrote
+	// *stored, mutating the Loc-RIB's candidate behind its back.
+	adj.Set(mkRoute("10.3.0.0/24", "192.0.2.1", func(r *Route) {
+		r.Attrs = &wire.Attrs{
+			Origin:  wire.OriginIGP,
+			ASPath:  []wire.Segment{{Type: wire.SegSequence, ASNs: []uint32{65001, 65002, 65003, 65004}}},
+			NextHop: addr("192.0.2.1"),
+		}
+	}))
+
+	best := loc.Best(p)
+	if best == nil {
+		t.Fatal("no best route")
+	}
+	if best.Attrs != oldAttrs {
+		t.Fatalf("Loc-RIB best attrs mutated by AdjRIB.Set without a recompute: got %v, want the original snapshot", best.Attrs.PathString())
+	}
+
+	// The boundary protocol: feed the freshly stored route back through
+	// Update, and the best must be re-decided on the new attrs.
+	loc.Update(adj.Get(p, 0))
+	if got := loc.Best(p).Attrs; got == oldAttrs || got.PathLen() != 4 {
+		t.Fatalf("best not re-decided after Update: path %v", got.PathString())
+	}
+}
+
+// ---------------------------------------------------------------------
+// Sharding invariance and concurrency
+
+// TestShardingInvariance drives the same announce/withdraw sequence
+// into 1-, 4-, and 16-shard tables and requires identical best routes:
+// the shard count must never change a decision.
+func TestShardingInvariance(t *testing.T) {
+	tables := []*LocRIB{NewLocRIBShards(1), NewLocRIBShards(4), NewLocRIBShards(16)}
+	rng := rand.New(rand.NewSource(7))
+	peers := []string{"192.0.2.1", "192.0.2.2", "192.0.2.3", "192.0.2.4"}
+	prefixes := make([]netip.Prefix, 200)
+	for i := range prefixes {
+		prefixes[i] = prefix(fmt.Sprintf("10.%d.%d.0/24", i/250, i%250))
+	}
+	for step := 0; step < 4000; step++ {
+		pi, peer := rng.Intn(len(prefixes)), peers[rng.Intn(len(peers))]
+		if rng.Intn(3) == 0 {
+			for _, l := range tables {
+				l.Withdraw(prefixes[pi], PeerKey{Addr: addr(peer)})
+			}
+			continue
+		}
+		aslen := 1 + rng.Intn(4)
+		for _, l := range tables {
+			l.Update(mkRoute(prefixes[pi].String(), peer, func(r *Route) {
+				path := make([]uint32, aslen)
+				for j := range path {
+					path[j] = 65000 + uint32(j)
+				}
+				r.Attrs = &wire.Attrs{Origin: wire.OriginIGP, ASPath: []wire.Segment{{Type: wire.SegSequence, ASNs: path}}, NextHop: addr(peer)}
+			}))
+		}
+	}
+	ref := tables[0]
+	for _, l := range tables[1:] {
+		if ref.Prefixes() != l.Prefixes() || ref.Routes() != l.Routes() {
+			t.Fatalf("size mismatch: %d shards has %d/%d, 1 shard has %d/%d",
+				l.Shards(), l.Prefixes(), l.Routes(), ref.Prefixes(), ref.Routes())
+		}
+	}
+	for _, p := range prefixes {
+		want := ref.Best(p)
+		for _, l := range tables[1:] {
+			got := l.Best(p)
+			switch {
+			case (want == nil) != (got == nil):
+				t.Fatalf("%v: best presence differs between 1 and %d shards", p, l.Shards())
+			case want != nil && (want.Src != got.Src || !want.Attrs.Equal(got.Attrs)):
+				t.Fatalf("%v: best differs between 1 and %d shards: %v vs %v", p, l.Shards(), want, got)
+			}
+		}
+		// LPM must agree with exact-match presence regardless of shard
+		// placement of covering prefixes.
+		if want != nil {
+			for _, l := range tables {
+				if lk := l.Lookup(p.Addr()); lk == nil || lk.Prefix != want.Prefix {
+					t.Fatalf("%v: Lookup(%v) = %v on %d shards", p, p.Addr(), lk, l.Shards())
+				}
+			}
+		}
+	}
+}
+
+// TestLocRIBConcurrentShardOps exercises concurrent shard-local
+// Update/Withdraw/Lookup/WalkBest under the race detector.
+func TestLocRIBConcurrentShardOps(t *testing.T) {
+	l := NewLocRIBShards(8)
+	const writers, iters = 4, 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			peer := fmt.Sprintf("192.0.2.%d", w+1)
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				p := fmt.Sprintf("10.%d.%d.0/24", w, rng.Intn(64))
+				if rng.Intn(4) == 0 {
+					l.Withdraw(prefix(p), PeerKey{Addr: addr(peer)})
+				} else {
+					l.Update(mkRoute(p, peer, nil))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lookup(addr(fmt.Sprintf("10.%d.%d.1", i%writers, i%64)))
+				n := 0
+				l.WalkBest(func(*Route) bool { n++; return n < 50 })
+				_ = l.Routes()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if l.Prefixes() == 0 {
+		t.Fatal("table empty after concurrent load")
+	}
+}
+
+// TestShardedAdjConcurrent exercises ShardedAdj under concurrent
+// Set/Remove/Walk/stale cycling (race-detector coverage for the
+// server's ingest-worker access pattern).
+func TestShardedAdjConcurrent(t *testing.T) {
+	s := NewShardedAdj(8)
+	s.SetInterner(wire.NewInternTable())
+	var wg sync.WaitGroup
+	const writers, iters = 4, 300
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				p := fmt.Sprintf("10.%d.%d.0/24", w, rng.Intn(64))
+				if rng.Intn(4) == 0 {
+					s.Remove(prefix(p), 0)
+				} else {
+					s.Set(mkRoute(p, "192.0.2.9", nil))
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			n := 0
+			s.Walk(func(*Route) bool { n++; return true })
+			s.WalkGrouped(func(*wire.Attrs, []wire.NLRI) {})
+			_ = s.Len()
+			_ = s.StaleCount()
+		}
+	}()
+	wg.Wait()
+
+	// Stale round-trip: everything marked must sweep, leaving zero.
+	n := s.MarkAllStale()
+	if n != s.Len() {
+		t.Fatalf("marked %d of %d", n, s.Len())
+	}
+	if got := len(s.SweepStale()); got != n {
+		t.Fatalf("swept %d, want %d", got, n)
+	}
+	if s.Len() != 0 || s.StaleCount() != 0 {
+		t.Fatalf("table not empty after sweep: len=%d stale=%d", s.Len(), s.StaleCount())
+	}
+}
+
+// TestShardedAdjParity checks ShardedAdj against a plain AdjRIB over a
+// deterministic op sequence: same membership, same Len, same groups.
+func TestShardedAdjParity(t *testing.T) {
+	ref := NewAdjRIB()
+	s := NewShardedAdj(16)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		p := fmt.Sprintf("10.%d.%d.0/24", rng.Intn(8), rng.Intn(200))
+		if rng.Intn(3) == 0 {
+			ref.Remove(prefix(p), 0)
+			s.Remove(prefix(p), 0)
+		} else {
+			ref.Set(mkRoute(p, "192.0.2.1", nil))
+			s.Set(mkRoute(p, "192.0.2.1", nil))
+		}
+	}
+	if ref.Len() != s.Len() {
+		t.Fatalf("Len: sharded %d, ref %d", s.Len(), ref.Len())
+	}
+	ref.Walk(func(r *Route) bool {
+		if s.Get(r.Prefix, r.Src.PathID) == nil {
+			t.Fatalf("sharded table missing %v", r.Prefix)
+		}
+		return true
+	})
+	if n := s.Clear(); n != ref.Len() {
+		t.Fatalf("Clear removed %d, want %d", n, ref.Len())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", s.Len())
+	}
+}

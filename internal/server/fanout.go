@@ -15,6 +15,7 @@ package server
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"peering/internal/bgp"
 	"peering/internal/muxproto"
@@ -50,35 +51,72 @@ type outCounters struct {
 	highWater    int
 }
 
-// outQueue is one client's coalescing outbound queue.
-type outQueue struct {
-	mu      sync.Mutex
-	pending map[outKey]int // key → index into ops
-	ops     []outOp        // first-enqueue order; coalesced in place
-	// eors are End-of-RIB markers, keyed like ops and flushed after
-	// them, so a replayed table always lands before the marker that
-	// tells the client to sweep stale entries.
-	eors   []uint32
-	notify chan struct{}
-
-	softLimit int
-	// hardLimit caps len(ops); 0 disables. Above it, announcements are
-	// shed (withdrawals still queue — they are what bounds correctness)
-	// and overflow marks the queue for a full resync.
-	hardLimit int
-	overflow  bool
-	ctr       outCounters
+// outQueueShard is one lock's worth of a client's queue: the pending
+// index and op list for the prefixes hashing here. Sharded on the same
+// rib.PrefixShard as the Adj-RIB-In, so ingest worker i only ever takes
+// queue shard i and two workers never contend on a client's queue.
+type outQueueShard struct {
+	mu        sync.Mutex
+	pending   map[outKey]int // key → index into ops
+	ops       []outOp        // first-enqueue order; coalesced in place
+	coalesced uint64
 }
 
-func newOutQueue(highWater, hardLimit int) *outQueue {
+// outQueue is one client's coalescing outbound queue.
+type outQueue struct {
+	shards []outQueueShard
+	mask   uint32
+	notify chan struct{}
+
+	// eors are End-of-RIB markers, flushed after ops. take snapshots
+	// them before draining the op shards, so every op enqueued before a
+	// marker is flushed no later than the marker (replayed tables land
+	// before the sweep they trigger).
+	eorMu sync.Mutex
+	eors  []uint32
+
+	// Cross-shard depth and pressure accounting, all lock-free so put
+	// on one shard never touches another shard's lock.
+	depthOps     atomic.Int64
+	depthEoRs    atomic.Int64
+	highWater    atomic.Int64
+	backpressure atomic.Uint64
+	shed         atomic.Uint64
+	overflow     atomic.Bool
+
+	softLimit int
+	// hardLimit caps pending ops across all shards; 0 disables. Above
+	// it, announcements are shed (withdrawals still queue — they are
+	// what bounds correctness) and overflow marks the queue for a full
+	// resync.
+	hardLimit int
+}
+
+func newOutQueue(highWater, hardLimit, shards int) *outQueue {
 	if highWater <= 0 {
 		highWater = DefaultFanoutHighWater
 	}
-	return &outQueue{
-		pending:   make(map[outKey]int),
+	shards = rib.ShardCount(shards)
+	q := &outQueue{
+		shards:    make([]outQueueShard, shards),
+		mask:      uint32(shards - 1),
 		notify:    make(chan struct{}, 1),
 		softLimit: highWater,
 		hardLimit: hardLimit,
+	}
+	for i := range q.shards {
+		q.shards[i].pending = make(map[outKey]int)
+	}
+	return q
+}
+
+// bumpHighWater folds the current depth into the high-water mark.
+func (q *outQueue) bumpHighWater(d int64) {
+	for {
+		hw := q.highWater.Load()
+		if d <= hw || q.highWater.CompareAndSwap(hw, d) {
+			return
+		}
 	}
 }
 
@@ -86,42 +124,42 @@ func newOutQueue(highWater, hardLimit int) *outQueue {
 // (upstream, prefix): only the latest state ever reaches the client.
 func (q *outQueue) put(upstream uint32, p netip.Prefix, attrs *wire.Attrs) {
 	k := outKey{upstream: upstream, prefix: p}
-	q.mu.Lock()
-	if i, ok := q.pending[k]; ok {
-		q.ops[i].attrs = attrs
-		q.ctr.coalesced++
-	} else if attrs != nil && q.hardLimit > 0 && len(q.ops) >= q.hardLimit {
+	sh := &q.shards[rib.PrefixShard(p)&q.mask]
+	sh.mu.Lock()
+	if i, ok := sh.pending[k]; ok {
+		sh.ops[i].attrs = attrs
+		sh.coalesced++
+		sh.mu.Unlock()
+	} else if attrs != nil && q.hardLimit > 0 && q.depthOps.Load() >= int64(q.hardLimit) {
 		// Queue memory cap (this laggard only — every client has its
 		// own queue): shed the announcement and flag the queue. The
 		// worker recovers by resyncing the full table directly down the
 		// session, bypassing the very cap that shed it. Withdrawals are
 		// never shed, so the shed-then-resync cycle cannot leave the
 		// client holding a route the world withdrew.
-		q.ctr.shed++
-		q.overflow = true
+		sh.mu.Unlock()
+		q.shed.Add(1)
+		q.overflow.Store(true)
 	} else {
-		q.pending[k] = len(q.ops)
-		q.ops = append(q.ops, outOp{key: k, attrs: attrs})
-		if d := len(q.ops) + len(q.eors); d > q.ctr.highWater {
-			q.ctr.highWater = d
-		}
-		if len(q.ops) > q.softLimit {
-			q.ctr.backpressure++
+		sh.pending[k] = len(sh.ops)
+		sh.ops = append(sh.ops, outOp{key: k, attrs: attrs})
+		sh.mu.Unlock()
+		d := q.depthOps.Add(1)
+		q.bumpHighWater(d + q.depthEoRs.Load())
+		if d > int64(q.softLimit) {
+			q.backpressure.Add(1)
 		}
 	}
-	q.mu.Unlock()
 	q.wake()
 }
 
 // putEoR queues an End-of-RIB marker. upstream is the session-routing
 // key (the upstream ID in Quagga mode, 0 in BIRD mode).
 func (q *outQueue) putEoR(upstream uint32) {
-	q.mu.Lock()
+	q.eorMu.Lock()
 	q.eors = append(q.eors, upstream)
-	if d := len(q.ops) + len(q.eors); d > q.ctr.highWater {
-		q.ctr.highWater = d
-	}
-	q.mu.Unlock()
+	q.eorMu.Unlock()
+	q.bumpHighWater(q.depthOps.Load() + q.depthEoRs.Add(1))
 	q.wake()
 }
 
@@ -132,27 +170,43 @@ func (q *outQueue) wake() {
 	}
 }
 
-// take drains everything pending, in enqueue order, along with the
-// counter deltas accumulated since the last take. The caller passes
-// back the slices from its previous take (done with them) so a steady
-// drain loop recycles two op buffers instead of growing fresh ones;
-// the index map is cleared in place for the same reason.
+// take drains everything pending, shard by shard (enqueue order within
+// a shard), along with the counter deltas accumulated since the last
+// take. The caller passes back the slices from its previous take (done
+// with them) so a steady drain loop recycles op buffers instead of
+// growing fresh ones; the index maps are cleared in place for the same
+// reason. End-of-RIB markers are snapshotted before the op shards: an
+// op enqueued before a marker is always flushed with (or before) it,
+// and an op slipping in behind the marker is merely an update the
+// client applies after its sweep — harmless.
 func (q *outQueue) take(opsReuse []outOp, eorsReuse []uint32) (ops []outOp, eors []uint32, ctr outCounters, overflow bool) {
-	q.mu.Lock()
-	ops, q.ops = q.ops, opsReuse[:0]
+	q.eorMu.Lock()
 	eors, q.eors = q.eors, eorsReuse[:0]
-	clear(q.pending)
-	ctr, q.ctr = q.ctr, outCounters{}
-	overflow, q.overflow = q.overflow, false
-	q.mu.Unlock()
+	q.eorMu.Unlock()
+	q.depthEoRs.Add(int64(-len(eors)))
+
+	ops = opsReuse[:0]
+	for i := range q.shards {
+		sh := &q.shards[i]
+		sh.mu.Lock()
+		ops = append(ops, sh.ops...)
+		sh.ops = sh.ops[:0]
+		clear(sh.pending)
+		ctr.coalesced += sh.coalesced
+		sh.coalesced = 0
+		sh.mu.Unlock()
+	}
+	q.depthOps.Add(int64(-(len(ops))))
+	ctr.backpressure = q.backpressure.Swap(0)
+	ctr.shed = q.shed.Swap(0)
+	ctr.highWater = int(q.highWater.Swap(0))
+	overflow = q.overflow.Swap(false)
 	return ops, eors, ctr, overflow
 }
 
 // depth reports pending operations plus End-of-RIB markers.
 func (q *outQueue) depth() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.ops) + len(q.eors)
+	return int(q.depthOps.Load() + q.depthEoRs.Load())
 }
 
 // ---------------------------------------------------------------------
@@ -174,14 +228,15 @@ func (s *Server) enqueueUpdate(c *clientConn, upstream uint32, upd *wire.Update)
 // enqueueReplay queues upstream u's current Adj-RIB-In for client c,
 // followed by an End-of-RIB marker when eor is set. Replays flow
 // through the same queue as live fan-out, so a replay can never deliver
-// an announcement behind a concurrent withdrawal of the same prefix.
+// an announcement behind a concurrent withdrawal of the same prefix:
+// the walk enqueues while holding each shard's lock, so any ingest that
+// supersedes a walked route also enqueues after it and wins the
+// coalescing slot.
 func (s *Server) enqueueReplay(c *clientConn, u *Upstream, eor bool) {
-	u.mu.RLock()
 	u.adjIn.Walk(func(r *rib.Route) bool {
 		c.out.put(u.cfg.ID, r.Prefix, r.Attrs)
 		return true
 	})
-	u.mu.RUnlock()
 	if eor {
 		key := u.cfg.ID
 		if s.cfg.Mode == muxproto.ModeBIRD {
@@ -196,6 +251,7 @@ func (s *Server) enqueueReplay(c *clientConn, u *Upstream, eor bool) {
 func (s *Server) runFanout(c *clientConn) {
 	var ops []outOp
 	var eors []uint32
+	fs := &flushState{batches: make(map[uint32]*fanoutBatch)}
 	for {
 		select {
 		case <-c.out.notify:
@@ -205,7 +261,7 @@ func (s *Server) runFanout(c *clientConn) {
 		var ctr outCounters
 		var overflow bool
 		ops, eors, ctr, overflow = c.out.take(ops, eors)
-		s.flushFanout(c, ops, eors, ctr)
+		s.flushFanout(c, fs, ops, eors, ctr)
 		if overflow {
 			// Announcements were shed while this client lagged: rebuild
 			// its view synchronously from the Adj-RIB-In (quota.go).
@@ -214,33 +270,55 @@ func (s *Server) runFanout(c *clientConn) {
 	}
 }
 
+// fanoutBatch accumulates one session's worth of a drain. The struct,
+// its index map, the groups header array, and the order slice in
+// flushState are reused across drains (drains can be small and
+// frequent, so their fixed cost must not be per-drain allocations).
+// The wd slice and each group's NLRI run are NOT reused: PackGrouped
+// aliases them into the updates the session writer consumes
+// asynchronously, after the drain returns.
+type fanoutBatch struct {
+	sess   *bgp.Session
+	wd     []wire.NLRI
+	groups []wire.AttrGroup
+	gidx   map[*wire.Attrs]int
+	drain  uint64 // last drain sequence this batch was touched in
+}
+
+// flushState is one fan-out worker's reusable drain scratch.
+type flushState struct {
+	batches map[uint32]*fanoutBatch
+	order   []uint32
+	drain   uint64
+}
+
 // flushFanout sends one drained batch down the client's session(s).
 // Operations whose session is down are dropped: the Established replay
 // of the Adj-RIB-In (plus End-of-RIB) reconstructs the client's view
 // when the session comes back, so nothing is lost — only deferred.
-func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outCounters) {
+func (s *Server) flushFanout(c *clientConn, fs *flushState, ops []outOp, eors []uint32, ctr outCounters) {
 	bird := s.cfg.Mode == muxproto.ModeBIRD
 	// Announcements are gathered directly into per-attrs NLRI runs so
 	// PackGrouped can alias them into the produced updates with no
-	// further copying. Everything built here must stay fresh per drain:
-	// the session writer consumes the updates (and thus these slices)
-	// asynchronously, after this call returns.
-	type batch struct {
-		sess   *bgp.Session
-		wd     []wire.NLRI
-		groups []wire.AttrGroup
-		gidx   map[*wire.Attrs]int
-	}
-	batches := make(map[uint32]*batch)
-	var order []uint32
-	get := func(skey uint32) *batch {
+	// further copying.
+	fs.drain++
+	batches := fs.batches
+	order := fs.order[:0]
+	get := func(skey uint32) *fanoutBatch {
 		b := batches[skey]
 		if b == nil {
-			b = &batch{}
+			b = &fanoutBatch{gidx: make(map[*wire.Attrs]int, 1)}
+			batches[skey] = b
+		}
+		if b.drain != fs.drain {
+			b.drain = fs.drain
+			b.sess = nil
 			if sess := c.session(skey); sess != nil && sess.Established() {
 				b.sess = sess
 			}
-			batches[skey] = b
+			b.wd = nil // aliased into the previous drain's updates
+			b.groups = b.groups[:0]
+			clear(b.gidx)
 			order = append(order, skey)
 		}
 		return b
@@ -260,9 +338,6 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 		if op.attrs == nil {
 			b.wd = append(b.wd, n)
 			continue
-		}
-		if b.gidx == nil {
-			b.gidx = make(map[*wire.Attrs]int, 1)
 		}
 		gi, ok := b.gidx[op.attrs]
 		if !ok {
@@ -294,6 +369,7 @@ func (s *Server) flushFanout(c *clientConn, ops []outOp, eors []uint32, ctr outC
 			m.fanoutPacked.Observe(float64(len(upd.Reach) + len(upd.Withdrawn)))
 		}
 	}
+	fs.order = order
 	for _, skey := range eors {
 		if sess := c.session(skey); sess != nil && sess.Established() {
 			if sess.Send(&wire.Update{}) == nil {

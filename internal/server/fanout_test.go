@@ -33,7 +33,9 @@ func fanoutAttrs(asn uint32) *wire.Attrs {
 }
 
 func TestOutQueueCoalescing(t *testing.T) {
-	q := newOutQueue(0, 0)
+	// One shard: these assertions are about coalescing and exact drain
+	// order, which only a single shard pins down across prefixes.
+	q := newOutQueue(0, 0, 1)
 	a1 := fanoutAttrs(100)
 	a2 := fanoutAttrs(200)
 	pA, pB := prefix("11.0.0.0/16"), prefix("12.0.0.0/16")
@@ -95,7 +97,7 @@ func TestOutQueueCoalescing(t *testing.T) {
 }
 
 func TestOutQueueBackpressureCounters(t *testing.T) {
-	q := newOutQueue(2, 0)
+	q := newOutQueue(2, 0, 1)
 	a := fanoutAttrs(100)
 	for i := 0; i < 4; i++ {
 		q.put(1, prefix("11.0.0.0/16"), a) // coalesces: never backpressure

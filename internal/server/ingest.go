@@ -1,0 +1,274 @@
+package server
+
+// Sharded ingest pipeline. Upstream readers no longer mutate the
+// Adj-RIB-In and walk the client list inline: each UPDATE is split by
+// prefix-hash shard and handed to the worker owning that shard, so a
+// full-table flood from one peer spreads across workers instead of
+// serializing on one table lock, and two peers updating different
+// prefixes never contend at all. One worker per shard gives every
+// (upstream, prefix) a single writer, which is what keeps relay
+// ordering intact without a global lock:
+//
+//   - a worker enqueues version k to every client before it installs
+//     k+1, so no client queue ever sees stale-after-fresh;
+//   - a replay walk holds the shard lock while it enqueues, so any Set
+//     that lands after the walk read a prefix also enqueues after the
+//     walk's put and wins the coalescing slot;
+//   - the worker snapshots the client list after installing and before
+//     enqueuing, so a client that registered too late for a route's
+//     install is either in the snapshot or will see the route in its
+//     Established replay.
+//
+// barrier() flushes the pipeline: operations that must observe every
+// in-flight update (stale sweeps, teardown withdrawals, archive
+// snapshots) fence all workers first.
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peering/internal/rib"
+	"peering/internal/wire"
+)
+
+// ingestChanDepth is the per-shard channel buffer. Deep enough that a
+// bursty reader rarely blocks, shallow enough that a fence drains in
+// microseconds.
+const ingestChanDepth = 256
+
+// ingestOp is one shard's slice of an upstream UPDATE. The NLRI slices
+// alias the decoded message (fresh per decode) or a partition buffer
+// owned by this op; attrs is interned and immutable.
+type ingestOp struct {
+	u     *Upstream
+	attrs *wire.Attrs // nil: withdrawals only
+	wd    []wire.NLRI
+	reach []wire.NLRI
+	// peerAS/peerID snapshot the session identity at receive time, so
+	// the stored routes are stamped even if the session dies before the
+	// worker runs.
+	peerAS  uint32
+	peerID  netip.Addr
+	learned time.Time
+	// fence, when non-nil, marks a barrier op: the worker signals and
+	// processes nothing.
+	fence *sync.WaitGroup
+}
+
+// ingestPool runs one worker per shard. The shard of a prefix here is
+// the same rib.PrefixShard the tables use, so a worker only ever takes
+// its own shard's locks.
+type ingestPool struct {
+	srv   *Server
+	chans []chan *ingestOp
+	mask  uint32
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	// gate serializes shutdown against in-flight sends: senders hold
+	// the read side, close flips stopped under the write side, so once
+	// close holds the lock no new op can enter a channel and the
+	// workers' final drain is complete.
+	gate    sync.RWMutex
+	stopped bool
+	// pending counts queued operations across all shards (scrape-time
+	// visibility into pipeline lag).
+	pending atomic.Int64
+
+	ops sync.Pool // *ingestOp
+}
+
+func newIngestPool(s *Server, shards int) *ingestPool {
+	p := &ingestPool{
+		srv:   s,
+		chans: make([]chan *ingestOp, shards),
+		mask:  uint32(shards - 1),
+		stop:  make(chan struct{}),
+	}
+	p.ops.New = func() any { return new(ingestOp) }
+	for i := range p.chans {
+		p.chans[i] = make(chan *ingestOp, ingestChanDepth)
+		p.wg.Add(1)
+		go p.run(i)
+	}
+	return p
+}
+
+func (p *ingestPool) close() {
+	p.once.Do(func() {
+		p.gate.Lock() // waits out every in-flight send
+		p.stopped = true
+		p.gate.Unlock()
+		close(p.stop)
+	})
+	p.wg.Wait()
+}
+
+func (p *ingestPool) run(i int) {
+	defer p.wg.Done()
+	ch := p.chans[i]
+	for {
+		select {
+		case op := <-ch:
+			p.pending.Add(-1)
+			if op.fence != nil {
+				op.fence.Done()
+				continue
+			}
+			p.process(op)
+		case <-p.stop:
+			// No sender can enter after close set stopped, so one final
+			// drain empties the channel (fences included).
+			for {
+				select {
+				case op := <-ch:
+					p.pending.Add(-1)
+					if op.fence != nil {
+						op.fence.Done()
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// send queues op on shard i. After shutdown the op is dropped (fences
+// are released so no barrier hangs).
+func (p *ingestPool) send(i int, op *ingestOp) bool {
+	p.gate.RLock()
+	if p.stopped {
+		p.gate.RUnlock()
+		if op.fence != nil {
+			op.fence.Done()
+		}
+		return false
+	}
+	p.pending.Add(1)
+	p.chans[i] <- op
+	p.gate.RUnlock()
+	return true
+}
+
+// barrier blocks until every operation dispatched before it has been
+// fully processed. Callers must not be ingest workers.
+func (p *ingestPool) barrier() {
+	var wg sync.WaitGroup
+	wg.Add(len(p.chans))
+	for i := range p.chans {
+		p.send(i, &ingestOp{fence: &wg})
+	}
+	wg.Wait()
+}
+
+// process applies one op: table bookkeeping first, then fan-out, with
+// the client snapshot taken in between (see the ordering notes in the
+// package comment above).
+func (p *ingestPool) process(op *ingestOp) {
+	u := op.u
+	for _, n := range op.wd {
+		u.adjIn.Remove(n.Prefix, 0)
+	}
+	if op.attrs != nil {
+		for _, n := range op.reach {
+			u.adjIn.Set(&rib.Route{
+				Prefix:  n.Prefix,
+				Attrs:   op.attrs,
+				Src:     rib.PeerKey{Addr: u.cfg.PeerAddr},
+				PeerAS:  op.peerAS,
+				PeerID:  op.peerID,
+				EBGP:    true,
+				Learned: op.learned,
+			})
+		}
+	}
+	clients := p.srv.clientList()
+	for _, c := range clients {
+		for _, n := range op.wd {
+			c.out.put(u.cfg.ID, n.Prefix, nil)
+		}
+		if op.attrs != nil {
+			for _, n := range op.reach {
+				c.out.put(u.cfg.ID, n.Prefix, op.attrs)
+			}
+		}
+	}
+	*op = ingestOp{}
+	p.ops.Put(op)
+}
+
+// dispatch splits an upstream UPDATE by shard and hands each slice to
+// the owning worker. The dominant case — one NLRI, or several that
+// hash alike — ships the decoded slices through untouched; mixed
+// updates partition into per-shard ops.
+func (p *ingestPool) dispatch(u *Upstream, peerAS uint32, peerID netip.Addr, upd *wire.Update) {
+	attrs := upd.Attrs
+	reach := upd.Reach
+	if attrs == nil {
+		reach = nil // announcements without attributes carry no state
+	}
+	shard := -1
+	single := true
+	for _, n := range upd.Withdrawn {
+		si := int(rib.PrefixShard(n.Prefix) & p.mask)
+		if shard < 0 {
+			shard = si
+		} else if si != shard {
+			single = false
+			break
+		}
+	}
+	if single {
+		for _, n := range reach {
+			si := int(rib.PrefixShard(n.Prefix) & p.mask)
+			if shard < 0 {
+				shard = si
+			} else if si != shard {
+				single = false
+				break
+			}
+		}
+	}
+	if shard < 0 {
+		return // empty update
+	}
+	if single {
+		op := p.ops.Get().(*ingestOp)
+		op.u, op.attrs, op.wd, op.reach = u, attrs, upd.Withdrawn, reach
+		op.peerAS, op.peerID, op.learned = peerAS, peerID, p.srv.clk.Now()
+		p.send(shard, op)
+		return
+	}
+	// Mixed shards: bucket by worker. ops is indexed by shard; only the
+	// touched entries allocate.
+	ops := make([]*ingestOp, len(p.chans))
+	now := p.srv.clk.Now()
+	get := func(si int) *ingestOp {
+		op := ops[si]
+		if op == nil {
+			op = p.ops.Get().(*ingestOp)
+			op.u, op.attrs = u, attrs
+			op.peerAS, op.peerID, op.learned = peerAS, peerID, now
+			ops[si] = op
+		}
+		return op
+	}
+	for _, n := range upd.Withdrawn {
+		si := int(rib.PrefixShard(n.Prefix) & p.mask)
+		op := get(si)
+		op.wd = append(op.wd, n)
+	}
+	for _, n := range reach {
+		si := int(rib.PrefixShard(n.Prefix) & p.mask)
+		op := get(si)
+		op.reach = append(op.reach, n)
+	}
+	for si, op := range ops {
+		if op != nil {
+			p.send(si, op)
+		}
+	}
+}

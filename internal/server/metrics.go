@@ -130,6 +130,12 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 	r.GaugeFunc("peering_server_clients",
 		"Clients currently connected.",
 		func() float64 { return float64(s.ClientCount()) })
+	r.GaugeFunc("peering_ingest_pending",
+		"Upstream update operations queued in the sharded ingest pool.",
+		func() float64 { return float64(s.ingest.pending.Load()) })
+	r.GaugeFunc("peering_ingest_shards",
+		"Prefix-hash shards per Adj-RIB-In (and ingest workers).",
+		func() float64 { return float64(s.shards) })
 	r.GaugeVecFunc("peering_fanout_queue_depth",
 		"Pending fan-out operations per connected client.", []string{"client"},
 		func(emit func(v float64, labelValues ...string)) {

@@ -172,7 +172,6 @@ func (s *Server) resyncClient(c *clientConn) {
 			continue // the Established replay will rebuild the view instead
 		}
 		var groups []wire.AttrGroup
-		u.mu.RLock()
 		u.adjIn.WalkGrouped(func(attrs *wire.Attrs, nlris []wire.NLRI) {
 			if bird {
 				for i := range nlris {
@@ -181,7 +180,6 @@ func (s *Server) resyncClient(c *clientConn) {
 			}
 			groups = append(groups, wire.AttrGroup{Attrs: attrs, NLRIs: nlris})
 		})
-		u.mu.RUnlock()
 		for _, upd := range wire.PackGrouped(nil, groups, sess.Options()) {
 			if sess.Send(upd) != nil {
 				break // session died mid-resync; its replay recovers

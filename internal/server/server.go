@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peering/internal/bgp"
@@ -80,6 +81,12 @@ type Config struct {
 	// fan-out queue caps); see QuotaConfig. The zero value applies no
 	// prefix limit and the default queue cap.
 	Quota QuotaConfig
+	// Shards is the prefix-hash shard count used for every per-upstream
+	// Adj-RIB-In, the ingest worker pool, and each client's fan-out
+	// queue (rounded up to a power of two; 0 = rib.DefaultShards). One
+	// worker owns each shard, so this is also the ingest parallelism
+	// for a full-table flood.
+	Shards int
 	// Metrics is the telemetry registry the server registers its metric
 	// families on (nil = a private registry, reachable via Telemetry).
 	// Because family names are fixed, two Servers must not share one
@@ -187,10 +194,15 @@ type Upstream struct {
 	cfg UpstreamConfig
 	srv *Server
 
-	mu    sync.RWMutex
-	sess  *bgp.Session
-	sup   *bgp.Supervisor
-	adjIn *rib.AdjRIB
+	// adjIn is internally synchronized (sharded); it is deliberately
+	// outside u.mu so ingest workers on different shards never contend
+	// here. u.mu still orders session identity, advert bookkeeping, and
+	// the stale timer.
+	adjIn *rib.ShardedAdj
+
+	mu   sync.RWMutex
+	sess *bgp.Session
+	sup  *bgp.Supervisor
 	// advertised maps prefix → the advert bookkeeping for withdraw,
 	// disconnect, and graceful-restart handling.
 	advertised map[netip.Prefix]*advert
@@ -252,11 +264,8 @@ func (u *Upstream) Established() bool {
 }
 
 // RoutesIn reports how many routes this peer currently exports to us.
-func (u *Upstream) RoutesIn() int {
-	u.mu.RLock()
-	defer u.mu.RUnlock()
-	return u.adjIn.Len()
-}
+// Lock-free: the sharded table keeps an atomic count.
+func (u *Upstream) RoutesIn() int { return u.adjIn.Len() }
 
 // ClientAccount is a vetted experiment's identity and authorization.
 type ClientAccount struct {
@@ -359,12 +368,21 @@ type Server struct {
 	// intern canonicalizes every attribute set the server stores or
 	// relays, so N clients × M routes share O(distinct attr sets) memory.
 	intern *wire.InternTable
+	// shards is the resolved Config.Shards; ingest is the per-shard
+	// worker pool that owns all Adj-RIB-In mutation (see ingest.go).
+	shards int
+	ingest *ingestPool
 
 	upMu      sync.RWMutex
 	upstreams map[uint32]*Upstream
 
 	clMu    sync.RWMutex
 	clients map[string]*clientConn
+	// clientSnap is a copy-on-write snapshot of clients, rebuilt under
+	// clMu on every membership change and read lock-free by the ingest
+	// workers (once per relayed update — a fresh slice there would be
+	// the hot path's dominant allocation).
+	clientSnap atomic.Pointer[[]*clientConn]
 
 	acctMu   sync.RWMutex
 	accounts map[string]ClientAccount
@@ -407,12 +425,15 @@ func New(cfg Config) *Server {
 		clk:           cfg.Clock,
 		dp:            dataplane.NewRouter(cfg.Site),
 		intern:        wire.NewInternTable(),
+		shards:        rib.ShardCount(cfg.Shards),
 		upstreams:     make(map[uint32]*Upstream),
 		clients:       make(map[string]*clientConn),
 		accounts:      make(map[string]ClientAccount),
 		alloc:         trie.New[string](),
 		restartTimers: make(map[string]clock.Timer),
 	}
+	s.clientSnap.Store(&[]*clientConn{})
+	s.ingest = newIngestPool(s, s.shards)
 	s.metrics = newServerMetrics(reg, s)
 	s.damper.Instrument(reg)
 	return s
@@ -441,7 +462,7 @@ func (s *Server) AddUpstream(cfg UpstreamConfig) (*Upstream, error) {
 		return nil, fmt.Errorf("server: upstream ID %d already registered", cfg.ID)
 	}
 	u := &Upstream{
-		cfg: cfg, srv: s, adjIn: rib.NewAdjRIB(),
+		cfg: cfg, srv: s, adjIn: rib.NewShardedAdj(s.shards),
 		advertised:  make(map[netip.Prefix]*advert),
 		advCount:    make(map[string]int),
 		quotaWarned: make(map[string]bool),
@@ -566,36 +587,15 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 	// a churny peer resolves to the pointer already shared by the RIB and
 	// every client queue, so nothing below clones.
 	upd.Attrs = s.intern.Intern(upd.Attrs)
-	// Book-keep Adj-RIB-In so late-joining clients get a full replay.
-	u.mu.Lock()
-	for _, n := range upd.Withdrawn {
-		u.adjIn.Remove(n.Prefix, 0)
-	}
-	if upd.Attrs != nil {
-		now := s.clk.Now()
-		for _, n := range upd.Reach {
-			u.adjIn.Set(&rib.Route{
-				Prefix:  n.Prefix,
-				Attrs:   upd.Attrs,
-				Src:     rib.PeerKey{Addr: u.cfg.PeerAddr},
-				PeerAS:  sess.PeerAS(),
-				PeerID:  sess.PeerID(),
-				EBGP:    true,
-				Learned: now,
-			})
-		}
-	}
-	u.mu.Unlock()
-	if len(upd.Reach) > 0 {
+	if upd.Attrs != nil && len(upd.Reach) > 0 {
 		s.metrics.routesFromUpstreams.Add(uint64(len(upd.Reach)))
 	}
-
-	// Fan out through the per-client queues: the upstream reader never
-	// blocks on a slow client, and upd.Attrs (shared, immutable) rides
-	// into every queue without cloning.
-	for _, c := range s.clientList() {
-		s.enqueueUpdate(c, u.cfg.ID, upd)
-	}
+	// Hand the update to the shard workers: they book-keep the
+	// Adj-RIB-In (so late-joining clients get a full replay) and fan
+	// out through the per-client queues. The reader never blocks on a
+	// slow client or on another peer's flood, and upd.Attrs (shared,
+	// immutable) rides into every queue without cloning.
+	s.ingest.dispatch(u, sess.PeerAS(), sess.PeerID(), upd)
 }
 
 // handleUpstreamDown reacts to the loss of an upstream session. A
@@ -604,10 +604,14 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 // deliberate teardown (our Close or the peer's Cease) withdraws them
 // from clients immediately.
 func (s *Server) handleUpstreamDown(u *Upstream, err error) {
+	// The session is dead, so no new updates are arriving, but its last
+	// ones may still sit in the ingest pipeline; fence them through so
+	// the stale-mark (or teardown walk) below sees the complete table.
+	s.ingest.barrier()
 	if err != nil && !bgp.IsPeerCease(err) {
+		n := u.adjIn.MarkAllStale()
 		u.mu.Lock()
 		u.sess = nil
-		n := u.adjIn.MarkAllStale()
 		if u.staleTimer != nil {
 			u.staleTimer.Stop()
 		}
@@ -621,13 +625,13 @@ func (s *Server) handleUpstreamDown(u *Upstream, err error) {
 		return
 	}
 
-	u.mu.Lock()
 	var prefixes []netip.Prefix
 	u.adjIn.Walk(func(r *rib.Route) bool {
 		prefixes = append(prefixes, r.Prefix)
 		return true
 	})
 	u.adjIn.Clear()
+	u.mu.Lock()
 	u.sess = nil
 	// A restart-window backstop armed by an earlier unclean loss must
 	// not outlive the peering it was guarding: the Adj-RIB-In is empty
@@ -651,8 +655,12 @@ func (s *Server) handleUpstreamDown(u *Upstream, err error) {
 // stale: graceful restart is over (end-of-RIB arrived or the window
 // closed) and the peer did not re-announce them.
 func (s *Server) flushUpstreamStale(u *Upstream) {
-	u.mu.Lock()
+	// A refresh the peer sent just before End-of-RIB may still be in
+	// the ingest pipeline; fence it through before sweeping, or the
+	// re-announced route would be flushed as stale.
+	s.ingest.barrier()
 	swept := u.adjIn.SweepStale()
+	u.mu.Lock()
 	if u.staleTimer != nil {
 		u.staleTimer.Stop()
 		u.staleTimer = nil
@@ -669,15 +677,18 @@ func (s *Server) flushUpstreamStale(u *Upstream) {
 	}
 }
 
-// clientList snapshots the connected clients.
-func (s *Server) clientList() []*clientConn {
-	s.clMu.RLock()
-	defer s.clMu.RUnlock()
+// clientList returns the copy-on-write snapshot of connected clients.
+// The returned slice is shared and must not be mutated.
+func (s *Server) clientList() []*clientConn { return *s.clientSnap.Load() }
+
+// refreshClientSnapLocked rebuilds the copy-on-write client snapshot.
+// Callers hold clMu.
+func (s *Server) refreshClientSnapLocked() {
 	clients := make([]*clientConn, 0, len(s.clients))
 	for _, c := range s.clients {
 		clients = append(clients, c)
 	}
-	return clients
+	s.clientSnap.Store(&clients)
 }
 
 // ---------------------------------------------------------------------
@@ -744,6 +755,7 @@ func (s *Server) AcceptClient(id string, conn net.Conn) error {
 	s.clMu.Lock()
 	old := s.clients[id]
 	delete(s.clients, id)
+	s.refreshClientSnapLocked()
 	s.clMu.Unlock()
 	upstreams := s.Upstreams()
 	if old != nil {
@@ -753,11 +765,12 @@ func (s *Server) AcceptClient(id string, conn net.Conn) error {
 	}
 
 	c := &clientConn{account: acct, sups: make(map[uint32]*bgp.Supervisor)}
-	c.out = newOutQueue(s.cfg.FanoutHighWater, s.cfg.Quota.maxQueueOps())
+	c.out = newOutQueue(s.cfg.FanoutHighWater, s.cfg.Quota.maxQueueOps(), s.shards)
 	c.mux = tunnel.NewMux(conn, nil)
 
 	s.clMu.Lock()
 	s.clients[id] = c
+	s.refreshClientSnapLocked()
 	s.clMu.Unlock()
 
 	// The fan-out worker drains c.out for the life of the transport.
@@ -893,6 +906,7 @@ func (s *Server) detachClient(c *clientConn) {
 		return // superseded by a newer connection, or already detached
 	}
 	delete(s.clients, id)
+	s.refreshClientSnapLocked()
 	s.clMu.Unlock()
 	c.drainSupervisors()
 	s.markClientStale(id, nil)
@@ -1338,4 +1352,8 @@ func (s *Server) Close() {
 			sess.Close()
 		}
 	}
+	// Last: the ingest workers drain what the dying sessions already
+	// delivered, then exit. Any straggler barrier (a Closed handler
+	// racing us) unblocks immediately against the stopped pool.
+	s.ingest.close()
 }

@@ -94,6 +94,10 @@ func (s *Server) dumpArchiveSnapshot() {
 	if arch == nil {
 		return
 	}
+	// Updates archived into the sealed segment may still be in the
+	// ingest pipeline; fence them into the tables so the snapshot
+	// covers everything the segments it supersedes contained.
+	s.ingest.barrier()
 
 	// Peer table: one entry per upstream with a usable address.
 	pi := &mrt.PeerIndex{CollectorID: snapshotID(s.cfg.RouterID), ViewName: s.cfg.Site}
@@ -120,12 +124,10 @@ func (s *Server) dumpArchiveSnapshot() {
 	for _, u := range ups {
 		idx := index[u]
 		var routes []rib.Route
-		u.mu.RLock()
 		u.adjIn.Walk(func(r *rib.Route) bool {
 			routes = append(routes, *r)
 			return true
 		})
-		u.mu.RUnlock()
 		for i := range routes {
 			rt := &routes[i]
 			r := &mrt.RIB{
@@ -258,19 +260,17 @@ func (s *Server) WarmRestore(dir string) (WarmRestoreStats, error) {
 	// it stale and arm the restart window; the live peer's replay
 	// refreshes survivors and End-of-RIB sweeps the rest.
 	for _, u := range s.Upstreams() {
-		u.mu.Lock()
 		n := u.adjIn.MarkAllStale()
 		st.Restored += u.adjIn.Len()
 		if n > 0 {
+			u.mu.Lock()
 			if u.staleTimer != nil {
 				u.staleTimer.Stop()
 			}
 			u.staleTimer = s.clk.AfterFunc(s.cfg.RestartWindow, func() {
 				s.flushUpstreamStale(u)
 			})
-		}
-		u.mu.Unlock()
-		if n > 0 {
+			u.mu.Unlock()
 			s.metrics.staleRetained.Add(uint64(n))
 		}
 	}
@@ -329,7 +329,6 @@ func (s *Server) restoreSnapshot(path string, byAddr map[netip.Addr]*Upstream, s
 				continue
 			}
 			u := byIdx[e.PeerIndex]
-			u.mu.Lock()
 			u.adjIn.Set(&rib.Route{
 				Prefix:  rr.Prefix,
 				Attrs:   e.Attrs,
@@ -339,7 +338,6 @@ func (s *Server) restoreSnapshot(path string, byAddr map[netip.Addr]*Upstream, s
 				EBGP:    true,
 				Learned: e.Originated,
 			})
-			u.mu.Unlock()
 			st.SnapshotRoutes++
 		}
 	}
@@ -392,7 +390,6 @@ func (s *Server) replayTailSegment(path string, byAddr map[netip.Addr]*Upstream,
 			continue
 		}
 		upd.Attrs = s.intern.Intern(upd.Attrs)
-		u.mu.Lock()
 		for _, n := range upd.Withdrawn {
 			u.adjIn.Remove(n.Prefix, n.ID)
 		}
@@ -408,7 +405,6 @@ func (s *Server) replayTailSegment(path string, byAddr map[netip.Addr]*Upstream,
 				})
 			}
 		}
-		u.mu.Unlock()
 		st.TailUpdates++
 	}
 }

@@ -10,7 +10,9 @@
 package trie
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"net/netip"
 )
 
@@ -50,9 +52,15 @@ func (t *Trie[V]) rootFor(p netip.Prefix) *node[V] {
 }
 
 // bitAt returns bit i (0-indexed from the most significant bit) of addr.
+// As4/As16 return arrays by value, so walking a million-entry table does
+// not allocate a byte slice per node visited.
 func bitAt(addr netip.Addr, i int) int {
-	b := addr.AsSlice()
-	return int(b[i/8]>>(7-uint(i%8))) & 1
+	if addr.Is4() {
+		b := addr.As4()
+		return int(b[i>>3]>>(7-uint(i&7))) & 1
+	}
+	b := addr.As16()
+	return int(b[i>>3]>>(7-uint(i&7))) & 1
 }
 
 // canon normalizes a prefix to its masked, canonical form. Un-normalized
@@ -61,26 +69,21 @@ func bitAt(addr netip.Addr, i int) int {
 func canon(p netip.Prefix) netip.Prefix { return p.Masked() }
 
 // commonPrefixLen returns the length of the longest common prefix of a
-// and b, capped at max.
+// and b, capped at max. Word-wide XOR plus a leading-zero count replaces
+// the old byte loop (and its AsSlice allocations) on the insert path.
 func commonPrefixLen(a, b netip.Addr, maxLen int) int {
-	ab, bb := a.AsSlice(), b.AsSlice()
-	n := 0
-	for i := range ab {
-		x := ab[i] ^ bb[i]
-		if x == 0 {
-			n += 8
-			if n >= maxLen {
-				return maxLen
-			}
-			continue
+	var n int
+	if a.Is4() && b.Is4() {
+		ab, bb := a.As4(), b.As4()
+		x := binary.BigEndian.Uint32(ab[:]) ^ binary.BigEndian.Uint32(bb[:])
+		n = bits.LeadingZeros32(x)
+	} else {
+		ab, bb := a.As16(), b.As16()
+		if x := binary.BigEndian.Uint64(ab[:8]) ^ binary.BigEndian.Uint64(bb[:8]); x != 0 {
+			n = bits.LeadingZeros64(x)
+		} else {
+			n = 64 + bits.LeadingZeros64(binary.BigEndian.Uint64(ab[8:])^binary.BigEndian.Uint64(bb[8:]))
 		}
-		for bit := 7; bit >= 0; bit-- {
-			if x&(1<<uint(bit)) != 0 {
-				break
-			}
-			n++
-		}
-		break
 	}
 	if n > maxLen {
 		n = maxLen

@@ -349,3 +349,26 @@ func ExampleTrie_Lookup() {
 	fmt.Println(v)
 	// Output: fine
 }
+
+// TestLookupAndGetAllocFree pins the hot-path allocation behavior the
+// million-route tables depend on: bit addressing via As4/As16 instead
+// of AsSlice means reads allocate nothing per node visited.
+func TestLookupAndGetAllocFree(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1024; i++ {
+		tr.Insert(netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24), i)
+	}
+	a4 := netip.MustParseAddr("10.2.200.1")
+	p4 := mustPrefix("10.2.200.0/24")
+	tr6 := New[int]()
+	tr6.Insert(mustPrefix("2001:db8::/32"), 1)
+	a6 := netip.MustParseAddr("2001:db8::1")
+
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Lookup(a4)
+		tr.Get(p4)
+		tr6.Lookup(a6)
+	}); n != 0 {
+		t.Fatalf("lookup path allocates %v per run, want 0", n)
+	}
+}

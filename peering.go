@@ -84,6 +84,10 @@ type Config struct {
 	// semantics: restored routes are stale until the live peers refresh
 	// them). Requires ServerArchiveDir.
 	WarmRestart bool
+	// Shards is the server's prefix-hash shard count for its Adj-RIB-Ins,
+	// ingest workers, and per-client fan-out queues (rounded up to a
+	// power of two; 0 sizes from GOMAXPROCS). See DESIGN.md §12.
+	Shards int
 }
 
 // liveSpec returns the default compact Internet for live operation.
@@ -186,6 +190,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		RouterID:  cfg.Supernet.Addr(),
 		Mode:      cfg.Mode,
 		Dampening: damp,
+		Shards:    cfg.Shards,
 	})
 	member, rsConn := tb.Fabric.JoinExternal(cfg.ASN, tb.Server.DP())
 	tb.ServerMember = member

@@ -1,0 +1,8 @@
+//go:build !race
+
+package peering
+
+// raceEnabled reports whether the race detector is compiled in; race
+// instrumentation slows the pipeline by an order of magnitude, so load
+// tests shrink their workload under it.
+const raceEnabled = false
