@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race chaos bench bench-fulltable fuzz-smoke check docs
+.PHONY: all build vet staticcheck test race chaos bench bench-fulltable bench-policy fuzz-smoke check docs
 
 all: check
 
@@ -39,7 +39,7 @@ chaos:
 # messages spent relaying a 1000-route table to 8 clients
 # (BENCH_fanout.json) and the allocation cost of the same scenario
 # (BENCH_hotpath.json, with the committed pre-PR baseline alongside).
-bench: bench-fulltable
+bench: bench-fulltable bench-policy
 	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
 	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test ./internal/server/ -run TestRelayHotPathAllocs -count=1 -v
 	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
@@ -54,6 +54,13 @@ bench: bench-fulltable
 bench-fulltable:
 	BENCH_FULLTABLE_JSON=$(CURDIR)/BENCH_fulltable.json $(GO) test . -run TestFullTableIngestion -count=1 -v -timeout 30m
 
+# The compiled safety-filter benchmark (DESIGN.md §13): verdicts over a
+# 16K-prefix / 8K-ROA / Peerlock rule set against interned full-table
+# attribute sets. BENCH_policy.json records compile time, verdict
+# throughput, and the zero-allocation assertion's measured allocs.
+bench-policy:
+	BENCH_POLICY_JSON=$(CURDIR)/BENCH_policy.json $(GO) test ./internal/policy/compiled/ -run TestPolicyBenchmark -count=1 -v
+
 # Short coverage-guided fuzz runs over the wire-format decoders and the
 # attribute-equality invariant that interning rests on (Equal(a,b) ⟺
 # identical canonical encoding). Go runs one fuzz target per
@@ -64,6 +71,7 @@ fuzz-smoke:
 	$(GO) test ./internal/mrt/ -run '^$$' -fuzz '^FuzzMRTRecord$$' -fuzztime 10s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzParseMessage$$' -fuzztime 10s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzAttrsEqual$$' -fuzztime 10s
+	$(GO) test ./internal/policy/compiled/ -run '^$$' -fuzz '^FuzzVerdict$$' -fuzztime 10s
 
 # Documentation gate: vet plus a check that every internal package (and
 # the root module) carries a package comment — godoc is part of the

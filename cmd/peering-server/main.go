@@ -24,6 +24,7 @@ func main() {
 	serverArchiveDir := flag.String("server-archive", "", "directory for the server's own MRT archive of upstream updates (enables crash recovery)")
 	warmRestart := flag.Bool("warm-restart", false, "rebuild the server's Adj-RIB-Ins from -server-archive before sessions come up")
 	shards := flag.Int("shards", 0, "prefix-hash shards for the server's RIBs, ingest workers, and fan-out queues (0 = size from GOMAXPROCS)")
+	policyFile := flag.String("policy", "", "safety-filter rule file (prefix ownership, ROAs, Peerlock) compiled into the ingest path; reloadable via POST /policy/reload")
 	flag.Parse()
 
 	var m peering.Mode
@@ -44,7 +45,7 @@ func main() {
 	tb, err := peering.NewTestbed(peering.Config{
 		Mode: m, BilateralPeers: *bilateral, ArchiveDir: *archiveDir,
 		ServerArchiveDir: *serverArchiveDir, WarmRestart: *warmRestart,
-		Shards: *shards,
+		Shards: *shards, PolicyFile: *policyFile,
 	})
 	if err != nil {
 		log.Fatalf("testbed: %v", err)
@@ -64,6 +65,10 @@ func main() {
 	}
 	if tb.ServerArchive != nil {
 		log.Printf("  server archive: %s", tb.ServerArchive.Dir())
+	}
+	if st := tb.Server.PolicyStatus(); st.Enabled {
+		log.Printf("  safety filter: gen %d — %d prefix, %d ROA, %d peerlock, %d no-transit rules",
+			st.Generation, st.PrefixRules, st.OriginRules, st.PeerlockRules, st.NoTransitASes)
 	}
 	if tb.WarmRestore != nil {
 		log.Printf("  warm restart:  %d routes restored (snapshot %q + %d tail updates)",

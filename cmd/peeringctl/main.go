@@ -17,6 +17,7 @@
 //	peeringctl [-portal URL] metrics  [-watch interval]
 //	peeringctl [-portal URL] archive
 //	peeringctl [-portal URL] dump
+//	peeringctl [-portal URL] policy [reload <rules.txt>]
 //	peeringctl cat    <file.mrt>
 //	peeringctl replay <file.mrt> [-mode quagga|bird] [-timed] [-speed 10]
 //
@@ -25,7 +26,11 @@
 // including histograms and per-label series) and pretty-prints it.
 //
 // archive shows the collector's MRT archive status; dump seals the
-// current segment and writes a RIB snapshot beside it. cat and replay
+// current segment and writes a RIB snapshot beside it. policy shows
+// the compiled safety filter's status (generation, rule counts per
+// class, last compile time); policy reload ships a local rule file to
+// the mux, which compiles it and atomically swaps it into the ingest
+// path — a parse error leaves the running filter untouched. cat and replay
 // operate on local MRT files without a portal: cat prints each record
 // human-readably, replay feeds the trace through a freshly assembled
 // server and reports throughput.
@@ -113,6 +118,13 @@ func main() {
 		err = c.get("/archive")
 	case "dump":
 		err = c.post("/archive/rotate", struct{}{})
+	case "policy":
+		if len(args) >= 2 && args[1] == "reload" {
+			need(args, 3)
+			err = c.policyReload(args[2])
+		} else {
+			err = c.get("/policy")
+		}
 	case "cat":
 		need(args, 2)
 		err = catMRT(args[1])
@@ -191,6 +203,21 @@ func (c *ctl) metrics() error {
 	return nil
 }
 
+// policyReload POSTs a local rule file's bytes to /policy/reload. The
+// body is the rule text itself, not JSON: the mux parses the same
+// format an operator writes on disk, so the file round-trips verbatim.
+func (c *ctl) policyReload(path string) error {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+"/policy/reload", "text/plain", bytes.NewReader(text))
+	if err != nil {
+		return err
+	}
+	return render(resp)
+}
+
 // render pretty-prints the portal's JSON reply.
 func render(resp *http.Response) error {
 	defer resp.Body.Close()
@@ -232,6 +259,7 @@ commands:
   metrics [-watch 2s]
   archive
   dump
+  policy [reload <rules.txt>]
   cat    <file.mrt>
   replay <file.mrt> [-mode quagga|bird] [-timed] [-speed 10]`)
 	os.Exit(2)

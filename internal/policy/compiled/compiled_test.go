@@ -1,0 +1,239 @@
+package compiled
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"peering/internal/wire"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func attrsWithPath(path ...uint32) *wire.Attrs {
+	return &wire.Attrs{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.Segment{{Type: wire.SegSequence, ASNs: path}},
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+	}
+}
+
+func TestPrefixRulesFirstMatchWinsAcrossCoverage(t *testing.T) {
+	// A deny on the /24 is listed before a permit on the covering /19:
+	// source order must win even though the /24 is the longer match.
+	f := Compile(&RuleSet{
+		DefaultDeny: true,
+		Prefixes: []PrefixRule{
+			{Prefix: pfx("184.164.224.0/24"), Permit: false},
+			{Prefix: pfx("184.164.224.0/19"), Le: 24, Permit: true},
+		},
+	})
+	if f.MatchPrefix(pfx("184.164.224.0/24")) {
+		t.Fatal("first-listed deny /24 must win over later permit /19")
+	}
+	if !f.MatchPrefix(pfx("184.164.225.0/24")) {
+		t.Fatal("sibling /24 under the permit /19 must pass")
+	}
+	if f.MatchPrefix(pfx("184.164.224.0/25")) {
+		t.Fatal("/25 beyond the permit's le 24 must fall to default deny")
+	}
+	if f.MatchPrefix(pfx("8.8.8.0/24")) {
+		t.Fatal("uncovered prefix must fall to default deny")
+	}
+}
+
+func TestPrefixRulesGeLeAndDefaults(t *testing.T) {
+	f := Compile(&RuleSet{Prefixes: []PrefixRule{
+		{Prefix: pfx("10.0.0.0/8"), Ge: 16, Le: 24, Permit: true},
+		{Prefix: pfx("10.0.0.0/8"), Ge: 8, Le: 32, Permit: false},
+	}})
+	for _, tc := range []struct {
+		p    string
+		want bool
+	}{
+		{"10.1.0.0/16", true},  // inside [16,24] → first rule permits
+		{"10.1.2.0/24", true},  //
+		{"10.0.0.0/12", false}, // below ge 16 → second rule denies
+		{"10.1.2.3/32", false}, // above le 24 → second rule denies
+		{"11.0.0.0/16", true},  // uncovered → default permit
+	} {
+		if got := f.MatchPrefix(pfx(tc.p)); got != tc.want {
+			t.Errorf("MatchPrefix(%s) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestOriginValidation(t *testing.T) {
+	f := Compile(&RuleSet{Origins: []OriginRule{
+		{Prefix: pfx("96.0.0.0/16"), MaxLen: 24, Origin: 64500},
+		{Prefix: pfx("96.0.0.0/16"), MaxLen: 16, Origin: 64501},
+	}})
+	for _, tc := range []struct {
+		p      string
+		origin uint32
+		want   OriginState
+	}{
+		{"96.0.0.0/16", 64500, OriginValid},
+		{"96.0.0.0/16", 64501, OriginValid},
+		{"96.0.1.0/24", 64500, OriginValid},   // within maxlen 24
+		{"96.0.1.0/24", 64501, OriginInvalid}, // 64501 capped at /16
+		{"96.0.1.0/25", 64500, OriginInvalid}, // beyond every maxlen
+		{"96.0.0.0/16", 64502, OriginInvalid}, // covered, wrong origin
+		{"97.0.0.0/16", 64500, OriginUnknown}, // uncovered
+	} {
+		if got := f.Origin(pfx(tc.p), tc.origin); got != tc.want {
+			t.Errorf("Origin(%s, %d) = %v, want %v", tc.p, tc.origin, got, tc.want)
+		}
+	}
+	// Verdict maps invalid → reject, unknown → accept.
+	if v := f.Verdict(pfx("96.0.1.0/24"), attrsWithPath(3356, 64501), Peer{AS: 3356}); v.Accept || v.Class != ClassOrigin {
+		t.Fatalf("hijacked origin: verdict %+v, want origin reject", v)
+	}
+	if v := f.Verdict(pfx("97.0.0.0/16"), attrsWithPath(3356, 64999), Peer{AS: 3356}); !v.Accept {
+		t.Fatalf("unknown origin state must pass, got %+v", v)
+	}
+}
+
+func TestPeerlockAdjacency(t *testing.T) {
+	f := Compile(&RuleSet{Peerlock: []PeerlockRule{
+		{Protected: 174, Allowed: []uint32{3356, 2914}},
+	}})
+	ok := []*wire.Attrs{
+		attrsWithPath(3356, 174, 2914, 64500), // both neighbors allowed
+		attrsWithPath(174, 3356, 64500),       // path edge on the left
+		attrsWithPath(3356, 174),              // path edge on the right
+		attrsWithPath(3356, 174, 174, 2914),   // own prepend
+		attrsWithPath(3356, 64500),            // protected AS absent
+	}
+	for i, a := range ok {
+		if v := f.Verdict(pfx("8.8.8.0/24"), a, Peer{AS: 3356}); !v.Accept {
+			t.Errorf("legit path %d (%s) rejected: %+v", i, a.PathString(), v)
+		}
+	}
+	bad := []*wire.Attrs{
+		attrsWithPath(3356, 64600, 174, 2914, 64500), // 64600 left of 174
+		attrsWithPath(3356, 174, 64601, 64500),       // 64601 right of 174
+		attrsWithPath(64600, 174, 64601),             // sandwiched (poisoned)
+	}
+	for i, a := range bad {
+		if v := f.Verdict(pfx("8.8.8.0/24"), a, Peer{AS: 3356}); v.Accept || v.Class != ClassPeerlock {
+			t.Errorf("leaked path %d (%s): verdict %+v, want peerlock reject", i, a.PathString(), v)
+		}
+	}
+}
+
+func TestPeerlockLiteTransitContext(t *testing.T) {
+	f := Compile(&RuleSet{NoTransit: []uint32{3257}})
+	a := attrsWithPath(64500, 3257, 64501)
+	if v := f.Verdict(pfx("8.8.8.0/24"), a, Peer{AS: 64500, Transit: false}); v.Accept || v.Class != ClassPeerlockLite {
+		t.Fatalf("tier-1 in path from non-transit peer: %+v, want peerlock_lite reject", v)
+	}
+	if v := f.Verdict(pfx("8.8.8.0/24"), a, Peer{AS: 64500, Transit: true}); !v.Accept {
+		t.Fatalf("same path from a transit provider must pass, got %+v", v)
+	}
+	if v := f.Verdict(pfx("8.8.8.0/24"), attrsWithPath(64500, 64501), Peer{AS: 64500}); !v.Accept {
+		t.Fatalf("path without protected AS must pass, got %+v", v)
+	}
+}
+
+func TestNilFilterAndNilAttrs(t *testing.T) {
+	var f *Filter
+	if v := f.Verdict(pfx("8.8.8.0/24"), nil, Peer{}); !v.Accept {
+		t.Fatal("nil filter must accept everything")
+	}
+	if got := f.Status(); got.Enabled {
+		t.Fatal("nil filter must report Enabled false")
+	}
+	f2 := Compile(&RuleSet{Peerlock: []PeerlockRule{{Protected: 174}}})
+	if v := f2.Verdict(pfx("8.8.8.0/24"), nil, Peer{}); !v.Accept {
+		t.Fatal("nil attrs must skip path checks")
+	}
+}
+
+func TestEngineSwap(t *testing.T) {
+	var e Engine
+	if e.Current() != nil {
+		t.Fatal("zero engine must start unfiltered")
+	}
+	fa := e.Load(&RuleSet{DefaultDeny: true})
+	if e.Current() != fa || fa.Generation() != 1 {
+		t.Fatalf("first load: current=%v gen=%d", e.Current(), fa.Generation())
+	}
+	fb := e.Load(&RuleSet{})
+	if e.Current() != fb || fb.Generation() != 2 {
+		t.Fatalf("second load: current=%v gen=%d", e.Current(), fb.Generation())
+	}
+	// The displaced filter stays usable for callers that loaded it.
+	if fa.MatchPrefix(pfx("8.8.8.0/24")) {
+		t.Fatal("old filter must keep its default-deny semantics")
+	}
+	if e.Load(nil) != nil || e.Current() != nil {
+		t.Fatal("Load(nil) must uninstall filtering")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	const text = `
+# testbed safety rules
+default deny
+prefix deny   184.164.224.0/24         # carve-out listed first: it wins
+prefix permit 184.164.224.0/19 le 24   # the /19, /24s included
+roa 96.0.0.0/16 maxlen 24 origin 64500
+peerlock 174 allow 3356 2914
+peerlock-lite 174 3257
+`
+	rs, err := ParseRules(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.DefaultDeny || len(rs.Prefixes) != 2 || len(rs.Origins) != 1 ||
+		len(rs.Peerlock) != 1 || len(rs.NoTransit) != 2 {
+		t.Fatalf("parsed shape: %+v", rs)
+	}
+	if rs.Prefixes[0].Permit || rs.Prefixes[1].Le != 24 || !rs.Prefixes[1].Permit {
+		t.Fatalf("prefix rules: %+v", rs.Prefixes)
+	}
+	if rs.Origins[0].MaxLen != 24 || rs.Origins[0].Origin != 64500 {
+		t.Fatalf("origin rule: %+v", rs.Origins[0])
+	}
+	if rs.Peerlock[0].Protected != 174 || len(rs.Peerlock[0].Allowed) != 2 {
+		t.Fatalf("peerlock rule: %+v", rs.Peerlock[0])
+	}
+	f := Compile(rs)
+	if !f.MatchPrefix(pfx("184.164.225.0/24")) || f.MatchPrefix(pfx("184.164.224.0/24")) {
+		t.Fatal("compiled parse output disagrees with rule order")
+	}
+
+	for _, bad := range []string{
+		"prefix permit not-a-cidr",
+		"prefix allow 10.0.0.0/8",
+		"prefix permit 10.0.0.0/8 ge 24 le 16",
+		"prefix permit 10.0.0.0/8 ge 64",
+		"roa 96.0.0.0/16 maxlen 24",
+		"roa 96.0.0.0/16 maxlen 8 origin 1",
+		"peerlock 174 3356",
+		"peerlock-lite",
+		"frobnicate 1 2 3",
+		"default maybe",
+	} {
+		if _, err := ParseRules(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseRules(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestStatusShape(t *testing.T) {
+	var e Engine
+	f := e.Load(&RuleSet{
+		DefaultDeny: true,
+		Prefixes:    []PrefixRule{{Prefix: pfx("10.0.0.0/8"), Permit: true}},
+		Origins:     []OriginRule{{Prefix: pfx("96.0.0.0/16"), Origin: 1}},
+		Peerlock:    []PeerlockRule{{Protected: 174}},
+		NoTransit:   []uint32{3257},
+	})
+	st := f.Status()
+	if !st.Enabled || st.Generation != 1 || !st.DefaultDeny ||
+		st.PrefixRules != 1 || st.OriginRules != 1 || st.PeerlockRules != 1 || st.NoTransitASes != 1 {
+		t.Fatalf("Status = %+v", st)
+	}
+}

@@ -1,0 +1,181 @@
+package compiled
+
+// The rule-file format: one rule per line, '#' comments, whitespace-
+// separated tokens. This is the operator surface behind `peeringctl
+// policy reload`, POST /policy/reload, and peering-server -policy.
+//
+//	# prefix ownership: ordered, first match wins
+//	default deny
+//	prefix permit 184.164.224.0/19 le 24
+//	prefix deny   0.0.0.0/0 le 32
+//
+//	# ROA-style origin authorization
+//	roa 96.0.0.0/16 maxlen 24 origin 64500
+//
+//	# Peerlock: AS 174 may only neighbor its listed partners
+//	peerlock 174 allow 3356 2914
+//
+//	# Peerlock-lite: never accept these ASes from non-transit neighbors
+//	peerlock-lite 174 3257 1299
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseRules reads the text rule-file format into a RuleSet. Errors
+// carry the 1-based line number.
+func ParseRules(r io.Reader) (*RuleSet, error) {
+	rs := &RuleSet{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseLine(rs, fields); err != nil {
+			return nil, fmt.Errorf("rules line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rules line %d: %w", line, err)
+	}
+	return rs, nil
+}
+
+func parseLine(rs *RuleSet, f []string) error {
+	switch f[0] {
+	case "default":
+		if len(f) != 2 || (f[1] != "permit" && f[1] != "deny") {
+			return fmt.Errorf("want 'default permit' or 'default deny'")
+		}
+		rs.DefaultDeny = f[1] == "deny"
+	case "prefix":
+		if len(f) < 3 || (f[1] != "permit" && f[1] != "deny") {
+			return fmt.Errorf("want 'prefix permit|deny <cidr> [ge N] [le N]'")
+		}
+		p, err := netip.ParsePrefix(f[2])
+		if err != nil {
+			return err
+		}
+		r := PrefixRule{Prefix: p, Permit: f[1] == "permit"}
+		for i := 3; i < len(f); i += 2 {
+			if i+1 >= len(f) {
+				return fmt.Errorf("dangling %q", f[i])
+			}
+			n, err := parseBits(f[i+1], p)
+			if err != nil {
+				return err
+			}
+			switch f[i] {
+			case "ge":
+				r.Ge = n
+			case "le":
+				r.Le = n
+			default:
+				return fmt.Errorf("unknown prefix option %q", f[i])
+			}
+		}
+		if r.Ge != 0 && r.Le != 0 && r.Ge > r.Le {
+			return fmt.Errorf("ge %d > le %d", r.Ge, r.Le)
+		}
+		rs.Prefixes = append(rs.Prefixes, r)
+	case "roa":
+		if len(f) < 4 {
+			return fmt.Errorf("want 'roa <cidr> [maxlen N] origin <asn>'")
+		}
+		p, err := netip.ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		r := OriginRule{Prefix: p}
+		seenOrigin := false
+		for i := 2; i < len(f); i += 2 {
+			if i+1 >= len(f) {
+				return fmt.Errorf("dangling %q", f[i])
+			}
+			switch f[i] {
+			case "maxlen":
+				n, err := parseBits(f[i+1], p)
+				if err != nil {
+					return err
+				}
+				if n < p.Bits() {
+					return fmt.Errorf("maxlen %d shorter than prefix /%d", n, p.Bits())
+				}
+				r.MaxLen = n
+			case "origin":
+				asn, err := parseASN(f[i+1])
+				if err != nil {
+					return err
+				}
+				r.Origin = asn
+				seenOrigin = true
+			default:
+				return fmt.Errorf("unknown roa option %q", f[i])
+			}
+		}
+		if !seenOrigin {
+			return fmt.Errorf("roa needs 'origin <asn>'")
+		}
+		rs.Origins = append(rs.Origins, r)
+	case "peerlock":
+		if len(f) < 3 || f[2] != "allow" {
+			return fmt.Errorf("want 'peerlock <asn> allow <asn>...'")
+		}
+		protected, err := parseASN(f[1])
+		if err != nil {
+			return err
+		}
+		r := PeerlockRule{Protected: protected}
+		for _, tok := range f[3:] {
+			asn, err := parseASN(tok)
+			if err != nil {
+				return err
+			}
+			r.Allowed = append(r.Allowed, asn)
+		}
+		rs.Peerlock = append(rs.Peerlock, r)
+	case "peerlock-lite":
+		if len(f) < 2 {
+			return fmt.Errorf("want 'peerlock-lite <asn>...'")
+		}
+		for _, tok := range f[1:] {
+			asn, err := parseASN(tok)
+			if err != nil {
+				return err
+			}
+			rs.NoTransit = append(rs.NoTransit, asn)
+		}
+	default:
+		return fmt.Errorf("unknown rule %q", f[0])
+	}
+	return nil
+}
+
+func parseBits(s string, p netip.Prefix) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > p.Addr().BitLen() {
+		return 0, fmt.Errorf("bad mask length %q", s)
+	}
+	return n, nil
+}
+
+func parseASN(s string) (uint32, error) {
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("bad ASN %q", s)
+	}
+	return uint32(n), nil
+}

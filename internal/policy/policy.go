@@ -5,15 +5,36 @@
 //
 // Policies are what a PEERING server interposes between clients and the
 // real Internet (safety filters) and what the synthetic Internet's ASes
-// apply at every edge (business relationships).
+// apply at every edge (business relationships). Two layers share this
+// package:
+//
+//   - The interpreted layer here — [Policy] chains of [Cond] predicates
+//     and [Action] attribute rewrites — is the flexible form used by the
+//     synthetic Internet's per-edge import/export policies, where every
+//     AS has its own chain and routes are evaluated one at a time with
+//     clone-on-write attribute mutation.
+//   - The compiled layer in the nested package policy/compiled lowers
+//     prefix-ownership, ROA origin, and Peerlock rules into an immutable
+//     verdict structure for the server's ingest hot path, where a filter
+//     faces millions of routes and may not allocate. [PrefixList] and
+//     [OriginTable] below are thin veneers over that compiler, so the
+//     classic router-config API keeps working while sharing one matching
+//     engine (and one set of semantics) with the line-rate filters.
+//
+// Conditions ([MatchPrefixList], [MatchCommunity], [MatchASInPath],
+// [MatchOriginAS], [MatchMaxPathLen], [MatchAny], [All]) are route
+// predicates; actions ([SetLocalPref], [SetMED], [Prepend],
+// [AddCommunity], [RemoveCommunity], [SetNextHop]) rewrite attributes on
+// a clone. A [Statement] pairs one condition with actions and an
+// accept/reject disposition; a [Policy] is the ordered chain.
 package policy
 
 import (
 	"fmt"
 	"net/netip"
 
+	"peering/internal/policy/compiled"
 	"peering/internal/rib"
-	"peering/internal/trie"
 	"peering/internal/wire"
 )
 
@@ -45,7 +66,19 @@ func (r Relationship) String() string {
 // ShouldExport implements the Gao–Rexford export rule: a route learned
 // from `from` may be exported to `to` only if it was learned from a
 // customer (or originated locally, from == RelNone) or is being exported
-// to a customer. Everything else would provide free transit.
+// to a customer. Everything else would provide free transit. The full
+// matrix, learned-from down the side and exported-to across the top:
+//
+//	from \ to   customer  peer  provider
+//	none        yes       yes   yes       (locally originated)
+//	customer    yes       yes   yes       (customers pay for reach)
+//	peer        yes       no    no        (peer routes only to customers)
+//	provider    yes       no    no        (provider routes only to customers)
+//
+// The two "no" quadrants are exactly the route-leak shapes Peerlock
+// rejects at the receiving side (see policy/compiled): a peer or
+// provider route re-exported to another peer or provider turns the
+// leaking AS into an unpaid transit.
 func ShouldExport(from, to Relationship) bool {
 	return from == RelCustomer || from == RelNone || to == RelCustomer
 }
@@ -79,10 +112,19 @@ type PrefixRule struct {
 }
 
 // PrefixList is an ordered prefix filter with a default action for
-// non-matching prefixes.
+// non-matching prefixes. Matching runs on a compiled trie (rebuilt
+// lazily after Add or a PermitDefault change), so Match costs O(prefix
+// bits) regardless of list length instead of the linear scan it used to
+// be. Like the rest of this layer it is not safe for concurrent use;
+// guard it externally or compile a policy/compiled.Filter instead.
 type PrefixList struct {
 	rules         []PrefixRule
 	PermitDefault bool
+	// idx is the compiled form of rules with compiledDefault; it is
+	// invalidated by Add and rebuilt on the next Match.
+	idx             *compiled.Filter
+	compiledLen     int
+	compiledDefault bool
 }
 
 // NewPrefixList builds a list from rules; the default (no rule matches)
@@ -94,25 +136,27 @@ func NewPrefixList(rules ...PrefixRule) *PrefixList {
 // Add appends a rule.
 func (l *PrefixList) Add(r PrefixRule) { l.rules = append(l.rules, r) }
 
-// Match evaluates p against the list in order, first match wins.
-func (l *PrefixList) Match(p netip.Prefix) bool {
-	for _, r := range l.rules {
-		ge, le := r.Ge, r.Le
-		if ge == 0 {
-			ge = r.Prefix.Bits()
+// compile lowers the current rules through the policy/compiled filter
+// compiler. PrefixRule and compiled.PrefixRule share semantics field
+// for field, so this is a copy, not a translation.
+func (l *PrefixList) compile() *compiled.Filter {
+	if l.idx == nil || l.compiledLen != len(l.rules) || l.compiledDefault != l.PermitDefault {
+		rs := compiled.RuleSet{DefaultDeny: !l.PermitDefault}
+		rs.Prefixes = make([]compiled.PrefixRule, len(l.rules))
+		for i, r := range l.rules {
+			rs.Prefixes[i] = compiled.PrefixRule{Prefix: r.Prefix, Ge: r.Ge, Le: r.Le, Permit: r.Permit}
 		}
-		if le == 0 {
-			le = r.Prefix.Bits()
-		}
-		if p.Bits() < ge || p.Bits() > le {
-			continue
-		}
-		if !r.Prefix.Contains(p.Addr()) || r.Prefix.Bits() > p.Bits() {
-			continue
-		}
-		return r.Permit
+		l.idx = compiled.Compile(&rs)
+		l.compiledLen, l.compiledDefault = len(l.rules), l.PermitDefault
 	}
-	return l.PermitDefault
+	return l.idx
+}
+
+// Match evaluates p against the list: first rule in insertion order
+// that covers p with mask length in the rule's [ge, le] wins; the
+// default applies when nothing matches.
+func (l *PrefixList) Match(p netip.Prefix) bool {
+	return l.compile().MatchPrefix(p)
 }
 
 // ---------------------------------------------------------------------
@@ -121,41 +165,67 @@ func (l *PrefixList) Match(p netip.Prefix) bool {
 // OriginTable maps prefixes to their set of authorized origin ASNs —
 // the testbed's ROA-like database. A client announcement whose origin
 // is not authorized for the exact prefix or a covering prefix is
-// rejected.
+// rejected. Lookups run on a compiled covering-entry trie (rebuilt
+// lazily after Authorize/Revoke), shared with the line-rate origin
+// validation in policy/compiled. Not safe for concurrent use.
 type OriginTable struct {
-	t *trie.Trie[map[uint32]bool]
+	auth map[netip.Prefix]map[uint32]bool
+	f    *compiled.Filter // nil when auth has changed since last compile
 }
 
 // NewOriginTable returns an empty table.
 func NewOriginTable() *OriginTable {
-	return &OriginTable{t: trie.New[map[uint32]bool]()}
+	return &OriginTable{auth: make(map[netip.Prefix]map[uint32]bool)}
 }
 
 // Authorize records that asn may originate p and any more-specific of p.
 func (o *OriginTable) Authorize(p netip.Prefix, asn uint32) {
-	m, ok := o.t.Get(p)
-	if !ok {
+	p = p.Masked()
+	m := o.auth[p]
+	if m == nil {
 		m = map[uint32]bool{}
-		o.t.Insert(p, m)
+		o.auth[p] = m
 	}
 	m[asn] = true
+	o.f = nil
 }
 
 // Revoke removes authorization.
 func (o *OriginTable) Revoke(p netip.Prefix, asn uint32) {
-	if m, ok := o.t.Get(p); ok {
+	p = p.Masked()
+	if m, ok := o.auth[p]; ok {
 		delete(m, asn)
 		if len(m) == 0 {
-			o.t.Delete(p)
+			delete(o.auth, p)
 		}
+		o.f = nil
 	}
 }
 
+// compile lowers the authorization map into origin rules. Authorize's
+// "and any more-specific" contract maps to a MaxLen of the full
+// address width (an unbounded ROA).
+func (o *OriginTable) compile() *compiled.Filter {
+	if o.f == nil {
+		var rs compiled.RuleSet
+		for p, m := range o.auth {
+			for asn := range m {
+				rs.Origins = append(rs.Origins, compiled.OriginRule{
+					Prefix: p, MaxLen: p.Addr().BitLen(), Origin: asn,
+				})
+			}
+		}
+		o.f = compiled.Compile(&rs)
+	}
+	return o.f
+}
+
 // Allowed reports whether asn may originate p: some covering (or exact)
-// authorization entry must list it.
+// authorization entry must list it. Unlike an RPKI validator, a prefix
+// with no covering entry at all is NOT allowed — the table is a closed
+// world, because the testbed knows every prefix it may ever originate.
 func (o *OriginTable) Allowed(p netip.Prefix, asn uint32) bool {
-	_, m, ok := o.t.LookupPrefix(p)
-	return ok && m[asn]
+	return o.compile().Origin(p, asn) == compiled.OriginValid
 }
 
 // ---------------------------------------------------------------------

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"net/netip"
@@ -97,6 +98,11 @@ func (f ExecutorFunc) Execute(a Announcement) error { return f(a) }
 // start measurements (§3). Nil notifiers are skipped.
 type Notifier func(user string, a Announcement)
 
+// maxPolicyBody caps a POST /policy/reload body. A full operator rule
+// file for the testbed is a few kilobytes; 4 MiB leaves room for dense
+// ROA tables without letting a stray upload balloon memory.
+const maxPolicyBody = 4 << 20
+
 // Portal is the management service.
 type Portal struct {
 	clk      clock.Clock
@@ -108,6 +114,8 @@ type Portal struct {
 	statsSource    func() any
 	archiveStatus  func() any
 	archiveRotate  func() (any, error)
+	policyStatus   func() any
+	policyReload   func(text string) (any, error)
 	metricsHandler http.Handler
 	pprofEnabled   bool
 	pool           []netip.Prefix // unallocated /24s
@@ -157,6 +165,24 @@ func (p *Portal) SetArchiveSource(status func() any, rotate func() (any, error))
 	p.mu.Lock()
 	p.archiveStatus = status
 	p.archiveRotate = rotate
+	p.mu.Unlock()
+}
+
+// SetPolicySource registers the callbacks behind the safety-filter
+// endpoints: status supplies GET /policy (JSON-encoded verbatim, the
+// compiled filter's generation and rule counts) and reload implements
+// POST /policy/reload, compiling the rule text in the request body and
+// atomically swapping it into the ingest path. A parse or compile error
+// is reported as 409 with a JSON error body and leaves the previously
+// installed filter untouched. Like SetStatsSource, the newest
+// registration wins and nil unregisters: GET /policy then 404s, while
+// POST /policy/reload answers 409 — reload conflicts with the server's
+// configuration (no policy engine attached) rather than hitting a route
+// that does not exist.
+func (p *Portal) SetPolicySource(status func() any, reload func(text string) (any, error)) {
+	p.mu.Lock()
+	p.policyStatus = status
+	p.policyReload = reload
 	p.mu.Unlock()
 }
 
@@ -431,6 +457,8 @@ func (p *Portal) Measurements(experiment string) []Measurement {
 //	GET  /stats                 JSON counters (see SetStatsSource)
 //	GET  /archive               MRT archive status (see SetArchiveSource)
 //	POST /archive/rotate        seal the current MRT segment + dump a RIB snapshot
+//	GET  /policy                compiled safety-filter status (see SetPolicySource)
+//	POST /policy/reload         compile the rule text in the body and swap it live
 //	GET  /metrics               Prometheus text format (see SetMetricsHandler)
 //	GET  /debug/pprof/*         profiling, 404 unless EnablePprof was called
 func (p *Portal) Handler() http.Handler {
@@ -533,6 +561,34 @@ func (p *Portal) Handler() http.Handler {
 			return
 		}
 		out, err := fn()
+		reply(w, out, err)
+	})
+	mux.HandleFunc("GET /policy", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		fn := p.policyStatus
+		p.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "policy unavailable", http.StatusNotFound)
+			return
+		}
+		reply(w, fn(), nil)
+	})
+	mux.HandleFunc("POST /policy/reload", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		fn := p.policyReload
+		p.mu.Unlock()
+		if fn == nil {
+			// Like /archive/rotate: the route exists, the server just was
+			// not started with a policy engine to reload into.
+			replyError(w, http.StatusConflict, "policy engine unavailable: server has no compiled-filter support attached")
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxPolicyBody))
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := fn(string(body))
 		reply(w, out, err)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -405,3 +405,70 @@ func TestArchiveEndpoints(t *testing.T) {
 		t.Fatalf("rotate after unregister = %d, want 409", resp.StatusCode)
 	}
 }
+
+// TestPolicyEndpoints: GET /policy and POST /policy/reload proxy the
+// registered policy source. Status 404s before registration, reload
+// answers 409 when no engine is attached, the reload body passes
+// through verbatim as rule text, and reload errors (bad rule files)
+// come back as 409 JSON without dropping the previous registration.
+func TestPolicyEndpoints(t *testing.T) {
+	p, _, _ := newPortal(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, _ := http.Get(srv.URL + "/policy")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unregistered /policy: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/policy/reload", "text/plain", bytes.NewReader([]byte("default deny\n")))
+	var unattached map[string]string
+	json.NewDecoder(resp.Body).Decode(&unattached)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || unattached["error"] == "" {
+		t.Fatalf("unattached reload = %d %v, want 409 with JSON error body", resp.StatusCode, unattached)
+	}
+
+	var gotText string
+	reloadErr := error(nil)
+	p.SetPolicySource(
+		func() any { return map[string]any{"generation": 3, "prefix_rules": 7} },
+		func(text string) (any, error) {
+			gotText = text
+			return map[string]any{"generation": 4}, reloadErr
+		},
+	)
+	resp, _ = http.Get(srv.URL + "/policy")
+	var st map[string]any
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st["prefix_rules"] != float64(7) {
+		t.Fatalf("/policy = %d %v", resp.StatusCode, st)
+	}
+
+	ruleText := "default permit\nprefix deny 184.164.224.0/19 le 32\n"
+	resp, _ = http.Post(srv.URL+"/policy/reload", "text/plain", bytes.NewReader([]byte(ruleText)))
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out["generation"] != float64(4) {
+		t.Fatalf("reload = %d %v", resp.StatusCode, out)
+	}
+	if gotText != ruleText {
+		t.Fatalf("reload body = %q, want %q", gotText, ruleText)
+	}
+
+	reloadErr = errors.New("line 2: bad prefix")
+	resp, _ = http.Post(srv.URL+"/policy/reload", "text/plain", bytes.NewReader([]byte("junk\n")))
+	var failed map[string]string
+	json.NewDecoder(resp.Body).Decode(&failed)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || failed["error"] != "line 2: bad prefix" {
+		t.Fatalf("failed reload = %d %v, want 409 {error: line 2: bad prefix}", resp.StatusCode, failed)
+	}
+
+	p.SetPolicySource(nil, nil)
+	resp, _ = http.Get(srv.URL + "/policy")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unregistered again /policy: %d, want 404", resp.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"peering/internal/bufconn"
 	"peering/internal/client"
 	"peering/internal/muxproto"
+	"peering/internal/policy/compiled"
 	"peering/internal/router"
 )
 
@@ -39,6 +40,18 @@ func newFanoutBench(tb testing.TB, nClients int) *fanoutBench {
 		ASN:      testbedASN,
 		RouterID: addr("184.164.224.1"),
 		Mode:     muxproto.ModeQuagga,
+	})
+	// The relay measurements run with the compiled safety filter live
+	// and every rule family populated — prefix table, ROA table,
+	// Peerlock, Peerlock-lite — so the hot-path budget covers the
+	// filtering cost a production mux pays. The rules are shaped so the
+	// benchmark's 10.0.0.0/8 world passes: what is measured is the
+	// verdict, not a rejection short-circuit.
+	fb.srv.LoadPolicy(&compiled.RuleSet{
+		Prefixes:  []compiled.PrefixRule{{Prefix: netip.MustParsePrefix("184.164.224.0/19"), Le: 32}},
+		Origins:   []compiled.OriginRule{{Prefix: netip.MustParsePrefix("99.99.0.0/16"), MaxLen: 24, Origin: 65001}},
+		Peerlock:  []compiled.PeerlockRule{{Protected: 174, Allowed: []uint32{3356, 2914}}},
+		NoTransit: []uint32{6453},
 	})
 	fb.up = router.New(router.Config{AS: 3356, RouterID: addr("4.69.0.1")})
 	u, err := fb.srv.AddUpstream(UpstreamConfig{

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"peering/internal/policy/compiled"
 	"peering/internal/rib"
 	"peering/internal/wire"
 )
@@ -164,16 +165,26 @@ func (p *ingestPool) barrier() {
 	wg.Wait()
 }
 
-// process applies one op: table bookkeeping first, then fan-out, with
-// the client snapshot taken in between (see the ordering notes in the
-// package comment above).
+// process applies one op: the compiled safety filter first (pre-RIB,
+// so a rejected route never touches the Adj-RIB-In or any client
+// queue), then table bookkeeping, then fan-out, with the client
+// snapshot taken in between (see the ordering notes in the package
+// comment above). The filter pointer is loaded exactly once per op:
+// a policy reload racing this worker lands entirely before or entirely
+// after the op's NLRIs — every route gets exactly one verdict from one
+// coherent rule set. Withdrawals always pass; retracting state is
+// always safe.
 func (p *ingestPool) process(op *ingestOp) {
 	u := op.u
 	for _, n := range op.wd {
 		u.adjIn.Remove(n.Prefix, 0)
 	}
+	reach := op.reach
 	if op.attrs != nil {
-		for _, n := range op.reach {
+		if f := p.srv.policy.Current(); f != nil {
+			reach = p.filterReach(f, op)
+		}
+		for _, n := range reach {
 			u.adjIn.Set(&rib.Route{
 				Prefix:  n.Prefix,
 				Attrs:   op.attrs,
@@ -191,13 +202,35 @@ func (p *ingestPool) process(op *ingestOp) {
 			c.out.put(u.cfg.ID, n.Prefix, nil)
 		}
 		if op.attrs != nil {
-			for _, n := range op.reach {
+			for _, n := range reach {
 				c.out.put(u.cfg.ID, n.Prefix, op.attrs)
 			}
 		}
 	}
 	*op = ingestOp{}
 	p.ops.Put(op)
+}
+
+// filterReach runs the compiled verdict over op's announced NLRIs and
+// compacts the survivors in place (the slice is owned by this op — it
+// aliases either the fresh decode or a partition buffer, both single-
+// consumer). Accepted counts batch into one counter add; rejects bump
+// their rule-class counter individually, since they are the rare case.
+func (p *ingestPool) filterReach(f *compiled.Filter, op *ingestOp) []wire.NLRI {
+	peer := compiled.Peer{AS: op.peerAS, Transit: op.u.cfg.Transit}
+	kept := op.reach[:0]
+	for _, n := range op.reach {
+		v := f.Verdict(n.Prefix, op.attrs, peer)
+		if v.Accept {
+			kept = append(kept, n)
+			continue
+		}
+		p.srv.metrics.policyRejected[v.Class].Inc()
+	}
+	if len(kept) > 0 {
+		p.srv.metrics.policyAccepted.Add(uint64(len(kept)))
+	}
+	return kept
 }
 
 // dispatch splits an upstream UPDATE by shard and hands each slice to

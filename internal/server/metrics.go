@@ -13,6 +13,7 @@ package server
 
 import (
 	"peering/internal/bgp"
+	"peering/internal/policy/compiled"
 	"peering/internal/telemetry"
 	"peering/internal/wire"
 )
@@ -55,6 +56,16 @@ type serverMetrics struct {
 	fanoutBackpressure *telemetry.Counter
 	fanoutHighWater    *telemetry.Gauge
 	fanoutPacked       *telemetry.Histogram
+
+	// Compiled-policy verdict counters (policy/compiled, wired in
+	// ingest.go and vetAnnouncement). The CounterVec is the registered
+	// family; policyAccepted and policyRejected are its label children,
+	// resolved once here so the per-NLRI hot path never touches the
+	// vec's label map.
+	policyVerdicts       *telemetry.CounterVec
+	policyAccepted       *telemetry.Counter
+	policyRejected       [compiled.NumClasses]*telemetry.Counter
+	policyCompileSeconds *telemetry.Gauge
 
 	// Quota and shedding counters (quota.go): every containment action
 	// taken against a client that outgrew its limits.
@@ -111,6 +122,12 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 		fanoutPacked: r.Histogram("peering_fanout_update_nlris",
 			"NLRIs packed into each UPDATE sent to a client.", packingBuckets),
 
+		policyVerdicts: r.CounterVec("peering_policy_verdicts_total",
+			"Compiled safety-filter verdicts by rule class and outcome (upstream ingest and client vetting).",
+			"rule", "outcome"),
+		policyCompileSeconds: r.Gauge("peering_policy_compile_seconds",
+			"Duration of the most recent rule-set compilation."),
+
 		quotaWarnings: r.Counter("peering_quota_prefix_warnings_total",
 			"Clients crossing the max-prefix warn line (once per excursion)."),
 		quotaRejected: r.Counter("peering_quota_prefixes_rejected_total",
@@ -127,6 +144,29 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 			convergenceBuckets),
 	}
 
+	// Resolve the verdict children up front: rejects keyed by the rule
+	// class that fired, accepts under rule="none" (an accepted route
+	// passed every family, no single rule decided it).
+	m.policyAccepted = m.policyVerdicts.With("none", "accept")
+	for c := compiled.Class(0); c < compiled.NumClasses; c++ {
+		m.policyRejected[c] = m.policyVerdicts.With(c.String(), "reject")
+	}
+
+	r.GaugeFunc("peering_policy_generation",
+		"Load sequence number of the active compiled rule set (0 = unfiltered).",
+		func() float64 { return float64(s.policy.Current().Generation()) })
+	r.GaugeVecFunc("peering_policy_rules",
+		"Active compiled rules per rule class.", []string{"class"},
+		func(emit func(v float64, labelValues ...string)) {
+			st := s.policy.Current().Status()
+			if !st.Enabled {
+				return
+			}
+			emit(float64(st.PrefixRules), "prefix")
+			emit(float64(st.OriginRules), "origin")
+			emit(float64(st.PeerlockRules), "peerlock")
+			emit(float64(st.NoTransitASes), "peerlock_lite")
+		})
 	r.GaugeFunc("peering_server_clients",
 		"Clients currently connected.",
 		func() float64 { return float64(s.ClientCount()) })
@@ -168,6 +208,25 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 	return m
 }
 
+// countVerdict records one compiled-policy verdict on the right label
+// child.
+func (m *serverMetrics) countVerdict(v compiled.Verdict) {
+	if v.Accept {
+		m.policyAccepted.Inc()
+		return
+	}
+	m.policyRejected[v.Class].Inc()
+}
+
+// policyRejectedTotal sums rejects across rule classes (Stats).
+func (m *serverMetrics) policyRejectedTotal() uint64 {
+	var n uint64
+	for _, c := range m.policyRejected {
+		n += c.Value()
+	}
+	return n
+}
+
 // observeConvergence closes the convergence measurement for adverts in
 // sent that are still pending their first successful transmission to
 // upstream u: the elapsed time since the client's announcement was
@@ -207,6 +266,8 @@ func (s *Server) Stats() Stats {
 		OriginBlocked:          m.originBlocked.Value(),
 		FlapsSuppressed:        m.flapsSuppressed.Value(),
 		SpoofsBlocked:          m.spoofsBlocked.Value(),
+		PolicyAccepted:         m.policyAccepted.Value(),
+		PolicyRejected:         m.policyRejectedTotal(),
 		ReconnectAttempts:      m.bgp.Reconnects.Value(),
 		SessionRecoveries:      m.bgp.Recoveries.Value(),
 		StaleRoutesRetained:    m.staleRetained.Value(),

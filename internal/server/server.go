@@ -39,6 +39,7 @@ import (
 	"peering/internal/dataplane"
 	"peering/internal/mrt"
 	"peering/internal/muxproto"
+	"peering/internal/policy/compiled"
 	"peering/internal/rib"
 	"peering/internal/router"
 	"peering/internal/telemetry"
@@ -92,6 +93,11 @@ type Config struct {
 	// Because family names are fixed, two Servers must not share one
 	// registry.
 	Metrics *telemetry.Registry
+	// Policy is an optional initial safety rule set (prefix ownership,
+	// ROA origins, Peerlock), compiled and installed before any session
+	// comes up. Nil starts the server unfiltered; LoadPolicy installs
+	// or replaces rules at runtime.
+	Policy *compiled.RuleSet
 }
 
 // DefaultRestartWindow is used when Config.RestartWindow is zero.
@@ -129,6 +135,11 @@ type Stats struct {
 	FlapsSuppressed uint64
 	// SpoofsBlocked counts client packets with forbidden sources.
 	SpoofsBlocked uint64
+	// PolicyAccepted / PolicyRejected count compiled safety-filter
+	// verdicts (both directions; rejects are summed across rule
+	// classes — the per-class split is on /metrics).
+	PolicyAccepted uint64
+	PolicyRejected uint64
 	// ReconnectAttempts counts supervised session redials.
 	ReconnectAttempts uint64
 	// SessionRecoveries counts sessions re-established after a failure.
@@ -372,6 +383,11 @@ type Server struct {
 	// worker pool that owns all Adj-RIB-In mutation (see ingest.go).
 	shards int
 	ingest *ingestPool
+	// policy holds the compiled safety filter (prefix ownership, ROA
+	// origin validation, Peerlock) behind an atomic pointer. Ingest
+	// workers and the client vetting path load it lock-free; LoadPolicy
+	// swaps it. Nil current filter = unfiltered.
+	policy compiled.Engine
 
 	upMu      sync.RWMutex
 	upstreams map[uint32]*Upstream
@@ -436,7 +452,33 @@ func New(cfg Config) *Server {
 	s.ingest = newIngestPool(s, s.shards)
 	s.metrics = newServerMetrics(reg, s)
 	s.damper.Instrument(reg)
+	if cfg.Policy != nil {
+		s.LoadPolicy(cfg.Policy)
+	}
 	return s
+}
+
+// LoadPolicy compiles rs and atomically installs it as the server's
+// safety filter: upstream routes are vetted pre-RIB in the ingest
+// workers, client announcements in vetAnnouncement. Every in-flight
+// update sees either the old filter or the new one, never a mixture —
+// the ingest worker loads the filter pointer once per operation. A nil
+// rs uninstalls filtering. Reloads apply to traffic from this moment
+// on: routes already accepted into an Adj-RIB-In under the old rules
+// stay until their peer updates them (bounce the session or replay the
+// archive to re-vet a full table).
+func (s *Server) LoadPolicy(rs *compiled.RuleSet) *compiled.Filter {
+	f := s.policy.Load(rs)
+	if f != nil {
+		s.metrics.policyCompileSeconds.Set(f.Status().CompileSeconds)
+	}
+	return f
+}
+
+// PolicyStatus reports the active filter's shape (Enabled false when
+// the server runs unfiltered) — the body of GET /policy.
+func (s *Server) PolicyStatus() compiled.Status {
+	return s.policy.Current().Status()
 }
 
 // ASN returns the testbed AS number.
@@ -1239,6 +1281,20 @@ func (s *Server) handleClientUpdateBIRD(c *clientConn, upd *wire.Update) {
 // vetAnnouncement applies the §3 safety filters to one client NLRI and
 // returns the transformed attributes to relay.
 func (s *Server) vetAnnouncement(c *clientConn, u *Upstream, p netip.Prefix, attrs *wire.Attrs) (bool, *wire.Attrs) {
+	// 0. Compiled AS-path policy (Peerlock / Peerlock-lite): a client is
+	// never a transit neighbor, so a path carrying a protected AS is a
+	// provider-route leak whatever the prefix says. This runs before
+	// the allocation check so a classic leak — provider prefix AND
+	// provider path — is counted as the leak it is, not as a hijack.
+	// (Prefix ownership for clients is the allocation check below; the
+	// operator rule file's prefix/ROA tables guard the upstream side.)
+	if f := s.policy.Current(); f != nil {
+		v := f.VerdictPath(attrs, compiled.Peer{AS: attrs.FirstAS()})
+		s.metrics.countVerdict(v)
+		if !v.Accept {
+			return false, nil
+		}
+	}
 	// 1. Prefix ownership: no hijacks, no leaks of non-testbed space.
 	if !s.allocatedTo(c.account.ID, p) {
 		s.metrics.hijacksBlocked.Inc()

@@ -248,6 +248,33 @@ func (t *Trie[V]) LookupPrefix(p netip.Prefix) (netip.Prefix, V, bool) {
 	return bestP, bestV, found
 }
 
+// Supernets visits every stored prefix that covers all of p — p's
+// exact entry included, if stored — from the least specific (shortest
+// mask) to the most specific. The callback returns false to stop
+// early. This is the dual of CoveredBy and the primitive behind
+// compiled prefix filters and origin (ROA) validation, where a match
+// may live at any covering aggregate, not just the longest one that
+// LookupPrefix reports.
+func (t *Trie[V]) Supernets(p netip.Prefix, fn func(netip.Prefix, V) bool) {
+	if !p.IsValid() {
+		return
+	}
+	p = canon(p)
+	n := t.rootFor(p)
+	for n != nil {
+		if !n.prefix.Contains(p.Addr()) || n.prefix.Bits() > p.Bits() {
+			return
+		}
+		if n.hasValue && !fn(n.prefix, n.value) {
+			return
+		}
+		if n.prefix.Bits() == p.Bits() {
+			return
+		}
+		n = n.children[bitAt(p.Addr(), n.prefix.Bits())]
+	}
+}
+
 // Walk visits every stored prefix in lexicographic (trie) order. The
 // callback returns false to stop early. Walk visits IPv4 before IPv6.
 func (t *Trie[V]) Walk(fn func(netip.Prefix, V) bool) {

@@ -166,6 +166,56 @@ func TestCoveredBy(t *testing.T) {
 	}
 }
 
+func TestSupernets(t *testing.T) {
+	tr := New[int]()
+	for i, s := range []string{
+		"0.0.0.0/0", "100.64.0.0/10", "100.64.0.0/19", "100.64.0.0/24", "100.64.5.0/24", "8.8.8.0/24",
+	} {
+		tr.Insert(mustPrefix(s), i)
+	}
+	var got []string
+	tr.Supernets(mustPrefix("100.64.0.0/24"), func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	// Shortest-to-longest, exact entry included, siblings excluded.
+	want := []string{"0.0.0.0/0", "100.64.0.0/10", "100.64.0.0/19", "100.64.0.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("Supernets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Supernets[%d] = %s, want %s (order must be shortest first)", i, got[i], want[i])
+		}
+	}
+	// A prefix only partially covered by a stored entry matches the
+	// covering aggregates but not the narrower entry.
+	got = got[:0]
+	tr.Supernets(mustPrefix("100.64.0.0/12"), func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 2 || got[0] != "0.0.0.0/0" || got[1] != "100.64.0.0/10" {
+		t.Fatalf("Supernets(/12) = %v, want [0.0.0.0/0 100.64.0.0/10]", got)
+	}
+	// Early stop.
+	n := 0
+	tr.Supernets(mustPrefix("100.64.0.0/24"), func(netip.Prefix, int) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early-stop visited %d entries, want 1", n)
+	}
+	// The walk must not allocate: compiled filters run it per verdict.
+	target := mustPrefix("100.64.5.0/24")
+	if a := testing.AllocsPerRun(200, func() {
+		tr.Supernets(target, func(netip.Prefix, int) bool { return true })
+	}); a != 0 {
+		t.Fatalf("Supernets allocates %v per run, want 0", a)
+	}
+}
+
 func TestIPv6Separation(t *testing.T) {
 	tr := New[string]()
 	tr.Insert(mustPrefix("2001:db8::/32"), "v6")

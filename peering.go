@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"peering/internal/mrt"
 	"peering/internal/muxproto"
 	"peering/internal/policy"
+	"peering/internal/policy/compiled"
 	"peering/internal/portal"
 	"peering/internal/router"
 	"peering/internal/server"
@@ -88,6 +91,13 @@ type Config struct {
 	// ingest workers, and per-client fan-out queues (rounded up to a
 	// power of two; 0 sizes from GOMAXPROCS). See DESIGN.md §12.
 	Shards int
+	// PolicyFile, when set, loads a safety-filter rule file (prefix
+	// ownership, ROA origin validation, Peerlock — see DESIGN.md §13
+	// and the compiled package) and installs the compiled filter before
+	// any upstream session attaches, so the very first UPDATE is
+	// already vetted. The rules stay reloadable at runtime through
+	// POST /policy/reload (`peeringctl policy reload`).
+	PolicyFile string
 }
 
 // liveSpec returns the default compact Internet for live operation.
@@ -184,6 +194,18 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	// still stopping runaway flappers.
 	damp := dampen.DefaultConfig()
 	damp.SuppressThreshold = 6000
+	var rules *compiled.RuleSet
+	if cfg.PolicyFile != "" {
+		rf, err := os.Open(cfg.PolicyFile)
+		if err != nil {
+			return nil, fmt.Errorf("peering: policy file: %w", err)
+		}
+		rules, err = compiled.ParseRules(rf)
+		rf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("peering: policy file %s: %w", cfg.PolicyFile, err)
+		}
+	}
 	tb.Server = server.New(server.Config{
 		Site:      "amsterdam01",
 		ASN:       cfg.ASN,
@@ -191,6 +213,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		Mode:      cfg.Mode,
 		Dampening: damp,
 		Shards:    cfg.Shards,
+		Policy:    rules,
 	})
 	member, rsConn := tb.Fabric.JoinExternal(cfg.ASN, tb.Server.DP())
 	tb.ServerMember = member
@@ -404,6 +427,19 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 				return nil, err
 			}
 			return map[string]string{"sealed": sealed, "snapshot": snapshot}, nil
+		})
+	// Safety-filter status and live reload, for `peeringctl policy`.
+	// The reload path parses first and swaps only on success, so a bad
+	// rule file never disturbs the running filter.
+	p.SetPolicySource(
+		func() any { return tb.Server.PolicyStatus() },
+		func(text string) (any, error) {
+			rs, err := compiled.ParseRules(strings.NewReader(text))
+			if err != nil {
+				return nil, err
+			}
+			tb.Server.LoadPolicy(rs)
+			return tb.Server.PolicyStatus(), nil
 		})
 	tb.Portal = p
 	return tb, nil
