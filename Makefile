@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race chaos bench bench-fulltable bench-policy fuzz-smoke check docs
+.PHONY: all build vet staticcheck test race chaos bench bench-fulltable bench-policy bench-federation fuzz-smoke check docs
 
 all: check
 
@@ -31,15 +31,18 @@ race:
 # The orchestrated chaos suite (DESIGN.md §8): a 1-upstream × 8-client
 # mux under malformed floods, quota breaches, slow-client stalls, and
 # kill/warm-restart cycles — deterministic on the virtual clock, so
-# -race and -count=2 cost seconds, not flake.
+# -race and -count=2 cost seconds, not flake. The federation scenarios
+# (DESIGN.md §14) add backhaul partitions and remote-peering L2 flaps
+# across a three-mux mesh.
 chaos:
 	$(GO) test ./internal/server/ -race -run '^TestChaos' -count=2 -v
+	$(GO) test ./internal/federation/ -race -run '^TestChaos' -count=2 -v
 
 # Fan-out pipeline benchmarks. The acceptance tests measure UPDATE
 # messages spent relaying a 1000-route table to 8 clients
 # (BENCH_fanout.json) and the allocation cost of the same scenario
 # (BENCH_hotpath.json, with the committed pre-PR baseline alongside).
-bench: bench-fulltable bench-policy
+bench: bench-fulltable bench-policy bench-federation
 	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
 	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test ./internal/server/ -run TestRelayHotPathAllocs -count=1 -v
 	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
@@ -61,6 +64,14 @@ bench-fulltable:
 bench-policy:
 	BENCH_POLICY_JSON=$(CURDIR)/BENCH_policy.json $(GO) test ./internal/policy/compiled/ -run TestPolicyBenchmark -count=1 -v
 
+# The federation benchmark (DESIGN.md §14): three muxes (one on remote
+# peering) and 16 count-only clients at amsterdam converging on both
+# remote sites' tables over the backhaul. BENCH_federation.json records
+# cross-mux convergence time, relay rate into the fleet, and backhaul
+# bytes per route crossing.
+bench-federation:
+	BENCH_FEDERATION_JSON=$(CURDIR)/BENCH_federation.json $(GO) test ./internal/federation/ -run TestFederationBenchmark -count=1 -v
+
 # Short coverage-guided fuzz runs over the wire-format decoders and the
 # attribute-equality invariant that interning rests on (Equal(a,b) ⟺
 # identical canonical encoding). Go runs one fuzz target per
@@ -72,6 +83,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzParseMessage$$' -fuzztime 10s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzAttrsEqual$$' -fuzztime 10s
 	$(GO) test ./internal/policy/compiled/ -run '^$$' -fuzz '^FuzzVerdict$$' -fuzztime 10s
+	$(GO) test ./internal/tunnel/ -run '^$$' -fuzz '^FuzzTunnelFrame$$' -fuzztime 10s
 
 # Documentation gate: vet plus a check that every internal package (and
 # the root module) carries a package comment — godoc is part of the

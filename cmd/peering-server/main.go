@@ -25,6 +25,7 @@ func main() {
 	warmRestart := flag.Bool("warm-restart", false, "rebuild the server's Adj-RIB-Ins from -server-archive before sessions come up")
 	shards := flag.Int("shards", 0, "prefix-hash shards for the server's RIBs, ingest workers, and fan-out queues (0 = size from GOMAXPROCS)")
 	policyFile := flag.String("policy", "", "safety-filter rule file (prefix ownership, ROAs, Peerlock) compiled into the ingest path; reloadable via POST /policy/reload")
+	federate := flag.Bool("federate", false, "run a federated deployment: add phoenix01 (colocated) and seattle01 (remote peering) muxes meshed with amsterdam01 over backhaul tunnels")
 	flag.Parse()
 
 	var m peering.Mode
@@ -45,7 +46,7 @@ func main() {
 	tb, err := peering.NewTestbed(peering.Config{
 		Mode: m, BilateralPeers: *bilateral, ArchiveDir: *archiveDir,
 		ServerArchiveDir: *serverArchiveDir, WarmRestart: *warmRestart,
-		Shards: *shards, PolicyFile: *policyFile,
+		Shards: *shards, PolicyFile: *policyFile, Federate: *federate,
 	})
 	if err != nil {
 		log.Fatalf("testbed: %v", err)
@@ -73,6 +74,17 @@ func main() {
 	if tb.WarmRestore != nil {
 		log.Printf("  warm restart:  %d routes restored (snapshot %q + %d tail updates)",
 			tb.WarmRestore.Restored, tb.WarmRestore.Snapshot, tb.WarmRestore.TailUpdates)
+	}
+	if tb.Federation != nil {
+		st := tb.Federation.Status()
+		log.Printf("  federation:    %d muxes, %d backhaul links (GET /federation)", len(st.Members), len(st.Links))
+		for _, m := range st.Members {
+			attach := m.Attachment
+			if m.Provider != "" {
+				attach += " via " + m.Provider
+			}
+			log.Printf("    %-12s %s, metro tag %s, %d mirrored peers", m.Name, attach, m.MetroCommunity, len(m.MirroredUpstreams))
+		}
 	}
 	if *pprofOn {
 		tb.Portal.EnablePprof()

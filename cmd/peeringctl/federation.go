@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"peering/internal/federation"
+)
+
+// stdout is swapped by tests to capture rendered tables.
+var stdout io.Writer = os.Stdout
+
+// fetchFederation decodes GET /federation. A standalone server (no
+// -federate) answers 404 with an explanatory message, which surfaces
+// verbatim as the error.
+func (c *ctl) fetchFederation() (*federation.Status, error) {
+	resp, err := http.Get(c.base + "/federation")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st federation.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// sites renders one row per mux: how the site attaches to its exchange,
+// peer visibility (real and mirrored), and the health of its backhauls.
+func (c *ctl) sites() error {
+	st, err := c.fetchFederation()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SITE\tATTACHMENT\tMETRO\tPEERS\tMIRRORED\tROUTES\tBACKHAULS")
+	for _, m := range st.Members {
+		attach := m.Attachment
+		if m.Provider != "" {
+			attach += " via " + m.Provider
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s (%s)\t%s\t%s\t%d\t%s\n",
+			m.Name, attach, m.Metro, m.MetroCommunity,
+			estabOf(m.LocalUpstreams), estabOf(m.MirroredUpstreams),
+			routesOf(m.LocalUpstreams)+routesOf(m.MirroredUpstreams),
+			backhaulsOf(st, m.Name))
+	}
+	return w.Flush()
+}
+
+// estabOf summarizes a peer list as established/total.
+func estabOf(ups []federation.UpstreamStatus) string {
+	up := 0
+	for _, u := range ups {
+		if u.Established {
+			up++
+		}
+	}
+	return fmt.Sprintf("%d/%d up", up, len(ups))
+}
+
+func routesOf(ups []federation.UpstreamStatus) int {
+	n := 0
+	for _, u := range ups {
+		n += u.Routes
+	}
+	return n
+}
+
+// backhaulsOf summarizes the health of every link touching a site.
+func backhaulsOf(st *federation.Status, site string) string {
+	var parts []string
+	for _, l := range st.Links {
+		var other string
+		switch site {
+		case l.A:
+			other = l.B
+		case l.B:
+			other = l.A
+		default:
+			continue
+		}
+		health := "up"
+		switch {
+		case l.Partitioned:
+			health = "PARTITIONED"
+		case l.Flapping:
+			health = "flapping"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", other, health))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// federationCmd renders the full mesh snapshot: every member with its
+// peer table, then the backhaul links with their model and counters.
+func (c *ctl) federationCmd() error {
+	st, err := c.fetchFederation()
+	if err != nil {
+		return err
+	}
+	for _, m := range st.Members {
+		attach := m.Attachment
+		if m.Provider != "" {
+			attach += " via " + m.Provider
+		}
+		fmt.Fprintf(stdout, "%s  metro=%s tag=%s attachment=%s agent-sessions=%d\n",
+			m.Name, m.Metro, m.MetroCommunity, attach, m.AgentSessions)
+		w := tabwriter.NewWriter(stdout, 0, 4, 2, ' ', 0)
+		for _, u := range m.LocalUpstreams {
+			fmt.Fprintf(w, "  up%d\t%s\tAS%d\t%s\t%s\t%d routes\n",
+				u.ID, u.Name, u.ASN, kindOf(u), stateOf(u), u.Routes)
+		}
+		for _, u := range m.MirroredUpstreams {
+			fmt.Fprintf(w, "  up%d\t%s\tAS%d\t%s\t%s\t%d routes\n",
+				u.ID, u.Name, u.ASN, "mirror@"+u.Via, stateOf(u), u.Routes)
+		}
+		w.Flush()
+	}
+	fmt.Fprintln(stdout, "\nbackhaul links:")
+	w := tabwriter.NewWriter(stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  LINK\tKIND\tRTT\tCAPACITY\tSTATE\tFLAPS\tBYTES A->B\tBYTES B->A")
+	for _, l := range st.Links {
+		state := "up"
+		switch {
+		case l.Partitioned:
+			state = "PARTITIONED"
+		case l.Flapping:
+			state = "flapping"
+		}
+		fmt.Fprintf(w, "  %s--%s\t%s\t%.1fms\t%d Mbps\t%s\t%d\t%d\t%d\n",
+			l.A, l.B, l.Kind, l.RTTMillis, l.CapacityMbps, state, l.Flaps,
+			l.BytesFromA, l.BytesFromB)
+	}
+	return w.Flush()
+}
+
+func kindOf(u federation.UpstreamStatus) string {
+	if u.Transit {
+		return "transit"
+	}
+	return "peer"
+}
+
+func stateOf(u federation.UpstreamStatus) string {
+	if u.Established {
+		return "established"
+	}
+	return "down"
+}

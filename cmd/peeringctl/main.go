@@ -15,6 +15,8 @@
 //	peeringctl [-portal URL] pool
 //	peeringctl [-portal URL] stats    [-watch interval]
 //	peeringctl [-portal URL] metrics  [-watch interval]
+//	peeringctl [-portal URL] sites
+//	peeringctl [-portal URL] federation
 //	peeringctl [-portal URL] archive
 //	peeringctl [-portal URL] dump
 //	peeringctl [-portal URL] policy [reload <rules.txt>]
@@ -24,6 +26,12 @@
 // stats renders the portal's JSON counter snapshot; metrics scrapes
 // GET /metrics (the same instruments in Prometheus text format,
 // including histograms and per-label series) and pretty-prints it.
+//
+// sites summarizes each federated mux in one row — attachment kind,
+// peer counts, backhaul health; federation dumps the whole mesh:
+// every member's peer table (real and mirrored upstreams) plus the
+// backhaul links' model and byte counters. Both read GET /federation;
+// a server running without -federate answers 404.
 //
 // archive shows the collector's MRT archive status; dump seals the
 // current segment and writes a RIB snapshot beside it. policy shows
@@ -114,6 +122,10 @@ func main() {
 			time.Sleep(*watch)
 			err = c.metrics()
 		}
+	case "sites":
+		err = c.sites()
+	case "federation":
+		err = c.federationCmd()
 	case "archive":
 		err = c.get("/archive")
 	case "dump":
@@ -257,6 +269,8 @@ commands:
   pool
   stats   [-watch 2s]
   metrics [-watch 2s]
+  sites
+  federation
   archive
   dump
   policy [reload <rules.txt>]

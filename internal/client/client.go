@@ -84,6 +84,11 @@ type Client struct {
 	views     map[uint32]*rib.AdjRIB  // upstream ID → received routes
 	counts    map[uint32]int          // upstream ID → NLRI tally (CountOnly)
 	announced map[netip.Prefix]AnnounceOptions
+	// relayed tracks verbatim announcements forwarded through Relay,
+	// per upstream, so session re-establishment replays them alongside
+	// the announced set (the federation agent's forwarded routes must
+	// survive a session blip just like a researcher's own).
+	relayed map[uint32]map[netip.Prefix]*wire.Attrs
 	onRoute   func(upstreamID uint32, upd *wire.Update)
 	onPacket  func(*dataplane.Packet)
 	// estNotify is poked whenever a session establishes, waking
@@ -110,6 +115,7 @@ func Connect(cfg Config, conn net.Conn) (*Client, error) {
 		views:     make(map[uint32]*rib.AdjRIB),
 		counts:    make(map[uint32]int),
 		announced: make(map[netip.Prefix]AnnounceOptions),
+		relayed:   make(map[uint32]map[netip.Prefix]*wire.Attrs),
 		estNotify: make(chan struct{}, 1),
 	}
 	if err := c.attach(conn); err != nil {
@@ -306,6 +312,20 @@ func (c *Client) replayAnnounced(sess *bgp.Session, upstreamID uint32, bird bool
 	for p, opts := range c.announced {
 		anns = append(anns, ann{p: p, opts: opts})
 	}
+	type rly struct {
+		id    uint32
+		p     netip.Prefix
+		attrs *wire.Attrs
+	}
+	var rlys []rly
+	for id, m := range c.relayed {
+		if !bird && id != upstreamID {
+			continue
+		}
+		for p, attrs := range m {
+			rlys = append(rlys, rly{id: id, p: p, attrs: attrs})
+		}
+	}
 	c.mu.Unlock()
 	for _, a := range anns {
 		ids := c.selectedUpstreams(a.opts)
@@ -324,6 +344,13 @@ func (c *Client) replayAnnounced(sess *bgp.Session, upstreamID uint32, bird bool
 				break
 			}
 		}
+	}
+	for _, r := range rlys {
+		u := &wire.Update{Attrs: r.attrs, Reach: []wire.NLRI{{Prefix: r.p}}}
+		if bird {
+			u.Reach[0].ID = wire.PathID(r.id)
+		}
+		sess.Send(u)
 	}
 }
 
@@ -640,6 +667,55 @@ func (c *Client) Withdraw(p netip.Prefix, upstreams []uint32) error {
 		}
 	}
 	return nil
+}
+
+// Relay forwards a pre-built UPDATE verbatim to one upstream: the
+// attributes are sent exactly as given (no ASN prepend, no LIFEGUARD
+// sandwich — buildAttrs is bypassed entirely). This is the federation
+// agent's conduit: an announcement vetted and transformed at a remote
+// mux must cross this mux attribute-for-attribute intact, with only
+// the server-side vetting (which is idempotent on an already-vetted
+// path) applied again. Reach and Withdrawn prefixes are tracked per
+// upstream so a session re-establishment replays them; end-of-RIB
+// markers are passed through untracked.
+func (c *Client) Relay(upstreamID uint32, upd *wire.Update) error {
+	c.mu.Lock()
+	if !upd.IsEndOfRIB() {
+		m := c.relayed[upstreamID]
+		if m == nil {
+			m = make(map[netip.Prefix]*wire.Attrs)
+			c.relayed[upstreamID] = m
+		}
+		for _, n := range upd.Withdrawn {
+			delete(m, n.Prefix)
+		}
+		if upd.Attrs != nil {
+			for _, n := range upd.Reach {
+				m[n.Prefix] = upd.Attrs
+			}
+		}
+	}
+	bird := c.prov != nil && c.prov.Mode == muxproto.ModeBIRD
+	key := upstreamID
+	if bird {
+		key = 0
+	}
+	sess := c.sessions[key]
+	c.mu.Unlock()
+	if sess == nil {
+		return fmt.Errorf("client: no session toward upstream %d", upstreamID)
+	}
+	if !bird {
+		return sess.Send(upd)
+	}
+	out := &wire.Update{Attrs: upd.Attrs, Refresh: upd.Refresh}
+	for _, n := range upd.Withdrawn {
+		out.Withdrawn = append(out.Withdrawn, wire.NLRI{Prefix: n.Prefix, ID: wire.PathID(upstreamID)})
+	}
+	for _, n := range upd.Reach {
+		out.Reach = append(out.Reach, wire.NLRI{Prefix: n.Prefix, ID: wire.PathID(upstreamID)})
+	}
+	return sess.Send(out)
 }
 
 // SendPacket transmits a data-plane packet to the Internet through the

@@ -39,6 +39,11 @@ type Stats struct {
 type Conn struct {
 	inner net.Conn
 	clk   clock.Clock
+	// done is closed on Close/Reset so writers parked in an injected
+	// latency delay wake immediately instead of waiting out the clock —
+	// on a virtual clock nobody may ever advance again after shutdown.
+	done      chan struct{}
+	closeOnce sync.Once
 
 	mu          sync.Mutex
 	partitioned bool
@@ -58,7 +63,7 @@ func Wrap(conn net.Conn, clk clock.Clock) *Conn {
 	if clk == nil {
 		clk = clock.System
 	}
-	return &Conn{inner: conn, clk: clk, dropAfter: -1}
+	return &Conn{inner: conn, clk: clk, done: make(chan struct{}), dropAfter: -1}
 }
 
 // Pipe returns a connected in-memory pair with fault injection on both
@@ -156,6 +161,7 @@ func (c *Conn) Reset() {
 		c.stalled = nil
 	}
 	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.done) })
 	c.inner.Close()
 }
 
@@ -223,7 +229,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 	latency := c.latency
 	c.mu.Unlock()
 	if latency > 0 {
-		c.clk.Sleep(latency)
+		select {
+		case <-c.clk.After(latency):
+		case <-c.done:
+			return 0, net.ErrClosed
+		}
 	}
 	n, err := c.inner.Write(p)
 	c.mu.Lock()
@@ -232,8 +242,12 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Close implements net.Conn.
-func (c *Conn) Close() error { return c.inner.Close() }
+// Close implements net.Conn. Writers parked in an injected latency
+// delay are released with an error.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.inner.Close()
+}
 
 // LocalAddr implements net.Conn.
 func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }

@@ -1,0 +1,443 @@
+// Package federation connects multiple PEERING muxes into one testbed
+// (§3, "nine servers on three continents"): every server keeps vetting
+// its own clients and speaking eBGP to the peers at its exchange, while
+// an iBGP-style inter-mux exchange over backhaul tunnels lets a client
+// attached to ONE mux announce to and hear from the upstream peers at
+// EVERY mux.
+//
+// Topology: a full mesh of point-to-point backhaul links, one per
+// member pair, each carrying a tunnel.Mux. For each real upstream peer
+// u at member Y, every other member X registers a mirrored "federated
+// upstream" (server.UpstreamConfig.FedVia = Y) whose session runs over
+// the X–Y link and terminates at Y's federation agent. The agent is
+// simultaneously an ordinary client of its own server (with a
+// Federated account), which is what makes both directions exact:
+//
+//   - import (routes): Y's agent hears every route Y's peers export —
+//     verbatim, like any client — tags it with Y's metro community, and
+//     forwards it over the backhaul; X's import hook strips the tag
+//     before the route is archived or interned, so X's clients see
+//     attrs identical to what a client at Y sees.
+//   - export (announcements): X vets a client announcement once (the
+//     normal pipeline), sends the vetted attrs over the backhaul, and
+//     Y's agent relays them verbatim into Y's server, whose own vetting
+//     is idempotent on an already-vetted path. The announcement leaves
+//     Y's peering exactly as if the client had been attached at Y.
+//
+// Loops cannot form: an agent only exports routes learned from its own
+// mux's real upstreams (split horizon over FedVia), and as defense in
+// depth every member's compiled policy carries a metro rule that
+// rejects, pre-RIB, any route arriving back with the member's own
+// metro tag.
+//
+// Metro locality: members in the same metro are assumed to share fabric
+// locally, so route export between them is suppressed (counted on
+// peering_federation_suppressed_total) — same-metro routes never cross
+// the backhaul. Client announcements are NOT suppressed: steering an
+// announcement at a same-metro mux's peer is still meaningful.
+package federation
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"peering/internal/clock"
+	"peering/internal/ixp"
+	"peering/internal/policy/compiled"
+	"peering/internal/server"
+	"peering/internal/telemetry"
+	"peering/internal/wire"
+)
+
+// AgentAccountID is the client account every mesh member registers for
+// its own federation agent.
+const AgentAccountID = "federation"
+
+// Backhaul stream numbering on a link's tunnel.Mux. The two directions
+// dial from disjoint bases so both sides can open sessions for the same
+// remote upstream ID without colliding: the lexicographically lower
+// member dials streamBaseLow+uid, the higher dials streamBaseHigh+uid.
+const (
+	streamBaseLow  uint32 = 0x1000
+	streamBaseHigh uint32 = 0x2000
+	// maxFedUpstreams bounds upstream IDs carried per direction (the
+	// width of each stream band).
+	maxFedUpstreams uint32 = 0x1000
+)
+
+// fedIDBase returns the upstream-ID base member X uses for upstreams
+// mirrored from the member at index j: real (local) upstream IDs stay
+// small, mirrored ones live in per-member banks of 256.
+func fedIDBase(j int) uint32 { return uint32(j+1) << 8 }
+
+// DefaultFlapDuration is how long a remote-peering L2 flap lasts when
+// Config.FlapDuration is zero. Flaps stall the link (frames are
+// delayed, not lost — the transport under a real virtual L2 retransmits
+// across a brief outage), so established sessions ride them out.
+const DefaultFlapDuration = 2 * time.Second
+
+// defaultMetroCommunityBase is the low half of the first metro
+// community; metro i (in sorted order) tags with ASN:base+i.
+const defaultMetroCommunityBase uint16 = 100
+
+// Member is one mux joining the mesh.
+type Member struct {
+	// Server is the member's mux. Its real upstream peers must be
+	// registered (AddUpstream) before New; upstreams added later are
+	// not federated.
+	Server *server.Server
+	// Metro names the member's metro area for same-metro suppression.
+	// Empty defaults to the server's site name (every member its own
+	// metro — nothing suppressed).
+	Metro string
+	// RouterID identifies the member's federation agent (its client
+	// sessions and the passive backhaul sessions it terminates).
+	RouterID netip.Addr
+	// Site is the member's attachment model: SiteRemote links inherit
+	// remote-peering backhaul semantics — inflated latency and periodic
+	// L2 flaps (see ixp.Site.Backhaul).
+	Site ixp.Site
+	// Rules is the rule set the server's policy was built from, if any.
+	// The mesh merges the member's metro rule into it and reinstalls
+	// the result via LoadPolicy (LoadPolicy replaces, so handing the
+	// mesh a different set than the server runs would drop rules).
+	Rules *compiled.RuleSet
+}
+
+// Config parameterizes a mesh.
+type Config struct {
+	// Members are the muxes to federate (at least two, distinct sites).
+	Members []Member
+	// Allocation is the announce authority granted to every federation
+	// agent — the testbed supernet(s) that contain all client
+	// allocations. Checked by containment (ClientAccount.Federated),
+	// never claimed exclusively.
+	Allocation []netip.Prefix
+	// Clock drives backhaul latency, flap timers, and convergence
+	// stamps (nil = system). Chaos tests inject a virtual clock here to
+	// make remote-link behavior deterministic.
+	Clock clock.Clock
+	// Metrics receives the peering_federation_* family (nil = a private
+	// registry). Safe to share with ONE server's registry (family names
+	// are disjoint from the server families).
+	Metrics *telemetry.Registry
+	// FlapDuration is how long a remote link's periodic L2 flap stalls
+	// the link (0 = DefaultFlapDuration).
+	FlapDuration time.Duration
+}
+
+// Mesh is a running federation of muxes.
+type Mesh struct {
+	cfg     Config
+	clk     clock.Clock
+	asn     uint32
+	members []*member
+	links   []*Link
+	metrics *meshMetrics
+
+	// metroTag maps metro name → community; tagMetro is the inverse.
+	metroTag map[string]wire.Community
+	tagMetro map[wire.Community]string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// member is one mux's mesh-side state.
+type member struct {
+	mesh *Mesh
+	idx  int
+	cfg  Member
+	name string
+	tag  wire.Community
+	// localUp indexes the member's real upstream peers (the ones
+	// mirrored at every other member).
+	localUp map[uint32]server.UpstreamConfig
+	// feds are the mirrored upstreams registered at THIS member.
+	feds []*fedUpstream
+	// links maps peer member index → the shared link.
+	links map[int]*Link
+	// backhaulAddr is the placeholder NEXT_HOP on announcements leaving
+	// this member toward a federated upstream (the serving mux rewrites
+	// it to the real peering address).
+	backhaulAddr netip.Addr
+	agent        *agent
+}
+
+// New wires the members into a full mesh and brings the federation up:
+// metro communities assigned and compiled into each member's policy,
+// backhaul links built, agents connected as federated clients, and
+// every mirrored upstream attached under a supervisor. Sessions
+// establish asynchronously; a client provisioned after New returns sees
+// the federated upstreams in its provisioning.
+func New(cfg Config) (*Mesh, error) {
+	if len(cfg.Members) < 2 {
+		return nil, fmt.Errorf("federation: need at least 2 members, have %d", len(cfg.Members))
+	}
+	if len(cfg.Allocation) == 0 {
+		return nil, fmt.Errorf("federation: Allocation must name the testbed supernet(s) agents may announce")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	if cfg.FlapDuration <= 0 {
+		cfg.FlapDuration = DefaultFlapDuration
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
+	m := &Mesh{
+		cfg:      cfg,
+		clk:      clk,
+		metroTag: make(map[string]wire.Community),
+		tagMetro: make(map[wire.Community]string),
+	}
+
+	seen := make(map[string]bool)
+	for i, mc := range cfg.Members {
+		if mc.Server == nil {
+			return nil, fmt.Errorf("federation: member %d has no server", i)
+		}
+		name := mc.Server.Site()
+		if seen[name] {
+			return nil, fmt.Errorf("federation: duplicate member site %q", name)
+		}
+		seen[name] = true
+		if !mc.RouterID.IsValid() {
+			return nil, fmt.Errorf("federation: member %s needs a RouterID", name)
+		}
+		if mc.Metro == "" {
+			mc.Metro = name
+		}
+		if m.asn == 0 {
+			m.asn = mc.Server.ASN()
+		} else if mc.Server.ASN() != m.asn {
+			return nil, fmt.Errorf("federation: member %s runs AS %d, mesh runs AS %d (one testbed ASN)",
+				name, mc.Server.ASN(), m.asn)
+		}
+		mem := &member{
+			mesh:         m,
+			idx:          i,
+			cfg:          mc,
+			name:         name,
+			localUp:      make(map[uint32]server.UpstreamConfig),
+			links:        make(map[int]*Link),
+			backhaulAddr: netip.AddrFrom4([4]byte{10, 254, 0, byte(i + 1)}),
+		}
+		for _, u := range mc.Server.Upstreams() {
+			ucfg := u.Config()
+			if ucfg.FedVia != "" {
+				continue
+			}
+			if ucfg.ID >= maxFedUpstreams {
+				return nil, fmt.Errorf("federation: member %s upstream %d exceeds the federable ID space (%d)",
+					name, ucfg.ID, maxFedUpstreams)
+			}
+			mem.localUp[ucfg.ID] = ucfg
+		}
+		m.members = append(m.members, mem)
+	}
+
+	m.assignMetroTags()
+	for _, mem := range m.members {
+		mem.tag = m.metroTag[mem.cfg.Metro]
+		mem.installMetroPolicy()
+	}
+
+	// Links before upstream registration: dial closures resolve through
+	// member.links.
+	for i := 0; i < len(m.members); i++ {
+		for j := i + 1; j < len(m.members); j++ {
+			l := m.newLink(m.members[i], m.members[j])
+			m.links = append(m.links, l)
+			m.members[i].links[j] = l
+			m.members[j].links[i] = l
+		}
+	}
+
+	// Mirror every member's real upstreams at every other member. The
+	// registration happens before the agents connect so agents (and any
+	// later client) are provisioned with the full federated peer list.
+	for _, x := range m.members {
+		for _, y := range m.members {
+			if x == y {
+				continue
+			}
+			for _, uid := range sortedIDs(y.localUp) {
+				ucfg := y.localUp[uid]
+				fu, err := x.addFedUpstream(y, ucfg)
+				if err != nil {
+					return nil, err
+				}
+				x.feds = append(x.feds, fu)
+			}
+		}
+	}
+
+	m.metrics = newMeshMetrics(reg, m)
+
+	// Agents: each member's server gets its federated client. Connect
+	// completes the provisioning handshake synchronously.
+	for _, mem := range m.members {
+		ag, err := newAgent(mem)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		mem.agent = ag
+	}
+
+	// Finally attach the mirrored upstreams: their sessions dial the
+	// backhaul and terminate at the (now listening) remote agents.
+	for _, mem := range m.members {
+		for _, fu := range mem.feds {
+			fu.attach()
+		}
+	}
+	return m, nil
+}
+
+// assignMetroTags gives every distinct metro a community, in sorted
+// order so the assignment is stable across restarts and muxes.
+func (m *Mesh) assignMetroTags() {
+	var metros []string
+	have := make(map[string]bool)
+	for _, mem := range m.members {
+		if !have[mem.cfg.Metro] {
+			have[mem.cfg.Metro] = true
+			metros = append(metros, mem.cfg.Metro)
+		}
+	}
+	sort.Strings(metros)
+	for i, name := range metros {
+		c := wire.MakeCommunity(uint16(m.asn), defaultMetroCommunityBase+uint16(i))
+		m.metroTag[name] = c
+		m.tagMetro[c] = name
+	}
+}
+
+// installMetroPolicy merges the member's own metro rule into its rule
+// set and reinstalls the compiled policy: a route arriving at this mux
+// already carrying the mux's own metro tag is a federation loop (or an
+// outside injection of our internal community) and is rejected pre-RIB.
+func (mem *member) installMetroPolicy() {
+	var rs compiled.RuleSet
+	if mem.cfg.Rules != nil {
+		rs = *mem.cfg.Rules
+	}
+	rule := compiled.MetroRule{Name: mem.cfg.Metro, Community: mem.tag}
+	rs.Metros = append(append([]compiled.MetroRule(nil), rs.Metros...), rule)
+	mem.cfg.Server.LoadPolicy(&rs)
+}
+
+// sortedIDs returns the map's keys ascending, so upstream registration
+// order (and therefore status listings) is deterministic.
+func sortedIDs(m map[uint32]server.UpstreamConfig) []uint32 {
+	ids := make([]uint32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Members reports the member sites in mesh order.
+func (m *Mesh) Members() []string {
+	out := make([]string, len(m.members))
+	for i, mem := range m.members {
+		out[i] = mem.name
+	}
+	return out
+}
+
+// MetroCommunity returns the community tagging routes that originate at
+// exchanges in the given metro (ok false for unknown metros).
+func (m *Mesh) MetroCommunity(metro string) (wire.Community, bool) {
+	c, ok := m.metroTag[metro]
+	return c, ok
+}
+
+// memberByName finds a member by site name.
+func (m *Mesh) memberByName(name string) *member {
+	for _, mem := range m.members {
+		if mem.name == name {
+			return mem
+		}
+	}
+	return nil
+}
+
+// linkBetween finds the link joining two member sites, in either order.
+func (m *Mesh) linkBetween(a, b string) (*Link, error) {
+	ma, mb := m.memberByName(a), m.memberByName(b)
+	if ma == nil || mb == nil || ma == mb {
+		return nil, fmt.Errorf("federation: no link between %q and %q", a, b)
+	}
+	return ma.links[mb.idx], nil
+}
+
+// PartitionLink cuts the backhaul between two member sites (both
+// directions): frames are silently dropped until HealLink. Sessions
+// riding the link die by hold timer and their routes are retained stale
+// on both sides, exactly like any transport loss.
+func (m *Mesh) PartitionLink(a, b string) error {
+	l, err := m.linkBetween(a, b)
+	if err != nil {
+		return err
+	}
+	l.partition()
+	m.metrics.partitions.Inc()
+	return nil
+}
+
+// HealLink restores a partitioned backhaul link. Supervised sessions
+// redial over it and replay their tables.
+func (m *Mesh) HealLink(a, b string) error {
+	l, err := m.linkBetween(a, b)
+	if err != nil {
+		return err
+	}
+	l.heal()
+	m.metrics.heals.Inc()
+	return nil
+}
+
+// Close stops flap timers, supervisors, agents, and backhaul links.
+// The member servers themselves stay up (the caller owns them).
+func (m *Mesh) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for _, l := range m.links {
+		l.stopFlapping()
+	}
+	// Links go down first: closing the transports releases any writer
+	// parked in an injected latency delay (on a virtual clock nobody
+	// advances past this point), so the supervisors' closing Cease
+	// writes fail fast instead of queuing behind a dead link.
+	for _, l := range m.links {
+		l.close()
+	}
+	for _, mem := range m.members {
+		for _, fu := range mem.feds {
+			if fu.sup != nil {
+				fu.sup.Stop()
+			}
+		}
+	}
+	for _, mem := range m.members {
+		if mem.agent != nil {
+			mem.agent.close()
+		}
+	}
+}

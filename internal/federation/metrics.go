@@ -1,0 +1,92 @@
+package federation
+
+import (
+	"peering/internal/telemetry"
+)
+
+// meshMetrics is the peering_federation_* family. Label conventions:
+// "site" is the mux holding the state, "via"/"from"/"to" name the
+// remote mux on the other end of the backhaul.
+type meshMetrics struct {
+	// exported counts route NLRIs an agent sent over the backhaul
+	// (from = serving mux, to = consuming mux).
+	exported *telemetry.CounterVec
+	// imported counts route NLRIs a member accepted off the backhaul
+	// (site = importing mux, via = serving mux).
+	imported *telemetry.CounterVec
+	// suppressed counts route NLRIs kept off the backhaul by the
+	// same-metro rule.
+	suppressed *telemetry.CounterVec
+	// announced counts client announcement NLRIs relayed across the
+	// backhaul toward a remote exchange (from = the client's mux, to =
+	// the mux whose peer hears the announcement).
+	announced *telemetry.CounterVec
+	// convergence is the dial→end-of-RIB latency of mirrored upstream
+	// sessions: how long a member takes to (re)converge on a remote
+	// mux's per-peer table.
+	convergence *telemetry.HistogramVec
+	partitions  *telemetry.Counter
+	heals       *telemetry.Counter
+	flaps       *telemetry.Counter
+}
+
+// convergenceBuckets spans in-memory test links (sub-ms) through
+// real-WAN full-table transfers.
+var convergenceBuckets = []float64{.001, .005, .025, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120}
+
+func newMeshMetrics(reg *telemetry.Registry, m *Mesh) *meshMetrics {
+	mm := &meshMetrics{
+		exported: reg.CounterVec("peering_federation_routes_exported_total",
+			"Route NLRIs exported over the backhaul, by serving and consuming mux.",
+			"from", "to"),
+		imported: reg.CounterVec("peering_federation_routes_imported_total",
+			"Route NLRIs imported off the backhaul, by importing mux and serving mux.",
+			"site", "via"),
+		suppressed: reg.CounterVec("peering_federation_suppressed_total",
+			"Route NLRIs kept off the backhaul by the same-metro suppression rule.",
+			"from", "to"),
+		announced: reg.CounterVec("peering_federation_announced_total",
+			"Client announcement NLRIs relayed across the backhaul.",
+			"from", "to"),
+		convergence: reg.HistogramVec("peering_federation_convergence_seconds",
+			"Backhaul dial to end-of-RIB latency of mirrored upstream sessions.",
+			convergenceBuckets, "site", "via"),
+		partitions: reg.Counter("peering_federation_partitions_total",
+			"Backhaul link partitions injected."),
+		heals: reg.Counter("peering_federation_heals_total",
+			"Backhaul link partitions healed."),
+		flaps: reg.Counter("peering_federation_link_flaps_total",
+			"Periodic remote-peering L2 flaps on backhaul links."),
+	}
+	reg.GaugeFunc("peering_federation_members",
+		"Muxes federated into this mesh.",
+		func() float64 { return float64(len(m.members)) })
+	reg.GaugeFunc("peering_federation_links",
+		"Backhaul links in the mesh (full mesh over members).",
+		func() float64 { return float64(len(m.links)) })
+	reg.GaugeVecFunc("peering_federation_routes",
+		"Routes currently held in mirrored upstream tables, by importing mux and serving mux.",
+		[]string{"site", "via"},
+		func(emit func(v float64, labelValues ...string)) {
+			totals := make(map[[2]string]int)
+			for _, mem := range m.members {
+				for _, fu := range mem.feds {
+					totals[[2]string{mem.name, fu.via.name}] += fu.u.RoutesIn()
+				}
+			}
+			for k, n := range totals {
+				emit(float64(n), k[0], k[1])
+			}
+		})
+	reg.GaugeVecFunc("peering_federation_backhaul_bytes_total",
+		"Bytes written onto the backhaul per link endpoint (monotonic).",
+		[]string{"link", "endpoint"},
+		func(emit func(v float64, labelValues ...string)) {
+			for _, l := range m.links {
+				name := l.a.name + "-" + l.b.name
+				emit(float64(l.ca.Stats().BytesWritten), name, l.a.name)
+				emit(float64(l.cb.Stats().BytesWritten), name, l.b.name)
+			}
+		})
+	return mm
+}

@@ -1,0 +1,127 @@
+package federation
+
+import (
+	"fmt"
+	"time"
+
+	"peering/internal/wire"
+)
+
+// Status is the federation view served at GET /federation and rendered
+// by `peeringctl federation` / `peeringctl sites`.
+type Status struct {
+	Members []MemberStatus `json:"members"`
+	Links   []LinkStatus   `json:"links"`
+}
+
+// MemberStatus describes one mux's attachment and peer visibility.
+type MemberStatus struct {
+	Name  string `json:"name"`
+	Metro string `json:"metro"`
+	// Attachment is the site model: "physical", "remote", or "transit".
+	Attachment string `json:"attachment"`
+	// Provider names the remote-peering provider for remote sites.
+	Provider string `json:"provider,omitempty"`
+	// MetroCommunity is the tag this member's exports carry ("47065:101").
+	MetroCommunity string `json:"metro_community"`
+	// AgentSessions counts the agent's established sessions toward its
+	// own mux (one per provisioned upstream in Quagga mode).
+	AgentSessions int `json:"agent_sessions"`
+	// LocalUpstreams are the member's real peers; MirroredUpstreams are
+	// the remote peers reachable here over the backhaul.
+	LocalUpstreams    []UpstreamStatus `json:"local_upstreams"`
+	MirroredUpstreams []UpstreamStatus `json:"mirrored_upstreams"`
+}
+
+// UpstreamStatus is one peer (real or mirrored) at a member.
+type UpstreamStatus struct {
+	ID          uint32 `json:"id"`
+	Name        string `json:"name"`
+	ASN         uint32 `json:"asn"`
+	Transit     bool   `json:"transit,omitempty"`
+	Via         string `json:"via,omitempty"`
+	Established bool   `json:"established"`
+	Routes      int    `json:"routes"`
+}
+
+// LinkStatus describes one backhaul link's model and health.
+type LinkStatus struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Kind is "remote" when either endpoint rides a remote-peering
+	// virtual L2 (the link inherits its latency and flap behavior).
+	Kind         string  `json:"kind"`
+	RTTMillis    float64 `json:"rtt_ms"`
+	CapacityMbps int     `json:"capacity_mbps"`
+	Partitioned  bool    `json:"partitioned"`
+	Flapping     bool    `json:"flapping"`
+	Flaps        uint64  `json:"flaps"`
+	// BytesFromA/B count bytes each endpoint has written onto the link.
+	BytesFromA int64 `json:"bytes_from_a"`
+	BytesFromB int64 `json:"bytes_from_b"`
+}
+
+// communityString renders c as the conventional asn:value form.
+func communityString(c wire.Community) string {
+	return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xffff)
+}
+
+// Status snapshots the mesh for the portal.
+func (m *Mesh) Status() Status {
+	var st Status
+	for _, mem := range m.members {
+		ms := MemberStatus{
+			Name:           mem.name,
+			Metro:          mem.cfg.Metro,
+			Attachment:     mem.cfg.Site.Kind.String(),
+			Provider:       mem.cfg.Site.Provider,
+			MetroCommunity: communityString(mem.tag),
+		}
+		if mem.agent != nil {
+			ms.AgentSessions = mem.agent.sessionCount()
+		}
+		for _, uid := range sortedIDs(mem.localUp) {
+			ucfg := mem.localUp[uid]
+			u := mem.cfg.Server.Upstream(uid)
+			us := UpstreamStatus{
+				ID: uid, Name: ucfg.Name, ASN: ucfg.ASN, Transit: ucfg.Transit,
+			}
+			if u != nil {
+				us.Established = u.Established()
+				us.Routes = u.RoutesIn()
+			}
+			ms.LocalUpstreams = append(ms.LocalUpstreams, us)
+		}
+		for _, fu := range mem.feds {
+			cfg := fu.u.Config()
+			ms.MirroredUpstreams = append(ms.MirroredUpstreams, UpstreamStatus{
+				ID: fu.id, Name: cfg.Name, ASN: cfg.ASN, Transit: cfg.Transit,
+				Via:         fu.via.name,
+				Established: fu.u.Established(),
+				Routes:      fu.u.RoutesIn(),
+			})
+		}
+		st.Members = append(st.Members, ms)
+	}
+	for _, l := range m.links {
+		l.mu.Lock()
+		ls := LinkStatus{
+			A:            l.a.name,
+			B:            l.b.name,
+			Kind:         "physical",
+			RTTMillis:    float64(l.profile.RTT) / float64(time.Millisecond),
+			CapacityMbps: l.profile.CapacityMbps,
+			Partitioned:  l.partitioned,
+			Flapping:     l.flapping,
+			Flaps:        l.flaps,
+		}
+		l.mu.Unlock()
+		if l.remote {
+			ls.Kind = "remote"
+		}
+		ls.BytesFromA = l.ca.Stats().BytesWritten
+		ls.BytesFromB = l.cb.Stats().BytesWritten
+		st.Links = append(st.Links, ls)
+	}
+	return st
+}

@@ -1,0 +1,73 @@
+package ixp
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// This file turns SiteKind from a descriptive label into a live
+// attachment model: every site derives a BackhaulProfile — the latency,
+// capacity, and reliability of the path between the mux serving the
+// site and the exchange itself. Physical sites sit on the exchange LAN;
+// remote sites ride a provider's virtual layer 2 anchored at AMS-IX
+// ("O Peer, Where Art Thou?" measures exactly this inflation); transit
+// sites reach the Internet through a university upstream. The
+// federation layer (internal/federation) uses these profiles to shape
+// its backhaul links: a SiteRemote mux gets a latency-inflating,
+// occasionally-flapping link driven by internal/clock.
+
+// BackhaulProfile is the derived attachment quality of a site.
+type BackhaulProfile struct {
+	// RTT is the round-trip time between the mux and the exchange
+	// fabric. ~1ms for a colocated server, tens to low hundreds of ms
+	// for remote peering (the virtual L2 detours through the provider's
+	// anchor point), ~15ms for university transit.
+	RTT time.Duration
+	// CapacityMbps is the attachment bandwidth: a colocated port runs
+	// at exchange-LAN speed, a virtual L2 is capped by the provider's
+	// tunnel, a university uplink sits in between.
+	CapacityMbps int
+	// FlapMTBF is the mean time between link flaps. Zero means the
+	// attachment is not expected to flap (colocated ports); remote
+	// virtual L2s flap when the provider re-routes its tunnel.
+	FlapMTBF time.Duration
+}
+
+// Remote-peering RTT band: the virtual L2 detour adds 30–120ms
+// depending on how far the exchange is from the provider's anchor.
+const (
+	remoteRTTFloor = 30 * time.Millisecond
+	remoteRTTBand  = 90 * time.Millisecond
+)
+
+// Backhaul derives the site's attachment profile from its kind. The
+// derivation is deterministic — remote-site RTT is hashed from the
+// site and provider names, not drawn randomly — so chaos tests and
+// benchmarks see identical topologies run over run.
+func (s Site) Backhaul() BackhaulProfile {
+	switch s.Kind {
+	case SitePhysical:
+		// Colocated on the exchange LAN: port-speed capacity,
+		// sub-millisecond-class RTT, no flapping expected.
+		return BackhaulProfile{RTT: time.Millisecond, CapacityMbps: 10_000}
+	case SiteRemote:
+		// Virtual L2 through the provider's anchor: RTT lands
+		// deterministically in the remote band, capacity is the
+		// provider tunnel's, and the tunnel re-routes (flaps) on the
+		// order of hours.
+		h := fnv.New32a()
+		h.Write([]byte(s.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(s.Provider))
+		spread := time.Duration(h.Sum32()) % remoteRTTBand
+		return BackhaulProfile{
+			RTT:          remoteRTTFloor + spread,
+			CapacityMbps: 1_000,
+			FlapMTBF:     6 * time.Hour,
+		}
+	default:
+		// University transit: metro-scale RTT to the upstream, a
+		// typical campus uplink, stable.
+		return BackhaulProfile{RTT: 15 * time.Millisecond, CapacityMbps: 2_000}
+	}
+}

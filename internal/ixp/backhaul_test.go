@@ -1,0 +1,62 @@
+package ixp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackhaulPhysical(t *testing.T) {
+	p := Site{Name: "amsterdam01", Kind: SitePhysical}.Backhaul()
+	if p.RTT != time.Millisecond {
+		t.Fatalf("physical RTT = %v, want 1ms", p.RTT)
+	}
+	if p.CapacityMbps != 10_000 {
+		t.Fatalf("physical capacity = %d, want 10000", p.CapacityMbps)
+	}
+	if p.FlapMTBF != 0 {
+		t.Fatalf("physical FlapMTBF = %v, want 0 (no flapping)", p.FlapMTBF)
+	}
+}
+
+func TestBackhaulRemoteInflatedAndDeterministic(t *testing.T) {
+	s := Site{Name: "seattle01", Kind: SiteRemote, Provider: "hibernia"}
+	p := s.Backhaul()
+	if p.RTT < remoteRTTFloor || p.RTT >= remoteRTTFloor+remoteRTTBand {
+		t.Fatalf("remote RTT = %v, want in [%v, %v)", p.RTT, remoteRTTFloor, remoteRTTFloor+remoteRTTBand)
+	}
+	phys := Site{Name: "seattle01", Kind: SitePhysical}.Backhaul()
+	if p.RTT <= phys.RTT {
+		t.Fatalf("remote RTT %v not inflated over physical %v", p.RTT, phys.RTT)
+	}
+	if p.FlapMTBF == 0 {
+		t.Fatal("remote attachment should flap")
+	}
+	if p.CapacityMbps >= phys.CapacityMbps {
+		t.Fatalf("remote capacity %d should be below a colocated port's %d", p.CapacityMbps, phys.CapacityMbps)
+	}
+	// Deterministic: same site+provider → same profile, every run.
+	if again := s.Backhaul(); again != p {
+		t.Fatalf("profile not deterministic: %+v vs %+v", again, p)
+	}
+}
+
+func TestBackhaulRemoteSpread(t *testing.T) {
+	// Different sites (or providers) should not all collapse onto one
+	// RTT — the hash spreads them across the band.
+	a := Site{Name: "seattle01", Kind: SiteRemote, Provider: "hibernia"}.Backhaul()
+	b := Site{Name: "vienna01", Kind: SiteRemote, Provider: "hibernia"}.Backhaul()
+	c := Site{Name: "seattle01", Kind: SiteRemote, Provider: "atrato"}.Backhaul()
+	if a.RTT == b.RTT && b.RTT == c.RTT {
+		t.Fatalf("no RTT spread: all %v", a.RTT)
+	}
+}
+
+func TestBackhaulTransit(t *testing.T) {
+	p := Site{Name: "gatech01", Kind: SiteTransit}.Backhaul()
+	if p.RTT <= time.Millisecond || p.RTT >= remoteRTTFloor {
+		t.Fatalf("transit RTT = %v, want between physical and remote floor", p.RTT)
+	}
+	if p.FlapMTBF != 0 {
+		t.Fatalf("transit FlapMTBF = %v, want 0", p.FlapMTBF)
+	}
+}

@@ -52,6 +52,11 @@ type UpstreamInfo struct {
 	PeerAddr netip.Addr `json:"peer_addr"`
 	// Transit marks upstream providers (vs. settlement-free peers).
 	Transit bool `json:"transit"`
+	// Via names the federated mux this peer is reached through (empty
+	// for a peer at this server's own exchange). Announcements steered
+	// at a Via upstream cross the federation backhaul before reaching
+	// the real peer.
+	Via string `json:"via,omitempty"`
 }
 
 // Provisioning is the server→client handshake message.

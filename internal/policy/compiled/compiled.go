@@ -67,6 +67,18 @@ type PeerlockRule struct {
 	Allowed   []uint32
 }
 
+// MetroRule declares one metro-local community: routes tagged with
+// Community belong to the metro named Name and must never be accepted
+// here — the tag marks a route as local to this metro's own exchange,
+// so seeing it arrive over a session means it looped back across the
+// federation backhaul (see internal/federation). The federation layer
+// suppresses such routes at export; this rule class is the importing
+// mux's defense in depth.
+type MetroRule struct {
+	Name      string
+	Community wire.Community
+}
+
 // RuleSet is the source form of a compiled filter.
 type RuleSet struct {
 	// DefaultDeny rejects prefixes no PrefixRule matches. The default
@@ -80,6 +92,8 @@ type RuleSet struct {
 	// could only have such a path by leaking (a customer or peer never
 	// legitimately provides transit to a tier-1).
 	NoTransit []uint32
+	// Metros lists metro-local communities to reject on sight.
+	Metros []MetroRule
 }
 
 // ---------------------------------------------------------------------
@@ -95,7 +109,8 @@ const (
 	ClassOrigin                    // ROA origin validation
 	ClassPeerlock                  // Peerlock adjacency rule
 	ClassPeerlockLite              // Peerlock-lite no-transit rule
-	NumClasses        = 5
+	ClassMetro                     // metro-local community rule
+	NumClasses        = 6
 )
 
 func (c Class) String() string {
@@ -108,6 +123,8 @@ func (c Class) String() string {
 		return "peerlock"
 	case ClassPeerlockLite:
 		return "peerlock_lite"
+	case ClassMetro:
+		return "metro"
 	default:
 		return "none"
 	}
@@ -175,6 +192,7 @@ type Filter struct {
 	nOrigins      int
 	peerlock      map[uint32][]uint32 // protected → allowed adjacency (unsorted, short)
 	noTransit     map[uint32]struct{}
+	metros        map[wire.Community]string // metro-local tag → metro name
 	compileTime   time.Duration
 
 	// paths memoizes pathFacts per interned *wire.Attrs. Correct
@@ -198,6 +216,7 @@ func Compile(rs *RuleSet) *Filter {
 		origins:       trie.New[[]cOrigin](),
 		peerlock:      make(map[uint32][]uint32, len(rs.Peerlock)),
 		noTransit:     make(map[uint32]struct{}, len(rs.NoTransit)),
+		metros:        make(map[wire.Community]string, len(rs.Metros)),
 	}
 	for i, r := range rs.Prefixes {
 		if !r.Prefix.IsValid() {
@@ -238,6 +257,9 @@ func Compile(rs *RuleSet) *Filter {
 	}
 	for _, asn := range rs.NoTransit {
 		f.noTransit[asn] = struct{}{}
+	}
+	for _, m := range rs.Metros {
+		f.metros[m.Community] = m.Name
 	}
 	f.compileTime = time.Since(start)
 	return f
@@ -383,6 +405,9 @@ func (f *Filter) Verdict(p netip.Prefix, attrs *wire.Attrs, peer Peer) Verdict {
 		}
 	}
 	if attrs != nil {
+		if len(f.metros) > 0 && f.matchMetro(attrs) {
+			return Verdict{Class: ClassMetro}
+		}
 		if len(f.peerlock) > 0 || len(f.noTransit) > 0 {
 			pf := f.facts(attrs)
 			if pf.peerlockBad {
@@ -399,6 +424,35 @@ func (f *Filter) Verdict(p netip.Prefix, attrs *wire.Attrs, peer Peer) Verdict {
 		}
 	}
 	return Verdict{Accept: true}
+}
+
+// matchMetro reports whether attrs carry any metro-local community.
+// Deliberately not memoized in pathFacts: the federation export path
+// evaluates freshly cloned (un-interned) attribute sets, and a
+// pointer-keyed memo would both be unsound there and grow without
+// bound. A linear scan over the (short, sorted) communities list is
+// allocation-free.
+func (f *Filter) matchMetro(attrs *wire.Attrs) bool {
+	for _, c := range attrs.Communities {
+		if _, ok := f.metros[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchMetro names the metro whose local tag attrs carry, if any. Safe
+// on un-interned attribute sets (no memoization).
+func (f *Filter) MatchMetro(attrs *wire.Attrs) (string, bool) {
+	if f == nil || attrs == nil {
+		return "", false
+	}
+	for _, c := range attrs.Communities {
+		if name, ok := f.metros[c]; ok {
+			return name, true
+		}
+	}
+	return "", false
 }
 
 // VerdictPath applies only the AS-path rule families — Peerlock and,
@@ -440,6 +494,7 @@ type Status struct {
 	OriginRules    int     `json:"origin_rules"`
 	PeerlockRules  int     `json:"peerlock_rules"`
 	NoTransitASes  int     `json:"no_transit_ases"`
+	MetroRules     int     `json:"metro_rules"`
 	CompileSeconds float64 `json:"compile_seconds"`
 }
 
@@ -457,6 +512,7 @@ func (f *Filter) Status() Status {
 		OriginRules:    f.nOrigins,
 		PeerlockRules:  len(f.peerlock),
 		NoTransitASes:  len(f.noTransit),
+		MetroRules:     len(f.metros),
 		CompileSeconds: f.compileTime.Seconds(),
 	}
 }
@@ -465,8 +521,8 @@ func (f *Filter) String() string {
 	if f == nil {
 		return "<no filter>"
 	}
-	return fmt.Sprintf("filter gen %d: %d prefix, %d origin, %d peerlock, %d no-transit (default %s)",
-		f.gen, f.nPrefix, f.nOrigins, len(f.peerlock), len(f.noTransit),
+	return fmt.Sprintf("filter gen %d: %d prefix, %d origin, %d peerlock, %d no-transit, %d metro (default %s)",
+		f.gen, f.nPrefix, f.nOrigins, len(f.peerlock), len(f.noTransit), len(f.metros),
 		map[bool]string{true: "permit", false: "deny"}[f.defaultPermit])
 }
 

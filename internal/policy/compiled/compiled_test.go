@@ -237,3 +237,58 @@ func TestStatusShape(t *testing.T) {
 		t.Fatalf("Status = %+v", st)
 	}
 }
+
+func TestMetroLocalRule(t *testing.T) {
+	ams := wire.MakeCommunity(47065, 101)
+	phx := wire.MakeCommunity(47065, 102)
+	f := Compile(&RuleSet{Metros: []MetroRule{{Name: "amsterdam", Community: ams}}})
+
+	tagged := attrsWithPath(3356, 174)
+	tagged.Communities = []wire.Community{0x2FB90001, ams}
+	v := f.Verdict(pfx("96.0.0.0/24"), tagged, Peer{})
+	if v.Accept || v.Class != ClassMetro {
+		t.Fatalf("own-metro tag: verdict %+v, want ClassMetro reject", v)
+	}
+	if name, ok := f.MatchMetro(tagged); !ok || name != "amsterdam" {
+		t.Fatalf("MatchMetro = %q, %v; want amsterdam, true", name, ok)
+	}
+
+	other := attrsWithPath(3356, 174)
+	other.Communities = []wire.Community{phx}
+	if v := f.Verdict(pfx("96.0.0.0/24"), other, Peer{}); !v.Accept {
+		t.Fatalf("foreign metro tag must pass: %+v", v)
+	}
+	if _, ok := f.MatchMetro(other); ok {
+		t.Fatal("MatchMetro matched a community not in the rule set")
+	}
+	if v := f.Verdict(pfx("96.0.0.0/24"), attrsWithPath(3356), Peer{}); !v.Accept {
+		t.Fatalf("untagged route must pass: %+v", v)
+	}
+	if _, ok := f.MatchMetro(nil); ok {
+		t.Fatal("MatchMetro(nil) must not match")
+	}
+}
+
+func TestParseMetroLocal(t *testing.T) {
+	rs, err := ParseRules(strings.NewReader("metro-local amsterdam community 47065:101\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Metros) != 1 || rs.Metros[0].Name != "amsterdam" ||
+		rs.Metros[0].Community != wire.MakeCommunity(47065, 101) {
+		t.Fatalf("parsed metro rule: %+v", rs.Metros)
+	}
+	f := Compile(rs)
+	if f.Status().MetroRules != 1 {
+		t.Fatalf("status metro rules = %d, want 1", f.Status().MetroRules)
+	}
+	for _, bad := range []string{
+		"metro-local amsterdam 47065:101",
+		"metro-local amsterdam community 70000:1",
+		"metro-local amsterdam community x:y",
+	} {
+		if _, err := ParseRules(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseRules(%q) accepted malformed directive", bad)
+		}
+	}
+}

@@ -17,6 +17,11 @@ package compiled
 //
 //	# Peerlock-lite: never accept these ASes from non-transit neighbors
 //	peerlock-lite 174 3257 1299
+//
+//	# metro-local: reject routes tagged with this metro's federation
+//	# community — they are local to our own exchange and can only have
+//	# arrived by looping over the backhaul
+//	metro-local amsterdam community 47065:101
 
 import (
 	"bufio"
@@ -25,6 +30,8 @@ import (
 	"net/netip"
 	"strconv"
 	"strings"
+
+	"peering/internal/wire"
 )
 
 // ParseRules reads the text rule-file format into a RuleSet. Errors
@@ -158,6 +165,15 @@ func parseLine(rs *RuleSet, f []string) error {
 			}
 			rs.NoTransit = append(rs.NoTransit, asn)
 		}
+	case "metro-local":
+		if len(f) != 4 || f[2] != "community" {
+			return fmt.Errorf("want 'metro-local <name> community <asn>:<value>'")
+		}
+		c, err := parseCommunity(f[3])
+		if err != nil {
+			return err
+		}
+		rs.Metros = append(rs.Metros, MetroRule{Name: f[1], Community: c})
 	default:
 		return fmt.Errorf("unknown rule %q", f[0])
 	}
@@ -178,4 +194,22 @@ func parseASN(s string) (uint32, error) {
 		return 0, fmt.Errorf("bad ASN %q", s)
 	}
 	return uint32(n), nil
+}
+
+// parseCommunity accepts the conventional asn:value form or a raw
+// 32-bit integer.
+func parseCommunity(s string) (wire.Community, error) {
+	if asnS, valS, ok := strings.Cut(s, ":"); ok {
+		asn, err1 := strconv.ParseUint(asnS, 10, 16)
+		val, err2 := strconv.ParseUint(valS, 10, 16)
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("bad community %q", s)
+		}
+		return wire.MakeCommunity(uint16(asn), uint16(val)), nil
+	}
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad community %q", s)
+	}
+	return wire.Community(n), nil
 }

@@ -116,6 +116,7 @@ type Portal struct {
 	archiveRotate  func() (any, error)
 	policyStatus   func() any
 	policyReload   func(text string) (any, error)
+	federation     func() any
 	metricsHandler http.Handler
 	pprofEnabled   bool
 	pool           []netip.Prefix // unallocated /24s
@@ -183,6 +184,18 @@ func (p *Portal) SetPolicySource(status func() any, reload func(text string) (an
 	p.mu.Lock()
 	p.policyStatus = status
 	p.policyReload = reload
+	p.mu.Unlock()
+}
+
+// SetFederationSource registers the callback behind GET /federation:
+// the multi-mux mesh snapshot (member attachments, mirrored upstream
+// sessions, backhaul link health) rendered by `peeringctl federation`
+// and `peeringctl sites`. Like SetStatsSource, the newest registration
+// wins and nil unregisters the source (GET /federation then 404s — the
+// server runs standalone).
+func (p *Portal) SetFederationSource(fn func() any) {
+	p.mu.Lock()
+	p.federation = fn
 	p.mu.Unlock()
 }
 
@@ -459,6 +472,7 @@ func (p *Portal) Measurements(experiment string) []Measurement {
 //	POST /archive/rotate        seal the current MRT segment + dump a RIB snapshot
 //	GET  /policy                compiled safety-filter status (see SetPolicySource)
 //	POST /policy/reload         compile the rule text in the body and swap it live
+//	GET  /federation            multi-mux mesh snapshot (see SetFederationSource)
 //	GET  /metrics               Prometheus text format (see SetMetricsHandler)
 //	GET  /debug/pprof/*         profiling, 404 unless EnablePprof was called
 func (p *Portal) Handler() http.Handler {
@@ -535,6 +549,16 @@ func (p *Portal) Handler() http.Handler {
 		p.mu.Unlock()
 		if fn == nil {
 			http.Error(w, "stats unavailable", http.StatusNotFound)
+			return
+		}
+		reply(w, fn(), nil)
+	})
+	mux.HandleFunc("GET /federation", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		fn := p.federation
+		p.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "federation unavailable: this server runs standalone", http.StatusNotFound)
 			return
 		}
 		reply(w, fn(), nil)

@@ -166,6 +166,7 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 			emit(float64(st.OriginRules), "origin")
 			emit(float64(st.PeerlockRules), "peerlock")
 			emit(float64(st.NoTransitASes), "peerlock_lite")
+			emit(float64(st.MetroRules), "metro")
 		})
 	r.GaugeFunc("peering_server_clients",
 		"Clients currently connected.",

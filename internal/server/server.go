@@ -181,6 +181,18 @@ type UpstreamConfig struct {
 	LocalAddr netip.Addr
 	// Transit marks paid upstream providers.
 	Transit bool
+	// FedVia names the federated mux this upstream is reached through
+	// (empty for a directly attached peer). A federated upstream mirrors
+	// a peer at another site: ASN/PeerAddr/Transit describe the real
+	// remote peer, but the session itself runs iBGP over the backhaul to
+	// the remote mux's federation agent, so the expected peer AS is the
+	// testbed's own (see upstreamSessionConfig).
+	FedVia string
+	// Import, when set, is called on every non-refresh UPDATE from this
+	// upstream before it is archived, interned, or dispatched — the
+	// federation layer's chance to strip backhaul-only communities and
+	// count import metrics. The update may be mutated in place.
+	Import func(*wire.Update)
 }
 
 // advert is one prefix the server currently announces to an upstream on
@@ -293,6 +305,12 @@ type ClientAccount struct {
 	// MaxPrefixes overrides Config.Quota.MaxPrefixes for this client
 	// (0 = use the server-wide default).
 	MaxPrefixes int
+	// Federated marks a federation agent's account (internal/federation):
+	// it announces on behalf of clients vetted at other muxes, so its
+	// Allocation (the testbed supernet) is checked by containment instead
+	// of being claimed exclusively in the allocation trie — several
+	// agents and this mux's own clients all share that space.
+	Federated bool
 }
 
 // clientConn is one connected client.
@@ -535,10 +553,17 @@ func (s *Server) Upstreams() []*Upstream {
 // upstreamSessionConfig is the session config shared by supervised and
 // unsupervised upstream attachment.
 func (s *Server) upstreamSessionConfig(u *Upstream) bgp.Config {
+	peerAS := u.cfg.ASN
+	if u.cfg.FedVia != "" {
+		// Federated upstream: cfg.ASN describes the real peer at the far
+		// exchange, but the wire session is iBGP with the remote mux's
+		// federation agent.
+		peerAS = s.cfg.ASN
+	}
 	return bgp.Config{
 		LocalAS:  s.cfg.ASN,
 		LocalID:  s.cfg.RouterID,
-		PeerAS:   u.cfg.ASN,
+		PeerAS:   peerAS,
 		Clock:    s.clk,
 		Metrics:  s.metrics.bgp,
 		Describe: fmt.Sprintf("%s-up-%s", s.cfg.Site, u.cfg.Name),
@@ -615,6 +640,13 @@ func (h *upstreamHandler) Closed(_ *bgp.Session, err error) {
 func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.Update) {
 	if upd.Refresh {
 		return // refresh requests from upstreams are not honored yet
+	}
+	// The federation import hook runs before anything else sees the
+	// update (archive included, so warm restarts rebuild the same
+	// post-import table): it strips backhaul-only communities and counts
+	// cross-mux import metrics.
+	if u.cfg.Import != nil {
+		u.cfg.Import(upd)
 	}
 	// Archive before interpreting: End-of-RIB markers belong in the
 	// trace too (warm restart replays them as harmless no-ops).
@@ -744,13 +776,15 @@ func (s *Server) RegisterClient(acct ClientAccount) error {
 	if _, dup := s.accounts[acct.ID]; dup {
 		return fmt.Errorf("server: client %q already registered", acct.ID)
 	}
-	for _, p := range acct.Allocation {
-		if owner, ok := s.alloc.Get(p); ok {
-			return fmt.Errorf("server: prefix %v already allocated to %q", p, owner)
+	if !acct.Federated {
+		for _, p := range acct.Allocation {
+			if owner, ok := s.alloc.Get(p); ok {
+				return fmt.Errorf("server: prefix %v already allocated to %q", p, owner)
+			}
 		}
-	}
-	for _, p := range acct.Allocation {
-		s.alloc.Insert(p, acct.ID)
+		for _, p := range acct.Allocation {
+			s.alloc.Insert(p, acct.ID)
+		}
 	}
 	s.accounts[acct.ID] = acct
 	return nil
@@ -758,11 +792,25 @@ func (s *Server) RegisterClient(acct ClientAccount) error {
 
 // allocatedTo reports whether prefix p falls inside client id's
 // allocation (p must be covered by an allocated block owned by id).
+// Federated agents are not in the allocation trie (their blocks overlap
+// this mux's own clients'), so they are checked by containment: the
+// originating mux already vetted the prefix against the real owner.
 func (s *Server) allocatedTo(id string, p netip.Prefix) bool {
 	s.acctMu.RLock()
 	defer s.acctMu.RUnlock()
-	_, owner, ok := s.alloc.LookupPrefix(p)
-	return ok && owner == id
+	if _, owner, ok := s.alloc.LookupPrefix(p); ok && owner == id {
+		return true
+	}
+	acct, ok := s.accounts[id]
+	if !ok || !acct.Federated {
+		return false
+	}
+	for _, alloc := range acct.Allocation {
+		if alloc.Contains(p.Addr()) && alloc.Bits() <= p.Bits() {
+			return true
+		}
+	}
+	return false
 }
 
 // accountOf returns the registered account for client id.
@@ -847,7 +895,7 @@ func (s *Server) clientHandshake(c *clientConn, upstreams []*Upstream) {
 	for _, u := range upstreams {
 		prov.Upstreams = append(prov.Upstreams, muxproto.UpstreamInfo{
 			ID: u.cfg.ID, ASN: u.cfg.ASN, Name: u.cfg.Name,
-			PeerAddr: u.cfg.PeerAddr, Transit: u.cfg.Transit,
+			PeerAddr: u.cfg.PeerAddr, Transit: u.cfg.Transit, Via: u.cfg.FedVia,
 		})
 	}
 	if err := muxproto.WriteProvisioning(ctrl, prov); err != nil {

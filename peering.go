@@ -26,6 +26,7 @@ import (
 	"peering/internal/collector"
 	"peering/internal/dampen"
 	"peering/internal/dataplane"
+	"peering/internal/federation"
 	"peering/internal/internet"
 	"peering/internal/ixp"
 	"peering/internal/mininext"
@@ -91,6 +92,16 @@ type Config struct {
 	// ingest workers, and per-client fan-out queues (rounded up to a
 	// power of two; 0 sizes from GOMAXPROCS). See DESIGN.md §12.
 	Shards int
+	// Federate brings up the paper's multi-site deployment: two extra
+	// muxes — phoenix01 (colocated) and seattle01 (remote peering via
+	// "hibernia") — each peered with its own transit provider from the
+	// live Internet, joined to amsterdam01 over a backhaul mesh
+	// (internal/federation). A client attached to any one mux announces
+	// to and hears from the upstream peers at every site; GET /federation
+	// and `peeringctl federation`/`sites` expose the mesh. Requires at
+	// least four transit ASes in the Internet spec (two feed amsterdam,
+	// one each for the new sites).
+	Federate bool
 	// PolicyFile, when set, loads a safety-filter rule file (prefix
 	// ownership, ROA origin validation, Peerlock — see DESIGN.md §13
 	// and the compiled package) and installs the compiled filter before
@@ -138,6 +149,11 @@ type Testbed struct {
 	WarmRestore *server.WarmRestoreStats
 	// Portal is the management web service.
 	Portal *portal.Portal
+	// Federation is the multi-mux backhaul mesh (nil unless Federate).
+	Federation *federation.Mesh
+	// FederatedServers holds the extra site muxes by site name (empty
+	// unless Federate). The amsterdam01 mux stays in Server.
+	FederatedServers map[string]*server.Server
 
 	mu         sync.Mutex
 	nextTunnel byte
@@ -239,14 +255,15 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	// providers"), so the testbed's announcements reach the whole
 	// Internet and alternate paths exist when experiments poison one
 	// chain.
-	var providerASNs []uint32
+	var transitASNs []uint32
 	for _, asn := range tb.Internet.ASNs() {
 		if tb.Internet.AS(asn).Kind == internet.KindTransit {
-			providerASNs = append(providerASNs, asn)
-			if len(providerASNs) == 2 {
-				break
-			}
+			transitASNs = append(transitASNs, asn)
 		}
+	}
+	providerASNs := transitASNs
+	if len(providerASNs) > 2 {
+		providerASNs = providerASNs[:2]
 	}
 	for i, providerASN := range providerASNs {
 		prov := live.Containers[providerASN]
@@ -343,6 +360,75 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		tb.Server.AttachUpstream(pa.u, pa.conn)
 	}
 
+	// 3b. Federation: two extra site muxes, each fed by its own transit
+	// provider from the live Internet, meshed with amsterdam01 over
+	// backhaul tunnels. The extra sites are control-plane only — their
+	// clients' traffic egresses at the site the client attaches to.
+	if cfg.Federate {
+		if len(transitASNs) < 4 {
+			return nil, fmt.Errorf("peering: federation needs 4 transit ASes in the Internet spec, have %d", len(transitASNs))
+		}
+		tb.FederatedServers = make(map[string]*server.Server)
+		members := []federation.Member{{
+			Server:   tb.Server,
+			RouterID: cfg.Supernet.Addr(),
+			Site:     ixp.Site{Name: "amsterdam01", Kind: ixp.SitePhysical},
+			Rules:    rules,
+		}}
+		sites := []ixp.Site{
+			{Name: "phoenix01", Kind: ixp.SitePhysical},
+			{Name: "seattle01", Kind: ixp.SiteRemote, Provider: "hibernia"},
+		}
+		rid := cfg.Supernet.Addr()
+		for i, site := range sites {
+			rid = rid.Next()
+			srv := server.New(server.Config{
+				Site:      site.Name,
+				ASN:       cfg.ASN,
+				RouterID:  rid,
+				Mode:      cfg.Mode,
+				Dampening: damp,
+				Shards:    cfg.Shards,
+				Policy:    rules,
+			})
+			providerASN := transitASNs[2+i]
+			prov := live.Containers[providerASN]
+			provAddr := netip.AddrFrom4([4]byte{10, 254, byte(10 + i), 1})
+			localAddr := netip.AddrFrom4([4]byte{10, 254, byte(10 + i), 2})
+			provPeer := prov.BGP.AddPeer(router.PeerConfig{
+				Addr:         localAddr,
+				LocalAddr:    provAddr,
+				AS:           cfg.ASN,
+				Relationship: policy.RelCustomer,
+				Describe:     "peering-" + site.Name,
+			})
+			u, err := srv.AddUpstream(server.UpstreamConfig{
+				ID: 1, Name: fmt.Sprintf("ge-transit-as%d", providerASN), ASN: providerASN,
+				PeerAddr: provAddr, LocalAddr: localAddr,
+				Transit: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pc1, pc2 := bufconn.Pipe()
+			prov.BGP.Attach(provPeer, pc1)
+			srv.AttachUpstream(u, pc2)
+			tb.FederatedServers[site.Name] = srv
+			members = append(members, federation.Member{
+				Server: srv, RouterID: rid, Site: site, Rules: rules,
+			})
+		}
+		mesh, err := federation.New(federation.Config{
+			Members:    members,
+			Allocation: []netip.Prefix{cfg.Supernet},
+			Metrics:    tb.Server.Telemetry(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("peering: federate: %w", err)
+		}
+		tb.Federation = mesh
+	}
+
 	// 4. A route collector peered with the first tier-1.
 	for _, asn := range tb.Internet.ASNs() {
 		if tb.Internet.AS(asn).Kind == internet.KindTier1 {
@@ -411,6 +497,11 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	// The same instruments, Prometheus-shaped: GET /metrics serves the
 	// server's telemetry registry for scraping.
 	p.SetMetricsHandler(tb.Server.Telemetry().Handler())
+	// Federation mesh status for GET /federation and
+	// `peeringctl federation`/`peeringctl sites`.
+	if tb.Federation != nil {
+		p.SetFederationSource(func() any { return tb.Federation.Status() })
+	}
 	// MRT archive status and rotation, for `peeringctl archive`/`dump`.
 	p.SetArchiveSource(
 		func() any {
@@ -548,6 +639,12 @@ func (tb *Testbed) Close() {
 	tb.mu.Unlock()
 	for _, c := range cls {
 		c.Close()
+	}
+	if tb.Federation != nil {
+		tb.Federation.Close()
+	}
+	for _, s := range tb.FederatedServers {
+		s.Close()
 	}
 	tb.Server.Close()
 	if tb.Archive != nil {

@@ -1,11 +1,15 @@
 package peering
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"strings"
 	"testing"
 	"time"
 
+	"peering/internal/federation"
 	"peering/internal/internet"
 	"peering/internal/ixp"
 	"peering/internal/portal"
@@ -438,5 +442,71 @@ func TestInternetHostAnswersPing(t *testing.T) {
 	c.DP.Receive(pkt, nil)
 	if c.DP.Stats().DeliveredLocal != before+1 {
 		t.Fatal("host address not locally delivered")
+	}
+}
+
+func TestFederatedTestbed(t *testing.T) {
+	tb := newReadyTestbed(t, Config{Federate: true})
+	if tb.Federation == nil {
+		t.Fatal("Federate: true but no federation mesh")
+	}
+	for _, name := range []string{"phoenix01", "seattle01"} {
+		if tb.FederatedServers[name] == nil {
+			t.Fatalf("no federated server %s", name)
+		}
+	}
+
+	// amsterdam's server carries a mirror of each remote site's transit
+	// upstream, and they fill with that site's provider's routes.
+	mirrors := map[string]uint32{}
+	for _, u := range tb.Server.Upstreams() {
+		if via := u.Config().FedVia; via != "" {
+			mirrors[via] = u.Config().ID
+			uu := u
+			waitFor(t, "mirror routes via "+via, func() bool { return uu.RoutesIn() > 0 })
+		}
+	}
+	if len(mirrors) != 2 {
+		t.Fatalf("mirrored upstreams at amsterdam01 = %v, want phoenix01 and seattle01", mirrors)
+	}
+
+	// A client session at amsterdam hears the peers at every site.
+	if _, err := tb.NewExperiment("frank", "fed", "federation smoke", false); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := tb.ConnectClient("fed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "client routes from all three sites", func() bool {
+		return cl.RouteCount(2) > 0 &&
+			cl.RouteCount(mirrors["phoenix01"]) > 0 &&
+			cl.RouteCount(mirrors["seattle01"]) > 0
+	})
+
+	// GET /federation serves the mesh snapshot.
+	srv := httptest.NewServer(tb.Portal.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /federation: %s", resp.Status)
+	}
+	var st federation.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 3 || len(st.Links) != 3 {
+		t.Fatalf("status: %d members, %d links, want 3 and 3", len(st.Members), len(st.Links))
+	}
+	kinds := map[string]string{}
+	for _, m := range st.Members {
+		kinds[m.Name] = m.Attachment
+	}
+	if kinds["amsterdam01"] != "physical" || kinds["seattle01"] != "remote" {
+		t.Fatalf("attachment kinds: %v", kinds)
 	}
 }
