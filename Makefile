@@ -1,5 +1,16 @@
 GO ?= go
 
+# PROFILE=1 makes every bench target drop CPU and heap profiles under
+# profiles/ (one pair per bench invocation), ready for `go tool pprof`.
+# The $(call profflags,name) helper expands to nothing otherwise.
+ifeq ($(PROFILE),1)
+profflags = -cpuprofile $(CURDIR)/profiles/$(1).cpu.pprof -memprofile $(CURDIR)/profiles/$(1).heap.pprof -o $(CURDIR)/profiles/$(1).test
+profdir = @mkdir -p $(CURDIR)/profiles
+else
+profflags =
+profdir = @true
+endif
+
 .PHONY: all build vet staticcheck test race chaos bench bench-fulltable bench-policy bench-federation fuzz-smoke check docs
 
 all: check
@@ -43,26 +54,34 @@ chaos:
 # (BENCH_fanout.json) and the allocation cost of the same scenario
 # (BENCH_hotpath.json, with the committed pre-PR baseline alongside).
 bench: bench-fulltable bench-policy bench-federation
-	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v
-	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test ./internal/server/ -run TestRelayHotPathAllocs -count=1 -v
+	$(profdir)
+	BENCH_FANOUT_JSON=$(CURDIR)/BENCH_fanout.json $(GO) test ./internal/server/ -run TestFanoutMessageReduction -count=1 -v $(call profflags,fanout)
+	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test ./internal/server/ -run TestRelayHotPathAllocs -count=1 -v $(call profflags,hotpath)
 	$(GO) test ./internal/server/ -run '^$$' -bench 'BenchmarkFanoutThroughput|BenchmarkReplayLatency' -benchtime=50x -count=1
-	BENCH_REPLAY_JSON=$(CURDIR)/BENCH_replay.json $(GO) test . -run TestReplayBenchmark -count=1 -v
+	BENCH_REPLAY_JSON=$(CURDIR)/BENCH_replay.json $(GO) test . -run TestReplayBenchmark -count=1 -v $(call profflags,replay)
 
 # The Internet-scale ingestion run (DESIGN.md §12): a ≥1M-prefix table
 # from internet.FullTableSpec, serialized as an MRT trace and replayed
 # at max speed into one mux with 64 count-only clients attached.
 # BENCH_fulltable.json records ingestion rate, fan-out convergence time,
 # and the steady-state heap. The same test runs as a ~25K-prefix smoke
-# in the plain `make test` / `make race` gates.
+# in the plain `make test` / `make race` gates, where it also ratchets
+# its ingest rate against the committed full-scale report. The scaling
+# run replays a mid-scale table at GOMAXPROCS 1, 4, and the machine
+# default so the headline number carries its parallelism curve
+# (BENCH_fulltable_scaling.json).
 bench-fulltable:
-	BENCH_FULLTABLE_JSON=$(CURDIR)/BENCH_fulltable.json $(GO) test . -run TestFullTableIngestion -count=1 -v -timeout 30m
+	$(profdir)
+	BENCH_FULLTABLE_JSON=$(CURDIR)/BENCH_fulltable.json $(GO) test . -run TestFullTableIngestion -count=1 -v -timeout 30m $(call profflags,fulltable)
+	BENCH_FULLTABLE_SCALING_JSON=$(CURDIR)/BENCH_fulltable_scaling.json $(GO) test . -run TestFullTableScaling -count=1 -v -timeout 30m $(call profflags,fulltable_scaling)
 
 # The compiled safety-filter benchmark (DESIGN.md §13): verdicts over a
 # 16K-prefix / 8K-ROA / Peerlock rule set against interned full-table
 # attribute sets. BENCH_policy.json records compile time, verdict
 # throughput, and the zero-allocation assertion's measured allocs.
 bench-policy:
-	BENCH_POLICY_JSON=$(CURDIR)/BENCH_policy.json $(GO) test ./internal/policy/compiled/ -run TestPolicyBenchmark -count=1 -v
+	$(profdir)
+	BENCH_POLICY_JSON=$(CURDIR)/BENCH_policy.json $(GO) test ./internal/policy/compiled/ -run TestPolicyBenchmark -count=1 -v $(call profflags,policy)
 
 # The federation benchmark (DESIGN.md §14): three muxes (one on remote
 # peering) and 16 count-only clients at amsterdam converging on both
@@ -70,7 +89,8 @@ bench-policy:
 # cross-mux convergence time, relay rate into the fleet, and backhaul
 # bytes per route crossing.
 bench-federation:
-	BENCH_FEDERATION_JSON=$(CURDIR)/BENCH_federation.json $(GO) test ./internal/federation/ -run TestFederationBenchmark -count=1 -v
+	$(profdir)
+	BENCH_FEDERATION_JSON=$(CURDIR)/BENCH_federation.json $(GO) test ./internal/federation/ -run TestFederationBenchmark -count=1 -v $(call profflags,federation)
 
 # Short coverage-guided fuzz runs over the wire-format decoders and the
 # attribute-equality invariant that interning rests on (Equal(a,b) ⟺

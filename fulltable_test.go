@@ -10,12 +10,17 @@ package peering
 // Three sizes of the same scenario:
 //
 //   - default `go test`: a ~25K-prefix smoke that checks the plumbing
-//     (every client converges to the exact table) in seconds;
-//   - under -race: smaller still, same assertions;
+//     (every client converges to the exact table) in seconds, and
+//     ratchets the ingest rate against the committed full-scale report;
+//   - under -race: smaller still, same assertions, no ratchet;
 //   - BENCH_FULLTABLE_JSON=<path> (as `make bench-fulltable` arranges):
 //     the full internet.FullTableSpec table — ≥1M prefixes, 64 clients
 //     — with ingestion rate, convergence time, and steady-state heap
 //     written to the named JSON file.
+//
+// TestFullTableScaling reruns the same rig at GOMAXPROCS 1, 4, and the
+// machine default so the throughput numbers carry a parallelism curve,
+// not a single opaque figure.
 
 import (
 	"bufio"
@@ -25,9 +30,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"peering/internal/benchenv"
 	"peering/internal/bufconn"
 	"peering/internal/internet"
 	"peering/internal/mrt"
@@ -40,48 +47,36 @@ import (
 
 // fullTableReport is the JSON shape of BENCH_fulltable.json.
 type fullTableReport struct {
-	Prefixes      int     `json:"prefixes"`
-	Clients       int     `json:"clients"`
-	Shards        int     `json:"shards"`
-	TraceRecords  int     `json:"trace_records"`
-	TraceBytes    uint64  `json:"trace_bytes"`
-	IngestSecs    float64 `json:"ingest_seconds"`
-	RoutesPerSec  float64 `json:"routes_per_sec_ingested"`
-	ConvergeSecs  float64 `json:"convergence_seconds"`
-	HeapBytes     uint64  `json:"steady_state_heap_bytes"`
-	HeapMB        float64 `json:"steady_state_heap_mb"`
-	RelayedNLRIs  uint64  `json:"nlris_relayed_to_clients"`
-	FanoutUpdates uint64  `json:"updates_to_clients"`
+	Prefixes      int          `json:"prefixes"`
+	Clients       int          `json:"clients"`
+	Shards        int          `json:"shards"`
+	TraceRecords  int          `json:"trace_records"`
+	TraceBytes    uint64       `json:"trace_bytes"`
+	IngestSecs    float64      `json:"ingest_seconds"`
+	RoutesPerSec  float64      `json:"routes_per_sec_ingested"`
+	ConvergeSecs  float64      `json:"convergence_seconds"`
+	HeapBytes     uint64       `json:"steady_state_heap_bytes"`
+	HeapMB        float64      `json:"steady_state_heap_mb"`
+	RelayedNLRIs  uint64       `json:"nlris_relayed_to_clients"`
+	FanoutUpdates uint64       `json:"updates_to_clients"`
+	Env           benchenv.Env `json:"env"`
 }
 
-func TestFullTableIngestion(t *testing.T) {
-	out := os.Getenv("BENCH_FULLTABLE_JSON")
-	spec := internet.Spec{Seed: 2014, ASes: 2000, Tier1s: 8, Transits: 150, CDNs: 10, Contents: 30, Prefixes: 25000}
-	nClients, deadline := 8, 2*time.Minute
-	switch {
-	case out != "":
-		spec = internet.FullTableSpec()
-		nClients, deadline = 64, 25*time.Minute
-	case raceEnabled:
-		spec = internet.Spec{Seed: 2014, ASes: 600, Tier1s: 6, Transits: 60, CDNs: 6, Contents: 15, Prefixes: 5000}
-		nClients = 4
-	}
-
-	// Synthesize the table and serialize it to disk, then drop the graph
-	// before measuring anything: the steady-state heap should reflect the
-	// mux's tables, not the generator's scaffolding.
+// buildTrace synthesizes the table for spec, serializes it as an MRT
+// trace under t.TempDir, and drops the graph before returning: the
+// steady-state heap measured later should reflect the mux's tables,
+// not the generator's scaffolding.
+func buildTrace(t *testing.T, spec internet.Spec) (path string, total int, ts internet.TraceStats) {
+	t.Helper()
 	g := internet.Generate(spec)
-	total := g.TotalPrefixes()
-	if out != "" && total < 1000000 {
-		t.Fatalf("full-table spec generated %d prefixes, want ≥1M", total)
-	}
-	tracePath := filepath.Join(t.TempDir(), "fulltable.mrt")
-	f, err := os.Create(tracePath)
+	total = g.TotalPrefixes()
+	path = filepath.Join(t.TempDir(), "fulltable.mrt")
+	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
-	ts, err := internet.WriteTrace(bw, g, internet.TraceConfig{})
+	ts, err = internet.WriteTrace(bw, g, internet.TraceConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +93,27 @@ func TestFullTableIngestion(t *testing.T) {
 	runtime.GC()
 	t.Logf("trace: %d prefixes from %d origins in %d records (%.1f MB)",
 		ts.Routes, ts.Origins, ts.Records, float64(ts.Bytes)/(1<<20))
+	return path, total, ts
+}
 
-	// One mux in BIRD mode (single ADD-PATH session per client), one
-	// upstream, nClients count-only clients. The fan-out queue cap is
-	// disabled: the whole point is to carry a full table through the
-	// queue, not to shed it.
+// fullTableRun is one measured replay of a trace through a fresh mux.
+type fullTableRun struct {
+	IngestSecs    float64
+	ConvergeSecs  float64
+	HeapBytes     uint64
+	RelayedNLRIs  uint64
+	FanoutUpdates uint64
+}
+
+// runFullTable stands up one mux in BIRD mode (single ADD-PATH session
+// per client) with nClients count-only clients attached, replays the
+// trace at max speed, and waits for the table to land — first in the
+// upstream's Adj-RIB-In (ingestion), then at every client (fan-out
+// convergence). The fan-out queue cap is disabled: the whole point is
+// to carry a full table through the queue, not to shed it. The rig is
+// torn down before returning so back-to-back runs don't share state.
+func runFullTable(t *testing.T, tracePath string, total, nClients int, deadline time.Duration) fullTableRun {
+	t.Helper()
 	srv := server.New(server.Config{
 		Site: "fulltable", ASN: 47065,
 		RouterID: netip.MustParseAddr("184.164.224.1"),
@@ -147,9 +158,6 @@ func TestFullTableIngestion(t *testing.T) {
 		clients[i] = cl
 	}
 
-	// Replay at max speed and wait for the table to land — first in the
-	// upstream's Adj-RIB-In (ingestion), then at every client (fan-out
-	// convergence).
 	start := time.Now()
 	stats, sess, err := srv.ReplayUpstream(up, mrt.NewReader(mustOpen(t, tracePath)), mrt.ReplayConfig{})
 	if err != nil {
@@ -159,10 +167,10 @@ func TestFullTableIngestion(t *testing.T) {
 	if stats.Routes != total {
 		t.Fatalf("replay delivered %d routes, want %d", stats.Routes, total)
 	}
-	ingestSecs := waitCount(t, deadline, start, "upstream Adj-RIB-In", func() int { return up.RoutesIn() }, total)
-	var convergeSecs float64
+	run := fullTableRun{}
+	run.IngestSecs = waitCount(t, deadline, start, "upstream Adj-RIB-In", func() int { return up.RoutesIn() }, total)
 	for i, cl := range clients {
-		convergeSecs = waitCount(t, deadline, start, fmt.Sprintf("client %d view", i),
+		run.ConvergeSecs = waitCount(t, deadline, start, fmt.Sprintf("client %d view", i),
 			cl.TotalRouteCount, total)
 	}
 
@@ -170,29 +178,155 @@ func TestFullTableIngestion(t *testing.T) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	st := srv.Stats()
+	var mbuf strings.Builder
+	srv.Telemetry().WriteTo(&mbuf)
+	for _, line := range strings.Split(mbuf.String(), "\n") {
+		if strings.Contains(line, "ingest_batch") || strings.Contains(line, "fanout_frames") || strings.Contains(line, "update_nlris") {
+			t.Log(line)
+		}
+	}
+	run.HeapBytes = ms.HeapAlloc
+	run.RelayedNLRIs = st.RoutesRelayedToClients
+	run.FanoutUpdates = st.UpdatesToClients
+	if want := uint64(total) * uint64(nClients); st.RoutesRelayedToClients < want {
+		t.Fatalf("fan-out relayed %d NLRIs, want ≥ %d (%d clients × %d prefixes)",
+			st.RoutesRelayedToClients, want, nClients, total)
+	}
+	return run
+}
+
+func TestFullTableIngestion(t *testing.T) {
+	testStart := time.Now()
+	out := os.Getenv("BENCH_FULLTABLE_JSON")
+	spec := internet.Spec{Seed: 2014, ASes: 2000, Tier1s: 8, Transits: 150, CDNs: 10, Contents: 30, Prefixes: 25000}
+	nClients, deadline := 8, 2*time.Minute
+	switch {
+	case out != "":
+		spec = internet.FullTableSpec()
+		nClients, deadline = 64, 25*time.Minute
+	case raceEnabled:
+		spec = internet.Spec{Seed: 2014, ASes: 600, Tier1s: 6, Transits: 60, CDNs: 6, Contents: 15, Prefixes: 5000}
+		nClients = 4
+	}
+
+	tracePath, total, ts := buildTrace(t, spec)
+	if out != "" && total < 1000000 {
+		t.Fatalf("full-table spec generated %d prefixes, want ≥1M", total)
+	}
+	run := runFullTable(t, tracePath, total, nClients, deadline)
+
 	rep := fullTableReport{
 		Prefixes:      total,
 		Clients:       nClients,
 		Shards:        rib.ShardCount(0),
 		TraceRecords:  ts.Records,
 		TraceBytes:    ts.Bytes,
-		IngestSecs:    ingestSecs,
-		RoutesPerSec:  float64(total) / ingestSecs,
-		ConvergeSecs:  convergeSecs,
-		HeapBytes:     ms.HeapAlloc,
-		HeapMB:        float64(ms.HeapAlloc) / (1 << 20),
-		RelayedNLRIs:  st.RoutesRelayedToClients,
-		FanoutUpdates: st.UpdatesToClients,
+		IngestSecs:    run.IngestSecs,
+		RoutesPerSec:  float64(total) / run.IngestSecs,
+		ConvergeSecs:  run.ConvergeSecs,
+		HeapBytes:     run.HeapBytes,
+		HeapMB:        float64(run.HeapBytes) / (1 << 20),
+		RelayedNLRIs:  run.RelayedNLRIs,
+		FanoutUpdates: run.FanoutUpdates,
+		Env:           benchenv.Capture(testStart),
 	}
 	t.Logf("%d prefixes × %d clients: ingested in %.2fs (%.0f routes/s), converged in %.2fs, heap %.1f MB",
 		rep.Prefixes, rep.Clients, rep.IngestSecs, rep.RoutesPerSec, rep.ConvergeSecs, rep.HeapMB)
-	if want := uint64(total) * uint64(nClients); st.RoutesRelayedToClients < want {
-		t.Fatalf("fan-out relayed %d NLRIs, want ≥ %d (%d clients × %d prefixes)",
-			st.RoutesRelayedToClients, want, nClients, total)
+
+	// Throughput ratchet: in the smoke sizing (the `make check` gate),
+	// the measured ingest rate may not fall below half the committed
+	// full-scale rate in BENCH_fulltable.json. The two scenarios differ
+	// (25K×8 vs 1M×64), so this is deliberately loose — it exists to
+	// catch an ingest-path regression of the "accidentally serialized
+	// the shards again" magnitude long before anyone reruns the 25-minute
+	// bench. Skipped under -race (instrumentation tax) and when the
+	// committed report is absent.
+	if out == "" && !raceEnabled {
+		if b, err := os.ReadFile("BENCH_fulltable.json"); err == nil {
+			var committed fullTableReport
+			if err := json.Unmarshal(b, &committed); err != nil {
+				t.Fatalf("committed BENCH_fulltable.json is unreadable: %v", err)
+			}
+			if floor := committed.RoutesPerSec / 2; committed.RoutesPerSec > 0 && rep.RoutesPerSec < floor {
+				t.Errorf("smoke ingest rate regressed: %.0f routes/s < %.0f (half the committed full-scale rate %.0f in BENCH_fulltable.json)",
+					rep.RoutesPerSec, floor, committed.RoutesPerSec)
+			}
+		}
 	}
 
 	if out != "" {
 		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fullTableScalingRow is one GOMAXPROCS setting's measurement in
+// BENCH_fulltable_scaling.json.
+type fullTableScalingRow struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	IngestSecs   float64 `json:"ingest_seconds"`
+	RoutesPerSec float64 `json:"routes_per_sec_ingested"`
+	ConvergeSecs float64 `json:"convergence_seconds"`
+}
+
+// TestFullTableScaling replays one trace through fresh muxes at
+// GOMAXPROCS 1, 4, and the machine default, so the ingest-rate figure
+// always comes with its parallelism curve. Plain `go test` runs a
+// small sizing as a plumbing check; BENCH_FULLTABLE_SCALING_JSON (set
+// by `make bench-fulltable`) switches to a mid-scale table and writes
+// the rows as JSON. Skipped under -race: GOMAXPROCS=1 with the race
+// detector's overhead measures the instrumentation, not the pipeline.
+func TestFullTableScaling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("scaling curve is meaningless under the race detector")
+	}
+	testStart := time.Now()
+	out := os.Getenv("BENCH_FULLTABLE_SCALING_JSON")
+	spec := internet.Spec{Seed: 2014, ASes: 1200, Tier1s: 8, Transits: 100, CDNs: 8, Contents: 20, Prefixes: 12000}
+	nClients, deadline := 4, 2*time.Minute
+	if out != "" {
+		spec = internet.Spec{Seed: 2014, ASes: 4000, Tier1s: 8, Transits: 300, CDNs: 15, Contents: 60, Prefixes: 150000}
+		nClients, deadline = 16, 10*time.Minute
+	}
+	tracePath, total, _ := buildTrace(t, spec)
+
+	defaultProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(defaultProcs)
+	procSettings := []int{1, 4, defaultProcs}
+	var rows []fullTableScalingRow
+	seen := map[int]bool{}
+	for _, procs := range procSettings {
+		if seen[procs] {
+			continue
+		}
+		seen[procs] = true
+		runtime.GOMAXPROCS(procs)
+		run := runFullTable(t, tracePath, total, nClients, deadline)
+		runtime.GOMAXPROCS(defaultProcs)
+		row := fullTableScalingRow{
+			GOMAXPROCS:   procs,
+			IngestSecs:   run.IngestSecs,
+			RoutesPerSec: float64(total) / run.IngestSecs,
+			ConvergeSecs: run.ConvergeSecs,
+		}
+		rows = append(rows, row)
+		t.Logf("GOMAXPROCS=%d: ingested %d prefixes in %.2fs (%.0f routes/s), converged in %.2fs",
+			procs, total, row.IngestSecs, row.RoutesPerSec, row.ConvergeSecs)
+	}
+
+	if out != "" {
+		b, err := json.MarshalIndent(map[string]any{
+			"prefixes": total,
+			"clients":  nClients,
+			"shards":   rib.ShardCount(0),
+			"rows":     rows,
+			"env":      benchenv.Capture(testStart),
+		}, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}

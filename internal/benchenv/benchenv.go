@@ -1,0 +1,34 @@
+// Package benchenv stamps benchmark reports with the runtime they ran
+// under. Every BENCH_*.json in this repo embeds Env, so a number can
+// always be read against the parallelism that produced it — a
+// routes-per-second figure from a GOMAXPROCS=1 run and one from a
+// 32-core run are different facts, and the report must say which it
+// holds.
+package benchenv
+
+import (
+	"runtime"
+	"time"
+)
+
+// Env is the runtime provenance block embedded in benchmark reports.
+type Env struct {
+	// GOMAXPROCS is the scheduler's processor limit during the run;
+	// NumCPU the machine's logical core count.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// WallClockSecs is the whole run's wall-clock duration — setup,
+	// measurement, and teardown — as distinct from any per-phase timing
+	// the report itself carries.
+	WallClockSecs float64 `json:"wall_clock_seconds"`
+}
+
+// Capture snapshots the runtime with the wall clock measured from
+// start (the beginning of the run being reported).
+func Capture(start time.Time) Env {
+	return Env{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		WallClockSecs: time.Since(start).Seconds(),
+	}
+}

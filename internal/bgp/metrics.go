@@ -69,6 +69,13 @@ func (m *Metrics) msgOut(msg wire.Message) {
 	}
 }
 
+// msgOutUpdates counts n UPDATEs written at once (a pre-encoded frame).
+func (m *Metrics) msgOutUpdates(n int) {
+	if m != nil && n > 0 {
+		m.MsgsOut.With("update").Add(uint64(n))
+	}
+}
+
 // sessionState moves a session from FSM state old to new on the state
 // gauge; old < 0 means the session is new (nothing to decrement).
 func (m *Metrics) sessionState(old, new State) {

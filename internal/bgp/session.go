@@ -125,6 +125,24 @@ type Handler interface {
 	Closed(*Session, error)
 }
 
+// BatchHandler is an optional Handler extension: when the handler
+// implements it and the transport reports readable bytes (a Buffered()
+// int method, e.g. bufconn), the reader collects consecutive UPDATEs
+// that are already in flight and delivers them as one slice instead of
+// one call per message — the entry point of the batched ingest path.
+// Per-message accounting (metrics, hold-timer resets, RFC 7606 error
+// actions) is unchanged. The slice is reused by the reader after the
+// call returns; implementations must not retain it (the *Updates
+// inside are fresh per decode and may be kept).
+type BatchHandler interface {
+	UpdateBatchReceived(*Session, []*wire.Update)
+}
+
+// maxReadBatch bounds one batched delivery. At the 4096-byte message
+// cap this also bounds the bytes a batch can pin at ~512KB, under any
+// transport frame limit in the tree.
+const maxReadBatch = 128
+
 // HandlerFuncs adapts plain functions to Handler; nil fields are no-ops.
 type HandlerFuncs struct {
 	OnEstablished func(*Session)
@@ -168,7 +186,7 @@ type Session struct {
 	opts      wire.Options
 	closeErr  error
 	closed    bool
-	sendQ     chan wire.Message
+	sendQ     chan sendItem
 	done      chan struct{}
 	holdTimer clock.Timer
 	kaTimer   clock.Timer
@@ -198,7 +216,7 @@ func New(conn net.Conn, cfg Config, h Handler) *Session {
 		handler: h,
 		clk:     clk,
 		state:   StateOpenSent,
-		sendQ:   make(chan wire.Message, 256),
+		sendQ:   make(chan sendItem, 256),
 		done:    make(chan struct{}),
 	}
 }
@@ -397,6 +415,14 @@ func (s *Session) resetHold() {
 	}
 }
 
+// sendItem is one entry on the send queue: either a message to encode,
+// or a pre-encoded frame of `updates` UPDATE messages to write as-is.
+type sendItem struct {
+	m       wire.Message
+	frame   *bufpool.Frame
+	updates int
+}
+
 // Send queues an UPDATE for transmission. It returns an error if the
 // session is not Established.
 func (s *Session) Send(u *wire.Update) error {
@@ -412,11 +438,37 @@ func (s *Session) Send(u *wire.Update) error {
 	return nil
 }
 
+// SendEncoded queues a pre-encoded run of UPDATE messages — the shared
+// fan-out frames every in-sync client references — for transmission in
+// one write. The frame must already be encoded under this session's
+// negotiated Options (the caller checks; see Options) and must carry a
+// reference for this session: the session releases it after the write,
+// or immediately if the session is not Established or is shutting
+// down. updates is the UPDATE count inside the frame, counted on the
+// same instruments per-message sends use.
+func (s *Session) SendEncoded(f *bufpool.Frame, updates int) error {
+	s.mu.Lock()
+	if s.state != StateEstablished || s.closed {
+		st := s.state
+		s.mu.Unlock()
+		f.Release()
+		return fmt.Errorf("bgp: session %s not established (state %v)", s.cfg.Describe, st)
+	}
+	s.mu.Unlock()
+	s.sent.Add(uint64(updates))
+	select {
+	case s.sendQ <- sendItem{frame: f, updates: updates}:
+	case <-s.done:
+		f.Release()
+	}
+	return nil
+}
+
 // enqueue places a message on the send queue, dropping it if the session
 // is closing (the writer drains until close).
 func (s *Session) enqueue(m wire.Message) {
 	select {
-	case s.sendQ <- m:
+	case s.sendQ <- sendItem{m: m}:
 	case <-s.done:
 	}
 }
@@ -424,19 +476,57 @@ func (s *Session) enqueue(m wire.Message) {
 func (s *Session) writer() {
 	for {
 		select {
-		case m := <-s.sendQ:
+		case it := <-s.sendQ:
+			if it.frame != nil {
+				if err := s.writeFrame(it); err != nil {
+					s.abort(fmt.Errorf("bgp: write: %w", err))
+					s.releaseQueuedFrames()
+					return
+				}
+				continue
+			}
 			s.mu.Lock()
 			opts := s.opts
 			s.mu.Unlock()
-			if err := s.writeMsg(m, opts); err != nil {
+			if err := s.writeMsg(it.m, opts); err != nil {
 				s.abort(fmt.Errorf("bgp: write: %w", err))
+				s.releaseQueuedFrames()
 				return
 			}
-			if n, ok := m.(*wire.Notification); ok {
+			if n, ok := it.m.(*wire.Notification); ok {
 				s.abort(fmt.Errorf("bgp: sent %v", n))
+				s.releaseQueuedFrames()
 				return
 			}
 		case <-s.done:
+			s.releaseQueuedFrames()
+			return
+		}
+	}
+}
+
+// writeFrame writes one pre-encoded frame and releases the session's
+// reference to it.
+func (s *Session) writeFrame(it sendItem) error {
+	_, err := s.conn.Write(it.frame.Bytes())
+	if err == nil {
+		s.cfg.Metrics.msgOutUpdates(it.updates)
+	}
+	it.frame.Release()
+	return err
+}
+
+// releaseQueuedFrames drops the references held by frames still queued
+// when the writer exits, so their buffers can be recycled. Best
+// effort: a frame enqueued after this drain is simply left to the GC.
+func (s *Session) releaseQueuedFrames() {
+	for {
+		select {
+		case it := <-s.sendQ:
+			if it.frame != nil {
+				it.frame.Release()
+			}
+		default:
 			return
 		}
 	}
@@ -461,16 +551,37 @@ func (s *Session) writeMsg(m wire.Message, opts wire.Options) error {
 }
 
 func (s *Session) reader() error {
+	// Batched delivery engages when both ends support it: the handler
+	// accepts slices and the transport can say whether more bytes are
+	// already readable, so collecting never blocks waiting for traffic
+	// that may not come. batch is reused across deliveries.
+	bh, _ := s.handler.(BatchHandler)
+	bc, _ := s.conn.(interface{ Buffered() int })
+	batching := bh != nil && bc != nil
+	var batch []*wire.Update
+	flush := func() {
+		if len(batch) > 0 {
+			// One hold-timer reset covers the whole batch: its messages
+			// all arrived before this delivery, and collection never
+			// blocks (it only continues while bytes are already
+			// buffered), so the reset is at most a drain-loop late.
+			s.resetHold()
+			bh.UpdateBatchReceived(s, batch)
+			batch = batch[:0]
+		}
+	}
 	for {
 		s.mu.Lock()
 		opts := s.opts
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
+			flush()
 			return nil
 		}
 		msg, err := wire.ReadMessage(s.conn, opts)
 		if err != nil {
+			flush()
 			if s.isClosed() {
 				return nil
 			}
@@ -485,7 +596,6 @@ func (s *Session) reader() error {
 			return fmt.Errorf("bgp: read: %w", err)
 		}
 		s.cfg.Metrics.msgIn(msg)
-		s.resetHold()
 		switch m := msg.(type) {
 		case *wire.Update:
 			if m.Malformed != nil {
@@ -494,17 +604,38 @@ func (s *Session) reader() error {
 			if len(m.Discarded) > 0 {
 				s.cfg.Metrics.errorAction("attribute_discard")
 			}
-			s.handler.UpdateReceived(s, m)
+			if !batching {
+				s.resetHold()
+				s.handler.UpdateReceived(s, m)
+				continue
+			}
+			batch = append(batch, m)
+			if len(batch) < maxReadBatch && bc.Buffered() > 0 {
+				continue // more already in flight: keep collecting
+			}
+			flush()
 		case *wire.Keepalive:
-			// hold timer already reset
+			// Flush so a keepalive landing mid-collection never strands
+			// the batch behind the next blocking read.
+			s.resetHold()
+			flush()
 		case *wire.Notification:
+			flush()
 			return &PeerClosedError{Notif: m}
 		case *wire.RouteRefresh:
 			// Surfaced as a zero-route update so owners can re-export.
 			// Refresh distinguishes this from an End-of-RIB marker, which
-			// is also an empty UPDATE.
-			s.handler.UpdateReceived(s, &wire.Update{Refresh: true})
+			// is also an empty UPDATE. Flushed behind any collected batch
+			// to keep arrival order.
+			s.resetHold()
+			flush()
+			if batching {
+				bh.UpdateBatchReceived(s, []*wire.Update{{Refresh: true}})
+			} else {
+				s.handler.UpdateReceived(s, &wire.Update{Refresh: true})
+			}
 		case *wire.Open:
+			flush()
 			ne := wire.NotifError(wire.CodeFSMError, 0, nil)
 			s.writeMsg(ne.Notification(), opts)
 			return errors.New("bgp: OPEN received in Established")

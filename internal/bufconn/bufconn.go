@@ -147,6 +147,15 @@ func (c *Conn) Read(p []byte) (int, error) { return c.r.read(p) }
 // Write implements net.Conn.
 func (c *Conn) Write(p []byte) (int, error) { return c.w.write(p) }
 
+// Buffered reports how many bytes are queued for Read. Batch-aware
+// readers (the BGP session layer) use it to drain a burst of messages
+// into one delivery without ever blocking for more.
+func (c *Conn) Buffered() int {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return len(c.r.data) - c.r.off
+}
+
 // Close implements net.Conn. Closing an endpoint fails further writes on
 // both endpoints and drains pending reads to EOF.
 func (c *Conn) Close() error {

@@ -35,13 +35,30 @@ func classFor(n int) int {
 // Get returns a buffer with len n. Its contents are undefined — callers
 // must overwrite before reading. Capacity may exceed n; append within
 // capacity never reallocates.
+//
+// Buffers are stored in the pools as array pointers (*[256]byte etc.)
+// rather than *[]byte: an array pointer rides in the interface word
+// directly, so neither Get nor Put allocates a slice-header box. With
+// one Get/Put pair per message at every layer, the header boxes were a
+// measurable share of hot-path allocation before this.
 func Get(n int) []byte {
 	i := classFor(n)
 	if i < 0 {
 		return make([]byte, n)
 	}
 	if v := pools[i].Get(); v != nil {
-		return (*v.(*[]byte))[:n]
+		switch p := v.(type) {
+		case *[256]byte:
+			return p[:n:256]
+		case *[1024]byte:
+			return p[:n:1024]
+		case *[4096]byte:
+			return p[:n:4096]
+		case *[16384]byte:
+			return p[:n:16384]
+		case *[65536]byte:
+			return p[:n:65536]
+		}
 	}
 	return make([]byte, n, classes[i])
 }
@@ -50,12 +67,16 @@ func Get(n int) []byte {
 // class (grown by append, or produced outside Get) are dropped for the
 // garbage collector. Callers must not use b after Put.
 func Put(b []byte) {
-	c := cap(b)
-	for i, cl := range classes {
-		if c == cl {
-			b = b[:0:c]
-			pools[i].Put(&b)
-			return
-		}
+	switch cap(b) {
+	case 256:
+		pools[0].Put((*[256]byte)(b[:256]))
+	case 1024:
+		pools[1].Put((*[1024]byte)(b[:1024]))
+	case 4096:
+		pools[2].Put((*[4096]byte)(b[:4096]))
+	case 16384:
+		pools[3].Put((*[16384]byte)(b[:16384]))
+	case 65536:
+		pools[4].Put((*[65536]byte)(b[:65536]))
 	}
 }

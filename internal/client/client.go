@@ -279,6 +279,17 @@ func (h *sessHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
 	h.c.handleUpdate(h.upstreamID, h.bird, sess, upd)
 }
 
+// UpdateBatchReceived opts the client into the session reader's batched
+// delivery: one handler call (and one hold-timer reset) covers every
+// message already buffered on the tunnel stream, which is what keeps a
+// 64-client fleet's receive path off the mux's critical path during a
+// full-table sync.
+func (h *sessHandler) UpdateBatchReceived(sess *bgp.Session, upds []*wire.Update) {
+	for _, upd := range upds {
+		h.c.handleUpdate(h.upstreamID, h.bird, sess, upd)
+	}
+}
+
 // Closed marks the session's view(s) stale on failure: routes stay
 // usable while the server redials, and the replay + end-of-RIB of the
 // next session sweeps out whatever is not re-announced.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"peering/internal/benchenv"
 	"peering/internal/bufconn"
 	"peering/internal/client"
 	"peering/internal/clock"
@@ -30,6 +31,7 @@ import (
 // full 16-client sizing and writes the measurement as JSON.
 func TestFederationBenchmark(t *testing.T) {
 	nClients, nRoutes := 4, 150
+	testStart := time.Now()
 	out := os.Getenv("BENCH_FEDERATION_JSON")
 	if out != "" {
 		nClients, nRoutes = 16, 1000
@@ -85,9 +87,14 @@ func TestFederationBenchmark(t *testing.T) {
 	}
 	for i, cl := range clients {
 		cl := cl
-		benchWait(t, fmt.Sprintf("client %d cross-mux convergence", i), func() bool {
-			return cl.RouteCount(phxID) == nRoutes && cl.RouteCount(seaID) == nRoutes
-		})
+		deadline := time.Now().Add(120 * time.Second)
+		for !(cl.RouteCount(phxID) == nRoutes && cl.RouteCount(seaID) == nRoutes) {
+			if !time.Now().Before(deadline) {
+				t.Fatalf("timed out waiting for client %d cross-mux convergence: phx=%d/%d sea=%d/%d, queue depths %v",
+					i, cl.RouteCount(phxID), nRoutes, cl.RouteCount(seaID), nRoutes, ams.QueueDepths())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -127,6 +134,7 @@ func TestFederationBenchmark(t *testing.T) {
 			"backhaul_bytes_total":      backhaulBytes,
 			"backhaul_bytes_per_route":  bytesPerRoute,
 			"backhaul_route_crossings":  crossings,
+			"env":                       benchenv.Capture(testStart),
 		}, "", "  ")
 		if err != nil {
 			t.Fatal(err)

@@ -34,6 +34,11 @@ type BGP4MP struct {
 	// subtypes (NLRI in Message carry path IDs).
 	AS4     bool
 	AddPath bool
+	// Time is the containing record's timestamp, stamped by ParseBGP4MP
+	// so consumers of decoded messages (batched replay delivery) keep
+	// the capture time without carrying the Record alongside. Record()
+	// ignores it — the record is stamped explicitly.
+	Time time.Time
 }
 
 // Options returns the wire codec options the embedded message was
@@ -101,7 +106,7 @@ func ParseBGP4MP(rec *Record) (*BGP4MP, error) {
 	if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
 		return nil, fmt.Errorf("mrt: %v is not a BGP4MP record", rec.Type)
 	}
-	m := &BGP4MP{}
+	m := &BGP4MP{Time: rec.Time}
 	switch rec.Subtype {
 	case SubtypeBGP4MPMessage:
 	case SubtypeBGP4MPMessageAS4:

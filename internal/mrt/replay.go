@@ -59,6 +59,12 @@ type ReplayStats struct {
 	MaxLag time.Duration `json:"max_lag"`
 }
 
+// DefaultReplayBatch is the batch cap ReplayBatched uses when the
+// caller passes batch <= 0: large enough to amortize per-delivery
+// costs (channel sends, table locks) across a full run of decodes,
+// small enough that a batch of worst-case UPDATEs stays cheap to hold.
+const DefaultReplayBatch = 256
+
 // Replay streams BGP4MP records from r, delivering each decoded UPDATE
 // in order. Records that are not BGP4MP UPDATEs are counted as skipped.
 // A record whose body fails to decode is skipped too — the header's
@@ -67,6 +73,25 @@ type ReplayStats struct {
 // record costs one record, not the rest of the trace. Only truncation
 // aborts the run: there is nothing to resynchronize onto.
 func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) error) (ReplayStats, error) {
+	return ReplayBatched(r, cfg, 1, func(ms []*BGP4MP, upds []*wire.Update) error {
+		for i, upd := range upds {
+			if err := deliver(ms[i], upd); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ReplayBatched is Replay with slice delivery: decoded UPDATEs
+// accumulate and are handed to deliver in arrival order, up to batch
+// per call (batch <= 0 means DefaultReplayBatch), so a consumer can
+// amortize its per-delivery costs — one channel send, one table-lock
+// pass — across hundreds of routes. A timed replay flushes before
+// every pacing sleep, so batching never holds a record past its
+// schedule. The slices are reused between deliveries and must not be
+// retained; the *BGP4MP and *Update values they hold may be.
+func ReplayBatched(r *Reader, cfg ReplayConfig, batch int, deliver func([]*BGP4MP, []*wire.Update) error) (ReplayStats, error) {
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.System
@@ -75,10 +100,39 @@ func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) err
 	if speed <= 0 {
 		speed = 1
 	}
+	if batch <= 0 {
+		batch = DefaultReplayBatch
+	}
 	r.Instrument(cfg.Metrics)
 
 	var st ReplayStats
 	var t0, start time.Time
+	first := true
+	var (
+		ms   []*BGP4MP
+		upds []*wire.Update
+		lags []time.Duration
+	)
+	// flush hands the pending run to the consumer; stats and the replay
+	// metrics count a record only once its batch is delivered, matching
+	// the per-record loop's delivery-then-count order.
+	flush := func() error {
+		if len(upds) == 0 {
+			return nil
+		}
+		if err := deliver(ms, upds); err != nil {
+			return fmt.Errorf("mrt: replay delivery: %w", err)
+		}
+		for i, upd := range upds {
+			cfg.Metrics.replayed(lags[i], cfg.Timed)
+			st.Records++
+			st.Updates++
+			st.Routes += len(upd.Reach)
+			st.Withdrawals += len(upd.Withdrawn)
+		}
+		ms, upds, lags = ms[:0], upds[:0], lags[:0]
+		return nil
+	}
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -89,6 +143,9 @@ func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) err
 			continue
 		}
 		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return st, ferr
+			}
 			return st, err
 		}
 		if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
@@ -112,7 +169,8 @@ func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) err
 			continue
 		}
 		upd.Attrs = cfg.Intern.Intern(upd.Attrs)
-		if st.Records == 0 {
+		if first {
+			first = false
 			t0 = rec.Time
 			start = clk.Now()
 		}
@@ -121,22 +179,28 @@ func Replay(r *Reader, cfg ReplayConfig, deliver func(*BGP4MP, *wire.Update) err
 		if cfg.Timed {
 			target := start.Add(time.Duration(float64(rec.Time.Sub(t0)) / speed))
 			if d := target.Sub(clk.Now()); d > 0 {
+				if err := flush(); err != nil {
+					return st, err
+				}
 				clk.Sleep(d)
 			} else if -d > st.MaxLag {
 				st.MaxLag = -d
 			}
 			lag = clk.Now().Sub(target)
 		}
-		if err := deliver(m, upd); err != nil {
-			return st, fmt.Errorf("mrt: replay delivery: %w", err)
+		ms = append(ms, m)
+		upds = append(upds, upd)
+		lags = append(lags, lag)
+		if len(upds) >= batch {
+			if err := flush(); err != nil {
+				return st, err
+			}
 		}
-		cfg.Metrics.replayed(lag, cfg.Timed)
-		st.Records++
-		st.Updates++
-		st.Routes += len(upd.Reach)
-		st.Withdrawals += len(upd.Withdrawn)
 	}
-	if st.Records > 0 {
+	if err := flush(); err != nil {
+		return st, err
+	}
+	if !first {
 		st.Elapsed = clk.Now().Sub(start)
 	}
 	return st, nil

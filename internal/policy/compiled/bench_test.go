@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"peering/internal/benchenv"
 	"peering/internal/wire"
 )
 
@@ -100,6 +101,7 @@ func BenchmarkVerdict(b *testing.B) {
 
 func TestPolicyBenchmark(t *testing.T) {
 	const nPrefix, nROA, nRoutes = 16384, 8192, 4096
+	testStart := time.Now()
 	rounds := 200
 	if testing.Short() {
 		rounds = 5
@@ -141,6 +143,7 @@ func TestPolicyBenchmark(t *testing.T) {
 			"ns_per_verdict":   float64(elapsed.Nanoseconds()) / float64(total),
 			"allocs_per_verdict": fmt.Sprintf("0 (enforced by TestVerdictZeroAlloc; %d routes, every rule family exercised)",
 				nRoutes),
+			"env": benchenv.Capture(testStart),
 		}, "", "  ")
 		if err != nil {
 			t.Fatal(err)

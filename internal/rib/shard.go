@@ -20,13 +20,20 @@ import (
 
 // DefaultShards is the shard count used when a table is created without
 // an explicit one: enough shards that workers on every core can run
-// without contending (4× GOMAXPROCS), floored so that even a one-core
-// box exercises real sharding, capped to bound per-table fixed cost.
+// without contending (4× GOMAXPROCS), capped to bound per-table fixed
+// cost. The count is deliberately small when there is little
+// parallelism to gain: every shard splits an upstream batch's
+// attrs-groups across that many fan-out frames — one UPDATE per
+// (attrs-group, shard) — so each extra shard multiplies the UPDATE
+// count every client must parse. On a one-core box that cost buys
+// nothing, and two shards suffice to keep the sharded structures and
+// their invariants exercised.
 func DefaultShards() int {
-	n := 4 * runtime.GOMAXPROCS(0)
-	if n < 8 {
-		n = 8
+	g := runtime.GOMAXPROCS(0)
+	if g == 1 {
+		return 2
 	}
+	n := 4 * g
 	if n > 64 {
 		n = 64
 	}
@@ -87,6 +94,10 @@ type ShardedAdj struct {
 type adjShard struct {
 	mu  sync.RWMutex
 	rib *AdjRIB
+	// gen counts mutations of this shard (bumped under mu). Snapshot
+	// consumers (the server's bulk initial sync) use it to tell whether
+	// a cached per-shard view is still current.
+	gen uint64
 }
 
 // NewShardedAdj returns an empty table with n shards (rounded up to a
@@ -124,6 +135,7 @@ func (s *ShardedAdj) Set(r *Route) bool {
 	sh := &s.shards[prefixShard(r.Prefix)&s.mask]
 	sh.mu.Lock()
 	replaced := sh.rib.Set(r)
+	sh.gen++
 	sh.mu.Unlock()
 	if !replaced {
 		s.n.Add(1)
@@ -136,11 +148,45 @@ func (s *ShardedAdj) Remove(p netip.Prefix, id wire.PathID) *Route {
 	sh := &s.shards[prefixShard(p)&s.mask]
 	sh.mu.Lock()
 	r := sh.rib.Remove(p, id)
+	sh.gen++
 	sh.mu.Unlock()
 	if r != nil {
 		s.n.Add(-1)
 	}
 	return r
+}
+
+// Update runs fn on shard i's table under its write lock: one lock
+// round-trip (and one generation bump) covers an entire batch of Sets
+// and Removes, which is what makes batched ingest one shard-writer
+// pass instead of a lock acquisition per route. The route-count delta
+// is folded into Len from the table's own before/after lengths. fn
+// must only mutate routes whose prefixes hash to shard i — everything
+// the batching dispatcher sends a worker already does.
+func (s *ShardedAdj) Update(i int, fn func(*AdjRIB)) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	before := sh.rib.Len()
+	fn(sh.rib)
+	d := sh.rib.Len() - before
+	sh.gen++
+	sh.mu.Unlock()
+	if d != 0 {
+		s.n.Add(int64(d))
+	}
+}
+
+// ReadShard runs fn on shard i's table under its read lock, passing
+// the shard's current generation. Mutators are excluded while fn runs,
+// so anything fn enqueues is ordered before any route that later
+// supersedes it — the same ordering guarantee Walk gives the replay
+// path, but scoped to one shard so bulk initial sync can build (and
+// cache, keyed by gen) one snapshot frame per shard.
+func (s *ShardedAdj) ReadShard(i int, fn func(gen uint64, t *AdjRIB)) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	fn(sh.gen, sh.rib)
+	sh.mu.RUnlock()
 }
 
 // Get returns the route for (prefix, id); treat it as read-only.
@@ -207,6 +253,7 @@ func (s *ShardedAdj) MarkAllStale() int {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		n += sh.rib.MarkAllStale()
+		sh.gen++
 		sh.mu.Unlock()
 	}
 	return n
@@ -219,6 +266,7 @@ func (s *ShardedAdj) SweepStale() []*Route {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		swept := sh.rib.SweepStale()
+		sh.gen++
 		sh.mu.Unlock()
 		s.n.Add(int64(-len(swept)))
 		stale = append(stale, swept...)
@@ -245,6 +293,7 @@ func (s *ShardedAdj) Clear() int {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		n += sh.rib.Clear()
+		sh.gen++
 		sh.mu.Unlock()
 	}
 	s.n.Add(int64(-n))

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"peering/internal/benchenv"
 	"peering/internal/bufconn"
 	"peering/internal/client"
 	"peering/internal/muxproto"
@@ -122,6 +123,7 @@ func benchWait(tb testing.TB, what string, cond func() bool) {
 // measurement is written there as JSON.
 func TestFanoutMessageReduction(t *testing.T) {
 	const nClients, nRoutes = 8, 1000
+	testStart := time.Now()
 	fb := newFanoutBench(t, nClients)
 	defer fb.close()
 
@@ -176,6 +178,7 @@ func TestFanoutMessageReduction(t *testing.T) {
 			"coalesced":        st.FanoutCoalesced,
 			"backpressure":     st.FanoutBackpressure,
 			"queue_high_water": st.FanoutQueueHighWater,
+			"env":              benchenv.Capture(testStart),
 		}, "", "  ")
 		if err != nil {
 			t.Fatal(err)

@@ -702,3 +702,141 @@ func TestChaosKillAndWarmRestart(t *testing.T) {
 		t.Fatal("route dropped by the restarted upstream was never swept")
 	}
 }
+
+// ---------------------------------------------------------------------
+// Scenario 5: shared-frame broadcast vs a stalled laggard
+
+// TestChaosFrameShedAndResync drives the batched ingest path — the one
+// that broadcasts shared encode-once frames to every client — against
+// a mux whose slowest client stalls at a tiny queue cap. Healthy
+// clients must converge from the shared frames; the laggard's frames
+// must shed mid-broadcast without losing withdrawals; and once the
+// transport heals, the auto-resync must rebuild the laggard to
+// attribute-for-attribute parity with a healthy peer.
+func TestChaosFrameShedAndResync(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	srv := New(Config{
+		Site: "chaos05", ASN: testbedASN, RouterID: addr("184.164.224.1"),
+		Mode: muxproto.ModeQuagga, Clock: clk, Shards: 8,
+		Dampening: relaxedDampening(),
+		Reconnect: bgp.Backoff{Initial: time.Second, Max: 8 * time.Second, Factor: 2},
+		Quota:     QuotaConfig{MaxQueueOps: 64},
+	})
+	t.Cleanup(srv.Close)
+	_, u := attachChaosUpstream(t, srv, clk)
+
+	// The laggard rides a stallable transport; two healthy clients ride
+	// plain pipes.
+	if err := srv.RegisterClient(ClientAccount{
+		ID: "slow", Allocation: []netip.Prefix{prefix("184.164.224.0/24")}, TunnelAddr: addr("10.250.0.1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fcSrv, fcCli := faultconn.Pipe(clk)
+	if err := srv.AcceptClient("slow", fcSrv); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := client.Connect(client.Config{Name: "slow", RouterID: addr("10.250.0.1"), Clock: clk}, fcCli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { slow.Close() })
+	if err := slow.WaitEstablished(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h1 := connectChaosClient(t, srv, clk, "h1", addr("10.250.0.2"), prefix("184.164.225.0/24"))
+	h2 := connectChaosClient(t, srv, clk, "h2", addr("10.250.0.3"), prefix("184.164.226.0/24"))
+
+	// The world arrives in batched runs — the shape the session reader's
+	// batched delivery hands the ingest pool, and the one that forms
+	// broadcast frames (8 shards × ≥32 entries per dispatch below).
+	worldPfx := func(i int) netip.Prefix { return prefix(fmt.Sprintf("96.%d.%d.0/24", i/256, i%256)) }
+	dispatchWorld := func(lo, hi int, wd []netip.Prefix) {
+		var upds []*wire.Update
+		if len(wd) > 0 {
+			w := &wire.Update{}
+			for _, p := range wd {
+				w.Withdrawn = append(w.Withdrawn, wire.NLRI{Prefix: p})
+			}
+			upds = append(upds, w)
+		}
+		for i := lo; i < hi; i += 128 {
+			attrs := fanoutAttrs(3356)
+			attrs.MED, attrs.HasMED = uint32(i/128), true
+			upd := &wire.Update{Attrs: attrs}
+			for j := i; j < hi && j < i+128; j++ {
+				upd.Reach = append(upd.Reach, wire.NLRI{Prefix: worldPfx(j)})
+			}
+			upds = append(upds, upd)
+		}
+		srv.ingest.dispatchBatch(u, 3356, addr("4.69.0.1"), upds)
+	}
+	// Shed counts live in each queue until its flusher merges them; a
+	// stalled flusher never merges, so sum both places.
+	shedTotal := func() uint64 {
+		n := srv.Stats().FanoutShed
+		for _, c := range srv.clientList() {
+			n += c.out.shed.Load()
+		}
+		return n
+	}
+
+	dispatchWorld(0, 2048, nil)
+	waitFor(t, "pre-stall convergence", func() bool {
+		return slow.RouteCount(1) == 2048 && h1.RouteCount(1) == 2048 && h2.RouteCount(1) == 2048
+	})
+	if srv.metrics.fanoutFrameShared.Value() == 0 {
+		t.Fatal("no shared-frame flushes: the batched path never formed a broadcast frame")
+	}
+	base := srv.Stats()
+
+	// --- Fault: the laggard's transport stops making progress, then the
+	// world keeps broadcasting until the laggard's queue cap sheds a
+	// frame mid-broadcast. ---
+	fcSrv.Stall()
+	next := 2048
+	for i := 0; i < 56 && shedTotal() == base.FanoutShed; i++ {
+		dispatchWorld(next, next+1024, nil)
+		next += 1024
+		srv.ingest.barrier() // every frame for this round is enqueued (or shed)
+	}
+	if shedTotal() == base.FanoutShed {
+		t.Fatal("laggard never shed a frame at its queue cap")
+	}
+	// With the laggard pinned over its cap, one more round carries
+	// withdrawals of live prefixes: the frames shed their announcements
+	// but the withdrawals must survive as plain ops.
+	wd := make([]netip.Prefix, 256)
+	for i := range wd {
+		wd[i] = worldPfx(i)
+	}
+	dispatchWorld(next, next+1024, wd)
+	next += 1024
+	total := next - len(wd)
+	waitFor(t, "healthy convergence through the stall", func() bool {
+		return h1.RouteCount(1) == total && h2.RouteCount(1) == total
+	})
+	if slow.RouteCount(1) == total {
+		t.Fatal("stalled client converged while shedding — stall fault ineffective")
+	}
+	if !u.Established() {
+		t.Fatal("upstream session lost while a client stalled")
+	}
+
+	// --- Heal: writes flow again; the overflow flag drives a full
+	// resync that rebuilds the laggard. ---
+	fcSrv.Unstall()
+	waitFor(t, "resync convergence", func() bool {
+		return slow.RouteCount(1) == total && srv.Stats().FanoutResyncs > base.FanoutResyncs
+	})
+	want := tableOf(t, h1.Routes(1))
+	got := tableOf(t, slow.Routes(1))
+	if !maps.Equal(got, want) {
+		t.Fatalf("resynced client diverged from healthy peer: %d vs %d prefixes", len(got), len(want))
+	}
+	for i := range wd {
+		if _, ok := got[wd[i]]; ok {
+			t.Fatalf("withdrawn prefix %v survived the shed on the laggard", wd[i])
+		}
+	}
+}

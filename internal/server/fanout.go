@@ -36,10 +36,14 @@ type outKey struct {
 
 // outOp is one pending operation; nil attrs means withdraw. The attrs
 // pointer is shared with the Adj-RIB-In and other clients' queues and
-// must never be mutated (see wire.PackUpdates).
+// must never be mutated (see wire.PackUpdates). When frame is non-nil
+// the entry is a shared broadcast frame covering many logical ops
+// (key/attrs unused); frames hold their position in the shard's
+// enqueue order but never coalesce.
 type outOp struct {
 	key   outKey
 	attrs *wire.Attrs
+	frame *broadcastFrame
 }
 
 // outCounters are the per-queue deltas merged into Server.Stats on each
@@ -60,6 +64,16 @@ type outQueueShard struct {
 	pending   map[outKey]int // key → index into ops
 	ops       []outOp        // first-enqueue order; coalesced in place
 	coalesced uint64
+	// synced[upstream] opens this shard for the upstream's live traffic.
+	// It starts closed and is set by beginSync from the replay walk, so
+	// a client attaching mid-ingest never receives a route both from a
+	// live broadcast frame and from its own replay snapshot: until the
+	// walk has covered this shard, live enqueues are dropped — every
+	// route they carry is already installed, so the walk delivers it
+	// exactly once. (The per-op path's coalescing used to absorb most
+	// such duplicates; shared frames never coalesce, so the dedup moved
+	// here, to enqueue time.)
+	synced map[uint32]bool
 }
 
 // outQueue is one client's coalescing outbound queue.
@@ -106,8 +120,23 @@ func newOutQueue(highWater, hardLimit, shards int) *outQueue {
 	}
 	for i := range q.shards {
 		q.shards[i].pending = make(map[outKey]int)
+		q.shards[i].synced = make(map[uint32]bool, 1)
 	}
 	return q
+}
+
+// beginSync opens queue shard i for an upstream's live traffic. The
+// replay walk calls it while holding the RIB shard's read lock, right
+// before enqueueing that shard's snapshot: ingest workers enqueue under
+// the same shard's write lock, so every install is strictly before or
+// strictly after the walk — before means the walk delivers the route
+// and the (gated-off) live enqueue is dropped, after means the live
+// enqueue sees the gate open and delivers it. Either way, exactly once.
+func (q *outQueue) beginSync(i int, upstream uint32) {
+	sh := &q.shards[i&int(q.mask)]
+	sh.mu.Lock()
+	sh.synced[upstream] = true
+	sh.mu.Unlock()
 }
 
 // bumpHighWater folds the current depth into the high-water mark.
@@ -122,10 +151,16 @@ func (q *outQueue) bumpHighWater(d int64) {
 
 // put queues one operation, coalescing onto a pending one for the same
 // (upstream, prefix): only the latest state ever reaches the client.
+// Until the shard's replay walk opens the gate (beginSync), operations
+// are dropped: the walk will deliver the route's current state itself.
 func (q *outQueue) put(upstream uint32, p netip.Prefix, attrs *wire.Attrs) {
 	k := outKey{upstream: upstream, prefix: p}
 	sh := &q.shards[rib.PrefixShard(p)&q.mask]
 	sh.mu.Lock()
+	if !sh.synced[upstream] {
+		sh.mu.Unlock()
+		return
+	}
 	if i, ok := sh.pending[k]; ok {
 		sh.ops[i].attrs = attrs
 		sh.coalesced++
@@ -150,6 +185,51 @@ func (q *outQueue) put(upstream uint32, p netip.Prefix, attrs *wire.Attrs) {
 			q.backpressure.Add(1)
 		}
 	}
+	q.wake()
+}
+
+// putFrame queues a shared broadcast frame on queue shard i (frames
+// are shard-local: every prefix inside hashes to the same RIB/queue
+// shard). The caller has already retained the frame for this queue;
+// the flush path (or the shed path here) releases it. The pending
+// index is cleared so a later put for any prefix the frame carries
+// appends after it instead of coalescing onto a pre-frame entry and
+// being flushed out of order.
+func (q *outQueue) putFrame(i int, f *broadcastFrame) {
+	n := f.logicalOps()
+	shed := q.hardLimit > 0 && q.depthOps.Load() >= int64(q.hardLimit) && f.nlris > 0
+	sh := &q.shards[i&int(q.mask)]
+	sh.mu.Lock()
+	if !sh.synced[f.upstream] {
+		// Gate closed: this client's replay walk has not covered the
+		// shard yet and will deliver every route the frame carries.
+		sh.mu.Unlock()
+		f.release()
+		return
+	}
+	if !shed {
+		sh.ops = append(sh.ops, outOp{frame: f})
+		clear(sh.pending)
+		sh.mu.Unlock()
+		d := q.depthOps.Add(int64(n))
+		q.bumpHighWater(d + q.depthEoRs.Load())
+		if d > int64(q.softLimit) {
+			q.backpressure.Add(1)
+		}
+		q.wake()
+		return
+	}
+	sh.mu.Unlock()
+	// Laggard at its cap: a frame cannot be partially shed, so drop
+	// its announcements, keep its withdrawals as plain ops (they are
+	// what bounds correctness and are never shed), and flag the
+	// queue for a full resync.
+	for _, w := range f.wd {
+		q.put(f.upstream, w.Prefix, nil)
+	}
+	q.shed.Add(uint64(f.nlris))
+	q.overflow.Store(true)
+	f.release()
 	q.wake()
 }
 
@@ -196,7 +276,17 @@ func (q *outQueue) take(opsReuse []outOp, eorsReuse []uint32) (ops []outOp, eors
 		sh.coalesced = 0
 		sh.mu.Unlock()
 	}
-	q.depthOps.Add(int64(-(len(ops))))
+	// Depth counts logical routes: a frame entry stands for every op it
+	// carries, matching what putFrame added.
+	taken := 0
+	for i := range ops {
+		if f := ops[i].frame; f != nil {
+			taken += f.logicalOps()
+		} else {
+			taken++
+		}
+	}
+	q.depthOps.Add(int64(-taken))
 	ctr.backpressure = q.backpressure.Swap(0)
 	ctr.shed = q.shed.Swap(0)
 	ctr.highWater = int(q.highWater.Swap(0))
@@ -225,24 +315,80 @@ func (s *Server) enqueueUpdate(c *clientConn, upstream uint32, upd *wire.Update)
 	}
 }
 
+// snapFrameNLRIs caps one bulk-sync frame's logical size so its
+// encoding stays inside a pooled size class (~6000 routes ≈ 54KB of
+// NLRI) and far under any transport frame limit.
+const snapFrameNLRIs = 6000
+
 // enqueueReplay queues upstream u's current Adj-RIB-In for client c,
 // followed by an End-of-RIB marker when eor is set. Replays flow
 // through the same queue as live fan-out, so a replay can never deliver
 // an announcement behind a concurrent withdrawal of the same prefix:
-// the walk enqueues while holding each shard's lock, so any ingest that
-// supersedes a walked route also enqueues after it and wins the
-// coalescing slot.
+// everything is enqueued while holding each shard's (read) lock, so any
+// ingest that supersedes a walked route also enqueues after it.
+//
+// Each shard's walk first opens the client's live-traffic gate for that
+// shard (beginSync) under the same read lock: live enqueues before the
+// gate opens are dropped (their routes are in the table, so this walk
+// carries them), live enqueues after it pass. Every route therefore
+// reaches the client exactly once even when it attaches mid-ingest.
+//
+// Bulk sync: a shard holding a real table is streamed as shared
+// snapshot frames — attr-grouped chunks encoded once at first flush —
+// instead of one queue op per route, so a full-table join costs
+// O(frames), not O(routes), in queue traffic. Small shards keep the
+// per-op path and its coalescing.
 func (s *Server) enqueueReplay(c *clientConn, u *Upstream, eor bool) {
-	u.adjIn.Walk(func(r *rib.Route) bool {
-		c.out.put(u.cfg.ID, r.Prefix, r.Attrs)
-		return true
-	})
+	skey, pathID := s.sessionKey(u)
+	for i := 0; i < u.adjIn.Shards(); i++ {
+		u.adjIn.ReadShard(i, func(_ uint64, t *rib.AdjRIB) {
+			c.out.beginSync(i, u.cfg.ID)
+			if t.Len() < frameThreshold {
+				t.Walk(func(r *rib.Route) bool {
+					c.out.put(u.cfg.ID, r.Prefix, r.Attrs)
+					return true
+				})
+				return
+			}
+			// One pass groups by interned attrs; chunk the groups into
+			// frames. The NLRI slices are freshly built by WalkGrouped,
+			// so the frames own them outright.
+			var groups []wire.AttrGroup
+			count := 0
+			emit := func() {
+				if len(groups) == 0 {
+					return
+				}
+				f := newSnapshotFrame(skey, u.cfg.ID, groups)
+				f.retain(1)
+				c.out.putFrame(i, f)
+				groups, count = nil, 0
+			}
+			t.WalkGrouped(func(attrs *wire.Attrs, nlris []wire.NLRI) {
+				if pathID != 0 {
+					for k := range nlris {
+						nlris[k].ID = pathID
+					}
+				}
+				for len(nlris) > 0 {
+					room := snapFrameNLRIs - count
+					take := len(nlris)
+					if take > room {
+						take = room
+					}
+					groups = append(groups, wire.AttrGroup{Attrs: attrs, NLRIs: nlris[:take]})
+					count += take
+					nlris = nlris[take:]
+					if count >= snapFrameNLRIs {
+						emit()
+					}
+				}
+			})
+			emit()
+		})
+	}
 	if eor {
-		key := u.cfg.ID
-		if s.cfg.Mode == muxproto.ModeBIRD {
-			key = 0
-		}
-		c.out.putEoR(key)
+		c.out.putEoR(skey)
 	}
 }
 
@@ -296,12 +442,18 @@ type flushState struct {
 // Operations whose session is down are dropped: the Established replay
 // of the Adj-RIB-In (plus End-of-RIB) reconstructs the client's view
 // when the session comes back, so nothing is lost — only deferred.
+// Plain ops accumulate into per-session attr-grouped batches exactly
+// as before; a shared frame first flushes whatever those batches hold
+// (entries queued before the frame must reach the wire before it),
+// then ships the frame's pre-encoded bytes — or a private re-pack when
+// this session's options diverge from the shared encoding.
 func (s *Server) flushFanout(c *clientConn, fs *flushState, ops []outOp, eors []uint32, ctr outCounters) {
 	bird := s.cfg.Mode == muxproto.ModeBIRD
 	// Announcements are gathered directly into per-attrs NLRI runs so
 	// PackGrouped can alias them into the produced updates with no
 	// further copying.
 	fs.drain++
+	m := s.metrics
 	batches := fs.batches
 	order := fs.order[:0]
 	get := func(skey uint32) *fanoutBatch {
@@ -323,7 +475,35 @@ func (s *Server) flushFanout(c *clientConn, fs *flushState, ops []outOp, eors []
 		}
 		return b
 	}
+	var sent, relayed uint64
+	flushBatches := func() {
+		for _, skey := range order {
+			b := batches[skey]
+			if b.sess == nil || (len(b.wd) == 0 && len(b.groups) == 0) {
+				continue
+			}
+			for _, upd := range wire.PackGrouped(b.wd, b.groups, b.sess.Options()) {
+				if err := b.sess.Send(upd); err != nil {
+					break // session died mid-flush; Established replay recovers
+				}
+				sent++
+				relayed += uint64(len(upd.Reach))
+				m.fanoutPacked.Observe(float64(len(upd.Reach) + len(upd.Withdrawn)))
+			}
+		}
+		// Start a sub-drain so later ops accumulate fresh batches (the
+		// flushed wd/group runs are aliased into in-flight updates).
+		fs.drain++
+		order = order[:0]
+	}
 	for i, op := range ops {
+		if op.frame != nil {
+			flushBatches()
+			fSent, fRelayed := s.flushFrame(c, op.frame)
+			sent += fSent
+			relayed += fRelayed
+			continue
+		}
 		skey := op.key.upstream
 		pathID := wire.PathID(0)
 		if bird {
@@ -353,22 +533,7 @@ func (s *Server) flushFanout(c *clientConn, fs *flushState, ops []outOp, eors []
 		}
 		b.groups[gi].NLRIs = append(b.groups[gi].NLRIs, n)
 	}
-	m := s.metrics
-	var sent, relayed uint64
-	for _, skey := range order {
-		b := batches[skey]
-		if b.sess == nil || (len(b.wd) == 0 && len(b.groups) == 0) {
-			continue
-		}
-		for _, upd := range wire.PackGrouped(b.wd, b.groups, b.sess.Options()) {
-			if err := b.sess.Send(upd); err != nil {
-				break // session died mid-flush; Established replay recovers
-			}
-			sent++
-			relayed += uint64(len(upd.Reach))
-			m.fanoutPacked.Observe(float64(len(upd.Reach) + len(upd.Withdrawn)))
-		}
-	}
+	flushBatches()
 	fs.order = order
 	for _, skey := range eors {
 		if sess := c.session(skey); sess != nil && sess.Established() {
@@ -385,4 +550,39 @@ func (s *Server) flushFanout(c *clientConn, fs *flushState, ops []outOp, eors []
 		m.quotaShed.Add(ctr.shed)
 	}
 	m.fanoutHighWater.Max(float64(ctr.highWater))
+}
+
+// flushFrame ships one shared frame down the client's session: the
+// encode-once bytes when this session's options match the shared
+// encoding (the overwhelming case — clients of one mux negotiate the
+// same capabilities), a private pack of the frame's logical content
+// otherwise. The queue's reference is released either way.
+func (s *Server) flushFrame(c *clientConn, f *broadcastFrame) (sent, relayed uint64) {
+	defer f.release()
+	sess := c.session(f.skey)
+	if sess == nil || !sess.Established() {
+		return 0, 0 // Established replay rebuilds the view
+	}
+	m := s.metrics
+	opts := sess.Options()
+	if enc, counts, ok := f.encoded(opts); ok {
+		if sess.SendEncoded(enc, len(counts)) != nil {
+			return 0, 0
+		}
+		for _, n := range counts {
+			m.fanoutPacked.Observe(float64(n))
+		}
+		m.fanoutFrameShared.Inc()
+		return uint64(len(counts)), uint64(f.nlris)
+	}
+	m.fanoutFramePrivate.Inc()
+	for _, upd := range wire.PackGrouped(f.wd, f.groups, opts) {
+		if sess.Send(upd) != nil {
+			break
+		}
+		sent++
+		relayed += uint64(len(upd.Reach))
+		m.fanoutPacked.Observe(float64(len(upd.Reach) + len(upd.Withdrawn)))
+	}
+	return sent, relayed
 }

@@ -36,6 +36,8 @@ func TestOutQueueCoalescing(t *testing.T) {
 	// One shard: these assertions are about coalescing and exact drain
 	// order, which only a single shard pins down across prefixes.
 	q := newOutQueue(0, 0, 1)
+	q.beginSync(0, 1)
+	q.beginSync(0, 2)
 	a1 := fanoutAttrs(100)
 	a2 := fanoutAttrs(200)
 	pA, pB := prefix("11.0.0.0/16"), prefix("12.0.0.0/16")
@@ -96,8 +98,126 @@ func TestOutQueueCoalescing(t *testing.T) {
 	}
 }
 
+// TestOutQueueFrameShedKeepsWithdrawals pins down how a shared
+// broadcast frame interacts with the laggard cap: a frame arriving at
+// a queue already over its hard limit cannot be partially shed, so its
+// announcements drop (counted, overflow flagged for the resync) while
+// its withdrawals are re-queued as plain ops — shedding must never
+// leave a client holding a route the world withdrew. Also pins the
+// ordering rule: a put after a frame appends after it instead of
+// coalescing onto a pre-frame slot.
+func TestOutQueueFrameShedKeepsWithdrawals(t *testing.T) {
+	q := newOutQueue(0, 8, 1)
+	q.beginSync(0, 1)
+	a := fanoutAttrs(100)
+	entries := func(lo, hi int, attrs *wire.Attrs) []batchEntry {
+		var es []batchEntry
+		for i := lo; i < hi; i++ {
+			es = append(es, batchEntry{
+				nlri:  wire.NLRI{Prefix: prefix(fmt.Sprintf("96.0.%d.0/24", i))},
+				attrs: attrs,
+			})
+		}
+		return es
+	}
+
+	// A frame bigger than the cap enqueues whole when the queue is
+	// empty: frames are all-or-nothing.
+	f1 := newBroadcastFrame(1, 1, 0, entries(0, 10, a))
+	f1.retain(1)
+	q.putFrame(0, f1)
+	if d := q.depth(); d != 10 {
+		t.Fatalf("depth after frame = %d, want 10 logical ops", d)
+	}
+
+	// The queue is now over its cap of 8: the next frame's announcements
+	// shed, its withdrawals survive as plain ops, and the frame's queue
+	// reference is released without ever being flushed.
+	es := entries(10, 14, a)
+	es = append(es, entries(20, 22, nil)...)
+	f2 := newBroadcastFrame(1, 1, 0, es)
+	f2.retain(1)
+	q.putFrame(0, f2)
+	if n := f2.refs.Load(); n != 0 {
+		t.Fatalf("shed frame holds %d refs, want 0", n)
+	}
+	if d := q.depth(); d != 12 {
+		t.Fatalf("depth after shed = %d, want 10 + 2 withdrawals", d)
+	}
+
+	ops, _, ctr, overflow := q.take(nil, nil)
+	if !overflow {
+		t.Fatal("shed did not flag the queue for resync")
+	}
+	if ctr.shed != 4 {
+		t.Fatalf("shed counter = %d, want the 4 dropped announcements", ctr.shed)
+	}
+	if len(ops) != 3 || ops[0].frame != f1 {
+		t.Fatalf("take returned %d ops (first frame %p), want [f1, wd, wd]", len(ops), ops[0].frame)
+	}
+	for _, op := range ops[1:] {
+		if op.frame != nil || op.attrs != nil {
+			t.Fatalf("surviving op %+v, want a plain withdrawal", op)
+		}
+	}
+	f1.release() // the flush path would do this
+	if n := f1.refs.Load(); n != 0 {
+		t.Fatalf("flushed frame holds %d refs, want 0", n)
+	}
+
+	// Ordering across a frame: a pending pre-frame op must not absorb a
+	// post-frame put for the same prefix, or the client would see the
+	// frame's (older) state last.
+	p := prefix("96.0.50.0/24")
+	q.put(1, p, a)
+	f3 := newBroadcastFrame(1, 1, 0, entries(50, 51, a))
+	f3.retain(1)
+	q.putFrame(0, f3)
+	q.put(1, p, nil)
+	ops, _, _, _ = q.take(nil, nil)
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want pre-put, frame, post-put", len(ops))
+	}
+	if ops[0].attrs != a || ops[1].frame != f3 || ops[2].attrs != nil {
+		t.Fatalf("drain order %+v breaks put/frame/put sequencing", ops)
+	}
+	f3.release()
+}
+
+// TestOutQueueSyncGate pins the replay handoff rule: a fresh queue
+// drops live traffic (ops and frames, announcements and withdrawals
+// alike) until beginSync marks the shard walked for that upstream —
+// the walk itself delivers every route such a drop carried. The gate
+// is per upstream, so one upstream's replay does not open another's.
+func TestOutQueueSyncGate(t *testing.T) {
+	q := newOutQueue(0, 0, 1)
+	a := fanoutAttrs(100)
+	pA := prefix("11.0.0.0/16")
+
+	q.put(1, pA, a)
+	q.put(1, pA, nil)
+	f := newBroadcastFrame(1, 1, 0, []batchEntry{{nlri: wire.NLRI{Prefix: pA}, attrs: a}})
+	f.retain(1)
+	q.putFrame(0, f)
+	if n := f.refs.Load(); n != 0 {
+		t.Fatalf("gated frame holds %d refs, want 0 (dropped and released)", n)
+	}
+	if ops, _, _, _ := q.take(nil, nil); len(ops) != 0 || q.depth() != 0 {
+		t.Fatalf("gated queue drained %d ops (depth %d), want none", len(ops), q.depth())
+	}
+
+	q.beginSync(0, 1)
+	q.put(1, pA, a)
+	q.put(2, pA, a) // upstream 2 has not synced: still dropped
+	ops, _, _, _ := q.take(nil, nil)
+	if len(ops) != 1 || ops[0].key.upstream != 1 {
+		t.Fatalf("post-sync drain = %+v, want exactly upstream 1's op", ops)
+	}
+}
+
 func TestOutQueueBackpressureCounters(t *testing.T) {
 	q := newOutQueue(2, 0, 1)
+	q.beginSync(0, 1)
 	a := fanoutAttrs(100)
 	for i := 0; i < 4; i++ {
 		q.put(1, prefix("11.0.0.0/16"), a) // coalesces: never backpressure

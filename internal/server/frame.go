@@ -1,0 +1,173 @@
+package server
+
+// broadcastFrame is the encode-once fan-out unit: one ingest batch (or
+// one bulk-sync chunk) packed as logical withdrawals plus attr-grouped
+// announcements, referenced by every in-sync client's queue and
+// encoded into wire bytes exactly once, lazily, by the first client
+// worker that flushes it. Clients whose sessions negotiated different
+// codec options than the shared encoding fall back to a private pack
+// of the same logical content.
+//
+// Lifetime: the builder sets refs to the number of queues that will
+// hold the frame before enqueueing; each queue's flush (or shed, or
+// failed-session skip) calls release exactly once. The encoded bytes
+// live in a bufpool.Frame with one base reference owned by this
+// struct; each SendEncoded hands the session writer its own retained
+// reference, so the buffer recycles only after the last writer and the
+// last queue are done with it. The logical NLRI slices are plain
+// GC-managed memory — private packs alias them into updates consumed
+// asynchronously, so they must never come from a pool.
+import (
+	"sync"
+	"sync/atomic"
+
+	"peering/internal/bufpool"
+	"peering/internal/wire"
+)
+
+// frameThreshold is the minimum logical batch size (NLRIs) worth
+// building a shared frame for. Below it the per-op path keeps its
+// coalescing behavior and its measured allocation profile; at or above
+// it the frame's one-time build cost amortizes across clients.
+const frameThreshold = 32
+
+// batchEntry is one prefix's final state within an ingest batch: nil
+// attrs means withdrawn. Batches fold to final state before building a
+// frame, so a frame never carries both an announcement and a
+// withdrawal for the same prefix (PackGrouped emits withdrawals first,
+// which would otherwise reorder announce-then-withdraw sequences).
+type batchEntry struct {
+	nlri  wire.NLRI
+	attrs *wire.Attrs
+}
+
+type broadcastFrame struct {
+	// skey routes the frame to a client session (upstream ID in Quagga
+	// mode, 0 in BIRD mode); upstream is the originating upstream's ID,
+	// the coalescing key used if the frame's withdrawals are re-queued
+	// as plain ops on a shed.
+	skey     uint32
+	upstream uint32
+
+	wd     []wire.NLRI      // withdrawn, PathID-stamped
+	groups []wire.AttrGroup // announcements by shared attrs, PathID-stamped
+	nlris  int              // announced NLRI count across groups
+
+	refs atomic.Int32
+
+	// Lazy shared encoding, built under mu by the first flusher and
+	// keyed to the wire.Options it encoded under.
+	mu      sync.Mutex
+	encOpts wire.Options
+	enc     *bufpool.Frame
+	counts  []int // NLRIs (reach+withdrawn) per encoded UPDATE
+	encDone bool
+	encErr  bool
+}
+
+// newBroadcastFrame builds a frame from a batch's folded final state.
+// The entry NLRIs are re-stamped with pathID (BIRD mode's per-upstream
+// ADD-PATH ID; zero in Quagga mode). entries is not retained.
+func newBroadcastFrame(skey, upstream uint32, pathID wire.PathID, entries []batchEntry) *broadcastFrame {
+	f := &broadcastFrame{skey: skey, upstream: upstream}
+	gidx := make(map[*wire.Attrs]int, 1)
+	for _, e := range entries {
+		n := e.nlri
+		n.ID = pathID
+		if e.attrs == nil {
+			f.wd = append(f.wd, n)
+			continue
+		}
+		gi, ok := gidx[e.attrs]
+		if !ok {
+			gi = len(f.groups)
+			gidx[e.attrs] = gi
+			f.groups = append(f.groups, wire.AttrGroup{Attrs: e.attrs})
+		}
+		f.groups[gi].NLRIs = append(f.groups[gi].NLRIs, n)
+		f.nlris++
+	}
+	return f
+}
+
+// newSnapshotFrame wraps already-grouped announcements (a bulk-sync
+// chunk gathered under a RIB shard's read lock) in a frame. The group
+// NLRI slices are retained and must be owned by the frame from here on.
+func newSnapshotFrame(skey, upstream uint32, groups []wire.AttrGroup) *broadcastFrame {
+	f := &broadcastFrame{skey: skey, upstream: upstream, groups: groups}
+	for _, g := range groups {
+		f.nlris += len(g.NLRIs)
+	}
+	return f
+}
+
+// logicalOps is the frame's contribution to queue depth: one op per
+// logical route it carries.
+func (f *broadcastFrame) logicalOps() int { return f.nlris + len(f.wd) }
+
+// retain adds n queue references before the frame is enqueued.
+func (f *broadcastFrame) retain(n int) { f.refs.Add(int32(n)) }
+
+// release drops one queue reference; the last one releases the base
+// reference on the shared encoding so its buffer can recycle (session
+// writers still mid-send hold their own references).
+func (f *broadcastFrame) release() {
+	if f.refs.Add(-1) != 0 {
+		return
+	}
+	f.mu.Lock()
+	enc := f.enc
+	f.enc = nil
+	f.mu.Unlock()
+	if enc != nil {
+		enc.Release()
+	}
+}
+
+// encoded returns the shared encoding for opts, building it on first
+// call, with one reference retained for the caller's session. ok is
+// false when the frame was already encoded under different options (or
+// failed to encode): the caller packs privately from the logical
+// content instead.
+func (f *broadcastFrame) encoded(opts wire.Options) (enc *bufpool.Frame, counts []int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.encDone {
+		f.encDone = true
+		f.encOpts = opts
+		f.encode(opts)
+	}
+	if f.encErr || f.enc == nil || f.encOpts != opts {
+		return nil, nil, false
+	}
+	f.enc.Retain()
+	return f.enc, f.counts, true
+}
+
+// encode packs the logical content and appends every resulting UPDATE
+// into one pooled buffer. Called with mu held, once.
+func (f *broadcastFrame) encode(opts wire.Options) {
+	upds := wire.PackGrouped(f.wd, f.groups, opts)
+	if len(upds) == 0 {
+		f.encErr = true
+		return
+	}
+	// Size estimate: NLRI bytes dominate; leave headroom for one attr
+	// block per group. A miss just grows the buffer past its class (it
+	// is then GC'd instead of recycled — never truncated).
+	est := (f.logicalOps())*10 + len(f.groups)*192 + len(upds)*wire.HeaderLen
+	b := bufpool.Get(est)[:0]
+	counts := make([]int, 0, len(upds))
+	for _, upd := range upds {
+		var err error
+		b, err = wire.AppendMessage(b, upd, opts)
+		if err != nil {
+			bufpool.Put(b)
+			f.encErr = true
+			return
+		}
+		counts = append(counts, len(upd.Reach)+len(upd.Withdrawn))
+	}
+	f.enc = bufpool.NewFrame(b)
+	f.counts = counts
+}

@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"peering/internal/benchenv"
 	"peering/internal/router"
 )
 
@@ -78,6 +79,7 @@ var prePRBaseline = hotpathMeasurement{
 // alongside the current numbers.
 func TestRelayHotPathAllocs(t *testing.T) {
 	const nClients, nRoutes, rounds = 8, 1000, 3
+	testStart := time.Now()
 	fb := newFanoutBench(t, nClients)
 	defer fb.close()
 	relayRound(t, fb, 0, nRoutes, nClients) // warm-up round, unmeasured
@@ -128,6 +130,7 @@ func TestRelayHotPathAllocs(t *testing.T) {
 				"bytes_per_op":  1 - cur.BytesPerOp/prePRBaseline.BytesPerOp,
 				"allocs_per_op": 1 - cur.AllocsPerOp/prePRBaseline.AllocsPerOp,
 			},
+			"env": benchenv.Capture(testStart),
 		}, "", "  ")
 		if err != nil {
 			t.Fatal(err)

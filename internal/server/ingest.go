@@ -9,15 +9,19 @@ package server
 // (upstream, prefix) a single writer, which is what keeps relay
 // ordering intact without a global lock:
 //
-//   - a worker enqueues version k to every client before it installs
-//     k+1, so no client queue ever sees stale-after-fresh;
-//   - a replay walk holds the shard lock while it enqueues, so any Set
-//     that lands after the walk read a prefix also enqueues after the
-//     walk's put and wins the coalescing slot;
-//   - the worker snapshots the client list after installing and before
-//     enqueuing, so a client that registered too late for a route's
-//     install is either in the snapshot or will see the route in its
-//     Established replay.
+//   - a worker installs and enqueues under one hold of the shard's
+//     write lock, so version k is enqueued to every client before k+1
+//     is installed and no client queue ever sees stale-after-fresh;
+//   - a replay walk holds the shard's read lock while it enqueues, so
+//     relative to any one install-and-enqueue it is strictly before
+//     (the walk carries the route; the live enqueue was dropped by the
+//     client's closed sync gate, see outQueue.beginSync) or strictly
+//     after (the gate is open and the live enqueue delivers it) —
+//     exactly one of the two reaches the client;
+//   - the worker snapshots the client list before taking the shard
+//     lock: a client that registers later replays under that same
+//     lock, so its walk covers the routes its absence from the
+//     snapshot skipped.
 //
 // barrier() flushes the pipeline: operations that must observe every
 // in-flight update (stale sweeps, teardown withdrawals, archive
@@ -39,14 +43,27 @@ import (
 // microseconds.
 const ingestChanDepth = 256
 
-// ingestOp is one shard's slice of an upstream UPDATE. The NLRI slices
-// alias the decoded message (fresh per decode) or a partition buffer
-// owned by this op; attrs is interned and immutable.
+// ingestSeg is one run of same-kind operations inside a batched op:
+// nil attrs marks withdrawals, anything else announcements under one
+// interned attribute set. Segments preserve source-update order within
+// the batch; the worker folds them to final state per prefix before
+// the table pass and the fan-out frame.
+type ingestSeg struct {
+	attrs *wire.Attrs
+	nlris []wire.NLRI
+}
+
+// ingestOp is one shard's slice of an upstream UPDATE — or, when segs
+// is non-empty, of a whole batch of UPDATEs. The NLRI slices alias the
+// decoded messages (fresh per decode) or a partition buffer owned by
+// this op; attrs is interned and immutable.
 type ingestOp struct {
 	u     *Upstream
 	attrs *wire.Attrs // nil: withdrawals only
 	wd    []wire.NLRI
 	reach []wire.NLRI
+	// segs, when non-empty, marks a batch op (wd/reach/attrs unused).
+	segs []ingestSeg
 	// peerAS/peerID snapshot the session identity at receive time, so
 	// the stored routes are stamped even if the session dies before the
 	// worker runs.
@@ -118,7 +135,11 @@ func (p *ingestPool) run(i int) {
 				op.fence.Done()
 				continue
 			}
-			p.process(op)
+			if len(op.segs) > 0 {
+				p.processBatch(op, i)
+			} else {
+				p.process(op, i)
+			}
 		case <-p.stop:
 			// No sender can enter after close set stopped, so one final
 			// drain empties the channel (fences included).
@@ -174,18 +195,27 @@ func (p *ingestPool) barrier() {
 // after the op's NLRIs — every route gets exactly one verdict from one
 // coherent rule set. Withdrawals always pass; retracting state is
 // always safe.
-func (p *ingestPool) process(op *ingestOp) {
+func (p *ingestPool) process(op *ingestOp, si int) {
 	u := op.u
-	for _, n := range op.wd {
-		u.adjIn.Remove(n.Prefix, 0)
-	}
 	reach := op.reach
 	if op.attrs != nil {
 		if f := p.srv.policy.Current(); f != nil {
 			reach = p.filterReach(f, op)
 		}
+	} else {
+		reach = nil
+	}
+	clients := p.srv.clientList()
+	// Install and enqueue under one hold of the shard's write lock (the
+	// ordering contract in the package comment): a replay walk is then
+	// strictly before or strictly after this whole op, never between
+	// the install and the fan-out.
+	u.adjIn.Update(si, func(t *rib.AdjRIB) {
+		for _, n := range op.wd {
+			t.Remove(n.Prefix, 0)
+		}
 		for _, n := range reach {
-			u.adjIn.Set(&rib.Route{
+			t.Set(&rib.Route{
 				Prefix:  n.Prefix,
 				Attrs:   op.attrs,
 				Src:     rib.PeerKey{Addr: u.cfg.PeerAddr},
@@ -195,18 +225,15 @@ func (p *ingestPool) process(op *ingestOp) {
 				Learned: op.learned,
 			})
 		}
-	}
-	clients := p.srv.clientList()
-	for _, c := range clients {
-		for _, n := range op.wd {
-			c.out.put(u.cfg.ID, n.Prefix, nil)
-		}
-		if op.attrs != nil {
+		for _, c := range clients {
+			for _, n := range op.wd {
+				c.out.put(u.cfg.ID, n.Prefix, nil)
+			}
 			for _, n := range reach {
 				c.out.put(u.cfg.ID, n.Prefix, op.attrs)
 			}
 		}
-	}
+	})
 	*op = ingestOp{}
 	p.ops.Put(op)
 }
@@ -231,6 +258,155 @@ func (p *ingestPool) filterReach(f *compiled.Filter, op *ingestOp) []wire.NLRI {
 		p.srv.metrics.policyAccepted.Add(uint64(len(kept)))
 	}
 	return kept
+}
+
+// processBatch applies one batched op to shard si: policy verdicts per
+// announce segment (amortized over the interned attribute set the
+// whole segment shares), a fold to final state per prefix, one
+// shard-writer table pass under a single lock round-trip, then fan-out
+// — a shared broadcast frame when the batch is big enough to amortize
+// across clients, the coalescing per-op path otherwise.
+func (p *ingestPool) processBatch(op *ingestOp, si int) {
+	u := op.u
+	if f := p.srv.policy.Current(); f != nil {
+		for k := range op.segs {
+			sg := &op.segs[k]
+			if sg.attrs == nil {
+				continue
+			}
+			sg.nlris = p.filterSeg(f, op, sg)
+		}
+	}
+
+	// Fold to final state: the last segment touching a prefix wins, so
+	// the table pass and the frame agree and a frame never carries a
+	// stale announcement ahead of its own withdrawal.
+	var total int
+	for _, sg := range op.segs {
+		total += len(sg.nlris)
+	}
+	entries := make([]batchEntry, 0, total)
+	idx := make(map[netip.Prefix]int, total)
+	for _, sg := range op.segs {
+		for _, n := range sg.nlris {
+			if j, ok := idx[n.Prefix]; ok {
+				entries[j].attrs = sg.attrs
+			} else {
+				idx[n.Prefix] = len(entries)
+				entries = append(entries, batchEntry{nlri: n, attrs: sg.attrs})
+			}
+		}
+	}
+	if len(entries) > 0 {
+		p.srv.metrics.ingestBatchSize.Observe(float64(len(entries)))
+		clients := p.srv.clientList()
+		// The frame is built outside the lock (it only groups entries;
+		// encoding is deferred to the first flush), but enqueued inside
+		// it — see process for the ordering contract.
+		var f *broadcastFrame
+		if len(clients) >= 2 && len(entries) >= frameThreshold {
+			skey, pathID := p.srv.sessionKey(u)
+			f = newBroadcastFrame(skey, u.cfg.ID, pathID, entries)
+			f.retain(len(clients))
+		}
+		u.adjIn.Update(si, func(t *rib.AdjRIB) {
+			for _, e := range entries {
+				if e.attrs == nil {
+					t.Remove(e.nlri.Prefix, 0)
+					continue
+				}
+				t.Set(&rib.Route{
+					Prefix:  e.nlri.Prefix,
+					Attrs:   e.attrs,
+					Src:     rib.PeerKey{Addr: u.cfg.PeerAddr},
+					PeerAS:  op.peerAS,
+					PeerID:  op.peerID,
+					EBGP:    true,
+					Learned: op.learned,
+				})
+			}
+			if f != nil {
+				for _, c := range clients {
+					c.out.putFrame(si, f)
+				}
+			} else {
+				for _, c := range clients {
+					for _, e := range entries {
+						c.out.put(u.cfg.ID, e.nlri.Prefix, e.attrs)
+					}
+				}
+			}
+		})
+	}
+	*op = ingestOp{}
+	p.ops.Put(op)
+}
+
+// filterSeg runs the compiled verdict over one announce segment,
+// compacting survivors in place (the slice is owned by this op).
+func (p *ingestPool) filterSeg(f *compiled.Filter, op *ingestOp, sg *ingestSeg) []wire.NLRI {
+	peer := compiled.Peer{AS: op.peerAS, Transit: op.u.cfg.Transit}
+	kept := sg.nlris[:0]
+	for _, n := range sg.nlris {
+		v := f.Verdict(n.Prefix, sg.attrs, peer)
+		if v.Accept {
+			kept = append(kept, n)
+			continue
+		}
+		p.srv.metrics.policyRejected[v.Class].Inc()
+	}
+	if len(kept) > 0 {
+		p.srv.metrics.policyAccepted.Add(uint64(len(kept)))
+	}
+	return kept
+}
+
+// dispatchBatch splits a slice of UPDATEs (one batched session read)
+// by shard: one channel send and one worker pass per touched shard
+// covers the whole batch, preserving source order within each shard
+// via ordered segments. A single-update batch takes the per-UPDATE
+// path unchanged.
+func (p *ingestPool) dispatchBatch(u *Upstream, peerAS uint32, peerID netip.Addr, upds []*wire.Update) {
+	if len(upds) == 0 {
+		return
+	}
+	if len(upds) == 1 {
+		p.dispatch(u, peerAS, peerID, upds[0])
+		return
+	}
+	now := p.srv.clk.Now()
+	ops := make([]*ingestOp, len(p.chans))
+	addSeg := func(si int, attrs *wire.Attrs, n wire.NLRI) {
+		op := ops[si]
+		if op == nil {
+			op = p.ops.Get().(*ingestOp)
+			op.u = u
+			op.peerAS, op.peerID, op.learned = peerAS, peerID, now
+			ops[si] = op
+		}
+		if len(op.segs) == 0 || op.segs[len(op.segs)-1].attrs != attrs {
+			op.segs = append(op.segs, ingestSeg{attrs: attrs})
+		}
+		sg := &op.segs[len(op.segs)-1]
+		sg.nlris = append(sg.nlris, n)
+	}
+	for _, upd := range upds {
+		attrs := upd.Attrs
+		for _, n := range upd.Withdrawn {
+			addSeg(int(rib.PrefixShard(n.Prefix)&p.mask), nil, n)
+		}
+		if attrs == nil {
+			continue // announcements without attributes carry no state
+		}
+		for _, n := range upd.Reach {
+			addSeg(int(rib.PrefixShard(n.Prefix)&p.mask), attrs, n)
+		}
+	}
+	for si, op := range ops {
+		if op != nil {
+			p.send(si, op)
+		}
+	}
 }
 
 // dispatch splits an upstream UPDATE by shard and hands each slice to

@@ -31,6 +31,12 @@ var convergenceBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60,
 // doubling behavior of batch growth.
 var packingBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// batchBuckets cover NLRIs-per-ingest-batch: reader-side batching caps
+// a run at maxReadBatch UPDATEs but each UPDATE can carry many NLRIs,
+// and bulk-sync chunks run to thousands, so the range extends past the
+// packing ceiling.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
 // serverMetrics holds every instrument the server layer owns, plus the
 // shared BGP session metrics it hands to each session config.
 type serverMetrics struct {
@@ -56,6 +62,14 @@ type serverMetrics struct {
 	fanoutBackpressure *telemetry.Counter
 	fanoutHighWater    *telemetry.Gauge
 	fanoutPacked       *telemetry.Histogram
+
+	// Batched-ingest and shared-frame instruments (frame.go, ingest.go).
+	// ingestBatchSize records folded entries per shard batch; the frame
+	// counters split fan-out flushes between the encode-once shared path
+	// and the per-session private fallback.
+	ingestBatchSize    *telemetry.Histogram
+	fanoutFrameShared  *telemetry.Counter
+	fanoutFramePrivate *telemetry.Counter
 
 	// Compiled-policy verdict counters (policy/compiled, wired in
 	// ingest.go and vetAnnouncement). The CounterVec is the registered
@@ -122,6 +136,13 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 		fanoutPacked: r.Histogram("peering_fanout_update_nlris",
 			"NLRIs packed into each UPDATE sent to a client.", packingBuckets),
 
+		ingestBatchSize: r.Histogram("peering_ingest_batch_size",
+			"Folded NLRI entries per batched shard-ingest operation.", batchBuckets),
+		fanoutFrameShared: r.Counter("peering_fanout_frames_shared_total",
+			"Broadcast frames flushed to a client from the shared encode-once bytes."),
+		fanoutFramePrivate: r.Counter("peering_fanout_frames_private_total",
+			"Broadcast frames that fell back to a per-session private encode (diverged codec options or encode failure)."),
+
 		policyVerdicts: r.CounterVec("peering_policy_verdicts_total",
 			"Compiled safety-filter verdicts by rule class and outcome (upstream ingest and client vetting).",
 			"rule", "outcome"),
@@ -167,6 +188,16 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 			emit(float64(st.PeerlockRules), "peerlock")
 			emit(float64(st.NoTransitASes), "peerlock_lite")
 			emit(float64(st.MetroRules), "metro")
+		})
+	r.GaugeFunc("peering_fanout_shared_frame_ratio",
+		"Fraction of broadcast-frame flushes served from the shared encoding (1.0 = every client reused the same bytes; 0 when no frames have been flushed).",
+		func() float64 {
+			shared := m.fanoutFrameShared.Value()
+			total := shared + m.fanoutFramePrivate.Value()
+			if total == 0 {
+				return 0
+			}
+			return float64(shared) / float64(total)
 		})
 	r.GaugeFunc("peering_server_clients",
 		"Clients currently connected.",

@@ -517,8 +517,8 @@ func (s *Server) AddUpstream(cfg UpstreamConfig) (*Upstream, error) {
 		return nil, errors.New("server: upstream ID must be ≥1 (0 is reserved)")
 	}
 	s.upMu.Lock()
-	defer s.upMu.Unlock()
 	if _, dup := s.upstreams[cfg.ID]; dup {
+		s.upMu.Unlock()
 		return nil, fmt.Errorf("server: upstream ID %d already registered", cfg.ID)
 	}
 	u := &Upstream{
@@ -529,6 +529,16 @@ func (s *Server) AddUpstream(cfg UpstreamConfig) (*Upstream, error) {
 	}
 	u.adjIn.SetInterner(s.intern)
 	s.upstreams[cfg.ID] = u
+	s.upMu.Unlock()
+	// A client whose session came up before this upstream existed gets
+	// no further Established replay for it, so replay the (still empty)
+	// table now: the walk opens the client's live-traffic sync gates for
+	// this upstream, ordered against future ingest by the shard locks.
+	// Clients registering concurrently replay on their own Established,
+	// which reads the upstream registry after this store.
+	for _, c := range s.clientList() {
+		s.enqueueReplay(c, u, false)
+	}
 	return u, nil
 }
 
@@ -630,6 +640,14 @@ func (h *upstreamHandler) UpdateReceived(sess *bgp.Session, upd *wire.Update) {
 	h.u.srv.handleUpstreamUpdate(h.u, sess, upd)
 }
 
+// UpdateBatchReceived implements bgp.BatchHandler: on transports that
+// report buffered bytes, the session reader hands over every UPDATE
+// already in flight as one slice, and the whole run enters the sharded
+// ingest as one batch per shard instead of one op per message.
+func (h *upstreamHandler) UpdateBatchReceived(sess *bgp.Session, upds []*wire.Update) {
+	h.u.srv.handleUpstreamBatch(h.u, sess, upds)
+}
+
 func (h *upstreamHandler) Closed(_ *bgp.Session, err error) {
 	h.u.srv.handleUpstreamDown(h.u, err)
 }
@@ -670,6 +688,55 @@ func (s *Server) handleUpstreamUpdate(u *Upstream, sess *bgp.Session, upd *wire.
 	// slow client or on another peer's flood, and upd.Attrs (shared,
 	// immutable) rides into every queue without cloning.
 	s.ingest.dispatch(u, sess.PeerAS(), sess.PeerID(), upd)
+}
+
+// handleUpstreamBatch is the batched twin of handleUpstreamUpdate:
+// per-message bookkeeping (import hook, archive, interning, metrics)
+// stays per UPDATE, but the runs between End-of-RIB markers dispatch
+// into the shard workers as one batch — one channel send and one
+// table-lock pass per touched shard for the whole run.
+func (s *Server) handleUpstreamBatch(u *Upstream, sess *bgp.Session, upds []*wire.Update) {
+	run := make([]*wire.Update, 0, len(upds))
+	flush := func() {
+		if len(run) > 0 {
+			s.ingest.dispatchBatch(u, sess.PeerAS(), sess.PeerID(), run)
+			run = run[:0]
+		}
+	}
+	for _, upd := range upds {
+		if upd.Refresh {
+			continue // refresh requests from upstreams are not honored yet
+		}
+		if u.cfg.Import != nil {
+			u.cfg.Import(upd)
+		}
+		s.archiveUpstream(u, sess, upd)
+		if upd.IsEndOfRIB() {
+			// The stale sweep must observe every update before the
+			// marker: dispatch the run first (flushUpstreamStale fences
+			// the pipeline itself).
+			flush()
+			s.flushUpstreamStale(u)
+			continue
+		}
+		upd.Attrs = s.intern.Intern(upd.Attrs)
+		if upd.Attrs != nil && len(upd.Reach) > 0 {
+			s.metrics.routesFromUpstreams.Add(uint64(len(upd.Reach)))
+		}
+		run = append(run, upd)
+	}
+	flush()
+}
+
+// sessionKey maps an upstream to the client-session routing key and
+// per-route ADD-PATH ID for the server's mode: Quagga clients hold one
+// session per upstream (key = upstream ID), BIRD clients one ADD-PATH
+// session (key 0) with the upstream ID carried as the path ID.
+func (s *Server) sessionKey(u *Upstream) (skey uint32, pathID wire.PathID) {
+	if s.cfg.Mode == muxproto.ModeBIRD {
+		return 0, wire.PathID(u.cfg.ID)
+	}
+	return u.cfg.ID, 0
 }
 
 // handleUpstreamDown reacts to the loss of an upstream session. A

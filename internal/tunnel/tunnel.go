@@ -131,8 +131,13 @@ func (m *Mux) readLoop() {
 			m.fail(fmt.Errorf("tunnel: frame of %d bytes exceeds limit", n))
 			return
 		}
-		buf := make([]byte, n)
+		// The payload buffer is pooled and ownership passes to
+		// deliver, which queues it on the stream's chunk deque; it
+		// returns to the pool once the stream's reader consumes it —
+		// no copy and no per-frame garbage on the demux path.
+		buf := bufpool.Get(int(n))
 		if _, err := io.ReadFull(m.conn, buf); err != nil {
+			bufpool.Put(buf)
 			m.fail(err)
 			return
 		}
@@ -142,6 +147,7 @@ func (m *Mux) readLoop() {
 		if !ok && !m.closed {
 			if m.onNew == nil {
 				m.mu.Unlock()
+				bufpool.Put(buf)
 				continue // unsolicited stream, no acceptor: drop
 			}
 			s = newStream(m, id)
@@ -150,6 +156,7 @@ func (m *Mux) readLoop() {
 		}
 		m.mu.Unlock()
 		if s == nil {
+			bufpool.Put(buf)
 			continue
 		}
 		if isNew {
@@ -182,13 +189,25 @@ func (m *Mux) writeFrame(id uint32, p []byte) error {
 
 // Stream is one logical channel; it implements net.Conn so BGP sessions
 // run over it unchanged.
+//
+// Unread bytes live in a deque of pooled frame chunks: deliver appends
+// the frame buffer itself (ownership transfers from the mux read loop)
+// and Read consumes chunks front to back, returning each exhausted
+// chunk to bufpool. A flat append-grown buffer looks simpler but is
+// quadratic when the reader lags — a client draining a full-table sync
+// builds a multi-megabyte backlog, and every array growth recopies all
+// of it. The deque never copies a delivered byte again: one copy in
+// (the mux read), one copy out (Read), regardless of backlog depth.
 type Stream struct {
 	mux *Mux
 	id  uint32
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    []byte
+	chunks [][]byte // pooled; chunks[head][off:] is the next unread byte
+	head   int
+	off    int
+	avail  int // total unread bytes across chunks
 	closed bool
 	err    error
 }
@@ -204,15 +223,32 @@ func newStream(m *Mux, id uint32) *Stream {
 // ID returns the stream's channel ID.
 func (s *Stream) ID() uint32 { return s.id }
 
+// deliver queues frame payload p for Read. Ownership of p (a bufpool
+// buffer) transfers to the stream: it is returned to the pool once the
+// reader consumes it, or immediately if the stream is closed or the
+// frame is empty.
 func (s *Stream) deliver(p []byte) {
-	s.mu.Lock()
-	if !s.closed {
-		s.buf = append(s.buf, p...)
-		s.cond.Broadcast()
+	if len(p) == 0 {
+		bufpool.Put(p)
+		return
 	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		bufpool.Put(p)
+		return
+	}
+	s.chunks = append(s.chunks, p)
+	s.avail += len(p)
+	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
+// shutdown marks the stream closed. Chunks already delivered stay
+// readable — a peer's parting messages (a BGP Cease ahead of the
+// transport close) must reach the reader before it sees EOF. Chunks
+// still queued when the last reader goes away are reclaimed by the GC
+// rather than the pool: a missed recycle, never a leak.
 func (s *Stream) shutdown(err error) {
 	s.mu.Lock()
 	if !s.closed {
@@ -223,11 +259,13 @@ func (s *Stream) shutdown(err error) {
 	s.mu.Unlock()
 }
 
-// Read implements net.Conn.
+// Read implements net.Conn. A single call copies from the front chunk
+// only, so it may return fewer bytes than are buffered; callers
+// already loop (io.ReadFull in the BGP message reader).
 func (s *Stream) Read(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.buf) == 0 {
+	for s.avail == 0 {
 		if s.closed {
 			if s.err == nil || errors.Is(s.err, io.EOF) {
 				return 0, io.EOF
@@ -236,9 +274,34 @@ func (s *Stream) Read(p []byte) (int, error) {
 		}
 		s.cond.Wait()
 	}
-	n := copy(p, s.buf)
-	s.buf = s.buf[n:]
+	c := s.chunks[s.head]
+	n := copy(p, c[s.off:])
+	s.off += n
+	s.avail -= n
+	if s.off == len(c) {
+		bufpool.Put(c)
+		s.chunks[s.head] = nil
+		s.head++
+		s.off = 0
+		if s.head == len(s.chunks) {
+			s.chunks, s.head = s.chunks[:0], 0
+		} else if s.head >= 32 && s.head*2 >= len(s.chunks) {
+			// Compact the deque's pointer slice (not the bytes) once
+			// at least half of it is consumed slots.
+			s.chunks = s.chunks[:copy(s.chunks, s.chunks[s.head:])]
+			s.head = 0
+		}
+	}
 	return n, nil
+}
+
+// Buffered reports how many bytes are queued for Read. Batch-aware
+// readers (the BGP session reader) use it to drain already-arrived
+// messages in one delivery instead of one handler call per message.
+func (s *Stream) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.avail
 }
 
 // Write implements net.Conn.

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"peering/internal/benchenv"
 	"peering/internal/bufconn"
 	"peering/internal/collector"
 	"peering/internal/mrt"
@@ -335,6 +336,7 @@ func xvSynthTrace(t testing.TB, dir string, n int, spacing time.Duration) string
 // arranges), both measurements are written there as JSON.
 func TestReplayBenchmark(t *testing.T) {
 	const nRecords = 1000
+	testStart := time.Now()
 	path := xvSynthTrace(t, t.TempDir(), nRecords, time.Millisecond)
 
 	maxSpeed, err := ReplayArchive(path, ModeBIRD, false, 0)
@@ -365,6 +367,7 @@ func TestReplayBenchmark(t *testing.T) {
 			"records":   nRecords,
 			"max_speed": maxSpeed,
 			"timed":     timed,
+			"env":       benchenv.Capture(testStart),
 		}, "", "  ")
 		if err != nil {
 			t.Fatal(err)
